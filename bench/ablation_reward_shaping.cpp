@@ -1,0 +1,59 @@
+// Ablation — reward-shaping weight beta (Sec. VI-A sets beta = 20 "to have
+// sufficient weight on enforcing the total orchestrated resources
+// constraint"). Sweeps beta and reports the constraint violation and the
+// system performance of the resulting policy: too-small beta lets the
+// policy over-subscribe; large beta enforces feasibility at little cost.
+#include "common.h"
+
+#include "core/policies.h"
+
+using namespace edgeslice;
+using namespace edgeslice::bench;
+
+int main(int argc, char** argv) {
+  Setup defaults;
+  defaults.train_steps = 8000;  // 4 trainings: keep the sweep quick
+  Setup setup = parse_common_flags(argc, argv, defaults);
+  Rng profile_rng(setup.seed);
+  const auto profiles = make_profiles(setup.slices, profile_rng);
+  const auto model = make_service_model(profiles);
+
+  print_header("Ablation: reward-shaping weight beta", "the beta=20 design choice");
+  print_series_header({"beta", "violation/step", "mean-perf/step"});
+
+  for (double beta : {0.0, 5.0, 20.0, 50.0}) {
+    Rng rng(setup.seed);
+    // Train with the modified beta.
+    auto config = env_config(setup, true);
+    config.beta = beta;
+    env::RaEnvironment train_env(config, profiles, model, make_perf(setup), rng.spawn());
+    rl::DdpgConfig ddpg;
+    ddpg.base.state_dim = train_env.state_dim();
+    ddpg.base.action_dim = train_env.action_dim();
+    ddpg.base.hidden = 64;
+    ddpg.batch_size = 64;
+    ddpg.warmup = 128;
+    ddpg.noise_decay = 0.9996;
+    ddpg.noise_min = 0.08;
+    auto agent = std::make_shared<rl::Ddpg>(ddpg, rng);
+    core::TrainingConfig training;
+    training.steps = setup.train_steps;
+    core::train_agent(*agent, train_env, training, rng);
+
+    // Evaluate raw violation + performance on a fresh environment.
+    env::RaEnvironment eval_env(config, profiles, model, make_perf(setup), Rng(999));
+    core::LearnedPolicy policy(agent, false);
+    double violation = 0.0;
+    double perf = 0.0;
+    const std::size_t intervals = setup.eval_periods * setup.intervals_per_period;
+    for (std::size_t t = 0; t < intervals; ++t) {
+      const auto action = policy.decide(eval_env);
+      const auto result = eval_env.step(action);
+      violation += result.constraint_violation;
+      for (double u : result.performance) perf += u;
+    }
+    print_row({beta, violation / static_cast<double>(intervals),
+               perf / static_cast<double>(intervals)});
+  }
+  return 0;
+}

@@ -1,0 +1,314 @@
+#include "common.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/policies.h"
+#include "rl/frozen.h"
+#include "rl/sac.h"
+
+namespace edgeslice::bench {
+
+std::vector<env::AppProfile> make_profiles(std::size_t slices, Rng& rng) {
+  std::vector<env::AppProfile> profiles;
+  profiles.reserve(slices);
+  if (slices >= 1) profiles.push_back(env::slice1_profile());
+  if (slices >= 2) profiles.push_back(env::slice2_profile());
+  // Additional slices pick random (resolution, model) combinations, as the
+  // simulated slices of Sec. VII-D do.
+  const env::FrameResolution resolutions[] = {env::FrameResolution::R100x100,
+                                              env::FrameResolution::R300x300,
+                                              env::FrameResolution::R500x500};
+  const env::YoloModel models[] = {env::YoloModel::Y320, env::YoloModel::Y416,
+                                   env::YoloModel::Y608};
+  while (profiles.size() < slices) {
+    profiles.push_back(
+        env::make_profile(resolutions[rng.index(3)], models[rng.index(3)]));
+  }
+  return profiles;
+}
+
+env::RaEnvironmentConfig env_config(const Setup& setup, bool traffic_in_state) {
+  env::RaEnvironmentConfig config;
+  config.slices = setup.slices;
+  config.intervals_per_period = setup.intervals_per_period;
+  config.arrival_rate = setup.arrival_rate;
+  config.include_traffic_in_state = traffic_in_state;
+  return config;
+}
+
+std::shared_ptr<const env::PerformanceFunction> make_perf(const Setup& setup) {
+  if (setup.service_time_perf) return env::make_neg_service_time_perf();
+  return env::make_queue_power_perf(setup.alpha);
+}
+
+std::shared_ptr<const env::ServiceModel> make_service_model(
+    const std::vector<env::AppProfile>& profiles) {
+  const env::DirectServiceModel ground_truth(env::prototype_capacity());
+  return std::make_shared<env::PerProfileLinearServiceModel>(profiles, ground_truth, 0.1);
+}
+
+std::vector<std::unique_ptr<env::RaEnvironment>> make_environments(
+    const Setup& setup, const std::vector<env::AppProfile>& profiles,
+    std::shared_ptr<const env::ServiceModel> model, bool traffic_in_state,
+    std::uint64_t seed_offset) {
+  std::vector<std::unique_ptr<env::RaEnvironment>> environments;
+  environments.reserve(setup.ras);
+  const Rng base(setup.seed);
+  for (std::size_t j = 0; j < setup.ras; ++j) {
+    environments.push_back(std::make_unique<env::RaEnvironment>(
+        env_config(setup, traffic_in_state), profiles, model, make_perf(setup),
+        base.spawn(1000 + seed_offset * 100 + j)));
+  }
+  return environments;
+}
+
+void apply_trace_traffic(const Setup& setup,
+                         std::vector<std::unique_ptr<env::RaEnvironment>>& environments,
+                         Rng& rng) {
+  trace::TraceConfig trace_config;
+  trace_config.cells = environments.size();
+  trace_config.days = 3;
+  const trace::TraceDataset dataset(trace_config, rng);
+  for (std::size_t j = 0; j < environments.size(); ++j) {
+    const auto daily = dataset.normalized_daily_profile(j, setup.intervals_per_period,
+                                                        setup.trace_peak_rate);
+    std::vector<std::vector<double>> per_slice(environments[j]->slice_count());
+    for (std::size_t i = 0; i < per_slice.size(); ++i) {
+      // Shift each slice within the diurnal curve so slices peak at
+      // different hours (spatio-temporal traffic diversity).
+      per_slice[i].resize(daily.size());
+      const std::size_t shift = i * daily.size() / (2 * per_slice.size());
+      for (std::size_t t = 0; t < daily.size(); ++t) {
+        per_slice[i][t] = daily[(t + shift) % daily.size()];
+      }
+    }
+    environments[j]->set_arrival_profiles(std::move(per_slice));
+  }
+}
+
+namespace {
+
+/// Trained policies are cached on disk so that bench binaries sharing a
+/// configuration do not retrain. Delete the cache directory (or set
+/// EDGESLICE_AGENT_CACHE=off) to force retraining.
+std::filesystem::path cache_path_for(const Setup& setup, rl::Algorithm algorithm,
+                                     bool traffic_in_state) {
+  const char* base = std::getenv("EDGESLICE_AGENT_CACHE");
+  if (base != nullptr && std::string(base) == "off") return {};
+  std::ostringstream name;
+  name << rl::algorithm_name(algorithm) << "_s" << setup.slices << "_T"
+       << setup.intervals_per_period << "_a" << setup.alpha << "_"
+       << (setup.service_time_perf ? "st" : "qp") << "_"
+       << (traffic_in_state ? "full" : "nt") << "_n" << setup.train_steps << "_seed"
+       << setup.seed << ".mlp";
+  return std::filesystem::path(base != nullptr ? base : "edgeslice_agent_cache") /
+         name.str();
+}
+
+}  // namespace
+
+std::shared_ptr<rl::Agent> train_agent_for(const Setup& setup, rl::Algorithm algorithm,
+                                           bool traffic_in_state, Rng& rng) {
+  const auto cache_path = cache_path_for(setup, algorithm, traffic_in_state);
+  if (!cache_path.empty() && std::filesystem::exists(cache_path)) {
+    std::ifstream in(cache_path);
+    std::fprintf(stderr, "[bench] loading cached policy %s\n", cache_path.c_str());
+    return std::make_shared<rl::FrozenActor>(nn::Mlp::load(in),
+                                             rl::algorithm_name(algorithm));
+  }
+
+  Rng profile_rng(setup.seed);
+  const auto profiles = make_profiles(setup.slices, profile_rng);
+  const auto model = make_service_model(profiles);
+  env::RaEnvironment training_env(env_config(setup, traffic_in_state), profiles, model,
+                                  make_perf(setup), rng.spawn());
+
+  rl::AgentConfig base;
+  base.state_dim = training_env.state_dim();
+  base.action_dim = training_env.action_dim();
+  base.hidden = 64;  // scaled from the paper's 128 (see EXPERIMENTS.md)
+  std::shared_ptr<rl::Agent> agent;
+  if (algorithm == rl::Algorithm::Ddpg) {
+    // The paper's configuration, with the exploration floor raised for the
+    // reduced step budget.
+    rl::DdpgConfig config;
+    config.base = base;
+    config.batch_size = 64;
+    config.warmup = 128;
+    config.noise_decay = 0.9996;
+    config.noise_min = 0.08;
+    agent = std::make_shared<rl::Ddpg>(config, rng);
+  } else if (algorithm == rl::Algorithm::Sac) {
+    // Scale the paper-sized batch down with everything else.
+    rl::SacConfig config;
+    config.base = base;
+    config.batch_size = 64;
+    config.warmup = 128;
+    agent = std::make_shared<rl::Sac>(config, rng);
+  } else {
+    agent = std::shared_ptr<rl::Agent>(rl::make_agent(algorithm, base, rng));
+  }
+
+  core::TrainingConfig training;
+  training.steps = setup.train_steps;
+  // Traffic is kept at the setup's fixed rate during training: the agent
+  // learns load-adaptivity through the queue lengths in its state.
+  // (Resampling the traffic level every episode alongside the coordination
+  // values makes the learning problem so non-stationary that policies
+  // collapse at CPU-scale step budgets; see DESIGN.md Sec. 5.)
+  training.randomize_traffic = false;
+  // Deploy the best validated snapshot, not the last iterate — guards
+  // against late-training divergence at reduced step budgets.
+  training.validation_every = std::max<std::size_t>(1000, setup.train_steps / 12);
+  // Validate at the clamp boundary: a loaded system operates there.
+  training.validation_coordination = -50.0;
+
+  // DDPG at reduced budgets is seed-sensitive (especially for the
+  // queue-blind NT state): when the best validated snapshot is still
+  // catastrophic (a slice starves and its queue saturates), retrain with a
+  // fresh seed. A sane policy scores around -10^3 over the validation
+  // window; a starving one is below -10^5.
+  const double kAcceptableScore = -5e4;
+  core::TrainingResult trained;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    std::fprintf(stderr,
+                 "[bench] training %s (%zu steps, slices=%zu, %s, attempt %d) ...\n",
+                 rl::algorithm_name(algorithm), training.steps, setup.slices,
+                 traffic_in_state ? "full state" : "NT state", attempt + 1);
+    core::TrainingResult candidate = core::train_agent(*agent, training_env, training, rng);
+    if (!trained.best_policy.has_value() ||
+        (candidate.best_policy.has_value() &&
+         candidate.best_validation_score > trained.best_validation_score)) {
+      trained = std::move(candidate);
+    }
+    if (!trained.best_policy.has_value() ||
+        trained.best_validation_score >= kAcceptableScore) {
+      break;
+    }
+    // Fresh networks for the retry; the environment keeps its dynamics.
+    if (algorithm == rl::Algorithm::Ddpg) {
+      rl::DdpgConfig config;
+      config.base = base;
+      config.batch_size = 64;
+      config.warmup = 128;
+      config.noise_decay = 0.9996;
+      config.noise_min = 0.08;
+      agent = std::make_shared<rl::Ddpg>(config, rng);
+    } else {
+      break;  // retry logic is only tuned for the DDPG path
+    }
+  }
+
+  std::shared_ptr<rl::Agent> deployed = agent;
+  if (trained.best_policy.has_value()) {
+    deployed = std::make_shared<rl::FrozenActor>(*trained.best_policy,
+                                                 rl::algorithm_name(algorithm));
+    std::fprintf(stderr, "[bench] deployed snapshot with validation score %.1f\n",
+                 trained.best_validation_score);
+  }
+  if (!cache_path.empty() && deployed->policy_network() != nullptr) {
+    std::filesystem::create_directories(cache_path.parent_path());
+    std::ofstream out(cache_path);
+    deployed->policy_network()->save(out);
+  }
+  return deployed;
+}
+
+const char* contender_name(Contender contender) {
+  switch (contender) {
+    case Contender::EdgeSlice: return "EdgeSlice";
+    case Contender::EdgeSliceNt: return "EdgeSlice-NT";
+    case Contender::Taro: return "TARO";
+  }
+  return "?";
+}
+
+RunResult run_contender(const Setup& setup, Contender contender, Rng& rng,
+                        std::shared_ptr<rl::Agent> trained,
+                        core::SystemMonitor* monitor_out) {
+  const bool traffic_in_state = contender != Contender::EdgeSliceNt;
+  Rng profile_rng(setup.seed);
+  const auto profiles = make_profiles(setup.slices, profile_rng);
+  const auto model = make_service_model(profiles);
+  auto environments = make_environments(setup, profiles, model, traffic_in_state);
+  if (setup.trace_driven) {
+    Rng trace_rng(setup.seed + 77);
+    apply_trace_traffic(setup, environments, trace_rng);
+  }
+
+  std::vector<std::unique_ptr<core::RaPolicy>> policies;
+  std::shared_ptr<rl::Agent> agent = trained;
+  if (contender == Contender::Taro) {
+    for (std::size_t j = 0; j < setup.ras; ++j) {
+      policies.push_back(std::make_unique<core::TaroPolicy>());
+    }
+  } else {
+    if (!agent) agent = train_agent_for(setup, rl::Algorithm::Ddpg, traffic_in_state, rng);
+    for (std::size_t j = 0; j < setup.ras; ++j) {
+      policies.push_back(std::make_unique<core::LearnedPolicy>(agent, /*learn=*/false));
+    }
+  }
+
+  core::CoordinatorConfig coordinator;
+  coordinator.slices = setup.slices;
+  coordinator.ras = setup.ras;
+  core::SystemConfig system_config;
+  system_config.use_coordinator = contender != Contender::Taro;
+
+  std::vector<env::RaEnvironment*> env_ptrs;
+  std::vector<core::RaPolicy*> policy_ptrs;
+  for (auto& e : environments) env_ptrs.push_back(e.get());
+  for (auto& p : policies) policy_ptrs.push_back(p.get());
+  core::EdgeSliceSystem system(env_ptrs, policy_ptrs, coordinator, system_config);
+
+  RunResult result;
+  for (const auto& period : system.run(setup.eval_periods)) {
+    result.total_performance += period.system_performance;
+  }
+  result.per_ra_performance = result.total_performance /
+                              static_cast<double>(setup.ras * setup.eval_periods);
+  result.per_slice_performance = result.total_performance /
+                                 static_cast<double>(setup.slices * setup.eval_periods);
+  result.system_series = system.monitor().system_performance_series();
+  result.slice_series = system.monitor().slice_performance_series();
+  if (monitor_out != nullptr) *monitor_out = system.monitor();
+  return result;
+}
+
+Setup parse_common_flags(int argc, char** argv, Setup setup,
+                         const std::vector<std::string>& extra_flags) {
+  std::vector<std::string> known{"steps", "seed", "periods"};
+  known.insert(known.end(), extra_flags.begin(), extra_flags.end());
+  const CliArgs args(argc, argv, known);
+  setup.train_steps = static_cast<std::size_t>(args.get_int_env(
+      "steps", "EDGESLICE_TRAIN_STEPS", static_cast<std::int64_t>(setup.train_steps)));
+  setup.seed = static_cast<std::uint64_t>(
+      args.get_int("seed", static_cast<std::int64_t>(setup.seed)));
+  setup.eval_periods = static_cast<std::size_t>(
+      args.get_int("periods", static_cast<std::int64_t>(setup.eval_periods)));
+  return setup;
+}
+
+void print_header(const std::string& title, const std::string& figure) {
+  std::printf("# %s\n", title.c_str());
+  std::printf("# Reproduces %s of EdgeSlice (ICDCS 2020). Values are shaped,\n",
+              figure.c_str());
+  std::printf("# not absolute, reproductions (see EXPERIMENTS.md).\n");
+}
+
+void print_series_header(const std::vector<std::string>& columns) {
+  std::printf("#");
+  for (const auto& c : columns) std::printf(" %14s", c.c_str());
+  std::printf("\n");
+}
+
+void print_row(const std::vector<double>& values) {
+  std::printf(" ");
+  for (double v : values) std::printf(" %14.3f", v);
+  std::printf("\n");
+}
+
+}  // namespace edgeslice::bench

@@ -1,0 +1,64 @@
+// Fig. 6 — Convergence of the coordinated system.
+//
+// (a) System performance vs time interval for EdgeSlice / EdgeSlice-NT /
+//     TARO (paper: EdgeSlice converges within a few periods and ends
+//     3.69x better than TARO and 2.74x better than EdgeSlice-NT).
+// (b) Per-slice performance vs time interval for EdgeSlice (paper: both
+//     slices meet U_min = -50 per period).
+#include "common.h"
+
+using namespace edgeslice;
+using namespace edgeslice::bench;
+
+int main(int argc, char** argv) {
+  Setup setup = parse_common_flags(argc, argv, Setup{});
+  Rng rng(setup.seed);
+
+  print_header("Fig. 6(a): system performance vs time interval", "Fig. 6");
+  const auto edgeslice = run_contender(setup, Contender::EdgeSlice, rng);
+  const auto nt = run_contender(setup, Contender::EdgeSliceNt, rng);
+  const auto taro = run_contender(setup, Contender::Taro, rng);
+
+  print_series_header({"interval", "EdgeSlice", "EdgeSlice-NT", "TARO"});
+  for (std::size_t t = 0; t < edgeslice.system_series.size(); ++t) {
+    print_row({static_cast<double>(t + 1), edgeslice.system_series[t],
+               nt.system_series[t], taro.system_series[t]});
+  }
+
+  // Converged-tail comparison (last 30% of intervals), as the paper's
+  // improvement factors are quoted after convergence.
+  const auto tail_mean = [](const std::vector<double>& xs) {
+    const std::size_t start = xs.size() * 7 / 10;
+    std::vector<double> tail(xs.begin() + static_cast<std::ptrdiff_t>(start), xs.end());
+    return mean(tail);
+  };
+  const double es_tail = tail_mean(edgeslice.system_series);
+  const double nt_tail = tail_mean(nt.system_series);
+  const double taro_tail = tail_mean(taro.system_series);
+  std::printf("\n# converged system performance (tail mean): EdgeSlice=%.1f "
+              "EdgeSlice-NT=%.1f TARO=%.1f\n",
+              es_tail, nt_tail, taro_tail);
+  std::printf("# improvement vs TARO: %.2fx   vs EdgeSlice-NT: %.2fx "
+              "(paper: 3.69x, 2.74x)\n",
+              taro_tail / es_tail, nt_tail / es_tail);
+
+  std::printf("\n# Fig. 6(b): EdgeSlice per-slice performance vs time interval\n");
+  print_series_header({"interval", "slice1", "slice2"});
+  for (std::size_t t = 0; t < edgeslice.slice_series[0].size(); ++t) {
+    print_row({static_cast<double>(t + 1), edgeslice.slice_series[0][t],
+               edgeslice.slice_series[1][t]});
+  }
+  // SLA check: per-period sums vs U_min = -50.
+  const std::size_t T = setup.intervals_per_period;
+  std::size_t violations = 0;
+  std::size_t periods = edgeslice.slice_series[0].size() / T;
+  for (std::size_t i = 0; i < setup.slices; ++i) {
+    for (std::size_t p = periods / 2; p < periods; ++p) {  // after convergence
+      double period_sum = 0.0;
+      for (std::size_t t = 0; t < T; ++t) period_sum += edgeslice.slice_series[i][p * T + t];
+      if (period_sum < -50.0) ++violations;
+    }
+  }
+  std::printf("\n# post-convergence SLA (U_min=-50) violations: %zu\n", violations);
+  return 0;
+}

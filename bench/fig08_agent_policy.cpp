@@ -1,0 +1,114 @@
+// Fig. 8 — The orchestration agent without central coordination.
+//
+// (a) CDF of slice performance under randomly generated traffic loads
+//     (paper: 80% of EdgeSlice samples above -30 vs 11% TARO, 55% NT).
+// (b)-(d) Average resource-usage ratio eta1/eta2 vs the two slices'
+//     traffic loads, for EdgeSlice / EdgeSlice-NT / TARO. EdgeSlice's
+//     ratio tracks both traffic and per-domain demand; NT's is constant;
+//     TARO's tracks traffic only.
+#include "common.h"
+
+#include "core/policies.h"
+
+using namespace edgeslice;
+using namespace edgeslice::bench;
+
+namespace {
+
+struct EvalSample {
+  std::vector<double> slice_performance;  // per-interval U samples
+  double usage_ratio = 0.0;               // eta1 / eta2
+};
+
+/// Run one uncoordinated episode at fixed arrival rates; returns per-interval
+/// slice performance samples and the mean usage ratio.
+EvalSample evaluate(const Setup& setup, core::RaPolicy& policy,
+                    const std::vector<env::AppProfile>& profiles,
+                    std::shared_ptr<const env::ServiceModel> model, double rate1,
+                    double rate2, bool traffic_in_state, std::uint64_t seed) {
+  env::RaEnvironment environment(env_config(setup, traffic_in_state), profiles, model,
+                                 make_perf(setup), Rng(seed));
+  environment.set_arrival_rates({rate1, rate2});
+  EvalSample sample;
+  double eta1 = 0.0;
+  double eta2 = 0.0;
+  const std::size_t intervals = 3 * setup.intervals_per_period;
+  for (std::size_t t = 0; t < intervals; ++t) {
+    const auto action = policy.decide(environment);
+    const auto result = environment.step(action);
+    for (double u : result.performance) sample.slice_performance.push_back(u);
+    // eta_i = sum_k x_{i,k} / r_tot_k (normalized resources: r_tot = 1).
+    for (std::size_t k = 0; k < env::kResources; ++k) {
+      eta1 += action[0 * env::kResources + k];
+      eta2 += action[1 * env::kResources + k];
+    }
+  }
+  sample.usage_ratio = eta2 > 1e-9 ? eta1 / eta2 : 0.0;
+  return sample;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Setup setup = parse_common_flags(argc, argv, Setup{});
+  Rng rng(setup.seed);
+  Rng profile_rng(setup.seed);
+  const auto profiles = make_profiles(setup.slices, profile_rng);
+  const auto model = make_service_model(profiles);
+
+  print_header("Fig. 8: orchestration agents without coordination", "Fig. 8");
+  const auto es_agent = train_agent_for(setup, rl::Algorithm::Ddpg, true, rng);
+  const auto nt_agent = train_agent_for(setup, rl::Algorithm::Ddpg, false, rng);
+  core::LearnedPolicy es_policy(es_agent, false);
+  core::LearnedPolicy nt_policy(nt_agent, false);
+  core::TaroPolicy taro_policy;
+
+  // ---- (a): CDF under random traffic loads --------------------------------
+  std::vector<double> es_samples;
+  std::vector<double> nt_samples;
+  std::vector<double> taro_samples;
+  Rng traffic_rng(setup.seed + 5);
+  for (int episode = 0; episode < 40; ++episode) {
+    const double r1 = traffic_rng.uniform(2.0, 18.0);
+    const double r2 = traffic_rng.uniform(2.0, 18.0);
+    const std::uint64_t seed = 9000 + static_cast<std::uint64_t>(episode);
+    const auto es = evaluate(setup, es_policy, profiles, model, r1, r2, true, seed);
+    const auto nt = evaluate(setup, nt_policy, profiles, model, r1, r2, false, seed);
+    const auto ta = evaluate(setup, taro_policy, profiles, model, r1, r2, true, seed);
+    es_samples.insert(es_samples.end(), es.slice_performance.begin(),
+                      es.slice_performance.end());
+    nt_samples.insert(nt_samples.end(), nt.slice_performance.begin(),
+                      nt.slice_performance.end());
+    taro_samples.insert(taro_samples.end(), ta.slice_performance.begin(),
+                        ta.slice_performance.end());
+  }
+  std::printf("\n# Fig. 8(a): CDF of slice performance\n");
+  print_series_header({"perf", "EdgeSlice", "EdgeSlice-NT", "TARO"});
+  for (double threshold : {-500.0, -400.0, -300.0, -200.0, -100.0, -50.0, -30.0,
+                           -10.0, -5.0, -1.0, 0.0}) {
+    print_row({threshold, ecdf_at(es_samples, threshold), ecdf_at(nt_samples, threshold),
+               ecdf_at(taro_samples, threshold)});
+  }
+  std::printf("# fraction of samples above -30: EdgeSlice=%.2f EdgeSlice-NT=%.2f "
+              "TARO=%.2f (paper: 0.80 / 0.55 / 0.11)\n",
+              1.0 - ecdf_at(es_samples, -30.0), 1.0 - ecdf_at(nt_samples, -30.0),
+              1.0 - ecdf_at(taro_samples, -30.0));
+
+  // ---- (b)-(d): usage ratio vs traffic ------------------------------------
+  const char section[3] = {'b', 'c', 'd'};
+  core::RaPolicy* policies[] = {&es_policy, &nt_policy, &taro_policy};
+  const bool traffic_state[] = {true, false, true};
+  for (int p = 0; p < 3; ++p) {
+    std::printf("\n# Fig. 8(%c): usage ratio eta1/eta2 vs traffic — %s\n", section[p],
+                contender_name(static_cast<Contender>(p)));
+    print_series_header({"load1", "load2", "eta1/eta2"});
+    for (double r1 : {5.0, 10.0, 15.0, 20.0}) {
+      for (double r2 : {5.0, 10.0, 15.0, 20.0}) {
+        const auto sample = evaluate(setup, *policies[p], profiles, model, r1, r2,
+                                     traffic_state[p], 7000);
+        print_row({r1, r2, sample.usage_ratio});
+      }
+    }
+  }
+  return 0;
+}

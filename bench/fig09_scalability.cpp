@@ -1,0 +1,60 @@
+// Fig. 9 — Scalability of EdgeSlice (trace-driven simulation, Sec. VII-D).
+//
+// (a) Performance per RA vs the number of RAs in {5, 10, 15, 20}: the
+//     paper's shape is that EdgeSlice and EdgeSlice-NT hold a flat per-RA
+//     performance while TARO degrades.
+// (b) Performance per slice vs the number of slices in {3, 5, 7}: all
+//     contenders degrade as resources thin out, with EdgeSlice best.
+#include "common.h"
+
+using namespace edgeslice;
+using namespace edgeslice::bench;
+
+int main(int argc, char** argv) {
+  Setup base = parse_common_flags(argc, argv, simulation_setup());
+  Rng rng(base.seed);
+
+  print_header("Fig. 9: scalability", "Fig. 9");
+
+  // ---- (a): sweep RA count at 5 slices -----------------------------------
+  // Agents depend on the slice count only, so one training per contender
+  // covers the whole RA sweep.
+  const auto es_agent5 = train_agent_for(base, rl::Algorithm::Ddpg, true, rng);
+  const auto nt_agent5 = train_agent_for(base, rl::Algorithm::Ddpg, false, rng);
+
+  std::printf("\n# Fig. 9(a): performance per RA vs number of RAs (5 slices)\n");
+  print_series_header({"ras", "EdgeSlice", "EdgeSlice-NT", "TARO"});
+  for (std::size_t ras : {5u, 10u, 15u, 20u}) {
+    Setup setup = base;
+    setup.ras = ras;
+    const auto es = run_contender(setup, Contender::EdgeSlice, rng, es_agent5);
+    const auto nt = run_contender(setup, Contender::EdgeSliceNt, rng, nt_agent5);
+    const auto taro = run_contender(setup, Contender::Taro, rng);
+    print_row({static_cast<double>(ras), es.per_ra_performance, nt.per_ra_performance,
+               taro.per_ra_performance});
+  }
+
+  // ---- (b): sweep slice count at 10 RAs -----------------------------------
+  std::printf("\n# Fig. 9(b): performance per slice vs number of slices (10 RAs)\n");
+  print_series_header({"slices", "EdgeSlice", "EdgeSlice-NT", "TARO"});
+  for (std::size_t slices : {3u, 5u, 7u}) {
+    Setup setup = base;
+    setup.ras = 10;
+    setup.slices = slices;
+    std::shared_ptr<rl::Agent> es_agent;
+    std::shared_ptr<rl::Agent> nt_agent;
+    if (slices == 5) {
+      es_agent = es_agent5;  // reuse the (a) training
+      nt_agent = nt_agent5;
+    } else {
+      es_agent = train_agent_for(setup, rl::Algorithm::Ddpg, true, rng);
+      nt_agent = train_agent_for(setup, rl::Algorithm::Ddpg, false, rng);
+    }
+    const auto es = run_contender(setup, Contender::EdgeSlice, rng, es_agent);
+    const auto nt = run_contender(setup, Contender::EdgeSliceNt, rng, nt_agent);
+    const auto taro = run_contender(setup, Contender::Taro, rng);
+    print_row({static_cast<double>(slices), es.per_slice_performance,
+               nt.per_slice_performance, taro.per_slice_performance});
+  }
+  return 0;
+}

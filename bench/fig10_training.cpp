@@ -1,0 +1,50 @@
+// Fig. 10 — Impact of the training regime (trace-driven simulation).
+//
+// (a) System performance vs the number of training steps. The paper sweeps
+//     {1e5, 5e5, 1e6, 1.5e6}; at CPU scale the sweep uses proportionally
+//     reduced stand-ins {1/8, 1/4, 1/2, 1} of --steps (default 12000). The
+//     shape claim: an under-trained agent is *worse than TARO*; more
+//     training monotonically helps.
+// (b) System performance for the five training techniques (DDPG, SAC, PPO,
+//     TRPO, VPG) at equal step budget. The paper: DDPG best.
+#include "common.h"
+
+using namespace edgeslice;
+using namespace edgeslice::bench;
+
+int main(int argc, char** argv) {
+  Setup base = parse_common_flags(argc, argv, simulation_setup());
+  Rng rng(base.seed);
+
+  print_header("Fig. 10: training techniques", "Fig. 10");
+
+  // ---- (a): training-step sweep -------------------------------------------
+  std::printf("\n# Fig. 10(a): system performance vs training steps\n");
+  print_series_header({"steps", "EdgeSlice", "EdgeSlice-NT", "TARO"});
+  const auto taro = run_contender(base, Contender::Taro, rng);
+  for (double fraction : {0.125, 0.25, 0.5, 1.0}) {
+    Setup setup = base;
+    setup.train_steps =
+        static_cast<std::size_t>(fraction * static_cast<double>(base.train_steps));
+    const auto es_agent = train_agent_for(setup, rl::Algorithm::Ddpg, true, rng);
+    const auto nt_agent = train_agent_for(setup, rl::Algorithm::Ddpg, false, rng);
+    const auto es = run_contender(setup, Contender::EdgeSlice, rng, es_agent);
+    const auto nt = run_contender(setup, Contender::EdgeSliceNt, rng, nt_agent);
+    print_row({static_cast<double>(setup.train_steps), es.total_performance,
+               nt.total_performance, taro.total_performance});
+  }
+
+  // ---- (b): training techniques -------------------------------------------
+  std::printf("\n# Fig. 10(b): system performance vs training technique\n");
+  print_series_header({"technique", "system-perf"});
+  const rl::Algorithm algorithms[] = {rl::Algorithm::Ddpg, rl::Algorithm::Sac,
+                                      rl::Algorithm::Ppo, rl::Algorithm::Trpo,
+                                      rl::Algorithm::Vpg};
+  for (const auto algorithm : algorithms) {
+    const auto agent = train_agent_for(base, algorithm, true, rng);
+    const auto result = run_contender(base, Contender::EdgeSlice, rng, agent);
+    std::printf("  %14s %14.3f\n", rl::algorithm_name(algorithm),
+                result.total_performance);
+  }
+  return 0;
+}

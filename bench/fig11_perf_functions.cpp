@@ -1,0 +1,71 @@
+// Fig. 11 — Compatibility with different performance functions
+// (trace-driven simulation).
+//
+// (a) System performance vs the exponent alpha of U = -(l)^alpha, for
+//     alpha in {1.0, 1.5, 2.0, 2.5}. The paper: EdgeSlice best everywhere;
+//     TARO collapses at large alpha.
+// (b) CDF of normalized system performance under U = -service_time, a
+//     function deliberately independent of queue state. The paper:
+//     EdgeSlice and EdgeSlice-NT nearly identical (queue observation adds
+//     nothing here), both far better than TARO.
+#include "common.h"
+
+using namespace edgeslice;
+using namespace edgeslice::bench;
+
+int main(int argc, char** argv) {
+  Setup base = parse_common_flags(argc, argv, simulation_setup());
+  Rng rng(base.seed);
+
+  print_header("Fig. 11: performance-function compatibility", "Fig. 11");
+
+  // ---- (a): alpha sweep ----------------------------------------------------
+  std::printf("\n# Fig. 11(a): system performance vs alpha\n");
+  print_series_header({"alpha", "EdgeSlice", "EdgeSlice-NT", "TARO"});
+  for (double alpha : {1.0, 1.5, 2.0, 2.5}) {
+    Setup setup = base;
+    setup.alpha = alpha;
+    const auto es_agent = train_agent_for(setup, rl::Algorithm::Ddpg, true, rng);
+    const auto nt_agent = train_agent_for(setup, rl::Algorithm::Ddpg, false, rng);
+    const auto es = run_contender(setup, Contender::EdgeSlice, rng, es_agent);
+    const auto nt = run_contender(setup, Contender::EdgeSliceNt, rng, nt_agent);
+    const auto taro = run_contender(setup, Contender::Taro, rng);
+    print_row({alpha, es.total_performance, nt.total_performance,
+               taro.total_performance});
+  }
+
+  // ---- (b): service-time performance function ------------------------------
+  std::printf("\n# Fig. 11(b): CDF of per-interval system performance under "
+              "U = -service_time\n");
+  Setup setup = base;
+  setup.service_time_perf = true;
+  const auto es_agent = train_agent_for(setup, rl::Algorithm::Ddpg, true, rng);
+  const auto nt_agent = train_agent_for(setup, rl::Algorithm::Ddpg, false, rng);
+  const auto es = run_contender(setup, Contender::EdgeSlice, rng, es_agent);
+  const auto nt = run_contender(setup, Contender::EdgeSliceNt, rng, nt_agent);
+  const auto taro = run_contender(setup, Contender::Taro, rng);
+
+  // Normalize each series by the worst observation across contenders so the
+  // CDF axis matches the paper's normalized presentation.
+  double worst = -1e-9;
+  for (const auto* series : {&es.system_series, &nt.system_series, &taro.system_series}) {
+    for (double v : *series) worst = std::min(worst, v);
+  }
+  const auto normalize = [&](std::vector<double> xs) {
+    for (auto& v : xs) v = v / std::abs(worst) * 14.0;  // paper axis ~[-14, 0]
+    return xs;
+  };
+  const auto es_norm = normalize(es.system_series);
+  const auto nt_norm = normalize(nt.system_series);
+  const auto taro_norm = normalize(taro.system_series);
+  print_series_header({"norm-perf", "EdgeSlice", "EdgeSlice-NT", "TARO"});
+  for (double threshold : {-14.0, -12.0, -10.0, -8.0, -6.0, -4.0, -2.0, -1.0, -0.5,
+                           -0.1, 0.0}) {
+    print_row({threshold, ecdf_at(es_norm, threshold), ecdf_at(nt_norm, threshold),
+               ecdf_at(taro_norm, threshold)});
+  }
+  std::printf("# mean per-interval system performance: EdgeSlice=%.3f "
+              "EdgeSlice-NT=%.3f TARO=%.3f\n",
+              mean(es.system_series), mean(nt.system_series), mean(taro.system_series));
+  return 0;
+}

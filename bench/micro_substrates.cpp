@@ -1,0 +1,144 @@
+// Microbenchmarks of the substrates (google-benchmark).
+//
+// These quantify the per-operation costs that bound the control loop:
+// a DDPG inference/update, a coordinator ADMM iteration, a MAC-scheduler
+// TTI, an SDN reconfiguration, a GPU simulation tick, and a local
+// linear-model prediction.
+#include <benchmark/benchmark.h>
+
+#include "common.h"
+#include "core/coordinator.h"
+#include "radio/scheduler.h"
+#include "transport/transport_manager.h"
+
+using namespace edgeslice;
+
+namespace {
+
+void BM_MatrixMatmul128(benchmark::State& state) {
+  Rng rng(1);
+  nn::Matrix a(64, 128);
+  nn::Matrix b(128, 128);
+  for (auto& v : a.data()) v = rng.normal();
+  for (auto& v : b.data()) v = rng.normal();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.matmul(b));
+  }
+}
+BENCHMARK(BM_MatrixMatmul128);
+
+void BM_DdpgInference(benchmark::State& state) {
+  Rng rng(1);
+  rl::DdpgConfig config;
+  config.base.state_dim = 4;
+  config.base.action_dim = 6;
+  config.base.hidden = 128;  // the paper's width
+  rl::Ddpg agent(config, rng);
+  const std::vector<double> s{0.1, 0.2, -0.5, 0.3};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agent.act(s, false));
+  }
+}
+BENCHMARK(BM_DdpgInference);
+
+void BM_DdpgTrainStep(benchmark::State& state) {
+  Rng rng(1);
+  rl::DdpgConfig config;
+  config.base.state_dim = 4;
+  config.base.action_dim = 6;
+  config.base.hidden = 128;
+  config.batch_size = 512;  // the paper's batch size
+  config.warmup = 1;
+  rl::Ddpg agent(config, rng);
+  Rng data(2);
+  // Pre-fill some replay and then time observe() (1 train step each).
+  for (int i = 0; i < 64; ++i) {
+    agent.observe(data.normals(4), data.uniforms(6), data.normal(), data.normals(4),
+                  false);
+  }
+  for (auto _ : state) {
+    agent.observe(data.normals(4), data.uniforms(6), data.normal(), data.normals(4),
+                  false);
+  }
+}
+BENCHMARK(BM_DdpgTrainStep);
+
+void BM_CoordinatorUpdate(benchmark::State& state) {
+  const auto slices = static_cast<std::size_t>(state.range(0));
+  const auto ras = static_cast<std::size_t>(state.range(1));
+  core::CoordinatorConfig config;
+  config.slices = slices;
+  config.ras = ras;
+  core::PerformanceCoordinator coordinator(config);
+  nn::Matrix u(slices, ras, -10.0);
+  for (auto _ : state) {
+    coordinator.update(u);
+  }
+}
+BENCHMARK(BM_CoordinatorUpdate)->Args({2, 2})->Args({5, 10})->Args({20, 100});
+
+void BM_MacSchedulerTti(benchmark::State& state) {
+  radio::SliceAwareScheduler scheduler(25, {13, 12});
+  std::vector<radio::UserDemand> users;
+  for (std::size_t u = 0; u < 8; ++u) {
+    users.push_back(radio::UserDemand{u, u % 2, 9, 1e5});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.schedule(users));
+  }
+}
+BENCHMARK(BM_MacSchedulerTti);
+
+void BM_TransportReconfig(benchmark::State& state) {
+  transport::TransportManagerConfig config;
+  transport::TransportManager manager(config);
+  double share = 0.2;
+  for (auto _ : state) {
+    share = share >= 0.8 ? 0.2 : share + 0.1;
+    benchmark::DoNotOptimize(manager.set_slice_share(0, share));
+  }
+}
+BENCHMARK(BM_TransportReconfig);
+
+void BM_GpuTick(benchmark::State& state) {
+  compute::GpuConfig config;
+  config.total_threads = 51200;
+  compute::Gpu gpu(config);
+  const auto a = gpu.register_app();
+  const auto b = gpu.register_app();
+  for (auto _ : state) {
+    state.PauseTiming();
+    if (gpu.idle(a)) gpu.submit(a, compute::Kernel{30000, 1e9});
+    if (gpu.idle(b)) gpu.submit(b, compute::Kernel{30000, 1e9});
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(gpu.run(1e-3, 1e-3));
+  }
+}
+BENCHMARK(BM_GpuTick);
+
+void BM_LinearModelPrediction(benchmark::State& state) {
+  const env::DirectServiceModel truth(env::prototype_capacity());
+  const auto grid = std::make_shared<env::GridDataset>(env::slice1_profile(), truth, 0.1);
+  const env::LocalLinearServiceModel model(grid);
+  Rng rng(1);
+  for (auto _ : state) {
+    const env::Allocation a{rng.uniform(), rng.uniform(), rng.uniform()};
+    benchmark::DoNotOptimize(model.service_time(env::slice1_profile(), a));
+  }
+}
+BENCHMARK(BM_LinearModelPrediction);
+
+void BM_EnvironmentStep(benchmark::State& state) {
+  const auto model = std::make_shared<env::DirectServiceModel>(env::prototype_capacity());
+  env::RaEnvironment environment({}, {env::slice1_profile(), env::slice2_profile()},
+                                 model, env::make_queue_power_perf(), Rng(1));
+  const std::vector<double> action(6, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(environment.step(action));
+  }
+}
+BENCHMARK(BM_EnvironmentStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

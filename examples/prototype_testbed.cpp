@@ -1,0 +1,82 @@
+// Prototype testbed walkthrough: a narrative tour of the middleware that
+// the paper's Fig. 4 hardware testbed exercises — without the hardware.
+//
+// Shows each mechanism of Sec. V in isolation:
+//   * S1AP-based IMSI -> slice association at the eNodeB,
+//   * slice-aware MAC scheduling (zero-quota slices are not scheduled),
+//   * OpenFlow meter programming and the hitless parallel reconfiguration,
+//   * MPS-style GPU sharing and the kernel-split quota enforcement,
+//   * the system monitor's association database and RC-M reports.
+#include <cstdio>
+
+#include "core/monitor.h"
+#include "core/resource_autonomy.h"
+#include "transport/controller.h"
+
+using namespace edgeslice;
+
+int main() {
+  Rng rng(3);
+  std::printf("=== EdgeSlice prototype middleware walkthrough ===\n");
+
+  // --- RA with Table II hardware -------------------------------------------
+  core::ResourceAutonomy ra(core::prototype_ra_config(0), rng);
+  std::printf("\n[RA 0] eNodeB 5 MHz (%zu PRBs), 6-switch transport @ 80 Mbps, "
+              "GPU %u threads\n",
+              ra.radio().total_prbs(), 51200u);
+
+  // --- 1. Attach: S1AP IMSI extraction --------------------------------------
+  core::SystemMonitor monitor(2, 1);
+  monitor.register_user(core::UserAssociation{"310170000000001", "10.0.0.1", 0});
+  monitor.register_user(core::UserAssociation{"310170000000002", "10.0.1.1", 1});
+  ra.attach_user("310170000000001", "10.0.0.1", 1, 0);
+  ra.attach_user("310170000000002", "10.0.1.1", 2, 1);
+  std::printf("\n[1] S1AP attach: IMSI 310170000000001 -> slice %zu, "
+              "IMSI 310170000000002 -> slice %zu (no UE modification)\n",
+              monitor.slice_of_imsi("310170000000001"),
+              monitor.slice_of_imsi("310170000000002"));
+
+  // --- 2. Radio: zero-quota slices are not scheduled -------------------------
+  ra.apply({1.0, 0.5, 0.5, 0.0, 0.5, 0.5});  // slice 1 has no radio share
+  ra.radio().enqueue_bits(1, 5e5);
+  ra.radio().enqueue_bits(2, 5e5);
+  auto served = ra.radio().run(100, rng);
+  std::printf("\n[2] MAC scheduler, slice1 radio=0%%: served slice0=%.0f bits, "
+              "slice1=%.0f bits (zero-quota users never scheduled)\n",
+              served[0], served[1]);
+
+  // --- 3. Transport: hitless vs naive reconfiguration ------------------------
+  std::printf("\n[3] transport reconfiguration:\n");
+  for (int i = 0; i < 5; ++i) {
+    ra.transport().set_slice_share(0, 0.3 + 0.1 * i);
+  }
+  std::printf("    5 hitless share changes -> outage %.3f s\n",
+              ra.transport().total_outage_seconds());
+  transport::TransportManagerConfig naive_config;
+  naive_config.strategy = transport::ReconfigStrategy::NaiveDeleteRecreate;
+  transport::TransportManager naive(naive_config);
+  for (int i = 0; i < 5; ++i) {
+    naive.set_slice_share(0, 0.3 + 0.1 * i);
+  }
+  std::printf("    same changes, naive delete-recreate -> outage %.3f s\n",
+              naive.total_outage_seconds());
+
+  // --- 4. Compute: kernel-split quota enforcement ----------------------------
+  std::printf("\n[4] GPU kernel-split:\n");
+  ra.computing().set_slice_share(0, 0.25);
+  ra.computing().set_slice_share(1, 0.75);
+  ra.computing().submit(0, compute::Kernel{51200, 5000.0});  // full-GPU kernel
+  ra.computing().submit(1, compute::Kernel{38400, 5000.0});
+  const auto done = ra.computing().run(0.1, 1e-3);  // both saturated throughout
+  std::printf("    25%%/75%% quotas, both tenants saturating: work done "
+              "%.0f vs %.0f (ratio %.2f, quota ratio 0.33)\n",
+              done[0], done[1], done[0] / done[1]);
+
+  // --- 5. Monitor: RC-M report -------------------------------------------------
+  std::printf("\n[5] monitor: association DB holds %zu users; RC-M reports flow "
+              "coordinator-ward each period.\n",
+              monitor.user_count());
+  std::printf("\nAll middleware mechanisms exercised. See "
+              "examples/video_analytics_slicing.cpp for the full loop.\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Quickstart: train one orchestration agent and run a coordinated
+// two-RA, two-slice EdgeSlice system for a handful of periods.
+//
+//   ./quickstart [train_steps]
+//
+// This is the smallest end-to-end tour of the public API:
+//   1. build the simulated network environment of Sec. VI-B,
+//   2. train a DDPG orchestration agent offline,
+//   3. wire environments + policies + performance coordinator into the
+//      Alg. 1 workflow and run it,
+//   4. read the results off the system monitor.
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/policies.h"
+#include "core/system.h"
+#include "core/training.h"
+#include "env/service_model.h"
+#include "rl/ddpg.h"
+#include "rl/frozen.h"
+
+using namespace edgeslice;
+
+int main(int argc, char** argv) {
+  const std::size_t train_steps = argc > 1 ? std::stoul(argv[1]) : 12000;
+  Rng rng(42);
+
+  // --- 1. The simulated environment ---------------------------------------
+  // Two slices with the paper's application archetypes: slice 1 uploads
+  // large frames and runs a small YOLO model (traffic-heavy); slice 2 is
+  // the opposite (compute-heavy).
+  const std::vector<env::AppProfile> profiles{env::slice1_profile(),
+                                              env::slice2_profile()};
+  const env::DirectServiceModel ground_truth(env::prototype_capacity());
+  const auto service_model =
+      std::make_shared<env::PerProfileLinearServiceModel>(profiles, ground_truth);
+
+  env::RaEnvironmentConfig env_config;  // prototype defaults: t=1s, T=10, Poisson(10)
+  env::RaEnvironment training_env(env_config, profiles, service_model,
+                                  env::make_queue_power_perf(/*alpha=*/2.0),
+                                  rng.spawn());
+
+  // --- 2. Offline training --------------------------------------------------
+  rl::DdpgConfig ddpg;
+  ddpg.base.state_dim = training_env.state_dim();
+  ddpg.base.action_dim = training_env.action_dim();
+  ddpg.base.hidden = 64;
+  ddpg.batch_size = 64;
+  ddpg.warmup = 128;
+  ddpg.noise_decay = 0.9996;
+  ddpg.noise_min = 0.08;
+  auto agent = std::make_shared<rl::Ddpg>(ddpg, rng);
+
+  core::TrainingConfig training;
+  training.steps = train_steps;
+  training.validation_every = train_steps / 10;  // keep the best snapshot
+  training.validation_coordination = -50.0;
+  std::printf("training DDPG agent for %zu steps ...\n", training.steps);
+  const auto trained = core::train_agent(*agent, training_env, training, rng);
+  std::printf("done; final mean shaped reward: %.2f\n", trained.final_mean_reward);
+
+  // Deploy the best validated policy snapshot, frozen.
+  std::shared_ptr<rl::Agent> policy = agent;
+  if (trained.best_policy.has_value()) {
+    policy = std::make_shared<rl::FrozenActor>(*trained.best_policy, "DDPG");
+    std::printf("deploying best validated snapshot (score %.1f)\n",
+                trained.best_validation_score);
+  }
+
+  // --- 3. The coordinated system (Alg. 1) -----------------------------------
+  std::vector<std::unique_ptr<env::RaEnvironment>> environments;
+  std::vector<std::unique_ptr<core::RaPolicy>> policies;
+  for (std::size_t ra = 0; ra < 2; ++ra) {
+    environments.push_back(std::make_unique<env::RaEnvironment>(
+        env_config, profiles, service_model, env::make_queue_power_perf(),
+        rng.spawn()));
+    policies.push_back(std::make_unique<core::LearnedPolicy>(policy, /*learn=*/false));
+  }
+  core::CoordinatorConfig coordinator;
+  coordinator.slices = 2;
+  coordinator.ras = 2;  // U_min defaults to the paper's -50 per slice
+  std::vector<env::RaEnvironment*> env_ptrs{environments[0].get(), environments[1].get()};
+  std::vector<core::RaPolicy*> policy_ptrs{policies[0].get(), policies[1].get()};
+  core::EdgeSliceSystem system(env_ptrs, policy_ptrs, coordinator);
+
+  std::printf("\nperiod | system perf | slice1 perf | slice2 perf | SLA ok\n");
+  for (int period = 0; period < 8; ++period) {
+    const auto result = system.run_period();
+    std::printf("%6d | %11.1f | %11.1f | %11.1f | %s\n", period + 1,
+                result.system_performance, result.slice_performance[0],
+                result.slice_performance[1],
+                system.coordinator().sla_satisfied(0) &&
+                        system.coordinator().sla_satisfied(1)
+                    ? "yes"
+                    : "no");
+  }
+
+  // --- 4. Inspect the monitor ------------------------------------------------
+  const auto series = system.monitor().system_performance_series();
+  std::printf("\nper-interval system performance (last period):");
+  for (std::size_t t = series.size() - 10; t < series.size(); ++t) {
+    std::printf(" %.0f", series[t]);
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Scalability study: a trace-driven simulation across many RAs, in the
+// style of Sec. VII-D — 5 slices, Trentino-like diurnal traffic, 24
+// intervals per period.
+//
+//   ./scalability_study [ras] [train_steps]
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/policies.h"
+#include "core/system.h"
+#include "core/training.h"
+#include "env/service_model.h"
+#include "rl/ddpg.h"
+#include "trace/trace.h"
+
+using namespace edgeslice;
+
+int main(int argc, char** argv) {
+  const std::size_t ras = argc > 1 ? std::stoul(argv[1]) : 6;
+  const std::size_t train_steps = argc > 2 ? std::stoul(argv[2]) : 10000;
+  const std::size_t slices = 5;
+  Rng rng(11);
+
+  // --- Five slices with mixed application demands ---------------------------
+  std::vector<env::AppProfile> profiles{env::slice1_profile(), env::slice2_profile()};
+  profiles.push_back(env::make_profile(env::FrameResolution::R300x300,
+                                       env::YoloModel::Y416));
+  profiles.push_back(env::make_profile(env::FrameResolution::R500x500,
+                                       env::YoloModel::Y608));
+  profiles.push_back(env::make_profile(env::FrameResolution::R100x100,
+                                       env::YoloModel::Y320));
+  const env::DirectServiceModel ground_truth(env::prototype_capacity());
+  const auto model =
+      std::make_shared<env::PerProfileLinearServiceModel>(profiles, ground_truth);
+
+  env::RaEnvironmentConfig config;
+  config.slices = slices;
+  config.intervals_per_period = 24;  // one "day" per coordination period
+
+  // --- Synthetic Trentino trace drives per-RA traffic ------------------------
+  trace::TraceConfig trace_config;
+  trace_config.cells = ras;
+  trace_config.days = 3;
+  Rng trace_rng(99);
+  const trace::TraceDataset dataset(trace_config, trace_rng);
+
+  // --- Train one agent and deploy it to every RA -----------------------------
+  env::RaEnvironment training_env(config, profiles, model,
+                                  env::make_queue_power_perf(), rng.spawn());
+  rl::DdpgConfig ddpg;
+  ddpg.base.state_dim = training_env.state_dim();
+  ddpg.base.action_dim = training_env.action_dim();
+  ddpg.base.hidden = 64;
+  ddpg.batch_size = 64;
+  ddpg.warmup = 128;
+  ddpg.noise_decay = 0.9996;
+  ddpg.noise_min = 0.08;
+  auto agent = std::make_shared<rl::Ddpg>(ddpg, rng);
+  core::TrainingConfig training;
+  training.steps = train_steps;
+  training.randomize_traffic = true;
+  std::printf("training shared agent for %zu RAs (%zu steps) ...\n", ras,
+              training.steps);
+  core::train_agent(*agent, training_env, training, rng);
+
+  // --- Build the network ------------------------------------------------------
+  std::vector<std::unique_ptr<env::RaEnvironment>> environments;
+  std::vector<std::unique_ptr<core::RaPolicy>> policies;
+  for (std::size_t j = 0; j < ras; ++j) {
+    environments.push_back(std::make_unique<env::RaEnvironment>(
+        config, profiles, model, env::make_queue_power_perf(), rng.spawn()));
+    const auto daily = dataset.normalized_daily_profile(j, 24, /*peak=*/9.0);
+    std::vector<std::vector<double>> per_slice(slices, daily);
+    // Stagger the slices' peaks within the cell's curve.
+    for (std::size_t i = 0; i < slices; ++i) {
+      std::rotate(per_slice[i].begin(),
+                  per_slice[i].begin() + static_cast<std::ptrdiff_t>(i * 2),
+                  per_slice[i].end());
+    }
+    environments[j]->set_arrival_profiles(per_slice);
+    policies.push_back(std::make_unique<core::LearnedPolicy>(agent, false));
+  }
+  core::CoordinatorConfig coordinator;
+  coordinator.slices = slices;
+  coordinator.ras = ras;
+  std::vector<env::RaEnvironment*> env_ptrs;
+  std::vector<core::RaPolicy*> policy_ptrs;
+  for (auto& e : environments) env_ptrs.push_back(e.get());
+  for (auto& p : policies) policy_ptrs.push_back(p.get());
+  core::EdgeSliceSystem system(env_ptrs, policy_ptrs, coordinator);
+
+  // --- Simulate a week of coordinated operation -------------------------------
+  std::printf("\n  day | system perf | perf per RA | coordinator\n");
+  for (int day = 0; day < 7; ++day) {
+    const auto result = system.run_period();
+    std::printf("  %3d | %11.1f | %11.1f | %s\n", day + 1, result.system_performance,
+                result.system_performance / static_cast<double>(ras),
+                result.coordinator_converged ? "converged" : "iterating");
+  }
+
+  // Busiest vs quietest hour across the final day.
+  const auto series = system.monitor().system_performance_series();
+  double worst = 0.0;
+  std::size_t worst_hour = 0;
+  for (std::size_t t = series.size() - 24; t < series.size(); ++t) {
+    if (series[t] < worst) {
+      worst = series[t];
+      worst_hour = t % 24;
+    }
+  }
+  std::printf("\ntoughest hour of the last day: %zu:00 (system perf %.1f)\n",
+              worst_hour, worst);
+  return 0;
+}

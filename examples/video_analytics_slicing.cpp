@@ -1,0 +1,126 @@
+// Video-analytics slicing: the paper's motivating workload (Sec. VII-A)
+// driven through the full middleware stack.
+//
+// Two tenants buy slices for mobile video analytics:
+//   slice 0 — "dashcam": 500x500 frames, YOLO-320 (traffic-heavy)
+//   slice 1 — "inspection": 100x100 frames, YOLO-608 (compute-heavy)
+// Each RA owns an eNodeB (RadioManager), a 6-switch path
+// (TransportManager) and a GPU (ComputingManager). A trained orchestration
+// agent decides the end-to-end shares; the managers enforce them at
+// runtime; per-task latency is measured through the substrates.
+#include <cstdio>
+#include <memory>
+
+#include "core/policies.h"
+#include "core/resource_autonomy.h"
+#include "core/training.h"
+#include "env/environment.h"
+#include "env/service_model.h"
+#include "rl/ddpg.h"
+
+using namespace edgeslice;
+
+namespace {
+
+/// Push one inference task through radio -> transport -> GPU of an RA and
+/// return its end-to-end latency in milliseconds.
+double measure_task_latency(core::ResourceAutonomy& ra, std::size_t slice,
+                            std::size_t user_id, const env::AppProfile& app, Rng& rng) {
+  // Uplink: enqueue the frame at the eNodeB, run TTIs until delivered.
+  ra.radio().enqueue_bits(user_id, app.uplink_bits);
+  double radio_ms = 0.0;
+  while (ra.radio().user_backlog(user_id) > 0.0 && radio_ms < 5000.0) {
+    ra.radio().run(1, rng);
+    radio_ms += 1.0;
+  }
+  // Transport: time to push the frame through the metered path.
+  const double rate_bps = ra.transport().slice_rate_mbps(slice) * 1e6;
+  const double transport_ms = rate_bps > 0.0 ? app.uplink_bits / rate_bps * 1e3 : 5000.0;
+  // Compute: kernel-split inference on the slice's GPU quota.
+  ra.computing().submit(slice, compute::Kernel{20000, app.compute_work});
+  double compute_ms = 0.0;
+  while (!ra.computing().idle(slice) && compute_ms < 5000.0) {
+    ra.computing().run(1e-3, 1e-3);
+    compute_ms += 1.0;
+  }
+  return radio_ms + transport_ms + compute_ms;
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(7);
+  std::printf("=== EdgeSlice video-analytics slicing demo ===\n\n");
+
+  // --- Slice tenants and their SLAs ----------------------------------------
+  const std::vector<env::AppProfile> profiles{env::slice1_profile(),
+                                              env::slice2_profile()};
+  std::printf("slice 0 (%s): %.0f kbit/frame, %.0f work units/frame\n",
+              profiles[0].name.c_str(), profiles[0].uplink_bits / 1e3,
+              profiles[0].compute_work);
+  std::printf("slice 1 (%s): %.0f kbit/frame, %.0f work units/frame\n\n",
+              profiles[1].name.c_str(), profiles[1].uplink_bits / 1e3,
+              profiles[1].compute_work);
+
+  // --- Train the orchestration agent offline -------------------------------
+  const env::DirectServiceModel ground_truth(env::prototype_capacity());
+  const auto service_model =
+      std::make_shared<env::PerProfileLinearServiceModel>(profiles, ground_truth);
+  env::RaEnvironmentConfig config;
+  env::RaEnvironment training_env(config, profiles, service_model,
+                                  env::make_queue_power_perf(), rng.spawn());
+  rl::DdpgConfig ddpg;
+  ddpg.base.state_dim = training_env.state_dim();
+  ddpg.base.action_dim = training_env.action_dim();
+  ddpg.base.hidden = 64;
+  ddpg.batch_size = 64;
+  ddpg.warmup = 128;
+  ddpg.noise_decay = 0.9996;
+  ddpg.noise_min = 0.08;
+  auto agent = std::make_shared<rl::Ddpg>(ddpg, rng);
+  core::TrainingConfig training;
+  training.steps = 12000;
+  std::printf("training the orchestration agent (%zu steps) ...\n\n", training.steps);
+  core::train_agent(*agent, training_env, training, rng);
+
+  // --- Build one RA with real managers and attach users ---------------------
+  core::ResourceAutonomy ra(core::prototype_ra_config(0), rng);
+  ra.attach_user("310170000000001", "10.0.0.1", /*user_id=*/1, /*slice=*/0);
+  ra.attach_user("310170000000002", "10.0.1.1", /*user_id=*/2, /*slice=*/1);
+  std::printf("attached 2 users via S1AP; IMSI -> slice mapping live at the eNB\n");
+
+  // --- Ask the agent for an allocation and enforce it through VR ------------
+  env::RaEnvironment live_env(config, profiles, service_model,
+                              env::make_queue_power_perf(), rng.spawn());
+  live_env.set_coordination({-25.0, -25.0});  // an SLA-shaped target
+  // Warm the queues so the agent sees realistic traffic.
+  live_env.step(std::vector<double>(6, 0.0));
+  const auto action = agent->act(live_env.state(), /*explore=*/false);
+  const auto messages = ra.apply(action);
+  std::printf("agent decided; %zu VR messages dispatched to the managers:\n",
+              messages.size());
+  const char* domains[] = {"radio    ", "transport", "computing"};
+  for (const auto& m : messages) {
+    std::printf("  VR{%s slice %zu -> %4.1f%%}\n",
+                domains[static_cast<int>(m.domain)], m.slice, m.fraction * 100.0);
+  }
+  std::printf("enforced: slice0 %zu PRBs / %.1f Mbps / %zu threads; "
+              "slice1 %zu PRBs / %.1f Mbps / %zu threads\n\n",
+              ra.radio().slice_prbs(0), ra.transport().slice_rate_mbps(0),
+              ra.computing().slice_threads(0), ra.radio().slice_prbs(1),
+              ra.transport().slice_rate_mbps(1), ra.computing().slice_threads(1));
+
+  // --- Measure per-task latency through the actual substrates ----------------
+  for (std::size_t slice = 0; slice < 2; ++slice) {
+    double total = 0.0;
+    const int tasks = 5;
+    for (int t = 0; t < tasks; ++t) {
+      total += measure_task_latency(ra, slice, slice + 1, profiles[slice], rng);
+    }
+    std::printf("slice %zu mean end-to-end task latency: %.1f ms\n", slice,
+                total / tasks);
+  }
+  std::printf("\n(hitless transport reconfigurations so far: outage = %.3f s)\n",
+              ra.transport().total_outage_seconds());
+  return 0;
+}

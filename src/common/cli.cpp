@@ -1,0 +1,65 @@
+#include "common/cli.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace edgeslice {
+
+CliArgs::CliArgs(int argc, const char* const* argv, const std::vector<std::string>& known) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("unexpected positional argument: " + arg);
+    }
+    arg = arg.substr(2);
+    std::string name;
+    std::string value;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";  // bare flag
+      }
+    }
+    if (std::find(known.begin(), known.end(), name) == known.end()) {
+      throw std::invalid_argument("unknown flag: --" + name);
+    }
+    values_[name] = value;
+  }
+}
+
+std::string CliArgs::get(const std::string& name, const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t CliArgs::get_int(const std::string& name, std::int64_t fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::stoll(it->second);
+}
+
+double CliArgs::get_double(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::stod(it->second);
+}
+
+bool CliArgs::get_bool(const std::string& name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::int64_t CliArgs::get_int_env(const std::string& name, const std::string& env_var,
+                                  std::int64_t fallback) const {
+  if (has(name)) return get_int(name, fallback);
+  if (const char* env = std::getenv(env_var.c_str())) return std::stoll(env);
+  return fallback;
+}
+
+}  // namespace edgeslice

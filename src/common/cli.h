@@ -1,0 +1,35 @@
+// Tiny command-line flag parser for bench and example binaries.
+//
+// Flags are "--name value" or "--name=value". Unknown flags throw, so typos
+// in bench invocations fail loudly. Values may also come from environment
+// variables (used for EDGESLICE_TRAIN_STEPS-style overrides).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace edgeslice {
+
+class CliArgs {
+ public:
+  /// Parse argv. `known` lists accepted flag names (without the "--").
+  CliArgs(int argc, const char* const* argv, const std::vector<std::string>& known);
+
+  bool has(const std::string& name) const { return values_.count(name) > 0; }
+
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Integer from flag if present, else from environment variable, else fallback.
+  std::int64_t get_int_env(const std::string& name, const std::string& env_var,
+                           std::int64_t fallback) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace edgeslice

@@ -1,0 +1,43 @@
+// Minimal leveled logging to stderr.
+//
+// The library itself logs nothing by default (level Warn); benches and
+// examples raise the level for progress output.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace edgeslice {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Process-global minimum level; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}
+
+/// Stream-style log statement: LOG(Info) << "trained " << n << " steps";
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { detail::log_emit(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace edgeslice
+
+#define ES_LOG(level) ::edgeslice::LogLine(::edgeslice::LogLevel::level)

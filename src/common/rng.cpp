@@ -1,0 +1,25 @@
+#include "common/rng.h"
+
+namespace edgeslice {
+namespace {
+
+// SplitMix64 finalizer: decorrelates sequential seeds.
+std::uint64_t mix(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng Rng::spawn() {
+  ++spawn_count_;
+  return Rng(mix(seed_ ^ mix(spawn_count_)));
+}
+
+Rng Rng::spawn(std::uint64_t tag) const {
+  return Rng(mix(seed_ ^ mix(tag + 0x51aceu)));
+}
+
+}  // namespace edgeslice

@@ -1,0 +1,63 @@
+// Descriptive statistics used by the benchmark harness and tests.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace edgeslice {
+
+/// Arithmetic mean; 0 for an empty range.
+double mean(const std::vector<double>& xs);
+
+/// Sample standard deviation (n-1 denominator); 0 when fewer than 2 samples.
+double stddev(const std::vector<double>& xs);
+
+/// Sum of all elements.
+double sum(const std::vector<double>& xs);
+
+/// Linear-interpolated percentile, p in [0, 100]. Throws on empty input.
+double percentile(std::vector<double> xs, double p);
+
+/// Empirical CDF evaluated at `threshold`: fraction of samples <= threshold.
+double ecdf_at(const std::vector<double>& xs, double threshold);
+
+/// Evenly spaced (value, cumulative probability) points of the empirical CDF,
+/// suitable for printing a CDF series. Returns `points` pairs.
+std::vector<std::pair<double, double>> ecdf_points(std::vector<double> xs,
+                                                   std::size_t points = 20);
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+class RunningStat {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exponential moving average with smoothing factor alpha in (0, 1].
+class Ema {
+ public:
+  explicit Ema(double alpha) : alpha_(alpha) {}
+  double add(double x);
+  double value() const { return value_; }
+  bool empty() const { return !primed_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool primed_ = false;
+};
+
+}  // namespace edgeslice

@@ -1,0 +1,95 @@
+#include "compute/gpu.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace edgeslice::compute {
+
+Gpu::Gpu(const GpuConfig& config) : config_(config) {
+  if (config.total_threads == 0) throw std::invalid_argument("Gpu: zero threads");
+  if (config.work_units_per_thread_per_second <= 0.0)
+    throw std::invalid_argument("Gpu: non-positive speed");
+}
+
+std::size_t Gpu::register_app() {
+  const std::size_t id = next_app_++;
+  streams_[id];
+  caps_[id] = std::nullopt;
+  return id;
+}
+
+void Gpu::submit(std::size_t app_id, const Kernel& kernel) {
+  const auto it = streams_.find(app_id);
+  if (it == streams_.end()) throw std::out_of_range("Gpu::submit: unknown app");
+  if (kernel.threads == 0 || kernel.threads > config_.total_threads)
+    throw std::invalid_argument("Gpu::submit: invalid thread request");
+  if (kernel.work < 0.0) throw std::invalid_argument("Gpu::submit: negative work");
+  it->second.push_back(PendingKernel{app_id, kernel, kernel.work});
+}
+
+void Gpu::set_thread_cap(std::size_t app_id, std::optional<std::size_t> cap) {
+  if (!caps_.count(app_id)) throw std::out_of_range("Gpu::set_thread_cap: unknown app");
+  caps_[app_id] = cap;
+}
+
+std::map<std::size_t, double> Gpu::run(double seconds, double tick) {
+  if (seconds < 0.0 || tick <= 0.0) throw std::invalid_argument("Gpu::run: bad durations");
+  std::map<std::size_t, double> completed;
+  for (const auto& [id, stream] : streams_) completed[id] = 0.0;
+
+  double elapsed = 0.0;
+  while (elapsed < seconds) {
+    const double dt = std::min(tick, seconds - elapsed);
+    elapsed += dt;
+
+    // Admission: each app's stream head competes for threads in app-id
+    // order (MPS admission is opaque; first-come order is its observable
+    // behaviour for saturated clients). Kernel-split caps bound each app.
+    occupancy_.clear();
+    std::size_t free_threads = config_.total_threads;
+    std::vector<PendingKernel*> running;
+    for (auto& [id, stream] : streams_) {
+      if (stream.empty()) continue;
+      PendingKernel& head = stream.front();
+      std::size_t want = head.kernel.threads;
+      const auto& cap = caps_[id];
+      if (cap.has_value()) want = std::min(want, *cap);
+      const std::size_t granted = std::min(want, free_threads);
+      if (granted == 0) continue;
+      free_threads -= granted;
+      occupancy_[id] = granted;
+      running.push_back(&head);
+    }
+
+    // Execute the tick.
+    for (PendingKernel* k : running) {
+      const double rate = static_cast<double>(occupancy_[k->app_id]) *
+                          config_.work_units_per_thread_per_second;
+      const double done = std::min(k->remaining_work, rate * dt);
+      k->remaining_work -= done;
+      completed[k->app_id] += done;
+    }
+
+    // Retire finished kernels (in-order per stream).
+    for (auto& [id, stream] : streams_) {
+      while (!stream.empty() && stream.front().remaining_work <= 1e-12) {
+        stream.pop_front();
+      }
+    }
+  }
+  return completed;
+}
+
+bool Gpu::idle(std::size_t app_id) const {
+  const auto it = streams_.find(app_id);
+  if (it == streams_.end()) throw std::out_of_range("Gpu::idle: unknown app");
+  return it->second.empty();
+}
+
+std::size_t Gpu::queued_kernels(std::size_t app_id) const {
+  const auto it = streams_.find(app_id);
+  if (it == streams_.end()) throw std::out_of_range("Gpu::queued_kernels: unknown app");
+  return it->second.size();
+}
+
+}  // namespace edgeslice::compute

@@ -1,0 +1,81 @@
+// CUDA GPU execution model.
+//
+// Stands in for the prototype's GTX 1080Ti + CUDA 9.0 + MPS stack
+// (Table II; 51200 concurrently resident threads per RA). Applications
+// submit kernels in order; a kernel requests a number of threads and
+// carries an amount of work. Under the Multi-Process Service several
+// applications share the GPU concurrently, but — as the paper observes —
+// MPS's scheduling of resources between processes is opaque and cannot be
+// controlled by the operator. The discrete-event simulator below
+// reproduces exactly that: greedy thread admission in submission order,
+// with no per-tenant cap unless the kernel-split mechanism imposes one.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace edgeslice::compute {
+
+/// One CUDA kernel launch: the execution-configuration thread request and
+/// the total work it performs.
+struct Kernel {
+  std::size_t threads = 0;   // <<<blocks, threadsPerBlock>>> product
+  double work = 0.0;         // abstract work units (thread-seconds at unit speed)
+};
+
+/// A queued kernel instance inside the GPU.
+struct PendingKernel {
+  std::size_t app_id = 0;
+  Kernel kernel;
+  double remaining_work = 0.0;
+};
+
+struct GpuConfig {
+  std::size_t total_threads = 51200;  // prototype: 51200 CUDA threads per RA
+  double work_units_per_thread_per_second = 1.0;
+};
+
+/// Discrete-time GPU simulator. Each app owns an in-order kernel stream;
+/// at every tick the front kernel of each stream (if admitted) runs on its
+/// granted threads.
+class Gpu {
+ public:
+  explicit Gpu(const GpuConfig& config);
+
+  /// Register an application (an MPS client). Returns its app id.
+  std::size_t register_app();
+
+  /// Enqueue a kernel on an app's stream (in-order execution).
+  void submit(std::size_t app_id, const Kernel& kernel);
+
+  /// Per-app cap on concurrently occupied threads. std::nullopt = uncapped
+  /// (vanilla MPS); a cap of 0 blocks the app entirely (a slice holding no
+  /// compute resources). The kernel-split mechanism guarantees submitted
+  /// kernels never request more than a positive cap, making it enforceable.
+  void set_thread_cap(std::size_t app_id, std::optional<std::size_t> cap);
+
+  /// Advance the simulation by `seconds`, in `tick` increments. Returns the
+  /// work completed per app.
+  std::map<std::size_t, double> run(double seconds, double tick = 1e-3);
+
+  /// True when an app has no queued or running kernels.
+  bool idle(std::size_t app_id) const;
+  std::size_t queued_kernels(std::size_t app_id) const;
+
+  /// Threads occupied during the most recent tick, per app.
+  const std::map<std::size_t, std::size_t>& last_occupancy() const { return occupancy_; }
+
+  const GpuConfig& config() const { return config_; }
+
+ private:
+  GpuConfig config_;
+  std::size_t next_app_ = 0;
+  std::map<std::size_t, std::deque<PendingKernel>> streams_;
+  std::map<std::size_t, std::optional<std::size_t>> caps_;
+  std::map<std::size_t, std::size_t> occupancy_;
+};
+
+}  // namespace edgeslice::compute

@@ -1,0 +1,32 @@
+#include "compute/kernel_split.h"
+
+#include <stdexcept>
+
+namespace edgeslice::compute {
+
+std::vector<Kernel> split_kernel(const Kernel& kernel, std::size_t max_threads) {
+  if (max_threads == 0) throw std::invalid_argument("split_kernel: zero quota");
+  if (kernel.threads == 0) throw std::invalid_argument("split_kernel: empty kernel");
+  std::vector<Kernel> chunks;
+  if (kernel.threads <= max_threads) {
+    chunks.push_back(kernel);
+    return chunks;
+  }
+  const double work_per_thread = kernel.work / static_cast<double>(kernel.threads);
+  std::size_t remaining = kernel.threads;
+  while (remaining > 0) {
+    const std::size_t t = std::min(remaining, max_threads);
+    chunks.push_back(Kernel{t, work_per_thread * static_cast<double>(t)});
+    remaining -= t;
+  }
+  return chunks;
+}
+
+void submit_split(Gpu& gpu, std::size_t app_id, const Kernel& kernel,
+                  std::size_t max_threads) {
+  for (const Kernel& chunk : split_kernel(kernel, max_threads)) {
+    gpu.submit(app_id, chunk);
+  }
+}
+
+}  // namespace edgeslice::compute

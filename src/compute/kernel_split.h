@@ -1,0 +1,27 @@
+// The kernel-split mechanism of Sec. V-C.
+//
+// MPS does not expose per-tenant resource control, so EdgeSlice rewrites
+// application kernels: a kernel requesting a large number of threads is
+// split into multiple small consecutive kernels of at most the tenant's
+// virtual-resource quota. Because per-stream execution is in-order, the
+// tenant's concurrent thread occupancy never exceeds its quota.
+#pragma once
+
+#include <vector>
+
+#include "compute/gpu.h"
+
+namespace edgeslice::compute {
+
+/// Split `kernel` into consecutive chunks of at most `max_threads` threads,
+/// dividing the work proportionally. A kernel already within the quota is
+/// returned unchanged. `max_threads` == 0 is invalid.
+std::vector<Kernel> split_kernel(const Kernel& kernel, std::size_t max_threads);
+
+/// Submit a kernel to `gpu` on behalf of `app_id`, splitting it against
+/// `max_threads` first (the runtime shim EdgeSlice injects into user
+/// applications).
+void submit_split(Gpu& gpu, std::size_t app_id, const Kernel& kernel,
+                  std::size_t max_threads);
+
+}  // namespace edgeslice::compute

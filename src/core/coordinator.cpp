@@ -1,0 +1,117 @@
+#include "core/coordinator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "opt/projection.h"
+
+namespace edgeslice::core {
+
+PerformanceCoordinator::PerformanceCoordinator(const CoordinatorConfig& config)
+    : config_(config), monitor_(config.stopping) {
+  if (config.slices == 0 || config.ras == 0)
+    throw std::invalid_argument("PerformanceCoordinator: empty system");
+  if (config_.u_min.empty()) {
+    config_.u_min.assign(config_.slices, -50.0);  // paper default (Sec. VII)
+  }
+  if (config_.u_min.size() != config_.slices)
+    throw std::invalid_argument("PerformanceCoordinator: u_min size mismatch");
+  z_.assign(config_.slices * config_.ras, 0.0);
+  y_.assign(config_.slices * config_.ras, 0.0);
+}
+
+std::size_t PerformanceCoordinator::index(std::size_t slice, std::size_t ra) const {
+  if (slice >= config_.slices || ra >= config_.ras)
+    throw std::out_of_range("PerformanceCoordinator: bad (slice, ra)");
+  return slice * config_.ras + ra;
+}
+
+void PerformanceCoordinator::update(const nn::Matrix& performance_sums) {
+  if (performance_sums.rows() != config_.slices ||
+      performance_sums.cols() != config_.ras) {
+    throw std::invalid_argument("PerformanceCoordinator: U matrix shape mismatch");
+  }
+  const std::vector<double> z_old = z_;
+
+  // z-update (Eq. 9 / P2): per slice, project (U_i + y_i) onto
+  // { z : sum_j z_j >= U_i^min }.
+  for (std::size_t i = 0; i < config_.slices; ++i) {
+    std::vector<double> c(config_.ras);
+    for (std::size_t j = 0; j < config_.ras; ++j) {
+      c[j] = performance_sums(i, j) + y_[index(i, j)];
+    }
+    const auto zi = opt::project_halfspace_sum_ge(c, config_.u_min[i]);
+    for (std::size_t j = 0; j < config_.ras; ++j) z_[index(i, j)] = zi[j];
+  }
+
+  // y-update (Eq. 10): y <- y + (sum_t U - z).
+  std::vector<double> u_flat(config_.slices * config_.ras);
+  for (std::size_t i = 0; i < config_.slices; ++i) {
+    for (std::size_t j = 0; j < config_.ras; ++j) {
+      u_flat[index(i, j)] = performance_sums(i, j);
+    }
+  }
+  opt::update_scaled_duals(y_, u_flat, z_);
+
+  // Residual bookkeeping / convergence decision.
+  opt::AdmmResiduals residuals;
+  residuals.primal = opt::primal_residual_norm(u_flat, z_);
+  residuals.dual = opt::dual_residual_norm(z_, z_old, config_.rho);
+  double u_norm = 0.0;
+  double z_norm = 0.0;
+  double y_norm = 0.0;
+  for (std::size_t k = 0; k < u_flat.size(); ++k) {
+    u_norm += u_flat[k] * u_flat[k];
+    z_norm += z_[k] * z_[k];
+    y_norm += y_[k] * y_[k];
+  }
+  monitor_.record(residuals, std::sqrt(std::max(u_norm, z_norm)),
+                  config_.rho * std::sqrt(y_norm), u_flat.size());
+}
+
+void PerformanceCoordinator::update(const std::vector<RcMonitoringMessage>& reports) {
+  nn::Matrix u(config_.slices, config_.ras);
+  if (reports.size() != config_.ras)
+    throw std::invalid_argument("PerformanceCoordinator: need one report per RA");
+  for (const auto& report : reports) {
+    if (report.ra >= config_.ras || report.performance_sums.size() != config_.slices)
+      throw std::invalid_argument("PerformanceCoordinator: malformed RC-M report");
+    for (std::size_t i = 0; i < config_.slices; ++i) {
+      u(i, report.ra) = report.performance_sums[i];
+    }
+  }
+  update(u);
+}
+
+RcLearningMessage PerformanceCoordinator::coordination_for(std::size_t ra) const {
+  RcLearningMessage msg;
+  msg.ra = ra;
+  msg.z_minus_y.resize(config_.slices);
+  for (std::size_t i = 0; i < config_.slices; ++i) {
+    msg.z_minus_y[i] = z_[index(i, ra)] - y_[index(i, ra)];
+  }
+  return msg;
+}
+
+double PerformanceCoordinator::z(std::size_t slice, std::size_t ra) const {
+  return z_[index(slice, ra)];
+}
+
+double PerformanceCoordinator::y(std::size_t slice, std::size_t ra) const {
+  return y_[index(slice, ra)];
+}
+
+bool PerformanceCoordinator::sla_satisfied(std::size_t slice) const {
+  double total = 0.0;
+  for (std::size_t j = 0; j < config_.ras; ++j) total += z_[index(slice, j)];
+  return total >= config_.u_min[slice] - 1e-9;
+}
+
+void PerformanceCoordinator::apply_slice_request(const SliceRequest& request) {
+  if (request.slice >= config_.slices)
+    throw std::out_of_range("PerformanceCoordinator: bad slice in request");
+  config_.u_min[request.slice] = request.u_min;
+}
+
+}  // namespace edgeslice::core

@@ -1,0 +1,67 @@
+// The central performance coordinator (Sec. IV-A).
+//
+// Solves the ADMM z-update (problem P2, Eq. 11) and the scaled dual
+// update (Eq. 10) from the per-period slice performance collected from
+// the orchestration agents, and emits the coordinating information
+// c_{i,j} = z_{i,j} - y_{i,j} consumed by the agents' DRL state (Eq. 13).
+//
+// P2 separates per slice i: project the vector (U_i + y_i) onto the
+// half-space sum_j z_{i,j} >= U_i^min — a closed-form Euclidean
+// projection (see opt/projection.h; cross-validated against the iterative
+// QP solver, replacing the paper's CVXPY).
+#pragma once
+
+#include <vector>
+
+#include "nn/matrix.h"
+#include "opt/admm.h"
+#include "core/interfaces.h"
+
+namespace edgeslice::core {
+
+struct CoordinatorConfig {
+  std::size_t slices = 2;
+  std::size_t ras = 2;
+  double rho = 1.0;                  // ADMM penalty (Sec. VII)
+  std::vector<double> u_min;         // per-slice SLA (Eq. 2); default -50 each
+  opt::AdmmStopCriteria stopping;
+};
+
+class PerformanceCoordinator {
+ public:
+  explicit PerformanceCoordinator(const CoordinatorConfig& config);
+
+  /// One coordinator iteration: consume per-(slice, RA) performance sums
+  /// (sum over t in T of U_{i,j}) and refresh Z and Y.
+  void update(const nn::Matrix& performance_sums);
+
+  /// Convenience overload taking RC-M messages from the system monitors.
+  void update(const std::vector<RcMonitoringMessage>& reports);
+
+  /// Coordinating information for RA j (z - y per slice), as an RC-L message.
+  RcLearningMessage coordination_for(std::size_t ra) const;
+
+  double z(std::size_t slice, std::size_t ra) const;
+  double y(std::size_t slice, std::size_t ra) const;
+
+  /// Whether the SLA half-space constraint currently holds for each slice.
+  bool sla_satisfied(std::size_t slice) const;
+
+  bool converged() const { return monitor_.converged(); }
+  std::size_t iterations() const { return monitor_.iterations(); }
+  const opt::AdmmMonitor& monitor() const { return monitor_; }
+  const CoordinatorConfig& config() const { return config_; }
+
+  /// Register / modify a tenant SLA at runtime (the SR interface).
+  void apply_slice_request(const SliceRequest& request);
+
+ private:
+  std::size_t index(std::size_t slice, std::size_t ra) const;
+
+  CoordinatorConfig config_;
+  std::vector<double> z_;  // slice-major: z_[i * ras + j]
+  std::vector<double> y_;
+  opt::AdmmMonitor monitor_;
+};
+
+}  // namespace edgeslice::core

@@ -1,0 +1,118 @@
+#include "core/monitor.h"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+namespace edgeslice::core {
+
+SystemMonitor::SystemMonitor(std::size_t slices, std::size_t ras)
+    : slices_(slices), ras_(ras) {
+  if (slices == 0 || ras == 0) throw std::invalid_argument("SystemMonitor: empty system");
+}
+
+void SystemMonitor::record(std::size_t ra, std::size_t period, std::size_t interval,
+                           const env::StepResult& result,
+                           const std::vector<double>& action) {
+  if (ra >= ras_) throw std::out_of_range("SystemMonitor::record: bad RA");
+  IntervalRecord row;
+  row.period = period;
+  row.interval = interval;
+  row.ra = ra;
+  row.queue_lengths = result.queue_lengths;
+  row.performance = result.performance;
+  row.action = action;
+  row.reward = result.reward;
+  records_.push_back(std::move(row));
+}
+
+RcMonitoringMessage SystemMonitor::report(std::size_t ra, std::size_t period) const {
+  if (ra >= ras_) throw std::out_of_range("SystemMonitor::report: bad RA");
+  RcMonitoringMessage msg;
+  msg.ra = ra;
+  msg.performance_sums.assign(slices_, 0.0);
+  for (const auto& row : records_) {
+    if (row.ra != ra || row.period != period) continue;
+    for (std::size_t i = 0; i < slices_ && i < row.performance.size(); ++i) {
+      msg.performance_sums[i] += row.performance[i];
+    }
+  }
+  return msg;
+}
+
+std::vector<double> SystemMonitor::system_performance_series() const {
+  std::size_t max_interval = 0;
+  for (const auto& row : records_) max_interval = std::max(max_interval, row.interval);
+  std::vector<double> series(records_.empty() ? 0 : max_interval + 1, 0.0);
+  for (const auto& row : records_) {
+    for (double u : row.performance) series[row.interval] += u;
+  }
+  return series;
+}
+
+std::vector<std::vector<double>> SystemMonitor::slice_performance_series() const {
+  std::size_t max_interval = 0;
+  for (const auto& row : records_) max_interval = std::max(max_interval, row.interval);
+  std::vector<std::vector<double>> series(
+      slices_, std::vector<double>(records_.empty() ? 0 : max_interval + 1, 0.0));
+  for (const auto& row : records_) {
+    for (std::size_t i = 0; i < slices_ && i < row.performance.size(); ++i) {
+      series[i][row.interval] += row.performance[i];
+    }
+  }
+  return series;
+}
+
+std::vector<double> SystemMonitor::resource_usage_series(std::size_t ra, std::size_t slice,
+                                                         std::size_t resource) const {
+  if (ra >= ras_ || slice >= slices_ || resource >= env::kResources)
+    throw std::out_of_range("SystemMonitor::resource_usage_series: bad index");
+  std::size_t max_interval = 0;
+  for (const auto& row : records_) max_interval = std::max(max_interval, row.interval);
+  std::vector<double> series(records_.empty() ? 0 : max_interval + 1, 0.0);
+  for (const auto& row : records_) {
+    if (row.ra != ra) continue;
+    const std::size_t idx = slice * env::kResources + resource;
+    if (idx < row.action.size()) series[row.interval] = row.action[idx];
+  }
+  return series;
+}
+
+void SystemMonitor::write_csv(std::ostream& out) const {
+  out << "period,interval,ra,slice,queue,performance,radio,transport,computing,reward\n";
+  for (const auto& row : records_) {
+    for (std::size_t i = 0; i < slices_; ++i) {
+      out << row.period << "," << row.interval << "," << row.ra << "," << i << ",";
+      out << (i < row.queue_lengths.size() ? row.queue_lengths[i] : 0.0) << ",";
+      out << (i < row.performance.size() ? row.performance[i] : 0.0);
+      for (std::size_t k = 0; k < env::kResources; ++k) {
+        const std::size_t idx = i * env::kResources + k;
+        out << "," << (idx < row.action.size() ? row.action[idx] : 0.0);
+      }
+      out << "," << row.reward << "\n";
+    }
+  }
+}
+
+void SystemMonitor::register_user(const UserAssociation& user) {
+  if (user.slice >= slices_) throw std::invalid_argument("SystemMonitor: bad slice");
+  if (imsi_index_.count(user.imsi) || ip_index_.count(user.ip))
+    throw std::invalid_argument("SystemMonitor: duplicate user identity");
+  imsi_index_[user.imsi] = users_.size();
+  ip_index_[user.ip] = users_.size();
+  users_.push_back(user);
+}
+
+std::size_t SystemMonitor::slice_of_imsi(const std::string& imsi) const {
+  const auto it = imsi_index_.find(imsi);
+  if (it == imsi_index_.end()) throw std::out_of_range("SystemMonitor: unknown IMSI");
+  return users_[it->second].slice;
+}
+
+std::size_t SystemMonitor::slice_of_ip(const std::string& ip) const {
+  const auto it = ip_index_.find(ip);
+  if (it == ip_index_.end()) throw std::out_of_range("SystemMonitor: unknown IP");
+  return users_[it->second].slice;
+}
+
+}  // namespace edgeslice::core

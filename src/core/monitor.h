@@ -1,0 +1,85 @@
+// The system monitor (Sec. V-D).
+//
+// Collects network state (traffic, performance, orchestration actions) per
+// time interval into an in-memory dataset, maintains the user-slice
+// association database (IMSI and IP keyed), and produces the RC-M reports
+// the performance coordinator consumes.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/interfaces.h"
+#include "env/environment.h"
+
+namespace edgeslice::core {
+
+/// One row of the monitoring dataset.
+struct IntervalRecord {
+  std::size_t period = 0;
+  std::size_t interval = 0;  // global interval index
+  std::size_t ra = 0;
+  std::vector<double> queue_lengths;   // per slice
+  std::vector<double> performance;     // U per slice
+  std::vector<double> action;          // slice-major resource fractions
+  double reward = 0.0;
+};
+
+/// User identity in the association database.
+struct UserAssociation {
+  std::string imsi;
+  std::string ip;
+  std::size_t slice = 0;
+};
+
+class SystemMonitor {
+ public:
+  SystemMonitor(std::size_t slices, std::size_t ras);
+
+  /// --- Dataset --------------------------------------------------------------
+  void record(std::size_t ra, std::size_t period, std::size_t interval,
+              const env::StepResult& result, const std::vector<double>& action);
+  const std::vector<IntervalRecord>& records() const { return records_; }
+  void clear_records() { records_.clear(); }
+
+  /// Export the dataset as CSV (one row per slice per record) for external
+  /// analysis/plotting: period,interval,ra,slice,queue,performance,
+  /// radio,transport,computing,reward.
+  void write_csv(std::ostream& out) const;
+
+  /// RC-M report: per-slice performance sums of one RA over one period.
+  RcMonitoringMessage report(std::size_t ra, std::size_t period) const;
+
+  /// System performance (sum of U over slices and RAs) per global interval.
+  std::vector<double> system_performance_series() const;
+
+  /// Per-slice performance (summed over RAs) per global interval.
+  std::vector<std::vector<double>> slice_performance_series() const;
+
+  /// Mean fraction of resource `k` allocated to `slice` in RA `ra`,
+  /// per global interval (Fig. 7's series).
+  std::vector<double> resource_usage_series(std::size_t ra, std::size_t slice,
+                                            std::size_t resource) const;
+
+  /// --- Association database ---------------------------------------------------
+  void register_user(const UserAssociation& user);
+  std::size_t slice_of_imsi(const std::string& imsi) const;
+  std::size_t slice_of_ip(const std::string& ip) const;
+  std::size_t user_count() const { return users_.size(); }
+
+  std::size_t slices() const { return slices_; }
+  std::size_t ras() const { return ras_; }
+
+ private:
+  std::size_t slices_;
+  std::size_t ras_;
+  std::vector<IntervalRecord> records_;
+  std::vector<UserAssociation> users_;
+  std::map<std::string, std::size_t> imsi_index_;
+  std::map<std::string, std::size_t> ip_index_;
+};
+
+}  // namespace edgeslice::core

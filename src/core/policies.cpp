@@ -1,0 +1,49 @@
+#include "core/policies.h"
+
+#include <stdexcept>
+
+namespace edgeslice::core {
+
+LearnedPolicy::LearnedPolicy(std::shared_ptr<rl::Agent> agent, bool learn)
+    : agent_(std::move(agent)), learn_(learn) {
+  if (!agent_) throw std::invalid_argument("LearnedPolicy: null agent");
+}
+
+std::vector<double> LearnedPolicy::decide(const env::RaEnvironment& environment) {
+  pending_action_ = agent_->act(environment.state(), learn_);
+  return pending_action_;
+}
+
+void LearnedPolicy::feedback(const env::StepResult& result) {
+  if (!learn_) return;
+  agent_->observe(result.state, pending_action_, result.reward, result.next_state,
+                  /*done=*/false);
+}
+
+std::string LearnedPolicy::name() const { return "EdgeSlice(" + agent_->name() + ")"; }
+
+std::vector<double> TaroPolicy::decide(const env::RaEnvironment& environment) {
+  const std::size_t slices = environment.slice_count();
+  double total_backlog = 0.0;
+  std::vector<double> lengths(slices);
+  for (std::size_t i = 0; i < slices; ++i) {
+    lengths[i] = static_cast<double>(environment.queue(i).length());
+    total_backlog += lengths[i];
+  }
+  std::vector<double> action(environment.action_dim(), 0.0);
+  for (std::size_t i = 0; i < slices; ++i) {
+    const double share =
+        total_backlog > 0.0 ? lengths[i] / total_backlog : 1.0 / static_cast<double>(slices);
+    for (std::size_t k = 0; k < env::kResources; ++k) {
+      action[i * env::kResources + k] = share;
+    }
+  }
+  return action;
+}
+
+std::vector<double> EqualSharePolicy::decide(const env::RaEnvironment& environment) {
+  const double share = 1.0 / static_cast<double>(environment.slice_count());
+  return std::vector<double>(environment.action_dim(), share);
+}
+
+}  // namespace edgeslice::core

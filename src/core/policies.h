@@ -1,0 +1,65 @@
+// Resource orchestration policies: the learned EdgeSlice agent and the
+// comparison algorithms of Sec. VII-B.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "env/environment.h"
+#include "rl/agent.h"
+
+namespace edgeslice::core {
+
+/// A per-RA policy mapping the RA's observable state to an orchestration
+/// action (slice-major resource fractions).
+class RaPolicy {
+ public:
+  virtual ~RaPolicy() = default;
+  virtual std::vector<double> decide(const env::RaEnvironment& environment) = 0;
+  /// Learning hook, called after the environment advanced.
+  virtual void feedback(const env::StepResult& result) {}
+  virtual std::string name() const = 0;
+};
+
+/// EdgeSlice / EdgeSlice-NT: a DRL agent over the environment state.
+/// (EdgeSlice-NT is obtained by building the environment with
+/// include_traffic_in_state = false; the policy code is identical.)
+class LearnedPolicy final : public RaPolicy {
+ public:
+  /// `learn` controls whether transitions are fed back to the agent and
+  /// whether actions are exploratory.
+  LearnedPolicy(std::shared_ptr<rl::Agent> agent, bool learn);
+
+  std::vector<double> decide(const env::RaEnvironment& environment) override;
+  void feedback(const env::StepResult& result) override;
+  std::string name() const override;
+
+  rl::Agent& agent() { return *agent_; }
+  void set_learning(bool learn) { learn_ = learn; }
+  bool learning() const { return learn_; }
+
+ private:
+  std::shared_ptr<rl::Agent> agent_;
+  bool learn_;
+  std::vector<double> pending_action_;
+};
+
+/// TARO — Traffic-Aware Resource Orchestration (the baseline): every
+/// resource is shared proportionally to current queue lengths,
+/// x_{i,j} = R_j^tot * l_i / sum_i' l_i'.
+class TaroPolicy final : public RaPolicy {
+ public:
+  std::vector<double> decide(const env::RaEnvironment& environment) override;
+  std::string name() const override { return "TARO"; }
+};
+
+/// Equal static split — a sanity baseline used by tests and ablations
+/// (not in the paper): x_{i,k} = 1 / I.
+class EqualSharePolicy final : public RaPolicy {
+ public:
+  std::vector<double> decide(const env::RaEnvironment& environment) override;
+  std::string name() const override { return "EqualShare"; }
+};
+
+}  // namespace edgeslice::core

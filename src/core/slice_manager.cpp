@@ -1,0 +1,118 @@
+#include "core/slice_manager.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace edgeslice::core {
+
+SliceManager::SliceManager(const SliceManagerConfig& config,
+                           PerformanceCoordinator* coordinator, SystemMonitor* monitor)
+    : config_(config), coordinator_(coordinator), monitor_(monitor) {
+  if (config.max_slices == 0) throw std::invalid_argument("SliceManager: zero capacity");
+  if (config.capacity.radio_bits_per_second <= 0.0 ||
+      config.capacity.transport_bits_per_second <= 0.0 ||
+      config.capacity.compute_work_per_second <= 0.0) {
+    throw std::invalid_argument("SliceManager: non-positive reference capacity");
+  }
+}
+
+double SliceManager::estimated_load(const env::AppProfile& profile) const {
+  // Expected demand per second on each domain, as a fraction of capacity;
+  // the dominant one is the admission metric (dominant-resource fairness
+  // style, cf. the Halabian 2019 baseline discussed in Sec. VIII).
+  const double rate = config_.expected_arrival_rate;
+  const double radio =
+      rate * profile.uplink_bits / config_.capacity.radio_bits_per_second;
+  const double transport =
+      rate * profile.uplink_bits / config_.capacity.transport_bits_per_second;
+  const double compute =
+      rate * profile.compute_work / config_.capacity.compute_work_per_second;
+  return std::max({radio, transport, compute});
+}
+
+double SliceManager::admitted_load() const {
+  double total = 0.0;
+  for (const auto& s : slices_) {
+    if (s.state == SliceState::Active || s.state == SliceState::Modified) {
+      total += estimated_load(s.profile);
+    }
+  }
+  return total;
+}
+
+std::size_t SliceManager::active_slices() const {
+  return static_cast<std::size_t>(
+      std::count_if(slices_.begin(), slices_.end(), [](const SliceDescriptor& s) {
+        return s.state == SliceState::Active || s.state == SliceState::Modified;
+      }));
+}
+
+AdmissionResult SliceManager::request_slice(const std::string& tenant,
+                                            const env::AppProfile& profile,
+                                            double u_min) {
+  AdmissionResult result;
+  if (active_slices() >= config_.max_slices) {
+    result.reason = "slice capacity exhausted";
+    return result;
+  }
+  const double load = estimated_load(profile);
+  if (admitted_load() + load > config_.admission_load_limit) {
+    result.reason = "admission budget exceeded (load " + std::to_string(load) + ")";
+    return result;
+  }
+  SliceDescriptor descriptor;
+  descriptor.slice_id = slices_.size();
+  descriptor.tenant = tenant;
+  descriptor.profile = profile;
+  descriptor.u_min = u_min;
+  descriptor.state = SliceState::Active;
+  slices_.push_back(descriptor);
+
+  if (coordinator_ != nullptr && descriptor.slice_id < coordinator_->config().slices) {
+    coordinator_->apply_slice_request(
+        SliceRequest{descriptor.slice_id, u_min, profile.name});
+  }
+  result.admitted = true;
+  result.slice_id = descriptor.slice_id;
+  return result;
+}
+
+SliceDescriptor& SliceManager::mutable_slice(std::size_t slice_id) {
+  if (slice_id >= slices_.size()) throw std::out_of_range("SliceManager: bad slice id");
+  return slices_[slice_id];
+}
+
+const SliceDescriptor& SliceManager::slice(std::size_t slice_id) const {
+  if (slice_id >= slices_.size()) throw std::out_of_range("SliceManager: bad slice id");
+  return slices_[slice_id];
+}
+
+void SliceManager::modify_sla(std::size_t slice_id, double u_min) {
+  auto& descriptor = mutable_slice(slice_id);
+  if (descriptor.state == SliceState::Terminated)
+    throw std::logic_error("SliceManager: slice is terminated");
+  descriptor.u_min = u_min;
+  descriptor.state = SliceState::Modified;
+  if (coordinator_ != nullptr && slice_id < coordinator_->config().slices) {
+    coordinator_->apply_slice_request(
+        SliceRequest{slice_id, u_min, descriptor.profile.name});
+  }
+}
+
+void SliceManager::terminate(std::size_t slice_id) {
+  auto& descriptor = mutable_slice(slice_id);
+  descriptor.state = SliceState::Terminated;
+}
+
+void SliceManager::attach_user(std::size_t slice_id, const std::string& imsi,
+                               const std::string& ip) {
+  auto& descriptor = mutable_slice(slice_id);
+  if (descriptor.state == SliceState::Terminated)
+    throw std::logic_error("SliceManager: slice is terminated");
+  if (monitor_ != nullptr) {
+    monitor_->register_user(UserAssociation{imsi, ip, slice_id});
+  }
+  ++descriptor.user_count;
+}
+
+}  // namespace edgeslice::core

@@ -1,0 +1,93 @@
+// Slice lifecycle management — the SR (slice request) interface of
+// Sec. V-D: "enable the slice tenants to request and configure their
+// network slices. For example, slice tenants can make and modify their
+// service-level agreements (SLAs) with network operator. The SLAs will be
+// enforced during the resource orchestrations."
+//
+// The SliceManager is the operator-side counterpart: it admits tenant
+// requests against a capacity budget, assigns slice ids, propagates SLAs
+// to the performance coordinator, and registers the tenant's users with
+// the system monitor's association database.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/coordinator.h"
+#include "core/monitor.h"
+#include "env/app_model.h"
+
+namespace edgeslice::core {
+
+enum class SliceState { Requested, Active, Modified, Terminated };
+
+/// A tenant's slice as tracked by the operator.
+struct SliceDescriptor {
+  std::size_t slice_id = 0;
+  std::string tenant;
+  env::AppProfile profile;
+  double u_min = -50.0;        // SLA (Eq. 2)
+  SliceState state = SliceState::Requested;
+  std::size_t user_count = 0;
+};
+
+/// Outcome of an admission decision.
+struct AdmissionResult {
+  bool admitted = false;
+  std::optional<std::size_t> slice_id;
+  std::string reason;
+};
+
+struct SliceManagerConfig {
+  std::size_t max_slices = 8;
+  /// Crude admission budget: the sum over active slices of their estimated
+  /// dominant-resource load fraction must stay below this (per RA).
+  double admission_load_limit = 1.0;
+  /// Reference capacities used for the load estimate.
+  env::RaCapacity capacity;
+  double expected_arrival_rate = 10.0;  // tasks/s assumed per admitted slice
+};
+
+class SliceManager {
+ public:
+  SliceManager(const SliceManagerConfig& config, PerformanceCoordinator* coordinator,
+               SystemMonitor* monitor);
+
+  /// Tenant-facing: request a new slice. On admission the SLA is
+  /// registered with the coordinator (if the slice id is within its
+  /// configured range).
+  AdmissionResult request_slice(const std::string& tenant, const env::AppProfile& profile,
+                                double u_min);
+
+  /// Tenant-facing: modify an active slice's SLA.
+  void modify_sla(std::size_t slice_id, double u_min);
+
+  /// Tenant-facing: terminate a slice, releasing its admission budget.
+  void terminate(std::size_t slice_id);
+
+  /// Attach one of the tenant's users (IMSI + IP) to the slice.
+  void attach_user(std::size_t slice_id, const std::string& imsi, const std::string& ip);
+
+  /// Estimated dominant-resource load fraction of one slice's expected
+  /// traffic (the admission metric).
+  double estimated_load(const env::AppProfile& profile) const;
+
+  /// Total estimated load of all active slices.
+  double admitted_load() const;
+
+  const SliceDescriptor& slice(std::size_t slice_id) const;
+  std::size_t active_slices() const;
+  const std::vector<SliceDescriptor>& slices() const { return slices_; }
+
+ private:
+  SliceDescriptor& mutable_slice(std::size_t slice_id);
+
+  SliceManagerConfig config_;
+  PerformanceCoordinator* coordinator_;  // may be null (standalone admission)
+  SystemMonitor* monitor_;               // may be null
+  std::vector<SliceDescriptor> slices_;
+};
+
+}  // namespace edgeslice::core

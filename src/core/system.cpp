@@ -1,0 +1,72 @@
+#include "core/system.h"
+
+#include <stdexcept>
+
+namespace edgeslice::core {
+
+EdgeSliceSystem::EdgeSliceSystem(std::vector<env::RaEnvironment*> environments,
+                                 std::vector<RaPolicy*> policies,
+                                 const CoordinatorConfig& coordinator_config,
+                                 SystemConfig config)
+    : environments_(std::move(environments)),
+      policies_(std::move(policies)),
+      coordinator_(coordinator_config),
+      config_(config) {
+  if (environments_.empty() || environments_.size() != policies_.size())
+    throw std::invalid_argument("EdgeSliceSystem: environments/policies mismatch");
+  if (environments_.size() != coordinator_config.ras)
+    throw std::invalid_argument("EdgeSliceSystem: RA count mismatch with coordinator");
+  for (std::size_t j = 0; j < environments_.size(); ++j) {
+    if (environments_[j] == nullptr || policies_[j] == nullptr)
+      throw std::invalid_argument("EdgeSliceSystem: null environment or policy");
+    if (environments_[j]->slice_count() != coordinator_config.slices)
+      throw std::invalid_argument("EdgeSliceSystem: slice count mismatch");
+  }
+  monitor_ = std::make_unique<SystemMonitor>(coordinator_config.slices,
+                                             environments_.size());
+}
+
+PeriodResult EdgeSliceSystem::run_period() {
+  const std::size_t slices = coordinator_.config().slices;
+  const std::size_t ras = environments_.size();
+  const std::size_t intervals = environments_.front()->config().intervals_per_period;
+
+  PeriodResult result;
+  result.performance_sums = nn::Matrix(slices, ras);
+  result.slice_performance.assign(slices, 0.0);
+
+  for (std::size_t t = 0; t < intervals; ++t) {
+    for (std::size_t j = 0; j < ras; ++j) {
+      auto& environment = *environments_[j];
+      const std::vector<double> action = policies_[j]->decide(environment);
+      const env::StepResult step = environment.step(action);
+      policies_[j]->feedback(step);
+      monitor_->record(j, period_, interval_, step, action);
+      for (std::size_t i = 0; i < slices; ++i) {
+        result.performance_sums(i, j) += step.performance[i];
+        result.slice_performance[i] += step.performance[i];
+        result.system_performance += step.performance[i];
+      }
+    }
+    ++interval_;
+  }
+
+  if (config_.use_coordinator) {
+    coordinator_.update(result.performance_sums);
+    for (std::size_t j = 0; j < ras; ++j) {
+      environments_[j]->set_coordination(coordinator_.coordination_for(j).z_minus_y);
+    }
+    result.coordinator_converged = coordinator_.converged();
+  }
+  ++period_;
+  return result;
+}
+
+std::vector<PeriodResult> EdgeSliceSystem::run(std::size_t periods) {
+  std::vector<PeriodResult> results;
+  results.reserve(periods);
+  for (std::size_t p = 0; p < periods; ++p) results.push_back(run_period());
+  return results;
+}
+
+}  // namespace edgeslice::core

@@ -1,0 +1,66 @@
+// The EdgeSlice resource orchestration workflow (Alg. 1).
+//
+// Wires together the per-RA environments, their orchestration policies,
+// the central performance coordinator, and the system monitor:
+//
+//   initialize Z, Y
+//   repeat per period:
+//     each RA (decentralized): run T intervals under the current policy
+//     coordinator: z-update (P2) and y-update (Eq. 10) from collected U
+//     push fresh coordinating information (RC-L) to every RA
+//   until convergence
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/coordinator.h"
+#include "core/monitor.h"
+#include "core/policies.h"
+#include "env/environment.h"
+
+namespace edgeslice::core {
+
+/// Outcome of one period (T intervals in every RA + coordinator update).
+struct PeriodResult {
+  nn::Matrix performance_sums;                    // I x J: sum_t U
+  double system_performance = 0.0;                // sum over everything
+  std::vector<double> slice_performance;          // per slice, summed over t and j
+  bool coordinator_converged = false;
+};
+
+struct SystemConfig {
+  bool use_coordinator = true;  // TARO runs without coordination
+};
+
+class EdgeSliceSystem {
+ public:
+  /// `environments` and `policies` are per-RA and must have equal size,
+  /// matching the coordinator's RA count. Non-owning monitor pointer may
+  /// be null (a private monitor is created).
+  EdgeSliceSystem(std::vector<env::RaEnvironment*> environments,
+                  std::vector<RaPolicy*> policies, const CoordinatorConfig& coordinator,
+                  SystemConfig config = {});
+
+  /// Run one period of Alg. 1.
+  PeriodResult run_period();
+
+  /// Run `periods` periods; returns one result per period.
+  std::vector<PeriodResult> run(std::size_t periods);
+
+  PerformanceCoordinator& coordinator() { return coordinator_; }
+  SystemMonitor& monitor() { return *monitor_; }
+  std::size_t ra_count() const { return environments_.size(); }
+  std::size_t period_count() const { return period_; }
+
+ private:
+  std::vector<env::RaEnvironment*> environments_;
+  std::vector<RaPolicy*> policies_;
+  PerformanceCoordinator coordinator_;
+  SystemConfig config_;
+  std::unique_ptr<SystemMonitor> monitor_;
+  std::size_t period_ = 0;
+  std::size_t interval_ = 0;
+};
+
+}  // namespace edgeslice::core

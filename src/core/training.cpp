@@ -1,0 +1,90 @@
+#include "core/training.h"
+
+#include <stdexcept>
+
+#include "common/stats.h"
+
+namespace edgeslice::core {
+
+double validate_policy(rl::Agent& agent, env::RaEnvironment& environment,
+                       double coordination, std::size_t intervals) {
+  const std::vector<double> saved_coordination = environment.coordination();
+  environment.reset();
+  environment.set_coordination(
+      std::vector<double>(environment.slice_count(), coordination));
+  double score = 0.0;
+  for (std::size_t t = 0; t < intervals; ++t) {
+    const auto action = agent.act(environment.state(), /*explore=*/false);
+    const auto result = environment.step(action);
+    for (double u : result.performance) score += u;
+  }
+  environment.reset();
+  environment.set_coordination(saved_coordination);
+  return score;
+}
+
+TrainingResult train_agent(rl::Agent& agent, env::RaEnvironment& environment,
+                           const TrainingConfig& config, Rng& rng) {
+  if (agent.state_dim() != environment.state_dim() ||
+      agent.action_dim() != environment.action_dim()) {
+    throw std::invalid_argument("train_agent: agent/environment dimension mismatch");
+  }
+  if (config.coordination_low > config.coordination_high)
+    throw std::invalid_argument("train_agent: bad coordination range");
+
+  const std::size_t resample = config.resample_every > 0
+                                   ? config.resample_every
+                                   : environment.config().intervals_per_period;
+  TrainingResult result;
+  RunningStat window;
+  RunningStat overall;
+
+  for (std::size_t step = 0; step < config.steps; ++step) {
+    if (step % resample == 0) {
+      std::vector<double> coordination(environment.slice_count());
+      for (auto& c : coordination) {
+        c = rng.chance(config.boundary_sample_probability)
+                ? config.coordination_low
+                : rng.uniform(config.coordination_low, config.coordination_high);
+      }
+      environment.set_coordination(coordination);
+      if (config.randomize_traffic) {
+        std::vector<double> rates(environment.slice_count());
+        for (auto& r : rates) r = rng.uniform(config.traffic_low, config.traffic_high);
+        environment.set_arrival_rates(rates);
+      }
+      if (config.reset_on_resample) environment.reset();
+    }
+    const std::vector<double> state = environment.state();
+    const std::vector<double> action = agent.act(state, /*explore=*/true);
+    const env::StepResult step_result = environment.step(action);
+    agent.observe(state, action, step_result.reward, step_result.next_state,
+                  /*done=*/false);
+    window.add(step_result.reward);
+    overall.add(step_result.reward);
+    if (window.count() >= 100) {
+      result.reward_history.push_back(window.mean());
+      window = RunningStat{};
+    }
+
+    // Validation checkpointing (skipped before the first 20% of training,
+    // where snapshots would only record the random initial policy).
+    if (config.validation_every > 0 && (step + 1) % config.validation_every == 0 &&
+        step + 1 >= config.steps / 5 && agent.policy_network() != nullptr) {
+      const double score = validate_policy(agent, environment,
+                                           config.validation_coordination,
+                                           config.validation_intervals);
+      result.validation_history.push_back(score);
+      if (!result.best_policy.has_value() || score > result.best_validation_score) {
+        result.best_validation_score = score;
+        result.best_policy = *agent.policy_network();
+      }
+    }
+  }
+  result.final_mean_reward =
+      result.reward_history.empty() ? overall.mean() : result.reward_history.back();
+  result.steps = config.steps;
+  return result;
+}
+
+}  // namespace edgeslice::core

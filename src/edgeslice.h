@@ -1,0 +1,45 @@
+// Umbrella header: the full EdgeSlice public API.
+//
+// Individual modules can be included directly; this header is a
+// convenience for applications that use the whole stack.
+#pragma once
+
+#include "common/cli.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+#include "nn/mlp.h"
+
+#include "opt/admm.h"
+#include "opt/linreg.h"
+#include "opt/projection.h"
+#include "opt/qp.h"
+
+#include "rl/agent.h"
+#include "rl/ddpg.h"
+#include "rl/frozen.h"
+#include "rl/ppo.h"
+#include "rl/sac.h"
+#include "rl/trpo.h"
+#include "rl/vpg.h"
+
+#include "trace/arrivals.h"
+#include "trace/trace.h"
+
+#include "radio/radio_manager.h"
+#include "transport/transport_manager.h"
+#include "compute/computing_manager.h"
+
+#include "env/app_model.h"
+#include "env/environment.h"
+#include "env/perf.h"
+#include "env/service_model.h"
+
+#include "core/coordinator.h"
+#include "core/monitor.h"
+#include "core/policies.h"
+#include "core/resource_autonomy.h"
+#include "core/slice_manager.h"
+#include "core/system.h"
+#include "core/training.h"

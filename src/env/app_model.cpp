@@ -1,0 +1,68 @@
+#include "env/app_model.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace edgeslice::env {
+
+double frame_bits(FrameResolution resolution) {
+  // pixels * ~1.15 bits/pixel JPEG. The constant is calibrated (like the
+  // paper's "slice traffic is normalized based on the hardware capability
+  // of the prototype") so that the prototype RA can sustain the Poisson-10
+  // arrival rate of Sec. VII-C under a *good* orchestration but not under
+  // an arbitrary one — the regime where orchestration quality matters.
+  switch (resolution) {
+    case FrameResolution::R100x100: return 100.0 * 100.0 * 1.15;
+    case FrameResolution::R300x300: return 300.0 * 300.0 * 1.15;
+    case FrameResolution::R500x500: return 500.0 * 500.0 * 1.15;
+  }
+  throw std::invalid_argument("frame_bits: bad resolution");
+}
+
+double yolo_work(YoloModel model) {
+  // Work scales ~ quadratically with network input size; anchor YOLO-320
+  // at 320 work units = 6.25 ms on 51200 threads at unit speed (a
+  // 1080Ti-class card runs small YOLO variants above 100 fps).
+  switch (model) {
+    case YoloModel::Y320: return 320.0;
+    case YoloModel::Y416: return 320.0 * (416.0 * 416.0) / (320.0 * 320.0);
+    case YoloModel::Y608: return 320.0 * (608.0 * 608.0) / (320.0 * 320.0);
+  }
+  throw std::invalid_argument("yolo_work: bad model");
+}
+
+AppProfile make_profile(FrameResolution resolution, YoloModel model) {
+  AppProfile p;
+  p.name = std::string(to_string(resolution)) + "+" + to_string(model);
+  p.uplink_bits = frame_bits(resolution);
+  p.compute_work = yolo_work(model);
+  return p;
+}
+
+AppProfile slice1_profile() {
+  return make_profile(FrameResolution::R500x500, YoloModel::Y320);
+}
+
+AppProfile slice2_profile() {
+  return make_profile(FrameResolution::R100x100, YoloModel::Y608);
+}
+
+const char* to_string(FrameResolution resolution) {
+  switch (resolution) {
+    case FrameResolution::R100x100: return "100x100";
+    case FrameResolution::R300x300: return "300x300";
+    case FrameResolution::R500x500: return "500x500";
+  }
+  return "?";
+}
+
+const char* to_string(YoloModel model) {
+  switch (model) {
+    case YoloModel::Y320: return "YOLO-320";
+    case YoloModel::Y416: return "YOLO-416";
+    case YoloModel::Y608: return "YOLO-608";
+  }
+  return "?";
+}
+
+}  // namespace edgeslice::env

@@ -1,0 +1,49 @@
+// Application demand profiles.
+//
+// The paper's workload (Sec. VII-A) is a mobile video-analytics app: the
+// user uploads a frame of a chosen resolution (100x100 .. 500x500 pixels)
+// and the edge server runs YOLO object detection with a chosen model size
+// (320x320 .. 608x608 network input). Frame resolution drives the radio
+// and transport demand; model size drives the compute demand. This module
+// captures those profiles as per-task demand vectors.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace edgeslice::env {
+
+/// Frame resolutions selectable by the mobile application.
+enum class FrameResolution { R100x100, R300x300, R500x500 };
+
+/// YOLO network input sizes selectable on the server.
+enum class YoloModel { Y320, Y416, Y608 };
+
+/// Per-task resource demand of one (frame, model) configuration.
+struct AppProfile {
+  std::string name;
+  double uplink_bits = 0.0;   // bits transferred over radio + transport per task
+  double compute_work = 0.0;  // abstract GPU work units per task
+};
+
+/// Bits for one compressed video frame of the given resolution (JPEG at
+/// ~1.5 bits/pixel, the operating point of the prototype app).
+double frame_bits(FrameResolution resolution);
+
+/// GPU work units for one YOLO inference. Scaled so that YOLO-320 on the
+/// full 51200-thread GPU takes ~25 ms, matching 1080Ti-class throughput;
+/// cost grows with the square of the network input size.
+double yolo_work(YoloModel model);
+
+AppProfile make_profile(FrameResolution resolution, YoloModel model);
+
+/// The two slice archetypes of the prototype experiment (Sec. VII-C):
+/// slice 1: 500x500 frames + YOLO-320 — heavy traffic, moderate compute;
+/// slice 2: 100x100 frames + YOLO-608 — light traffic, intensive compute.
+AppProfile slice1_profile();
+AppProfile slice2_profile();
+
+const char* to_string(FrameResolution resolution);
+const char* to_string(YoloModel model);
+
+}  // namespace edgeslice::env

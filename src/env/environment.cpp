@@ -1,0 +1,166 @@
+#include "env/environment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace edgeslice::env {
+
+RaEnvironment::RaEnvironment(const RaEnvironmentConfig& config,
+                             std::vector<AppProfile> profiles,
+                             std::shared_ptr<const ServiceModel> service_model,
+                             std::shared_ptr<const PerformanceFunction> perf, Rng rng)
+    : config_(config),
+      profiles_(std::move(profiles)),
+      service_model_(std::move(service_model)),
+      perf_(std::move(perf)),
+      rng_(rng),
+      coordination_(config.slices, 0.0),
+      arrival_rates_(config.slices, config.arrival_rate),
+      last_service_time_(config.slices, 0.0) {
+  if (profiles_.size() != config_.slices)
+    throw std::invalid_argument("RaEnvironment: one profile per slice required");
+  if (!service_model_ || !perf_)
+    throw std::invalid_argument("RaEnvironment: null model or performance function");
+  queues_.reserve(config_.slices);
+  for (std::size_t i = 0; i < config_.slices; ++i) {
+    queues_.emplace_back(config_.max_queue);
+  }
+}
+
+void RaEnvironment::set_coordination(const std::vector<double>& z_minus_y) {
+  if (z_minus_y.size() != config_.slices)
+    throw std::invalid_argument("RaEnvironment: coordination size mismatch");
+  coordination_ = z_minus_y;
+  if (config_.coordination_clip > 0.0) {
+    for (auto& c : coordination_) {
+      c = std::clamp(c, -config_.coordination_clip, 0.0);
+    }
+  }
+}
+
+void RaEnvironment::set_arrival_rates(const std::vector<double>& rates) {
+  if (rates.size() != config_.slices)
+    throw std::invalid_argument("RaEnvironment: arrival-rate size mismatch");
+  for (double r : rates) {
+    if (r < 0.0) throw std::invalid_argument("RaEnvironment: negative arrival rate");
+  }
+  arrival_rates_ = rates;
+}
+
+void RaEnvironment::set_arrival_profiles(std::vector<std::vector<double>> profiles) {
+  if (!profiles.empty()) {
+    if (profiles.size() != config_.slices)
+      throw std::invalid_argument("RaEnvironment: one arrival profile per slice");
+    for (const auto& p : profiles) {
+      if (p.empty()) throw std::invalid_argument("RaEnvironment: empty arrival profile");
+      for (double r : p) {
+        if (r < 0.0) throw std::invalid_argument("RaEnvironment: negative profile rate");
+      }
+    }
+  }
+  arrival_profiles_ = std::move(profiles);
+}
+
+std::size_t RaEnvironment::state_dim() const {
+  return config_.include_traffic_in_state ? 2 * config_.slices : config_.slices;
+}
+
+std::vector<double> RaEnvironment::state() const {
+  std::vector<double> s;
+  s.reserve(state_dim());
+  if (config_.include_traffic_in_state) {
+    for (const auto& q : queues_) {
+      s.push_back(static_cast<double>(q.length()) / config_.state_queue_scale);
+    }
+  }
+  for (double c : coordination_) {
+    s.push_back(c / config_.coordination_scale);
+  }
+  return s;
+}
+
+StepResult RaEnvironment::step(const std::vector<double>& action) {
+  if (action.size() != action_dim())
+    throw std::invalid_argument("RaEnvironment::step: action size mismatch");
+  for (double a : action) {
+    if (a < -1e-9 || a > 1.0 + 1e-9)
+      throw std::invalid_argument("RaEnvironment::step: action outside [0,1]");
+  }
+
+  StepResult result;
+  result.state = state();
+
+  // Raw per-resource sums for the shaping penalty (Eq. 15's [.]^+ term).
+  std::array<double, kResources> usage{};
+  for (std::size_t i = 0; i < config_.slices; ++i) {
+    for (std::size_t k = 0; k < kResources; ++k) {
+      usage[k] += std::clamp(action[i * kResources + k], 0.0, 1.0);
+    }
+  }
+  for (std::size_t k = 0; k < kResources; ++k) {
+    result.constraint_violation += std::max(0.0, usage[k] - 1.0);
+  }
+
+  // Physical scaling: a resource cannot be over-allocated in the substrate.
+  // (Disabled in the paper-faithful training configuration, where the
+  // constraint lives only in the reward.)
+  std::array<double, kResources> scale{};
+  for (std::size_t k = 0; k < kResources; ++k) {
+    scale[k] = (config_.enforce_capacity_scaling && usage[k] > 1.0) ? 1.0 / usage[k] : 1.0;
+  }
+
+  // Arrivals, then service.
+  result.performance.resize(config_.slices);
+  result.queue_lengths.resize(config_.slices);
+  result.service_rates.resize(config_.slices);
+  for (std::size_t i = 0; i < config_.slices; ++i) {
+    const double arrival_mean =
+        arrival_profiles_.empty()
+            ? arrival_rates_[i]
+            : arrival_profiles_[i][step_count_ % arrival_profiles_[i].size()];
+    queues_[i].arrive(static_cast<std::size_t>(rng_.poisson(arrival_mean)));
+
+    Allocation alloc{};
+    for (std::size_t k = 0; k < kResources; ++k) {
+      alloc[k] = std::clamp(action[i * kResources + k], 0.0, 1.0) * scale[k];
+    }
+    const double tau = service_model_->service_time(profiles_[i], alloc);
+    last_service_time_[i] = tau;
+    const double rate = tau > 0.0 ? config_.interval_seconds / tau : 0.0;
+    result.service_rates[i] = rate;
+    queues_[i].serve(rate);
+
+    PerfObservation obs;
+    obs.queue_length = static_cast<double>(queues_[i].length());
+    obs.service_time = tau;
+    result.performance[i] = perf_->evaluate(obs);
+    result.queue_lengths[i] = obs.queue_length;
+  }
+
+  // Reward shaping per Eq. 15.
+  double reward = 0.0;
+  const double T = static_cast<double>(config_.intervals_per_period);
+  for (std::size_t i = 0; i < config_.slices; ++i) {
+    const double target = coordination_[i] / T;
+    const double deviation = result.performance[i] - target;
+    reward += result.performance[i] - 0.5 * config_.rho * deviation * deviation;
+  }
+  reward -= config_.beta * result.constraint_violation;
+  reward *= config_.reward_scale;
+  if (config_.reward_clip > 0.0) {
+    reward = std::clamp(reward, -config_.reward_clip, config_.reward_clip);
+  }
+  result.reward = reward;
+  result.next_state = state();
+  ++step_count_;
+  return result;
+}
+
+void RaEnvironment::reset() {
+  for (auto& q : queues_) q.reset();
+  std::fill(last_service_time_.begin(), last_service_time_.end(), 0.0);
+  step_count_ = 0;
+}
+
+}  // namespace edgeslice::env

@@ -1,0 +1,37 @@
+#include "env/perf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace edgeslice::env {
+
+QueuePowerPerf::QueuePowerPerf(double alpha) : alpha_(alpha) {
+  if (alpha <= 0.0) throw std::invalid_argument("QueuePowerPerf: alpha must be > 0");
+}
+
+double QueuePowerPerf::evaluate(const PerfObservation& observation) const {
+  return -std::pow(std::max(0.0, observation.queue_length), alpha_);
+}
+
+std::string QueuePowerPerf::name() const {
+  return "queue-power(alpha=" + std::to_string(alpha_) + ")";
+}
+
+NegServiceTimePerf::NegServiceTimePerf(double cap_seconds) : cap_seconds_(cap_seconds) {
+  if (cap_seconds <= 0.0) throw std::invalid_argument("NegServiceTimePerf: bad cap");
+}
+
+double NegServiceTimePerf::evaluate(const PerfObservation& observation) const {
+  return -std::min(observation.service_time, cap_seconds_);
+}
+
+std::unique_ptr<PerformanceFunction> make_queue_power_perf(double alpha) {
+  return std::make_unique<QueuePowerPerf>(alpha);
+}
+
+std::unique_ptr<PerformanceFunction> make_neg_service_time_perf() {
+  return std::make_unique<NegServiceTimePerf>();
+}
+
+}  // namespace edgeslice::env

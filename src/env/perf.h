@@ -1,0 +1,56 @@
+// Slice performance functions (Sec. VII).
+//
+// The evaluation defines U = -(queue length)^alpha with alpha = 2 by
+// default (and a sweep over alpha in Fig. 11a), plus an alternative
+// "negative service time" function that deliberately ignores queue state
+// (Fig. 11b). Neither the coordinator nor the agents ever see the closed
+// form — they only observe reported values.
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace edgeslice::env {
+
+/// Inputs available to a performance function at the end of an interval.
+struct PerfObservation {
+  double queue_length = 0.0;
+  double service_time = 0.0;  // per-task end-to-end service time this interval
+};
+
+class PerformanceFunction {
+ public:
+  virtual ~PerformanceFunction() = default;
+  virtual double evaluate(const PerfObservation& observation) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// U = -(l)^alpha (the paper's default with alpha = 2).
+class QueuePowerPerf final : public PerformanceFunction {
+ public:
+  explicit QueuePowerPerf(double alpha = 2.0);
+  double evaluate(const PerfObservation& observation) const override;
+  std::string name() const override;
+  double alpha() const { return alpha_; }
+
+ private:
+  double alpha_;
+};
+
+/// U = -service_time, independent of the queue (Fig. 11b).
+class NegServiceTimePerf final : public PerformanceFunction {
+ public:
+  /// Service times are capped to keep U finite when a slice holds no
+  /// resources.
+  explicit NegServiceTimePerf(double cap_seconds = 100.0);
+  double evaluate(const PerfObservation& observation) const override;
+  std::string name() const override { return "neg-service-time"; }
+
+ private:
+  double cap_seconds_;
+};
+
+std::unique_ptr<PerformanceFunction> make_queue_power_perf(double alpha = 2.0);
+std::unique_ptr<PerformanceFunction> make_neg_service_time_perf();
+
+}  // namespace edgeslice::env

@@ -1,0 +1,45 @@
+#include "env/queue.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace edgeslice::env {
+
+SliceQueue::SliceQueue(std::size_t max_length) : max_length_(max_length) {
+  if (max_length == 0) throw std::invalid_argument("SliceQueue: zero max length");
+}
+
+std::size_t SliceQueue::arrive(std::size_t count) {
+  total_arrivals_ += count;
+  const std::size_t admitted = std::min(count, max_length_ - length_);
+  length_ += admitted;
+  dropped_ += count - admitted;
+  return admitted;
+}
+
+std::size_t SliceQueue::serve(double rate) {
+  if (rate < 0.0) throw std::invalid_argument("SliceQueue::serve: negative rate");
+  if (length_ == 0) {
+    // Service capacity is not bankable while idle.
+    credit_ = 0.0;
+    return 0;
+  }
+  credit_ += rate;
+  const auto departures = std::min(length_, static_cast<std::size_t>(std::floor(credit_)));
+  credit_ -= static_cast<double>(departures);
+  length_ -= departures;
+  total_departures_ += departures;
+  if (length_ == 0) credit_ = 0.0;
+  return departures;
+}
+
+void SliceQueue::reset() {
+  length_ = 0;
+  credit_ = 0.0;
+  dropped_ = 0;
+  total_arrivals_ = 0;
+  total_departures_ = 0;
+}
+
+}  // namespace edgeslice::env

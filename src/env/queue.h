@@ -1,0 +1,43 @@
+// FIFO service queue of a network slice (Sec. VI-B).
+//
+// Tasks are homogeneous within a slice (one application profile per
+// slice). Service progress is tracked as fractional credit so that a
+// service rate of, say, 2.5 tasks/interval departs 2 or 3 tasks per
+// interval with the correct long-run average.
+#pragma once
+
+#include <cstddef>
+
+namespace edgeslice::env {
+
+class SliceQueue {
+ public:
+  /// `max_length` bounds the backlog (arrivals beyond it are dropped and
+  /// counted), keeping rewards finite when a slice is starved.
+  explicit SliceQueue(std::size_t max_length = 500);
+
+  /// Add `count` arriving tasks; returns how many were admitted.
+  std::size_t arrive(std::size_t count);
+
+  /// Serve the queue for one interval at the given service rate
+  /// (tasks per interval); returns the number of departures.
+  std::size_t serve(double rate);
+
+  std::size_t length() const { return length_; }
+  std::size_t dropped() const { return dropped_; }
+  std::size_t total_arrivals() const { return total_arrivals_; }
+  std::size_t total_departures() const { return total_departures_; }
+  bool empty() const { return length_ == 0; }
+
+  void reset();
+
+ private:
+  std::size_t max_length_;
+  std::size_t length_ = 0;
+  double credit_ = 0.0;  // fractional service carry-over
+  std::size_t dropped_ = 0;
+  std::size_t total_arrivals_ = 0;
+  std::size_t total_departures_ = 0;
+};
+
+}  // namespace edgeslice::env

@@ -1,0 +1,60 @@
+#include "nn/activations.h"
+
+#include <cmath>
+
+namespace edgeslice::nn {
+
+double activate(double z, Activation a) {
+  switch (a) {
+    case Activation::Identity: return z;
+    case Activation::Relu: return z > 0.0 ? z : 0.0;
+    case Activation::LeakyRelu: return z > 0.0 ? z : kLeakyReluSlope * z;
+    case Activation::Tanh: return std::tanh(z);
+    case Activation::Sigmoid: return 1.0 / (1.0 + std::exp(-z));
+    case Activation::Softplus:
+      // Numerically stable log(1 + e^z).
+      return z > 30.0 ? z : std::log1p(std::exp(z));
+  }
+  return z;
+}
+
+double activate_grad(double z, Activation a) {
+  switch (a) {
+    case Activation::Identity: return 1.0;
+    case Activation::Relu: return z > 0.0 ? 1.0 : 0.0;
+    case Activation::LeakyRelu: return z > 0.0 ? 1.0 : kLeakyReluSlope;
+    case Activation::Tanh: {
+      const double t = std::tanh(z);
+      return 1.0 - t * t;
+    }
+    case Activation::Sigmoid: {
+      const double s = 1.0 / (1.0 + std::exp(-z));
+      return s * (1.0 - s);
+    }
+    case Activation::Softplus:
+      return 1.0 / (1.0 + std::exp(-z));
+  }
+  return 1.0;
+}
+
+Matrix activate(const Matrix& z, Activation a) {
+  return z.map([a](double x) { return activate(x, a); });
+}
+
+Matrix activate_grad(const Matrix& z, Activation a) {
+  return z.map([a](double x) { return activate_grad(x, a); });
+}
+
+const char* activation_name(Activation a) {
+  switch (a) {
+    case Activation::Identity: return "identity";
+    case Activation::Relu: return "relu";
+    case Activation::LeakyRelu: return "leaky_relu";
+    case Activation::Tanh: return "tanh";
+    case Activation::Sigmoid: return "sigmoid";
+    case Activation::Softplus: return "softplus";
+  }
+  return "?";
+}
+
+}  // namespace edgeslice::nn

@@ -1,0 +1,28 @@
+// Activation functions for the neural network library.
+//
+// The paper (Sec. VI-A) uses Leaky Rectifier hidden layers and a sigmoid
+// output layer; Tanh and Identity are needed by the SAC/PPO policy heads.
+#pragma once
+
+#include "nn/matrix.h"
+
+namespace edgeslice::nn {
+
+enum class Activation { Identity, Relu, LeakyRelu, Tanh, Sigmoid, Softplus };
+
+/// Elementwise forward pass.
+Matrix activate(const Matrix& z, Activation a);
+
+/// Elementwise derivative evaluated from the *pre-activation* z.
+Matrix activate_grad(const Matrix& z, Activation a);
+
+/// Scalar versions (used in tests and a few analytic spots).
+double activate(double z, Activation a);
+double activate_grad(double z, Activation a);
+
+/// Slope of the leaky rectifier's negative branch.
+inline constexpr double kLeakyReluSlope = 0.01;
+
+const char* activation_name(Activation a);
+
+}  // namespace edgeslice::nn

@@ -1,0 +1,39 @@
+#include "nn/adam.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace edgeslice::nn {
+
+void Adam::attach(Matrix* param, Matrix* grad) {
+  if (param == nullptr || grad == nullptr) throw std::invalid_argument("Adam::attach: null");
+  if (param->rows() != grad->rows() || param->cols() != grad->cols())
+    throw std::invalid_argument("Adam::attach: shape mismatch");
+  slots_.push_back(Slot{param, grad, Matrix(param->rows(), param->cols()),
+                        Matrix(param->rows(), param->cols())});
+}
+
+void Adam::step() { step(1.0); }
+
+void Adam::step(double scale) {
+  ++t_;
+  const double b1t = 1.0 - std::pow(config_.beta1, static_cast<double>(t_));
+  const double b2t = 1.0 - std::pow(config_.beta2, static_cast<double>(t_));
+  for (auto& slot : slots_) {
+    auto& p = slot.param->data();
+    auto& g = slot.grad->data();
+    auto& m = slot.m.data();
+    auto& v = slot.v.data();
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      const double grad = g[i] * scale;
+      m[i] = config_.beta1 * m[i] + (1.0 - config_.beta1) * grad;
+      v[i] = config_.beta2 * v[i] + (1.0 - config_.beta2) * grad * grad;
+      const double m_hat = m[i] / b1t;
+      const double v_hat = v[i] / b2t;
+      p[i] -= config_.learning_rate * m_hat / (std::sqrt(v_hat) + config_.epsilon);
+      g[i] = 0.0;
+    }
+  }
+}
+
+}  // namespace edgeslice::nn

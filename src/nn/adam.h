@@ -1,0 +1,52 @@
+// Adam optimizer (Kingma & Ba, 2015) over a set of parameter matrices.
+#pragma once
+
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace edgeslice::nn {
+
+struct AdamConfig {
+  double learning_rate = 1e-3;  // the paper uses 0.001 for both actor and critic
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+};
+
+/// Maintains first/second moment estimates per parameter tensor. The caller
+/// registers (parameter, gradient) pairs once and then calls step() after
+/// each backward pass; gradients are consumed (zeroed) by step().
+class Adam {
+ public:
+  explicit Adam(AdamConfig config = {}) : config_(config) {}
+
+  /// Register a parameter tensor with its gradient buffer. Pointers must
+  /// outlive the optimizer.
+  void attach(Matrix* param, Matrix* grad);
+
+  /// Apply one Adam update to all attached tensors; zeroes gradients.
+  void step();
+
+  /// Gradient-descent step scaled by `scale` (e.g. -1 for ascent). Default
+  /// descent.
+  void step(double scale);
+
+  std::size_t step_count() const { return t_; }
+  const AdamConfig& config() const { return config_; }
+  void set_learning_rate(double lr) { config_.learning_rate = lr; }
+
+ private:
+  struct Slot {
+    Matrix* param;
+    Matrix* grad;
+    Matrix m;  // first moment
+    Matrix v;  // second moment
+  };
+
+  AdamConfig config_;
+  std::vector<Slot> slots_;
+  std::size_t t_ = 0;
+};
+
+}  // namespace edgeslice::nn

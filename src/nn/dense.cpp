@@ -1,0 +1,42 @@
+#include "nn/dense.h"
+
+#include <cmath>
+
+namespace edgeslice::nn {
+
+Dense::Dense(std::size_t in, std::size_t out, Activation activation, Rng& rng)
+    : activation_(activation),
+      weights_(in, out),
+      bias_(1, out),
+      weight_grad_(in, out),
+      bias_grad_(1, out) {
+  // He-style initialization scaled for the rectifier family; also a sane
+  // default for tanh/sigmoid at these widths.
+  const double scale = std::sqrt(2.0 / static_cast<double>(in));
+  for (auto& w : weights_.data()) w = rng.normal(0.0, scale);
+}
+
+Matrix Dense::forward(const Matrix& x) {
+  cached_input_ = x;
+  cached_pre_activation_ = x.matmul(weights_).add_row_broadcast(bias_);
+  return activate(cached_pre_activation_, activation_);
+}
+
+Matrix Dense::infer(const Matrix& x) const {
+  return activate(x.matmul(weights_).add_row_broadcast(bias_), activation_);
+}
+
+Matrix Dense::backward(const Matrix& grad_out) {
+  // dL/dZ = dL/dY ⊙ act'(Z)
+  const Matrix grad_z = grad_out.hadamard(activate_grad(cached_pre_activation_, activation_));
+  weight_grad_ += cached_input_.transpose().matmul(grad_z);
+  bias_grad_ += grad_z.column_sums();
+  return grad_z.matmul(weights_.transpose());
+}
+
+void Dense::zero_grad() {
+  weight_grad_.fill(0.0);
+  bias_grad_.fill(0.0);
+}
+
+}  // namespace edgeslice::nn

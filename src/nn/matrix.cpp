@@ -1,0 +1,174 @@
+#include "nn/matrix.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace edgeslice::nn {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ ? rows.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    if (r.size() != cols_) throw std::invalid_argument("Matrix: ragged initializer");
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::row(const std::vector<double>& v) {
+  Matrix m(1, v.size());
+  m.data_ = v;
+  return m;
+}
+
+Matrix Matrix::column(const std::vector<double>& v) {
+  Matrix m(v.size(), 1);
+  m.data_ = v;
+  return m;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+std::vector<double> Matrix::row_vector(std::size_t r) const {
+  if (r >= rows_) throw std::out_of_range("Matrix::row_vector");
+  return {data_.begin() + static_cast<std::ptrdiff_t>(r * cols_),
+          data_.begin() + static_cast<std::ptrdiff_t>((r + 1) * cols_)};
+}
+
+void Matrix::set_row(std::size_t r, const std::vector<double>& v) {
+  if (r >= rows_ || v.size() != cols_) throw std::out_of_range("Matrix::set_row");
+  std::copy(v.begin(), v.end(), data_.begin() + static_cast<std::ptrdiff_t>(r * cols_));
+}
+
+Matrix Matrix::transpose() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix Matrix::matmul(const Matrix& other) const {
+  if (cols_ != other.rows_) throw std::invalid_argument("Matrix::matmul: shape mismatch");
+  Matrix out(rows_, other.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      for (std::size_t j = 0; j < other.cols_; ++j) {
+        out(i, j) += a * other(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+void Matrix::check_same_shape(const Matrix& other) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_)
+    throw std::invalid_argument("Matrix: shape mismatch");
+}
+
+Matrix Matrix::operator+(const Matrix& other) const {
+  check_same_shape(other);
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] += other.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& other) const {
+  check_same_shape(other);
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] -= other.data_[i];
+  return out;
+}
+
+Matrix Matrix::hadamard(const Matrix& other) const {
+  check_same_shape(other);
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] *= other.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator*(double s) const {
+  Matrix out = *this;
+  for (auto& x : out.data_) x *= s;
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  check_same_shape(other);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  check_same_shape(other);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (auto& x : data_) x *= s;
+  return *this;
+}
+
+Matrix Matrix::add_row_broadcast(const Matrix& bias) const {
+  if (bias.rows_ != 1 || bias.cols_ != cols_)
+    throw std::invalid_argument("Matrix::add_row_broadcast: bias must be 1 x cols");
+  Matrix out = *this;
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) out(r, c) += bias(0, c);
+  return out;
+}
+
+Matrix Matrix::column_sums() const {
+  Matrix out(1, cols_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) out(0, c) += (*this)(r, c);
+  return out;
+}
+
+Matrix Matrix::map(const std::function<double(double)>& f) const {
+  Matrix out = *this;
+  for (auto& x : out.data_) x = f(x);
+  return out;
+}
+
+double Matrix::total() const {
+  double acc = 0.0;
+  for (double x : data_) acc += x;
+  return acc;
+}
+
+double Matrix::frobenius_norm() const {
+  double acc = 0.0;
+  for (double x : data_) acc += x * x;
+  return std::sqrt(acc);
+}
+
+void Matrix::fill(double v) {
+  for (auto& x : data_) x = v;
+}
+
+Matrix Matrix::slice_columns(std::size_t c0, std::size_t c1) const {
+  if (c0 > c1 || c1 > cols_) throw std::out_of_range("Matrix::slice_columns");
+  Matrix out(rows_, c1 - c0);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = c0; c < c1; ++c) out(r, c - c0) = (*this)(r, c);
+  return out;
+}
+
+Matrix hconcat(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows()) throw std::invalid_argument("hconcat: row mismatch");
+  Matrix out(a.rows(), a.cols() + b.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) out(r, c) = a(r, c);
+    for (std::size_t c = 0; c < b.cols(); ++c) out(r, a.cols() + c) = b(r, c);
+  }
+  return out;
+}
+
+}  // namespace edgeslice::nn

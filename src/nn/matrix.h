@@ -1,0 +1,94 @@
+// Dense row-major matrix of doubles.
+//
+// This is the numeric substrate of the neural network library. It favors
+// clarity and determinism over peak throughput: the paper's actor/critic
+// networks are 2x128 fully connected layers, so naive O(n^3) matmul is
+// ample on the batch sizes involved.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <initializer_list>
+#include <vector>
+
+namespace edgeslice::nn {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Construct from nested initializer list: Matrix{{1,2},{3,4}}.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// A 1xN row vector view of a std::vector.
+  static Matrix row(const std::vector<double>& v);
+  /// An Nx1 column vector.
+  static Matrix column(const std::vector<double>& v);
+  /// Identity matrix.
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+  /// The r-th row as a std::vector (copy).
+  std::vector<double> row_vector(std::size_t r) const;
+  /// Overwrite the r-th row.
+  void set_row(std::size_t r, const std::vector<double>& v);
+
+  Matrix transpose() const;
+
+  /// Matrix product this * other. Dimension mismatch throws.
+  Matrix matmul(const Matrix& other) const;
+
+  /// Elementwise operations (dimension mismatch throws).
+  Matrix operator+(const Matrix& other) const;
+  Matrix operator-(const Matrix& other) const;
+  Matrix hadamard(const Matrix& other) const;
+  Matrix operator*(double s) const;
+
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double s);
+
+  /// Add a 1xC row vector to every row (broadcast bias add).
+  Matrix add_row_broadcast(const Matrix& bias) const;
+
+  /// Column sums as a 1xC matrix.
+  Matrix column_sums() const;
+
+  /// Apply f to every element, returning a new matrix.
+  Matrix map(const std::function<double(double)>& f) const;
+
+  /// Sum of all elements.
+  double total() const;
+
+  /// Frobenius norm.
+  double frobenius_norm() const;
+
+  void fill(double v);
+
+  /// Columns [c0, c1) as a new matrix.
+  Matrix slice_columns(std::size_t c0, std::size_t c1) const;
+
+ private:
+  void check_same_shape(const Matrix& other) const;
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Horizontal concatenation [a | b]; row counts must match.
+Matrix hconcat(const Matrix& a, const Matrix& b);
+
+}  // namespace edgeslice::nn

@@ -1,0 +1,167 @@
+#include "nn/mlp.h"
+
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace edgeslice::nn {
+
+Mlp::Mlp(const std::vector<std::size_t>& sizes, Activation hidden, Activation output,
+         Rng& rng) {
+  if (sizes.size() < 2) throw std::invalid_argument("Mlp: need at least in and out sizes");
+  layers_.reserve(sizes.size() - 1);
+  for (std::size_t i = 0; i + 1 < sizes.size(); ++i) {
+    const bool last = (i + 2 == sizes.size());
+    layers_.emplace_back(sizes[i], sizes[i + 1], last ? output : hidden, rng);
+  }
+}
+
+Matrix Mlp::forward(const Matrix& x) {
+  Matrix h = x;
+  for (auto& layer : layers_) h = layer.forward(h);
+  return h;
+}
+
+Matrix Mlp::infer(const Matrix& x) const {
+  Matrix h = x;
+  for (const auto& layer : layers_) h = layer.infer(h);
+  return h;
+}
+
+std::vector<double> Mlp::infer_vector(const std::vector<double>& x) const {
+  return infer(Matrix::row(x)).row_vector(0);
+}
+
+Matrix Mlp::backward(const Matrix& grad_out) {
+  Matrix g = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = it->backward(g);
+  return g;
+}
+
+void Mlp::zero_grad() {
+  for (auto& layer : layers_) layer.zero_grad();
+}
+
+void Mlp::attach_to(Adam& optimizer) {
+  for (auto& layer : layers_) {
+    optimizer.attach(&layer.weights(), &layer.weight_grad());
+    optimizer.attach(&layer.bias(), &layer.bias_grad());
+  }
+}
+
+void Mlp::soft_update_from(const Mlp& source, double tau) {
+  if (source.layers_.size() != layers_.size())
+    throw std::invalid_argument("Mlp::soft_update_from: architecture mismatch");
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    auto& w = layers_[i].weights().data();
+    auto& b = layers_[i].bias().data();
+    const auto& sw = source.layers_[i].weights().data();
+    const auto& sb = source.layers_[i].bias().data();
+    for (std::size_t j = 0; j < w.size(); ++j) w[j] = tau * sw[j] + (1.0 - tau) * w[j];
+    for (std::size_t j = 0; j < b.size(); ++j) b[j] = tau * sb[j] + (1.0 - tau) * b[j];
+  }
+}
+
+void Mlp::copy_parameters_from(const Mlp& source) { soft_update_from(source, 1.0); }
+
+std::vector<double> Mlp::flat_parameters() const {
+  std::vector<double> theta;
+  theta.reserve(parameter_count());
+  for (const auto& layer : layers_) {
+    const auto& w = layer.weights().data();
+    const auto& b = layer.bias().data();
+    theta.insert(theta.end(), w.begin(), w.end());
+    theta.insert(theta.end(), b.begin(), b.end());
+  }
+  return theta;
+}
+
+void Mlp::set_flat_parameters(const std::vector<double>& theta) {
+  if (theta.size() != parameter_count())
+    throw std::invalid_argument("Mlp::set_flat_parameters: size mismatch");
+  std::size_t offset = 0;
+  for (auto& layer : layers_) {
+    auto& w = layer.weights().data();
+    auto& b = layer.bias().data();
+    std::copy(theta.begin() + static_cast<std::ptrdiff_t>(offset),
+              theta.begin() + static_cast<std::ptrdiff_t>(offset + w.size()), w.begin());
+    offset += w.size();
+    std::copy(theta.begin() + static_cast<std::ptrdiff_t>(offset),
+              theta.begin() + static_cast<std::ptrdiff_t>(offset + b.size()), b.begin());
+    offset += b.size();
+  }
+}
+
+std::vector<double> Mlp::flat_gradients() const {
+  std::vector<double> g;
+  g.reserve(parameter_count());
+  for (const auto& layer : layers_) {
+    const auto& w = layer.weight_grad().data();
+    const auto& b = layer.bias_grad().data();
+    g.insert(g.end(), w.begin(), w.end());
+    g.insert(g.end(), b.begin(), b.end());
+  }
+  return g;
+}
+
+void Mlp::save(std::ostream& out) const {
+  out << "mlp v1\n" << layers_.size() + 1 << "\n";
+  out << layers_.front().in_dim();
+  for (const auto& layer : layers_) out << " " << layer.out_dim();
+  out << "\n";
+  for (const auto& layer : layers_) {
+    out << static_cast<int>(layer.activation()) << " ";
+  }
+  out << "\n";
+  char buffer[32];
+  for (const double v : flat_parameters()) {
+    std::snprintf(buffer, sizeof(buffer), "%a\n", v);
+    out << buffer;
+  }
+}
+
+Mlp Mlp::load(std::istream& in) {
+  std::string magic;
+  std::string version;
+  in >> magic >> version;
+  if (magic != "mlp" || version != "v1")
+    throw std::runtime_error("Mlp::load: bad header");
+  std::size_t size_count = 0;
+  in >> size_count;
+  if (size_count < 2 || size_count > 64) throw std::runtime_error("Mlp::load: bad sizes");
+  std::vector<std::size_t> sizes(size_count);
+  for (auto& s : sizes) in >> s;
+  std::vector<int> activations(size_count - 1);
+  for (auto& a : activations) in >> a;
+  if (!in) throw std::runtime_error("Mlp::load: truncated header");
+
+  // Rebuild with a throwaway seed; parameters are overwritten below. The
+  // stored per-layer activations are re-applied directly.
+  Rng rng(0);
+  Mlp net(sizes, Activation::Identity, Activation::Identity, rng);
+  for (std::size_t i = 0; i < net.layers_.size(); ++i) {
+    net.layers_[i] = Dense(sizes[i], sizes[i + 1],
+                           static_cast<Activation>(activations[i]), rng);
+  }
+  std::vector<double> theta(net.parameter_count());
+  std::string token;
+  for (auto& v : theta) {
+    in >> token;
+    if (!in) throw std::runtime_error("Mlp::load: truncated parameters");
+    v = std::strtod(token.c_str(), nullptr);
+  }
+  net.set_flat_parameters(theta);
+  return net;
+}
+
+std::size_t Mlp::parameter_count() const {
+  std::size_t n = 0;
+  for (const auto& layer : layers_) {
+    n += layer.weights().size() + layer.bias().size();
+  }
+  return n;
+}
+
+}  // namespace edgeslice::nn

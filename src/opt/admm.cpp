@@ -1,0 +1,53 @@
+#include "opt/admm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace edgeslice::opt {
+
+double primal_residual_norm(const std::vector<double>& u_sums,
+                            const std::vector<double>& z) {
+  if (u_sums.size() != z.size())
+    throw std::invalid_argument("primal_residual_norm: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    acc += (u_sums[i] - z[i]) * (u_sums[i] - z[i]);
+  }
+  return std::sqrt(acc);
+}
+
+double dual_residual_norm(const std::vector<double>& z_new,
+                          const std::vector<double>& z_old, double rho) {
+  if (z_new.size() != z_old.size())
+    throw std::invalid_argument("dual_residual_norm: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < z_new.size(); ++i) {
+    acc += (z_new[i] - z_old[i]) * (z_new[i] - z_old[i]);
+  }
+  return rho * std::sqrt(acc);
+}
+
+void update_scaled_duals(std::vector<double>& y, const std::vector<double>& u_sums,
+                         const std::vector<double>& z) {
+  if (y.size() != u_sums.size() || y.size() != z.size())
+    throw std::invalid_argument("update_scaled_duals: size mismatch");
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] += u_sums[i] - z[i];
+}
+
+void AdmmMonitor::record(const AdmmResiduals& residuals, double scale, double dual_scale,
+                         std::size_t dimension) {
+  ++iterations_;
+  history_.push_back(residuals);
+  const double sqrt_n = std::sqrt(static_cast<double>(std::max<std::size_t>(dimension, 1)));
+  const double eps_pri =
+      sqrt_n * criteria_.absolute_tolerance + criteria_.relative_tolerance * scale;
+  const double eps_dual =
+      sqrt_n * criteria_.absolute_tolerance + criteria_.relative_tolerance * dual_scale;
+  if (iterations_ >= criteria_.min_iterations && residuals.primal <= eps_pri &&
+      residuals.dual <= eps_dual) {
+    converged_ = true;
+  }
+}
+
+}  // namespace edgeslice::opt

@@ -1,0 +1,63 @@
+// ADMM bookkeeping for the performance coordinator.
+//
+// The paper (Sec. IV-A) splits problem P1 with ADMM: agents maximize the
+// augmented Lagrangian over X (Eq. 8), the coordinator updates the auxiliary
+// variables Z (Eq. 9) and scaled duals Y (Eq. 10). This module provides the
+// generic residual/convergence machinery; the slicing-specific coordinator
+// in src/core composes it with the projection solver.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace edgeslice::opt {
+
+/// Norms of the ADMM primal and dual residuals after one iteration.
+struct AdmmResiduals {
+  double primal = 0.0;  // || U_sum - z ||_2 across all (i, j)
+  double dual = 0.0;    // rho * || z_new - z_old ||_2
+};
+
+/// Primal residual for the slicing constraint (Eq. 4): r_ij = U_ij - z_ij.
+double primal_residual_norm(const std::vector<double>& u_sums,
+                            const std::vector<double>& z);
+
+/// Dual residual: rho * || z_new - z_old ||_2.
+double dual_residual_norm(const std::vector<double>& z_new,
+                          const std::vector<double>& z_old, double rho);
+
+/// Scaled dual update (Eq. 10): y <- y + (U_sum - z).
+void update_scaled_duals(std::vector<double>& y, const std::vector<double>& u_sums,
+                         const std::vector<double>& z);
+
+struct AdmmStopCriteria {
+  double absolute_tolerance = 1e-3;
+  double relative_tolerance = 1e-3;
+  std::size_t min_iterations = 2;
+  std::size_t max_iterations = 200;
+};
+
+/// Tracks residual history and decides convergence per Boyd et al. 2011
+/// Sec. 3.3 (eps_pri/eps_dual from absolute + relative tolerances).
+class AdmmMonitor {
+ public:
+  explicit AdmmMonitor(AdmmStopCriteria criteria = {}) : criteria_(criteria) {}
+
+  /// Record one iteration. `scale` is max(||U_sum||, ||z||), used for the
+  /// relative part of the primal tolerance; `dual_scale` is ||rho * y||.
+  void record(const AdmmResiduals& residuals, double scale, double dual_scale,
+              std::size_t dimension);
+
+  bool converged() const { return converged_; }
+  bool exhausted() const { return iterations_ >= criteria_.max_iterations; }
+  std::size_t iterations() const { return iterations_; }
+  const std::vector<AdmmResiduals>& history() const { return history_; }
+
+ private:
+  AdmmStopCriteria criteria_;
+  std::vector<AdmmResiduals> history_;
+  std::size_t iterations_ = 0;
+  bool converged_ = false;
+};
+
+}  // namespace edgeslice::opt

@@ -1,0 +1,95 @@
+#include "opt/linreg.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/stats.h"
+
+namespace edgeslice::opt {
+
+double LinearModel::predict(const std::vector<double>& x) const {
+  if (x.size() != coefficients.size())
+    throw std::invalid_argument("LinearModel::predict: feature size mismatch");
+  double y = intercept;
+  for (std::size_t i = 0; i < x.size(); ++i) y += coefficients[i] * x[i];
+  return y;
+}
+
+std::vector<double> solve_linear_system(nn::Matrix a, std::vector<double> b) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n || b.size() != n)
+    throw std::invalid_argument("solve_linear_system: shape mismatch");
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a(r, col)) > std::abs(a(pivot, col))) pivot = r;
+    }
+    if (std::abs(a(pivot, col)) < 1e-12)
+      throw std::runtime_error("solve_linear_system: singular matrix");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a(col, c), a(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a(r, col) / a(col, col);
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a(r, c) -= f * a(col, c);
+      b[r] -= f * b[col];
+    }
+  }
+  std::vector<double> x(n);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) acc -= a(i, c) * x[c];
+    x[i] = acc / a(i, i);
+  }
+  return x;
+}
+
+LinearModel fit_linear(const nn::Matrix& x, const std::vector<double>& y, double ridge) {
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  if (n == 0 || y.size() != n) throw std::invalid_argument("fit_linear: shape mismatch");
+
+  // Augment with a bias column: theta = [w; b], solve (A^T A + ridge I) theta = A^T y
+  // (bias unregularized).
+  nn::Matrix ata(d + 1, d + 1);
+  std::vector<double> aty(d + 1, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t i = 0; i <= d; ++i) {
+      const double xi = (i < d) ? x(r, i) : 1.0;
+      aty[i] += xi * y[r];
+      for (std::size_t j = 0; j <= d; ++j) {
+        const double xj = (j < d) ? x(r, j) : 1.0;
+        ata(i, j) += xi * xj;
+      }
+    }
+  }
+  for (std::size_t i = 0; i < d; ++i) ata(i, i) += ridge;
+  // Keep the system non-singular even for degenerate neighborhoods.
+  ata(d, d) += 1e-12;
+
+  const auto theta = solve_linear_system(ata, aty);
+  LinearModel model;
+  model.coefficients.assign(theta.begin(), theta.begin() + static_cast<std::ptrdiff_t>(d));
+  model.intercept = theta[d];
+  return model;
+}
+
+double r_squared(const LinearModel& model, const nn::Matrix& x,
+                 const std::vector<double>& y) {
+  if (x.rows() != y.size() || y.empty()) throw std::invalid_argument("r_squared: shapes");
+  const double y_mean = mean(y);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const double pred = model.predict(x.row_vector(r));
+    ss_res += (y[r] - pred) * (y[r] - pred);
+    ss_tot += (y[r] - y_mean) * (y[r] - y_mean);
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace edgeslice::opt

@@ -1,0 +1,35 @@
+// Ordinary / ridge least squares via normal equations.
+//
+// Reproduces the scikit-learn LinearRegression used in the paper's
+// simulated environment (Sec. VI-B) to interpolate slice service time
+// between grid-searched orchestration actions.
+#pragma once
+
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace edgeslice::opt {
+
+struct LinearModel {
+  std::vector<double> coefficients;  // one per feature
+  double intercept = 0.0;
+
+  double predict(const std::vector<double>& x) const;
+};
+
+/// Fit y ≈ X * w + b by minimizing ||y - Xw - b||^2 + ridge * ||w||^2.
+/// X: one row per sample. Throws if shapes disagree or X is empty.
+/// A small default ridge keeps near-singular grid neighborhoods stable.
+LinearModel fit_linear(const nn::Matrix& x, const std::vector<double>& y,
+                       double ridge = 1e-8);
+
+/// Solve the square linear system A * x = b by Gaussian elimination with
+/// partial pivoting. Throws on singular A.
+std::vector<double> solve_linear_system(nn::Matrix a, std::vector<double> b);
+
+/// Coefficient of determination of a fitted model on (x, y).
+double r_squared(const LinearModel& model, const nn::Matrix& x,
+                 const std::vector<double>& y);
+
+}  // namespace edgeslice::opt

@@ -1,0 +1,45 @@
+#include "opt/qp.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "opt/projection.h"
+
+namespace edgeslice::opt {
+
+QpResult solve_projection_qp(const std::vector<double>& c, double bound,
+                             const QpConfig& config) {
+  if (c.empty()) throw std::invalid_argument("solve_projection_qp: empty input");
+  QpResult result;
+  // Feasible start: the half-space projection itself.
+  result.z = project_halfspace_sum_ge(c, bound);
+  if (config.box_constrained) result.z = project_box(result.z, config.box_lo, config.box_hi);
+
+  for (std::size_t it = 0; it < config.max_iterations; ++it) {
+    result.iterations = it + 1;
+    // Gradient of ||c - z||^2 is 2 (z - c).
+    std::vector<double> next(result.z.size());
+    for (std::size_t i = 0; i < next.size(); ++i) {
+      next[i] = result.z[i] - config.step_size * 2.0 * (result.z[i] - c[i]);
+    }
+    next = project_halfspace_sum_ge(next, bound);
+    if (config.box_constrained) next = project_box(next, config.box_lo, config.box_hi);
+
+    double delta = 0.0;
+    for (std::size_t i = 0; i < next.size(); ++i) {
+      delta += (next[i] - result.z[i]) * (next[i] - result.z[i]);
+    }
+    result.z = std::move(next);
+    if (std::sqrt(delta) < config.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.objective = 0.0;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    result.objective += (c[i] - result.z[i]) * (c[i] - result.z[i]);
+  }
+  return result;
+}
+
+}  // namespace edgeslice::opt

@@ -1,0 +1,33 @@
+// Iterative solver for the coordinator's quadratic program.
+//
+// Solves   min_z  ||c - z||^2   s.t.  sum(z) >= bound   (optionally z in a box)
+// by projected gradient descent. Exists to cross-validate the closed-form
+// projection in opt/projection.h (DESIGN.md: CVXPY substitution) and to
+// support variants with extra box constraints.
+#pragma once
+
+#include <vector>
+
+namespace edgeslice::opt {
+
+struct QpConfig {
+  double step_size = 0.2;
+  std::size_t max_iterations = 2000;
+  double tolerance = 1e-9;  // stop when the iterate moves less than this
+  bool box_constrained = false;
+  double box_lo = 0.0;
+  double box_hi = 1.0;
+};
+
+struct QpResult {
+  std::vector<double> z;
+  std::size_t iterations = 0;
+  bool converged = false;
+  double objective = 0.0;  // ||c - z||^2 at the solution
+};
+
+/// Minimize ||c - z||^2 subject to sum(z) >= bound (+ optional box).
+QpResult solve_projection_qp(const std::vector<double>& c, double bound,
+                             const QpConfig& config = {});
+
+}  // namespace edgeslice::opt

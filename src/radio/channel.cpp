@@ -1,0 +1,35 @@
+#include "radio/channel.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace edgeslice::radio {
+
+ChannelModel::ChannelModel(std::size_t mean_cqi, double volatility)
+    : mean_cqi_(mean_cqi), volatility_(volatility), cqi_(mean_cqi) {
+  if (mean_cqi < kMinCqi || mean_cqi > kMaxCqi)
+    throw std::invalid_argument("ChannelModel: mean CQI out of range");
+  if (volatility < 0.0 || volatility > 1.0)
+    throw std::invalid_argument("ChannelModel: volatility in [0,1]");
+}
+
+std::size_t ChannelModel::step(Rng& rng) {
+  if (rng.chance(volatility_)) {
+    // Drift toward the mean with probability proportional to displacement.
+    const double pull = static_cast<double>(mean_cqi_) - static_cast<double>(cqi_);
+    int delta;
+    if (pull > 0.0 && rng.chance(0.5 + 0.1 * pull)) {
+      delta = 1;
+    } else if (pull < 0.0 && rng.chance(0.5 - 0.1 * pull)) {
+      delta = -1;
+    } else {
+      delta = rng.chance(0.5) ? 1 : -1;
+    }
+    const auto next = static_cast<std::ptrdiff_t>(cqi_) + delta;
+    cqi_ = static_cast<std::size_t>(std::clamp<std::ptrdiff_t>(
+        next, static_cast<std::ptrdiff_t>(kMinCqi), static_cast<std::ptrdiff_t>(kMaxCqi)));
+  }
+  return cqi_;
+}
+
+}  // namespace edgeslice::radio

@@ -1,0 +1,33 @@
+// Per-user wireless channel quality model.
+//
+// Each attached user reports a CQI that evolves as a bounded random walk,
+// approximating slow fading around a user-specific mean (distance to the
+// eNodeB). The USRP/smartphone link of the prototype is reduced to this
+// CQI process — the only radio input the MAC scheduler consumes.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "radio/lte.h"
+
+namespace edgeslice::radio {
+
+class ChannelModel {
+ public:
+  /// `mean_cqi` anchors the walk; `volatility` is the per-step probability
+  /// of a CQI change.
+  ChannelModel(std::size_t mean_cqi, double volatility = 0.3);
+
+  /// Advance one step and return the current CQI in [1, 15].
+  std::size_t step(Rng& rng);
+
+  std::size_t cqi() const { return cqi_; }
+
+ private:
+  std::size_t mean_cqi_;
+  double volatility_;
+  std::size_t cqi_;
+};
+
+}  // namespace edgeslice::radio

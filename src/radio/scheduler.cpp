@@ -1,0 +1,65 @@
+#include "radio/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "radio/lte.h"
+
+namespace edgeslice::radio {
+
+SliceAwareScheduler::SliceAwareScheduler(std::size_t total_prbs,
+                                         std::vector<std::size_t> slice_prb_quota)
+    : total_prbs_(total_prbs), quota_(std::move(slice_prb_quota)) {
+  if (total_prbs == 0) throw std::invalid_argument("SliceAwareScheduler: zero PRBs");
+}
+
+void SliceAwareScheduler::set_quotas(std::vector<std::size_t> slice_prb_quota) {
+  quota_ = std::move(slice_prb_quota);
+}
+
+TtiSchedule SliceAwareScheduler::schedule(const std::vector<UserDemand>& users) {
+  TtiSchedule out;
+  out.slice_served_bits.assign(quota_.size(), 0.0);
+
+  std::size_t next_prb = 0;
+  for (std::size_t slice = 0; slice < quota_.size(); ++slice) {
+    // Truncate over-subscribed quotas against the remaining grid: slices
+    // are mapped to consecutive PRB ranges in slice-id order.
+    std::size_t remaining = std::min(quota_[slice], total_prbs_ - next_prb);
+    if (remaining == 0) continue;  // slice holds no radio resources: skip its users
+
+    // Gather this slice's users with pending data, rotating the start
+    // index for fairness across TTIs.
+    std::vector<const UserDemand*> slice_users;
+    for (const auto& u : users) {
+      if (u.slice_id == slice && u.backlog_bits > 0.0) slice_users.push_back(&u);
+    }
+    if (slice_users.empty()) continue;
+    const std::size_t start = round_robin_offset_ % slice_users.size();
+
+    for (std::size_t n = 0; n < slice_users.size() && remaining > 0; ++n) {
+      const UserDemand& u = *slice_users[(start + n) % slice_users.size()];
+      const double bits_per_prb = tbs_bits(1, u.cqi);
+      const auto wanted =
+          static_cast<std::size_t>(std::ceil(u.backlog_bits / bits_per_prb));
+      const std::size_t granted = std::min(wanted, remaining);
+      if (granted == 0) continue;
+      UserGrant grant;
+      grant.user_id = u.user_id;
+      grant.slice_id = slice;
+      grant.first_prb = next_prb;
+      grant.prbs = granted;
+      grant.bits = std::min(u.backlog_bits, tbs_bits(granted, u.cqi));
+      out.grants.push_back(grant);
+      out.slice_served_bits[slice] += grant.bits;
+      next_prb += granted;
+      remaining -= granted;
+    }
+  }
+  out.prbs_used = next_prb;
+  ++round_robin_offset_;
+  return out;
+}
+
+}  // namespace edgeslice::radio

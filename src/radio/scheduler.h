@@ -1,0 +1,60 @@
+// Slice-aware MAC-layer user scheduler.
+//
+// Implements the paper's new scheduling method (Sec. V-A): the total PRBs
+// a slice may use come from the orchestration agent; inside a slice, users
+// are scheduled *consecutively* and their radio resources are mapped to
+// PRBs in PUSCH/PDSCH. Users whose slice holds no radio resources are not
+// scheduled at all — the behaviour vanilla OAI does not support.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace edgeslice::radio {
+
+/// One user's scheduling input for a TTI.
+struct UserDemand {
+  std::size_t user_id = 0;
+  std::size_t slice_id = 0;
+  std::size_t cqi = 7;
+  double backlog_bits = 0.0;  // data waiting in the user's RLC queue
+};
+
+/// One user's grant for a TTI.
+struct UserGrant {
+  std::size_t user_id = 0;
+  std::size_t slice_id = 0;
+  std::size_t first_prb = 0;   // consecutive mapping: [first_prb, first_prb + prbs)
+  std::size_t prbs = 0;
+  double bits = 0.0;           // transport block size actually granted
+};
+
+/// Result of scheduling one TTI.
+struct TtiSchedule {
+  std::vector<UserGrant> grants;
+  std::vector<double> slice_served_bits;  // indexed by slice id
+  std::size_t prbs_used = 0;
+};
+
+class SliceAwareScheduler {
+ public:
+  /// `slice_prb_quota[i]` = PRBs slice i may occupy this TTI; the sum may
+  /// not exceed `total_prbs` (excess quotas are truncated in PRB order).
+  SliceAwareScheduler(std::size_t total_prbs, std::vector<std::size_t> slice_prb_quota);
+
+  /// Schedule one TTI. Users are served in round-robin order within their
+  /// slice; grants are consecutive PRB ranges; a user receives at most the
+  /// PRBs needed for its backlog at its CQI.
+  TtiSchedule schedule(const std::vector<UserDemand>& users);
+
+  const std::vector<std::size_t>& quotas() const { return quota_; }
+  void set_quotas(std::vector<std::size_t> slice_prb_quota);
+  std::size_t total_prbs() const { return total_prbs_; }
+
+ private:
+  std::size_t total_prbs_;
+  std::vector<std::size_t> quota_;
+  std::size_t round_robin_offset_ = 0;
+};
+
+}  // namespace edgeslice::radio

@@ -1,0 +1,56 @@
+#include "rl/agent.h"
+
+#include <stdexcept>
+
+#include "rl/ddpg.h"
+#include "rl/ppo.h"
+#include "rl/sac.h"
+#include "rl/trpo.h"
+#include "rl/vpg.h"
+
+namespace edgeslice::rl {
+
+const char* algorithm_name(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::Ddpg: return "DDPG";
+    case Algorithm::Sac: return "SAC";
+    case Algorithm::Ppo: return "PPO";
+    case Algorithm::Trpo: return "TRPO";
+    case Algorithm::Vpg: return "VPG";
+  }
+  return "?";
+}
+
+std::unique_ptr<Agent> make_agent(Algorithm algorithm, const AgentConfig& config,
+                                  Rng& rng) {
+  switch (algorithm) {
+    case Algorithm::Ddpg: {
+      DdpgConfig c;
+      c.base = config;
+      return std::make_unique<Ddpg>(c, rng);
+    }
+    case Algorithm::Sac: {
+      SacConfig c;
+      c.base = config;
+      return std::make_unique<Sac>(c, rng);
+    }
+    case Algorithm::Ppo: {
+      PpoConfig c;
+      c.base = config;
+      return std::make_unique<Ppo>(c, rng);
+    }
+    case Algorithm::Trpo: {
+      TrpoConfig c;
+      c.base = config;
+      return std::make_unique<Trpo>(c, rng);
+    }
+    case Algorithm::Vpg: {
+      VpgConfig c;
+      c.base = config;
+      return std::make_unique<Vpg>(c, rng);
+    }
+  }
+  throw std::invalid_argument("make_agent: unknown algorithm");
+}
+
+}  // namespace edgeslice::rl

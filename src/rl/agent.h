@@ -1,0 +1,69 @@
+// Common interface for continuous-action reinforcement learning agents.
+//
+// Off-policy agents (DDPG, SAC) learn from a replay buffer on every
+// observe(); on-policy agents (PPO, TRPO, VPG) accumulate a rollout and
+// update when it is full. The orchestration agent in src/core drives either
+// kind through this interface, which is how Fig. 10(b)'s training-technique
+// comparison is produced.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace edgeslice::nn {
+class Mlp;
+}
+
+namespace edgeslice::rl {
+
+class Agent {
+ public:
+  virtual ~Agent() = default;
+
+  /// Choose an action for `state`. With `explore` true the agent may add
+  /// exploration noise / sample from its stochastic policy; with false it
+  /// returns its deterministic (or mean) action. Actions are in (0,1)^d.
+  virtual std::vector<double> act(const std::vector<double>& state, bool explore) = 0;
+
+  /// Feed one environment transition back to the learner.
+  virtual void observe(const std::vector<double>& state, const std::vector<double>& action,
+                       double reward, const std::vector<double>& next_state, bool done) = 0;
+
+  virtual std::string name() const = 0;
+
+  virtual std::size_t state_dim() const = 0;
+  virtual std::size_t action_dim() const = 0;
+
+  /// Number of gradient updates performed so far.
+  virtual std::size_t update_count() const = 0;
+
+  /// The deterministic policy network (actor / policy mean), when the
+  /// agent has one — used to freeze and serialize a trained policy.
+  /// May be null for agents without an exportable network.
+  virtual const nn::Mlp* policy_network() const { return nullptr; }
+};
+
+/// The training techniques compared in Fig. 10(b).
+enum class Algorithm { Ddpg, Sac, Ppo, Trpo, Vpg };
+
+const char* algorithm_name(Algorithm algorithm);
+
+/// Shared knobs; algorithm-specific configs embed this.
+struct AgentConfig {
+  std::size_t state_dim = 0;
+  std::size_t action_dim = 0;
+  std::size_t hidden = 128;     // paper: 128 neurons per layer
+  std::size_t hidden_layers = 2;
+  double gamma = 0.99;          // paper: discount 0.99
+  double actor_lr = 1e-3;       // paper: 0.001
+  double critic_lr = 1e-3;      // paper: 0.001
+};
+
+/// Factory used by benches: builds an agent of the requested algorithm with
+/// hyper-parameters per Sec. VI-A (scaled via `config`).
+std::unique_ptr<Agent> make_agent(Algorithm algorithm, const AgentConfig& config, Rng& rng);
+
+}  // namespace edgeslice::rl

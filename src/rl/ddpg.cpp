@@ -1,0 +1,121 @@
+#include "rl/ddpg.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace edgeslice::rl {
+
+namespace {
+
+std::vector<std::size_t> layer_sizes(std::size_t in, std::size_t hidden,
+                                     std::size_t hidden_layers, std::size_t out) {
+  std::vector<std::size_t> sizes{in};
+  sizes.insert(sizes.end(), hidden_layers, hidden);
+  sizes.push_back(out);
+  return sizes;
+}
+
+}  // namespace
+
+Ddpg::Ddpg(const DdpgConfig& config, Rng& rng)
+    : config_(config),
+      rng_(rng.spawn()),
+      // Actor: sigmoid head -> actions in (0,1); hidden LeakyReLU (Sec. VI-A).
+      actor_(layer_sizes(config.base.state_dim, config.base.hidden,
+                         config.base.hidden_layers, config.base.action_dim),
+             nn::Activation::LeakyRelu, nn::Activation::Sigmoid, rng_),
+      critic_(layer_sizes(config.base.state_dim + config.base.action_dim,
+                          config.base.hidden, config.base.hidden_layers, 1),
+              nn::Activation::LeakyRelu, nn::Activation::Identity, rng_),
+      actor_target_(actor_),
+      critic_target_(critic_),
+      actor_optimizer_(nn::AdamConfig{.learning_rate = config.base.actor_lr}),
+      critic_optimizer_(nn::AdamConfig{.learning_rate = config.base.critic_lr}),
+      replay_(config.replay_capacity),
+      noise_(config.base.action_dim, config.noise_sigma, config.noise_decay,
+             config.noise_min) {
+  if (config.base.state_dim == 0 || config.base.action_dim == 0)
+    throw std::invalid_argument("Ddpg: state/action dims must be set");
+  actor_.attach_to(actor_optimizer_);
+  critic_.attach_to(critic_optimizer_);
+}
+
+std::vector<double> Ddpg::act(const std::vector<double>& state, bool explore) {
+  std::vector<double> action = actor_.infer_vector(state);
+  if (explore) {
+    const auto noise = noise_.sample(rng_);
+    for (std::size_t i = 0; i < action.size(); ++i) {
+      action[i] = std::clamp(action[i] + noise[i], 0.0, 1.0);
+    }
+  }
+  return action;
+}
+
+void Ddpg::observe(const std::vector<double>& state, const std::vector<double>& action,
+                   double reward, const std::vector<double>& next_state, bool done) {
+  replay_.push(Transition{state, action, reward, next_state, done});
+  ++observed_;
+  if (replay_.size() >= config_.warmup && observed_ % config_.train_every == 0) {
+    train_batch();
+  }
+}
+
+void Ddpg::train_batch() {
+  const std::size_t batch = std::min(config_.batch_size, replay_.size());
+  Batch b = replay_.sample(batch, rng_);
+
+  // --- Critic update: minimize MSBE (Eq. 16) against target value (Eq. 17).
+  const nn::Matrix next_actions = actor_target_.infer(b.next_states);
+  const nn::Matrix q_next = critic_target_.infer(nn::hconcat(b.next_states, next_actions));
+  std::vector<double> targets(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    const double bootstrap = b.done[i] ? 0.0 : config_.base.gamma * q_next(i, 0);
+    targets[i] = b.rewards[i] + bootstrap;
+  }
+
+  const nn::Matrix sa = nn::hconcat(b.states, b.actions);
+  const nn::Matrix q = critic_.forward(sa);
+  nn::Matrix critic_grad(batch, 1);
+  double loss = 0.0;
+  for (std::size_t i = 0; i < batch; ++i) {
+    const double err = q(i, 0) - targets[i];
+    loss += err * err;
+    critic_grad(i, 0) = 2.0 * err / static_cast<double>(batch);
+  }
+  last_critic_loss_ = loss / static_cast<double>(batch);
+  critic_.backward(critic_grad);
+  critic_optimizer_.step();
+
+  // --- Actor update: ascend E[Q(s, mu(s))] via the chain rule (Eq. 18).
+  const nn::Matrix actions = actor_.forward(b.states);
+  const nn::Matrix q_of_mu = critic_.forward(nn::hconcat(b.states, actions));
+  last_actor_objective_ = q_of_mu.total() / static_cast<double>(batch);
+  // d(-J)/dQ = -1/B for each sample (gradient *descent* on -J).
+  nn::Matrix minus_one(batch, 1, -1.0 / static_cast<double>(batch));
+  const nn::Matrix input_grad = critic_.backward(minus_one);
+  // Keep the critic clean: its gradients from this pass are not applied.
+  critic_.zero_grad();
+  nn::Matrix action_grad =
+      input_grad.slice_columns(config_.base.state_dim,
+                               config_.base.state_dim + config_.base.action_dim);
+  if (config_.inverting_gradients) {
+    // action_grad is d(-J)/da: negative entries push the action up. Scale
+    // upward pushes by the headroom to 1 and downward pushes by the
+    // headroom to 0, keeping the policy off the saturated boundary.
+    for (std::size_t b = 0; b < action_grad.rows(); ++b) {
+      for (std::size_t k = 0; k < action_grad.cols(); ++k) {
+        const double a = actions(b, k);
+        action_grad(b, k) *= action_grad(b, k) < 0.0 ? (1.0 - a) : a;
+      }
+    }
+  }
+  actor_.backward(action_grad);
+  actor_optimizer_.step();
+
+  // --- Target networks track slowly.
+  actor_target_.soft_update_from(actor_, config_.tau);
+  critic_target_.soft_update_from(critic_, config_.tau);
+  ++updates_;
+}
+
+}  // namespace edgeslice::rl

@@ -1,0 +1,78 @@
+// Deep Deterministic Policy Gradient (Lillicrap et al., 2015).
+//
+// This is the training technique EdgeSlice uses for its orchestration
+// agents (Sec. IV-B.2 and Fig. 3): a deterministic actor mu(s|theta_mu)
+// with sigmoid outputs, a Q-critic pi(s,a|theta_pi), slowly-tracking
+// target copies of both, an experience replay memory, and decaying
+// Gaussian exploration noise.
+#pragma once
+
+#include <optional>
+
+#include "nn/mlp.h"
+#include "rl/agent.h"
+#include "rl/noise.h"
+#include "rl/replay_buffer.h"
+
+namespace edgeslice::rl {
+
+struct DdpgConfig {
+  AgentConfig base;
+  std::size_t replay_capacity = 100000;
+  std::size_t batch_size = 512;   // paper: 512
+  std::size_t warmup = 512;       // transitions collected before learning
+  std::size_t train_every = 1;    // gradient update per N observes
+  double tau = 0.005;             // target network soft-update rate
+  double noise_sigma = 1.0;       // paper: noise starts from N(0,1)
+  double noise_decay = 0.9999;    // paper: decays with factor 0.9999/step
+  double noise_min = 0.01;
+  /// Inverting gradients (Hausknecht & Stone 2016): scale the actor's
+  /// action gradient by the remaining headroom toward the action bound, so
+  /// the sigmoid head cannot saturate irrecoverably at 0/1.
+  bool inverting_gradients = true;
+};
+
+class Ddpg final : public Agent {
+ public:
+  Ddpg(const DdpgConfig& config, Rng& rng);
+
+  std::vector<double> act(const std::vector<double>& state, bool explore) override;
+  void observe(const std::vector<double>& state, const std::vector<double>& action,
+               double reward, const std::vector<double>& next_state, bool done) override;
+
+  std::string name() const override { return "DDPG"; }
+  std::size_t state_dim() const override { return config_.base.state_dim; }
+  std::size_t action_dim() const override { return config_.base.action_dim; }
+  std::size_t update_count() const override { return updates_; }
+  const nn::Mlp* policy_network() const override { return &actor_; }
+
+  /// Mean-squared Bellman error of the most recent critic update (Eq. 16).
+  double last_critic_loss() const { return last_critic_loss_; }
+  /// Mean Q estimate of the most recent actor update.
+  double last_actor_objective() const { return last_actor_objective_; }
+  double exploration_sigma() const { return noise_.sigma(); }
+  const ReplayBuffer& replay() const { return replay_; }
+
+  nn::Mlp& actor() { return actor_; }
+  nn::Mlp& critic() { return critic_; }
+
+ private:
+  void train_batch();
+
+  DdpgConfig config_;
+  Rng rng_;
+  nn::Mlp actor_;
+  nn::Mlp critic_;
+  nn::Mlp actor_target_;
+  nn::Mlp critic_target_;
+  nn::Adam actor_optimizer_;
+  nn::Adam critic_optimizer_;
+  ReplayBuffer replay_;
+  DecayingGaussianNoise noise_;
+  std::size_t observed_ = 0;
+  std::size_t updates_ = 0;
+  double last_critic_loss_ = 0.0;
+  double last_actor_objective_ = 0.0;
+};
+
+}  // namespace edgeslice::rl

@@ -1,0 +1,18 @@
+#include "rl/frozen.h"
+
+namespace edgeslice::rl {
+
+FrozenActor::FrozenActor(nn::Mlp actor, std::string name)
+    : actor_(std::move(actor)), name_(std::move(name)) {}
+
+std::vector<double> FrozenActor::act(const std::vector<double>& state, bool explore) {
+  (void)explore;  // a frozen policy never explores
+  return actor_.infer_vector(state);
+}
+
+void FrozenActor::observe(const std::vector<double>&, const std::vector<double>&, double,
+                          const std::vector<double>&, bool) {
+  // Deployment mode: nothing to learn.
+}
+
+}  // namespace edgeslice::rl

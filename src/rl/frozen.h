@@ -1,0 +1,35 @@
+// Deployment-mode agent: a frozen policy network.
+//
+// Wraps a trained actor (or policy mean) network as an Agent that only
+// infers — observe() is a no-op and exploration is disabled. Used to
+// deploy a policy trained elsewhere (or loaded from disk via Mlp::load)
+// into orchestration agents without carrying the training machinery.
+#pragma once
+
+#include "nn/mlp.h"
+#include "rl/agent.h"
+
+namespace edgeslice::rl {
+
+class FrozenActor final : public Agent {
+ public:
+  explicit FrozenActor(nn::Mlp actor, std::string name = "Frozen");
+
+  std::vector<double> act(const std::vector<double>& state, bool explore) override;
+  void observe(const std::vector<double>& state, const std::vector<double>& action,
+               double reward, const std::vector<double>& next_state, bool done) override;
+
+  std::string name() const override { return name_; }
+  std::size_t state_dim() const override { return actor_.in_dim(); }
+  std::size_t action_dim() const override { return actor_.out_dim(); }
+  std::size_t update_count() const override { return 0; }
+  const nn::Mlp* policy_network() const override { return &actor_; }
+
+  const nn::Mlp& actor() const { return actor_; }
+
+ private:
+  nn::Mlp actor_;
+  std::string name_;
+};
+
+}  // namespace edgeslice::rl

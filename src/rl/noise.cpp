@@ -1,0 +1,26 @@
+#include "rl/noise.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace edgeslice::rl {
+
+std::vector<double> DecayingGaussianNoise::sample(Rng& rng) {
+  std::vector<double> noise(dim_);
+  for (auto& n : noise) n = rng.normal(0.0, sigma_);
+  sigma_ = std::max(min_sigma_, sigma_ * decay_);
+  return noise;
+}
+
+std::vector<double> OrnsteinUhlenbeckNoise::sample(Rng& rng) {
+  for (auto& x : state_) {
+    x += theta_ * (0.0 - x) * dt_ + sigma_ * std::sqrt(dt_) * rng.normal();
+  }
+  return state_;
+}
+
+void OrnsteinUhlenbeckNoise::reset() {
+  std::fill(state_.begin(), state_.end(), 0.0);
+}
+
+}  // namespace edgeslice::rl

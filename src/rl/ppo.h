@@ -1,0 +1,54 @@
+// Proximal Policy Optimization (Schulman et al., 2017), clipped surrogate.
+//
+// One of the training techniques compared against DDPG in Fig. 10(b).
+#pragma once
+
+#include "nn/mlp.h"
+#include "rl/agent.h"
+#include "rl/gaussian_policy.h"
+#include "rl/rollout.h"
+
+namespace edgeslice::rl {
+
+struct PpoConfig {
+  AgentConfig base;
+  std::size_t horizon = 256;     // rollout length per update
+  std::size_t epochs = 10;       // optimization epochs per rollout
+  std::size_t minibatch = 64;
+  double clip = 0.2;
+  double gae_lambda = 0.95;
+  double entropy_coef = 3e-3;
+  double value_lr = 1e-3;
+};
+
+class Ppo final : public Agent {
+ public:
+  Ppo(const PpoConfig& config, Rng& rng);
+
+  std::vector<double> act(const std::vector<double>& state, bool explore) override;
+  void observe(const std::vector<double>& state, const std::vector<double>& action,
+               double reward, const std::vector<double>& next_state, bool done) override;
+
+  std::string name() const override { return "PPO"; }
+  std::size_t state_dim() const override { return config_.base.state_dim; }
+  std::size_t action_dim() const override { return config_.base.action_dim; }
+  std::size_t update_count() const override { return updates_; }
+  const nn::Mlp* policy_network() const override { return &policy_.mean_net(); }
+
+  GaussianPolicy& policy() { return policy_; }
+  nn::Mlp& value_net() { return value_net_; }
+
+ private:
+  void update(const std::vector<double>& last_next_state, bool last_done);
+
+  PpoConfig config_;
+  Rng rng_;
+  GaussianPolicy policy_;
+  nn::Mlp value_net_;
+  nn::Adam policy_optimizer_;
+  nn::Adam value_optimizer_;
+  RolloutBuffer rollout_;
+  std::size_t updates_ = 0;
+};
+
+}  // namespace edgeslice::rl

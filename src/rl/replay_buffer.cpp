@@ -1,0 +1,42 @@
+#include "rl/replay_buffer.h"
+
+#include <stdexcept>
+
+namespace edgeslice::rl {
+
+ReplayBuffer::ReplayBuffer(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) throw std::invalid_argument("ReplayBuffer: capacity must be > 0");
+  storage_.reserve(capacity);
+}
+
+void ReplayBuffer::push(Transition transition) {
+  if (storage_.size() < capacity_) {
+    storage_.push_back(std::move(transition));
+  } else {
+    storage_[next_] = std::move(transition);
+  }
+  next_ = (next_ + 1) % capacity_;
+}
+
+Batch ReplayBuffer::sample(std::size_t batch_size, Rng& rng) const {
+  if (storage_.empty()) throw std::logic_error("ReplayBuffer::sample: buffer empty");
+  const std::size_t state_dim = storage_.front().state.size();
+  const std::size_t action_dim = storage_.front().action.size();
+  Batch batch;
+  batch.states = nn::Matrix(batch_size, state_dim);
+  batch.actions = nn::Matrix(batch_size, action_dim);
+  batch.next_states = nn::Matrix(batch_size, state_dim);
+  batch.rewards.resize(batch_size);
+  batch.done.resize(batch_size);
+  for (std::size_t b = 0; b < batch_size; ++b) {
+    const Transition& t = storage_[rng.index(storage_.size())];
+    batch.states.set_row(b, t.state);
+    batch.actions.set_row(b, t.action);
+    batch.next_states.set_row(b, t.next_state);
+    batch.rewards[b] = t.reward;
+    batch.done[b] = t.done;
+  }
+  return batch;
+}
+
+}  // namespace edgeslice::rl

@@ -1,0 +1,51 @@
+// Experience replay memory for off-policy learners (Fig. 3 of the paper).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/matrix.h"
+
+namespace edgeslice::rl {
+
+struct Transition {
+  std::vector<double> state;
+  std::vector<double> action;
+  double reward = 0.0;
+  std::vector<double> next_state;
+  bool done = false;
+};
+
+/// A sampled minibatch in matrix form, ready for network forward passes.
+struct Batch {
+  nn::Matrix states;       // B x S
+  nn::Matrix actions;      // B x A
+  std::vector<double> rewards;
+  nn::Matrix next_states;  // B x S
+  std::vector<bool> done;
+  std::size_t size() const { return rewards.size(); }
+};
+
+/// Fixed-capacity ring buffer with uniform random sampling.
+class ReplayBuffer {
+ public:
+  explicit ReplayBuffer(std::size_t capacity);
+
+  void push(Transition transition);
+  std::size_t size() const { return storage_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool empty() const { return storage_.empty(); }
+
+  /// Sample `batch_size` transitions uniformly with replacement.
+  Batch sample(std::size_t batch_size, Rng& rng) const;
+
+  const Transition& at(std::size_t i) const { return storage_[i]; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t next_ = 0;
+  std::vector<Transition> storage_;
+};
+
+}  // namespace edgeslice::rl

@@ -1,0 +1,69 @@
+#include "rl/rollout.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/stats.h"
+
+namespace edgeslice::rl {
+
+RolloutBuffer::RolloutBuffer(std::size_t capacity, std::size_t state_dim,
+                             std::size_t action_dim)
+    : capacity_(capacity),
+      states_(capacity, state_dim),
+      actions_(capacity, action_dim) {
+  if (capacity == 0) throw std::invalid_argument("RolloutBuffer: capacity must be > 0");
+  rewards_.reserve(capacity);
+  values_.reserve(capacity);
+  log_probs_.reserve(capacity);
+  dones_.reserve(capacity);
+}
+
+void RolloutBuffer::push(const std::vector<double>& state,
+                         const std::vector<double>& action, double reward, double value,
+                         double log_prob, bool done) {
+  if (full()) throw std::logic_error("RolloutBuffer::push: buffer full");
+  states_.set_row(size_, state);
+  actions_.set_row(size_, action);
+  rewards_.push_back(reward);
+  values_.push_back(value);
+  log_probs_.push_back(log_prob);
+  dones_.push_back(done);
+  ++size_;
+}
+
+void RolloutBuffer::clear() {
+  size_ = 0;
+  rewards_.clear();
+  values_.clear();
+  log_probs_.clear();
+  dones_.clear();
+  advantages_.clear();
+  returns_.clear();
+}
+
+void RolloutBuffer::finish(double bootstrap, double gamma, double lambda, bool normalize) {
+  advantages_.assign(size_, 0.0);
+  returns_.assign(size_, 0.0);
+  double gae = 0.0;
+  double next_value = bootstrap;
+  for (std::size_t i = size_; i-- > 0;) {
+    const double not_done = dones_[i] ? 0.0 : 1.0;
+    const double delta = rewards_[i] + gamma * next_value * not_done - values_[i];
+    gae = delta + gamma * lambda * not_done * gae;
+    advantages_[i] = gae;
+    returns_[i] = advantages_[i] + values_[i];
+    next_value = values_[i];
+  }
+  if (normalize && size_ > 1) {
+    const double m = mean(advantages_);
+    const double s = stddev(advantages_);
+    if (s > 1e-8) {
+      for (auto& a : advantages_) a = (a - m) / s;
+    } else {
+      for (auto& a : advantages_) a -= m;
+    }
+  }
+}
+
+}  // namespace edgeslice::rl

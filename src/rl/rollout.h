@@ -1,0 +1,51 @@
+// On-policy rollout storage with Generalized Advantage Estimation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/matrix.h"
+
+namespace edgeslice::rl {
+
+/// One on-policy trajectory segment; filled step by step, then finished
+/// with a bootstrap value to produce advantages and returns-to-go.
+class RolloutBuffer {
+ public:
+  RolloutBuffer(std::size_t capacity, std::size_t state_dim, std::size_t action_dim);
+
+  void push(const std::vector<double>& state, const std::vector<double>& action,
+            double reward, double value, double log_prob, bool done);
+
+  bool full() const { return size_ >= capacity_; }
+  std::size_t size() const { return size_; }
+  void clear();
+
+  /// Compute GAE(lambda) advantages and discounted returns. `bootstrap`
+  /// is V(s_T) of the state following the last stored transition (0 if the
+  /// segment ended in a terminal state). Advantages are normalized to zero
+  /// mean / unit std when `normalize` is set.
+  void finish(double bootstrap, double gamma, double lambda, bool normalize = true);
+
+  const nn::Matrix& states() const { return states_; }
+  const nn::Matrix& actions() const { return actions_; }
+  const std::vector<double>& rewards() const { return rewards_; }
+  const std::vector<double>& values() const { return values_; }
+  const std::vector<double>& log_probs() const { return log_probs_; }
+  const std::vector<double>& advantages() const { return advantages_; }
+  const std::vector<double>& returns() const { return returns_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t size_ = 0;
+  nn::Matrix states_;
+  nn::Matrix actions_;
+  std::vector<double> rewards_;
+  std::vector<double> values_;
+  std::vector<double> log_probs_;
+  std::vector<bool> dones_;
+  std::vector<double> advantages_;
+  std::vector<double> returns_;
+};
+
+}  // namespace edgeslice::rl

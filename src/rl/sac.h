@@ -1,0 +1,58 @@
+// Soft Actor-Critic (Haarnoja et al., 2018), fixed-temperature variant.
+//
+// Twin Q-critics with target copies, a stochastic Gaussian policy trained
+// by the reparameterization trick, and an entropy bonus weighted by a fixed
+// temperature alpha. Compared against DDPG in Fig. 10(b).
+#pragma once
+
+#include "nn/mlp.h"
+#include "rl/agent.h"
+#include "rl/gaussian_policy.h"
+#include "rl/replay_buffer.h"
+
+namespace edgeslice::rl {
+
+struct SacConfig {
+  AgentConfig base;
+  std::size_t replay_capacity = 100000;
+  std::size_t batch_size = 512;
+  std::size_t warmup = 512;
+  std::size_t train_every = 1;
+  double tau = 0.005;
+  double alpha = 0.05;  // entropy temperature
+  double initial_log_std = -0.7;
+};
+
+class Sac final : public Agent {
+ public:
+  Sac(const SacConfig& config, Rng& rng);
+
+  std::vector<double> act(const std::vector<double>& state, bool explore) override;
+  void observe(const std::vector<double>& state, const std::vector<double>& action,
+               double reward, const std::vector<double>& next_state, bool done) override;
+
+  std::string name() const override { return "SAC"; }
+  std::size_t state_dim() const override { return config_.base.state_dim; }
+  std::size_t action_dim() const override { return config_.base.action_dim; }
+  std::size_t update_count() const override { return updates_; }
+  const nn::Mlp* policy_network() const override { return &policy_.mean_net(); }
+
+ private:
+  void train_batch();
+
+  SacConfig config_;
+  Rng rng_;
+  GaussianPolicy policy_;
+  nn::Mlp q1_;
+  nn::Mlp q2_;
+  nn::Mlp q1_target_;
+  nn::Mlp q2_target_;
+  nn::Adam policy_optimizer_;
+  nn::Adam q1_optimizer_;
+  nn::Adam q2_optimizer_;
+  ReplayBuffer replay_;
+  std::size_t observed_ = 0;
+  std::size_t updates_ = 0;
+};
+
+}  // namespace edgeslice::rl

@@ -1,0 +1,67 @@
+// Trust Region Policy Optimization (Schulman et al., 2015).
+//
+// Natural-gradient policy update: conjugate gradient on the Fisher
+// information (KL Hessian) with a backtracking line search enforcing the
+// KL trust region. Fisher-vector products are computed by a finite
+// difference of the analytic KL gradient, which is exact in the limit and
+// avoids double backprop. Compared against DDPG in Fig. 10(b).
+#pragma once
+
+#include "nn/mlp.h"
+#include "rl/agent.h"
+#include "rl/gaussian_policy.h"
+#include "rl/rollout.h"
+
+namespace edgeslice::rl {
+
+struct TrpoConfig {
+  AgentConfig base;
+  std::size_t horizon = 256;
+  double gae_lambda = 0.97;
+  double max_kl = 0.01;
+  std::size_t cg_iterations = 10;
+  double cg_damping = 0.1;
+  double fd_epsilon = 1e-5;      // finite-difference step for Fisher-vector products
+  double backtrack_ratio = 0.8;
+  std::size_t backtrack_steps = 10;
+  double value_lr = 1e-3;
+  std::size_t value_epochs = 5;
+};
+
+class Trpo final : public Agent {
+ public:
+  Trpo(const TrpoConfig& config, Rng& rng);
+
+  std::vector<double> act(const std::vector<double>& state, bool explore) override;
+  void observe(const std::vector<double>& state, const std::vector<double>& action,
+               double reward, const std::vector<double>& next_state, bool done) override;
+
+  std::string name() const override { return "TRPO"; }
+  std::size_t state_dim() const override { return config_.base.state_dim; }
+  std::size_t action_dim() const override { return config_.base.action_dim; }
+  std::size_t update_count() const override { return updates_; }
+  const nn::Mlp* policy_network() const override { return &policy_.mean_net(); }
+
+  /// KL divergence accepted by the most recent line search (diagnostics).
+  double last_kl() const { return last_kl_; }
+
+ private:
+  void update(const std::vector<double>& last_next_state, bool last_done);
+  /// Fisher-vector product around the current parameters.
+  std::vector<double> fisher_vector_product(const std::vector<double>& v,
+                                            const nn::Matrix& old_means,
+                                            const std::vector<double>& old_log_std);
+  /// Mean surrogate E[ratio * A] over the rollout.
+  double surrogate(const std::vector<double>& old_log_probs) const;
+
+  TrpoConfig config_;
+  Rng rng_;
+  GaussianPolicy policy_;
+  nn::Mlp value_net_;
+  nn::Adam value_optimizer_;
+  RolloutBuffer rollout_;
+  std::size_t updates_ = 0;
+  double last_kl_ = 0.0;
+};
+
+}  // namespace edgeslice::rl

@@ -1,0 +1,47 @@
+// Vanilla Policy Gradient (REINFORCE with a learned value baseline and GAE),
+// per Sutton et al. 2000. Compared against DDPG in Fig. 10(b).
+#pragma once
+
+#include "nn/mlp.h"
+#include "rl/agent.h"
+#include "rl/gaussian_policy.h"
+#include "rl/rollout.h"
+
+namespace edgeslice::rl {
+
+struct VpgConfig {
+  AgentConfig base;
+  std::size_t horizon = 256;
+  double gae_lambda = 0.97;
+  double value_lr = 1e-3;
+  std::size_t value_epochs = 5;
+};
+
+class Vpg final : public Agent {
+ public:
+  Vpg(const VpgConfig& config, Rng& rng);
+
+  std::vector<double> act(const std::vector<double>& state, bool explore) override;
+  void observe(const std::vector<double>& state, const std::vector<double>& action,
+               double reward, const std::vector<double>& next_state, bool done) override;
+
+  std::string name() const override { return "VPG"; }
+  std::size_t state_dim() const override { return config_.base.state_dim; }
+  std::size_t action_dim() const override { return config_.base.action_dim; }
+  std::size_t update_count() const override { return updates_; }
+  const nn::Mlp* policy_network() const override { return &policy_.mean_net(); }
+
+ private:
+  void update(const std::vector<double>& last_next_state, bool last_done);
+
+  VpgConfig config_;
+  Rng rng_;
+  GaussianPolicy policy_;
+  nn::Mlp value_net_;
+  nn::Adam policy_optimizer_;
+  nn::Adam value_optimizer_;
+  RolloutBuffer rollout_;
+  std::size_t updates_ = 0;
+};
+
+}  // namespace edgeslice::rl

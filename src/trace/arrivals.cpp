@@ -1,0 +1,36 @@
+#include "trace/arrivals.h"
+
+#include <stdexcept>
+
+namespace edgeslice::trace {
+
+PoissonArrivals::PoissonArrivals(double rate) : rate_(rate) {
+  if (rate < 0.0) throw std::invalid_argument("PoissonArrivals: negative rate");
+}
+
+std::size_t PoissonArrivals::next(Rng& rng) {
+  return static_cast<std::size_t>(rng.poisson(rate_));
+}
+
+void PoissonArrivals::set_rate(double rate) {
+  if (rate < 0.0) throw std::invalid_argument("PoissonArrivals: negative rate");
+  rate_ = rate;
+}
+
+ProfileArrivals::ProfileArrivals(std::vector<double> profile, double scale)
+    : profile_(std::move(profile)), scale_(scale) {
+  if (profile_.empty()) throw std::invalid_argument("ProfileArrivals: empty profile");
+  for (double v : profile_) {
+    if (v < 0.0) throw std::invalid_argument("ProfileArrivals: negative profile entry");
+  }
+}
+
+std::size_t ProfileArrivals::next(std::size_t t, Rng& rng) {
+  return static_cast<std::size_t>(rng.poisson(mean_at(t)));
+}
+
+double ProfileArrivals::mean_at(std::size_t t) const {
+  return scale_ * profile_[t % profile_.size()];
+}
+
+}  // namespace edgeslice::trace

@@ -1,0 +1,43 @@
+// Task arrival processes for slice service queues.
+//
+// Prototype experiments use a Poisson process with average rate 10 per
+// interval (Sec. VII-C); simulations scale a diurnal trace profile into
+// the Poisson mean per interval (Sec. VII-D).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace edgeslice::trace {
+
+/// Stationary Poisson arrivals: `rate` expected tasks per interval.
+class PoissonArrivals {
+ public:
+  explicit PoissonArrivals(double rate);
+  std::size_t next(Rng& rng);
+  double rate() const { return rate_; }
+  void set_rate(double rate);
+
+ private:
+  double rate_;
+};
+
+/// Non-stationary arrivals following a cyclic profile of per-interval
+/// means (e.g. a 24-entry diurnal profile scaled to a peak rate).
+class ProfileArrivals {
+ public:
+  ProfileArrivals(std::vector<double> profile, double scale = 1.0);
+
+  /// Arrivals for interval `t` (profile wraps around).
+  std::size_t next(std::size_t t, Rng& rng);
+  double mean_at(std::size_t t) const;
+  std::size_t period() const { return profile_.size(); }
+
+ private:
+  std::vector<double> profile_;
+  double scale_;
+};
+
+}  // namespace edgeslice::trace

@@ -1,0 +1,92 @@
+#include "trace/csv.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace edgeslice::trace {
+
+namespace {
+
+constexpr const char* kHeader = "cell_id,interval,calls,sms,internet";
+
+std::vector<std::string> split_csv_row(const std::string& line) {
+  std::vector<std::string> fields;
+  std::stringstream stream(line);
+  std::string field;
+  while (std::getline(stream, field, ',')) fields.push_back(field);
+  return fields;
+}
+
+double parse_number(const std::string& field, std::size_t line_number) {
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(field, &consumed);
+    if (consumed != field.size()) throw std::invalid_argument("trailing characters");
+    return value;
+  } catch (const std::exception&) {
+    throw std::runtime_error("read_trace_csv: bad numeric field '" + field +
+                             "' on line " + std::to_string(line_number));
+  }
+}
+
+}  // namespace
+
+void write_trace_csv(std::ostream& out, const std::vector<TraceEntry>& entries) {
+  out << kHeader << "\n";
+  for (const auto& e : entries) {
+    out << e.cell_id << "," << e.interval << "," << e.calls << "," << e.sms << ","
+        << e.internet << "\n";
+  }
+}
+
+std::vector<TraceEntry> read_trace_csv(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) {
+    throw std::runtime_error("read_trace_csv: expected header '" + std::string(kHeader) +
+                             "'");
+  }
+  std::vector<TraceEntry> entries;
+  std::size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    const auto fields = split_csv_row(line);
+    if (fields.size() != 5) {
+      throw std::runtime_error("read_trace_csv: expected 5 fields on line " +
+                               std::to_string(line_number));
+    }
+    TraceEntry e;
+    e.cell_id = static_cast<std::size_t>(parse_number(fields[0], line_number));
+    e.interval = static_cast<std::size_t>(parse_number(fields[1], line_number));
+    e.calls = parse_number(fields[2], line_number);
+    e.sms = parse_number(fields[3], line_number);
+    e.internet = parse_number(fields[4], line_number);
+    entries.push_back(e);
+  }
+  return entries;
+}
+
+std::vector<double> daily_call_profile(const std::vector<TraceEntry>& entries,
+                                       std::size_t cell_id, std::size_t bins,
+                                       std::size_t intervals_per_day) {
+  if (bins == 0 || intervals_per_day == 0)
+    throw std::invalid_argument("daily_call_profile: zero bins");
+  std::vector<double> acc(bins, 0.0);
+  std::vector<std::size_t> counts(bins, 0);
+  for (const auto& e : entries) {
+    if (e.cell_id != cell_id) continue;
+    const std::size_t bin_of_day = e.interval % intervals_per_day;
+    const std::size_t out_bin = bin_of_day * bins / intervals_per_day;
+    acc[out_bin] += e.calls;
+    ++counts[out_bin];
+  }
+  for (std::size_t b = 0; b < bins; ++b) {
+    if (counts[b] > 0) acc[b] /= static_cast<double>(counts[b]);
+  }
+  return acc;
+}
+
+}  // namespace edgeslice::trace

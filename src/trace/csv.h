@@ -1,0 +1,32 @@
+// CSV import/export for traffic traces.
+//
+// The synthetic trace generator mirrors the Telecom Italia dataset's
+// content; this module provides the file format so a real trace export
+// (or any external per-cell activity data) can drive the simulation
+// instead. Schema: header `cell_id,interval,calls,sms,internet`, one row
+// per (cell, 10-minute bin).
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace edgeslice::trace {
+
+/// Write entries as CSV (with header).
+void write_trace_csv(std::ostream& out, const std::vector<TraceEntry>& entries);
+
+/// Parse a CSV trace. Throws std::runtime_error on malformed input
+/// (wrong header, non-numeric fields, short rows).
+std::vector<TraceEntry> read_trace_csv(std::istream& in);
+
+/// Average 24-hour calling profile per cell from raw entries — the same
+/// reduction TraceDataset::average_daily_calls performs, usable on
+/// externally loaded data. `intervals_per_day` is the trace's native bin
+/// count per day (144 for 10-minute bins).
+std::vector<double> daily_call_profile(const std::vector<TraceEntry>& entries,
+                                       std::size_t cell_id, std::size_t bins = 24,
+                                       std::size_t intervals_per_day = 144);
+
+}  // namespace edgeslice::trace

@@ -1,0 +1,49 @@
+#include "trace/diurnal.h"
+
+#include <cmath>
+
+namespace edgeslice::trace {
+
+namespace {
+
+/// Periodic (wrap-around) Gaussian bump centred at `centre` hours.
+double bump(double hour, double centre, double width) {
+  double d = std::fmod(std::abs(hour - centre), 24.0);
+  if (d > 12.0) d = 24.0 - d;
+  return std::exp(-0.5 * (d / width) * (d / width));
+}
+
+}  // namespace
+
+double diurnal_activity(double hour, const DiurnalShape& shape) {
+  const double value = shape.night_floor +
+                       shape.morning_peak * bump(hour, shape.morning_hour, shape.morning_width) +
+                       shape.evening_peak * bump(hour, shape.evening_hour, shape.evening_width);
+  // Normalize so the curve's maximum is ~1 when peaks don't overlap heavily.
+  const double peak = shape.night_floor + shape.evening_peak +
+                      shape.morning_peak * bump(shape.evening_hour, shape.morning_hour,
+                                                shape.morning_width);
+  return value / peak;
+}
+
+CellProfile sample_cell_profile(Rng& rng) {
+  CellProfile cell;
+  // Log-normal scale: median 1, heavy tail (busy downtown cells).
+  cell.scale = rng.lognormal(0.0, 0.6);
+  // Residential vs business phase shift: +-1.5 h.
+  cell.phase_hours = rng.normal(0.0, 1.5);
+  // Mild per-cell variation of the peak mix.
+  cell.shape.morning_peak = 0.85 + rng.normal(0.0, 0.1);
+  cell.shape.evening_peak = 1.0 + rng.normal(0.0, 0.1);
+  if (cell.shape.morning_peak < 0.2) cell.shape.morning_peak = 0.2;
+  if (cell.shape.evening_peak < 0.2) cell.shape.evening_peak = 0.2;
+  return cell;
+}
+
+double cell_activity(const CellProfile& cell, double hour) {
+  double h = std::fmod(hour - cell.phase_hours, 24.0);
+  if (h < 0.0) h += 24.0;
+  return cell.scale * diurnal_activity(h, cell.shape);
+}
+
+}  // namespace edgeslice::trace

@@ -1,0 +1,47 @@
+// Diurnal activity profile of mobile network traffic.
+//
+// The paper drives its simulations with the Telecom Italia Big Data
+// Challenge trace over the Province of Trento (Dec 2013, 10-minute bins):
+// per-cell counts of calls, SMS and Internet traffic, of which the paper
+// uses the "average calling traffic in 24 hours under different geographic
+// areas" (Sec. VII-D). That dataset is not redistributable, so this module
+// synthesizes activity curves with the same well-documented structure:
+// a deep night trough, a morning ramp, a midday peak, and a stronger
+// evening peak, modulated per cell.
+#pragma once
+
+#include "common/rng.h"
+
+namespace edgeslice::trace {
+
+/// Parameters of a two-peak diurnal curve. Defaults approximate the average
+/// weekday calling profile reported for the Telecom Italia dataset.
+struct DiurnalShape {
+  double night_floor = 0.08;    // relative activity at ~4 AM
+  double morning_peak = 0.85;   // relative height of the ~11 AM peak
+  double morning_hour = 11.0;
+  double morning_width = 2.6;   // Gaussian width in hours
+  double evening_peak = 1.0;    // relative height of the ~19 PM peak
+  double evening_hour = 19.0;
+  double evening_width = 3.0;
+};
+
+/// Relative activity (0..~1) at `hour` in [0, 24).
+double diurnal_activity(double hour, const DiurnalShape& shape = {});
+
+/// Per-cell modulation of the shared diurnal shape. Cells differ in overall
+/// scale (log-normal, heavy-tailed like real cell loads) and in peak-hour
+/// offsets (residential cells peak later than business cells).
+struct CellProfile {
+  double scale = 1.0;       // multiplicative activity scale
+  double phase_hours = 0.0; // shift of the whole curve
+  DiurnalShape shape;
+};
+
+/// Draw a random cell profile.
+CellProfile sample_cell_profile(Rng& rng);
+
+/// Activity of a cell at `hour`, combining shape, phase and scale.
+double cell_activity(const CellProfile& cell, double hour);
+
+}  // namespace edgeslice::trace

@@ -1,0 +1,70 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace edgeslice::trace {
+
+TraceDataset::TraceDataset(const TraceConfig& config, Rng& rng) : config_(config) {
+  if (config.cells == 0 || config.days == 0 || config.intervals_per_day == 0)
+    throw std::invalid_argument("TraceDataset: degenerate config");
+  profiles_.reserve(config.cells);
+  for (std::size_t c = 0; c < config.cells; ++c) {
+    profiles_.push_back(sample_cell_profile(rng));
+  }
+  entries_.reserve(config.cells * config.days * config.intervals_per_day);
+  const double hours_per_bin = 24.0 / static_cast<double>(config.intervals_per_day);
+  for (std::size_t day = 0; day < config.days; ++day) {
+    for (std::size_t bin = 0; bin < config.intervals_per_day; ++bin) {
+      const double hour = static_cast<double>(bin) * hours_per_bin;
+      for (std::size_t c = 0; c < config.cells; ++c) {
+        const double activity = cell_activity(profiles_[c], hour);
+        const double jitter = rng.lognormal(0.0, config.noise);
+        TraceEntry e;
+        e.cell_id = c;
+        e.interval = day * config.intervals_per_day + bin;
+        e.calls = static_cast<double>(
+            rng.poisson(config.mean_calls_per_interval * activity * jitter));
+        // SMS and Internet activity follow the same diurnal shape with
+        // different volumes; only calls are consumed by the simulation.
+        e.sms = static_cast<double>(
+            rng.poisson(0.4 * config.mean_calls_per_interval * activity * jitter));
+        e.internet = static_cast<double>(
+            rng.poisson(3.0 * config.mean_calls_per_interval * activity * jitter));
+        entries_.push_back(e);
+      }
+    }
+  }
+}
+
+std::vector<double> TraceDataset::average_daily_calls(std::size_t cell_id,
+                                                      std::size_t bins) const {
+  if (cell_id >= config_.cells) throw std::out_of_range("TraceDataset: bad cell id");
+  if (bins == 0) throw std::invalid_argument("TraceDataset: bins must be > 0");
+  std::vector<double> acc(bins, 0.0);
+  std::vector<std::size_t> counts(bins, 0);
+  for (const auto& e : entries_) {
+    if (e.cell_id != cell_id) continue;
+    const std::size_t bin_of_day = e.interval % config_.intervals_per_day;
+    const std::size_t out_bin = bin_of_day * bins / config_.intervals_per_day;
+    acc[out_bin] += e.calls;
+    ++counts[out_bin];
+  }
+  for (std::size_t b = 0; b < bins; ++b) {
+    if (counts[b] > 0) acc[b] /= static_cast<double>(counts[b]);
+  }
+  return acc;
+}
+
+std::vector<double> TraceDataset::normalized_daily_profile(std::size_t cell_id,
+                                                           std::size_t bins,
+                                                           double peak) const {
+  auto profile = average_daily_calls(cell_id, bins);
+  const double max_value = *std::max_element(profile.begin(), profile.end());
+  if (max_value <= 0.0) return profile;
+  for (auto& v : profile) v = v / max_value * peak;
+  return profile;
+}
+
+}  // namespace edgeslice::trace

@@ -1,0 +1,59 @@
+// Synthetic Telecom-Italia-style traffic trace.
+//
+// Mirrors the schema the paper uses (Sec. VII-D): per grid cell and
+// 10-minute interval, counts of calls / SMS / Internet activity. The
+// simulation consumes the 24-hour average calling activity per cell,
+// exactly how the paper consumes the real trace.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "trace/diurnal.h"
+
+namespace edgeslice::trace {
+
+/// One record in the (synthetic) activity dataset.
+struct TraceEntry {
+  std::size_t cell_id = 0;
+  std::size_t interval = 0;  // 10-minute bin index from the start of the trace
+  double calls = 0.0;
+  double sms = 0.0;
+  double internet = 0.0;
+};
+
+struct TraceConfig {
+  std::size_t cells = 16;
+  std::size_t days = 7;
+  std::size_t intervals_per_day = 144;  // 10-minute bins, as in the dataset
+  double mean_calls_per_interval = 50.0;
+  double noise = 0.15;  // multiplicative lognormal jitter per bin
+};
+
+/// A generated dataset plus its per-cell ground-truth profiles.
+class TraceDataset {
+ public:
+  TraceDataset(const TraceConfig& config, Rng& rng);
+
+  const std::vector<TraceEntry>& entries() const { return entries_; }
+  const TraceConfig& config() const { return config_; }
+  std::size_t cell_count() const { return config_.cells; }
+
+  /// Average calling activity over 24 hours for one cell: `bins` values
+  /// covering [0, 24) hours, averaged across days (what the paper extracts
+  /// from the Trentino trace to drive slice traffic).
+  std::vector<double> average_daily_calls(std::size_t cell_id, std::size_t bins = 24) const;
+
+  /// Same but normalized so the busiest bin equals `peak` (used to map
+  /// activity onto slice arrival rates).
+  std::vector<double> normalized_daily_profile(std::size_t cell_id, std::size_t bins = 24,
+                                               double peak = 1.0) const;
+
+ private:
+  TraceConfig config_;
+  std::vector<CellProfile> profiles_;
+  std::vector<TraceEntry> entries_;
+};
+
+}  // namespace edgeslice::trace

@@ -1,0 +1,69 @@
+#include "transport/switch.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace edgeslice::transport {
+
+void OpenFlowSwitch::add_meter(const Meter& meter) {
+  if (meters_.count(meter.id)) throw std::invalid_argument("add_meter: duplicate meter id");
+  if (meter.rate_mbps < 0.0) throw std::invalid_argument("add_meter: negative rate");
+  meters_[meter.id] = meter;
+}
+
+void OpenFlowSwitch::delete_meter(MeterId id) {
+  if (!meters_.count(id)) throw std::invalid_argument("delete_meter: unknown meter");
+  for (const auto& [fid, flow] : flows_) {
+    if (flow.meter && *flow.meter == id) {
+      throw std::logic_error("delete_meter: meter still attached to flow " +
+                             std::to_string(fid));
+    }
+  }
+  meters_.erase(id);
+}
+
+bool OpenFlowSwitch::has_meter(MeterId id) const { return meters_.count(id) > 0; }
+
+double OpenFlowSwitch::meter_rate(MeterId id) const {
+  const auto it = meters_.find(id);
+  if (it == meters_.end()) throw std::invalid_argument("meter_rate: unknown meter");
+  return it->second.rate_mbps;
+}
+
+void OpenFlowSwitch::add_flow(const FlowEntry& flow) {
+  if (flows_.count(flow.id)) throw std::invalid_argument("add_flow: duplicate flow id");
+  if (flow.meter && !meters_.count(*flow.meter))
+    throw std::invalid_argument("add_flow: references unknown meter");
+  flows_[flow.id] = flow;
+}
+
+void OpenFlowSwitch::delete_flow(FlowId id) {
+  if (!flows_.erase(id)) throw std::invalid_argument("delete_flow: unknown flow");
+}
+
+bool OpenFlowSwitch::has_flow(FlowId id) const { return flows_.count(id) > 0; }
+
+ForwardResult OpenFlowSwitch::forward(const std::string& src_ip, const std::string& dst_ip,
+                                      double mbps) const {
+  const FlowEntry* best = nullptr;
+  for (const auto& [id, flow] : flows_) {
+    const bool src_ok = flow.src_ip.empty() || flow.src_ip == src_ip;
+    const bool dst_ok = flow.dst_ip.empty() || flow.dst_ip == dst_ip;
+    if (src_ok && dst_ok && (best == nullptr || flow.priority > best->priority)) {
+      best = &flow;
+    }
+  }
+  ForwardResult result;
+  if (best == nullptr) {
+    result.dropped_mbps = mbps;  // table miss
+    return result;
+  }
+  result.matched = true;
+  double limit = mbps;
+  if (best->meter) limit = std::min(limit, meters_.at(*best->meter).rate_mbps);
+  result.forwarded_mbps = limit;
+  result.dropped_mbps = mbps - limit;
+  return result;
+}
+
+}  // namespace edgeslice::transport

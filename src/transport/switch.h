@@ -1,0 +1,74 @@
+// OpenFlow 1.3 switch model: flow tables and rate-limiting meters.
+//
+// Stands in for the six Ruckus OpenFlow switches of the prototype
+// (Table II). Only the features the transport manager exercises are
+// modeled: flow entries matching on source/destination IP, meters with a
+// drop band, and the crucial operational constraint the paper works
+// around — changing a meter's rate requires deleting and re-adding the
+// meter and its attached flows, during which matched traffic is dropped
+// (the "deletion-creation interval", Sec. V-B).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace edgeslice::transport {
+
+using MeterId = std::uint32_t;
+using FlowId = std::uint64_t;
+
+struct Meter {
+  MeterId id = 0;
+  double rate_mbps = 0.0;  // drop band threshold
+};
+
+struct FlowEntry {
+  FlowId id = 0;
+  std::string src_ip;   // empty = wildcard
+  std::string dst_ip;   // empty = wildcard
+  std::optional<MeterId> meter;
+  int priority = 0;
+};
+
+/// Outcome of pushing traffic through the switch for a simulated tick.
+struct ForwardResult {
+  double forwarded_mbps = 0.0;
+  double dropped_mbps = 0.0;
+  bool matched = false;
+};
+
+class OpenFlowSwitch {
+ public:
+  explicit OpenFlowSwitch(std::string datapath_id) : datapath_id_(std::move(datapath_id)) {}
+
+  const std::string& datapath_id() const { return datapath_id_; }
+
+  /// --- Southbound API (OpenFlow) -----------------------------------------
+  void add_meter(const Meter& meter);
+  void delete_meter(MeterId id);  // also detaches it from flows; throws if attached
+  bool has_meter(MeterId id) const;
+  double meter_rate(MeterId id) const;
+
+  void add_flow(const FlowEntry& flow);
+  void delete_flow(FlowId id);
+  bool has_flow(FlowId id) const;
+  std::size_t flow_count() const { return flows_.size(); }
+  std::size_t meter_count() const { return meters_.size(); }
+
+  /// --- Data plane ----------------------------------------------------------
+  /// Offer `mbps` of traffic from src to dst for one tick. The highest-
+  /// priority matching flow forwards it, rate-limited by its meter; with no
+  /// matching flow the traffic is dropped (OpenFlow table-miss drop).
+  ForwardResult forward(const std::string& src_ip, const std::string& dst_ip,
+                        double mbps) const;
+
+ private:
+  std::string datapath_id_;
+  std::map<MeterId, Meter> meters_;
+  std::map<FlowId, FlowEntry> flows_;
+};
+
+}  // namespace edgeslice::transport

@@ -1,0 +1,73 @@
+#include "common/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace edgeslice {
+namespace {
+
+CliArgs parse(std::vector<const char*> argv, std::vector<std::string> known) {
+  argv.insert(argv.begin(), "prog");
+  return CliArgs(static_cast<int>(argv.size()), argv.data(), known);
+}
+
+TEST(CliArgs, ParsesSpaceSeparated) {
+  const auto args = parse({"--steps", "500"}, {"steps"});
+  EXPECT_EQ(args.get_int("steps", 0), 500);
+}
+
+TEST(CliArgs, ParsesEqualsForm) {
+  const auto args = parse({"--seed=42"}, {"seed"});
+  EXPECT_EQ(args.get_int("seed", 0), 42);
+}
+
+TEST(CliArgs, BareFlagIsTrue) {
+  const auto args = parse({"--verbose"}, {"verbose"});
+  EXPECT_TRUE(args.get_bool("verbose", false));
+}
+
+TEST(CliArgs, UnknownFlagThrows) {
+  EXPECT_THROW(parse({"--bogus", "1"}, {"steps"}), std::invalid_argument);
+}
+
+TEST(CliArgs, PositionalThrows) {
+  EXPECT_THROW(parse({"oops"}, {"steps"}), std::invalid_argument);
+}
+
+TEST(CliArgs, FallbacksWhenAbsent) {
+  const auto args = parse({}, {"steps", "ratio", "name"});
+  EXPECT_EQ(args.get_int("steps", 7), 7);
+  EXPECT_DOUBLE_EQ(args.get_double("ratio", 0.5), 0.5);
+  EXPECT_EQ(args.get("name", "x"), "x");
+  EXPECT_FALSE(args.has("steps"));
+}
+
+TEST(CliArgs, DoubleParsing) {
+  const auto args = parse({"--ratio", "0.25"}, {"ratio"});
+  EXPECT_DOUBLE_EQ(args.get_double("ratio", 0.0), 0.25);
+}
+
+TEST(CliArgs, BoolVariants) {
+  EXPECT_TRUE(parse({"--f", "yes"}, {"f"}).get_bool("f", false));
+  EXPECT_TRUE(parse({"--f", "1"}, {"f"}).get_bool("f", false));
+  EXPECT_FALSE(parse({"--f", "no"}, {"f"}).get_bool("f", true));
+}
+
+TEST(CliArgs, EnvFallback) {
+  setenv("ES_TEST_STEPS", "123", 1);
+  const auto args = parse({}, {"steps"});
+  EXPECT_EQ(args.get_int_env("steps", "ES_TEST_STEPS", 5), 123);
+  unsetenv("ES_TEST_STEPS");
+  EXPECT_EQ(args.get_int_env("steps", "ES_TEST_STEPS", 5), 5);
+}
+
+TEST(CliArgs, FlagBeatsEnv) {
+  setenv("ES_TEST_STEPS", "123", 1);
+  const auto args = parse({"--steps", "9"}, {"steps"});
+  EXPECT_EQ(args.get_int_env("steps", "ES_TEST_STEPS", 5), 9);
+  unsetenv("ES_TEST_STEPS");
+}
+
+}  // namespace
+}  // namespace edgeslice

@@ -1,0 +1,130 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace edgeslice {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(x, -3.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntIsInclusive) {
+  Rng rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_int(0, 3));
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_TRUE(seen.count(0));
+  EXPECT_TRUE(seen.count(3));
+}
+
+TEST(Rng, NormalHasRequestedMoments) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.5);
+}
+
+TEST(Rng, PoissonMeanMatches) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.poisson(10.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.2);
+}
+
+TEST(Rng, PoissonZeroRateIsZero) {
+  Rng rng(13);
+  EXPECT_EQ(rng.poisson(0.0), 0);
+  EXPECT_EQ(rng.poisson(-1.0), 0);
+}
+
+TEST(Rng, IndexStaysInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.index(7), 7u);
+  }
+}
+
+TEST(Rng, IndexZeroThrows) {
+  Rng rng(5);
+  EXPECT_THROW(rng.index(0), std::invalid_argument);
+}
+
+TEST(Rng, SpawnIsDeterministic) {
+  Rng a(42);
+  Rng b(42);
+  Rng ca = a.spawn();
+  Rng cb = b.spawn();
+  EXPECT_DOUBLE_EQ(ca.uniform(), cb.uniform());
+}
+
+TEST(Rng, SpawnedStreamsAreIndependent) {
+  Rng parent(42);
+  Rng c1 = parent.spawn();
+  Rng c2 = parent.spawn();
+  EXPECT_NE(c1.uniform(), c2.uniform());
+}
+
+TEST(Rng, TaggedSpawnIgnoresParentState) {
+  Rng a(42);
+  a.uniform();  // consume some state
+  Rng b(42);
+  EXPECT_DOUBLE_EQ(a.spawn(9).uniform(), b.spawn(9).uniform());
+}
+
+TEST(Rng, VectorsHaveRequestedSize) {
+  Rng rng(3);
+  EXPECT_EQ(rng.uniforms(17).size(), 17u);
+  EXPECT_EQ(rng.normals(9).size(), 9u);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ExponentialIsPositive) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) EXPECT_GT(rng.exponential(2.0), 0.0);
+}
+
+}  // namespace
+}  // namespace edgeslice

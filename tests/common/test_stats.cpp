@@ -1,0 +1,103 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace edgeslice {
+namespace {
+
+TEST(Stats, MeanBasic) {
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, StddevKnownValue) {
+  // Sample stddev of {2,4,4,4,5,5,7,9} is ~2.138.
+  EXPECT_NEAR(stddev({2, 4, 4, 4, 5, 5, 7, 9}), 2.13809, 1e-4);
+  EXPECT_DOUBLE_EQ(stddev({5.0}), 0.0);
+}
+
+TEST(Stats, SumBasic) {
+  EXPECT_DOUBLE_EQ(sum({1.5, 2.5, -1.0}), 3.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 2.0);
+}
+
+TEST(Stats, PercentileValidation) {
+  EXPECT_THROW(percentile({}, 50), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, 101), std::invalid_argument);
+}
+
+TEST(Stats, EcdfAtThreshold) {
+  std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(ecdf_at(xs, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(ecdf_at(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf_at(xs, 10.0), 1.0);
+}
+
+TEST(Stats, EcdfPointsMonotone) {
+  Rng rng(1);
+  const auto xs = rng.normals(500);
+  const auto pts = ecdf_points(xs, 10);
+  ASSERT_EQ(pts.size(), 10u);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_LE(pts[i - 1].first, pts[i].first);
+    EXPECT_LT(pts[i - 1].second, pts[i].second);
+  }
+  EXPECT_DOUBLE_EQ(pts.back().second, 1.0);
+}
+
+TEST(RunningStat, MatchesBatchStats) {
+  Rng rng(2);
+  const auto xs = rng.normals(1000, 5.0, 2.0);
+  RunningStat rs;
+  for (double x : xs) rs.add(x);
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-9);
+  EXPECT_NEAR(rs.stddev(), stddev(xs), 1e-9);
+}
+
+TEST(RunningStat, TracksMinMax) {
+  RunningStat rs;
+  rs.add(3.0);
+  rs.add(-1.0);
+  rs.add(7.0);
+  EXPECT_DOUBLE_EQ(rs.min(), -1.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 7.0);
+}
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat rs;
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+TEST(Ema, FirstSamplePrimes) {
+  Ema ema(0.5);
+  EXPECT_TRUE(ema.empty());
+  ema.add(10.0);
+  EXPECT_DOUBLE_EQ(ema.value(), 10.0);
+}
+
+TEST(Ema, ConvergesToConstant) {
+  Ema ema(0.3);
+  for (int i = 0; i < 100; ++i) ema.add(4.0);
+  EXPECT_NEAR(ema.value(), 4.0, 1e-9);
+}
+
+TEST(Ema, SmoothsSteps) {
+  Ema ema(0.5);
+  ema.add(0.0);
+  ema.add(10.0);
+  EXPECT_DOUBLE_EQ(ema.value(), 5.0);
+}
+
+}  // namespace
+}  // namespace edgeslice

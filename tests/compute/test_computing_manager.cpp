@@ -1,0 +1,103 @@
+#include "compute/computing_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace edgeslice::compute {
+namespace {
+
+ComputingManagerConfig prototype_config() {
+  ComputingManagerConfig config;
+  config.gpu.total_threads = 51200;  // Table II
+  config.slices = 2;
+  return config;
+}
+
+TEST(ComputingManager, ShareQuantizesToThreads) {
+  ComputingManager manager(prototype_config());
+  manager.set_slice_share(0, 0.5);
+  EXPECT_EQ(manager.slice_threads(0), 25600u);
+  manager.set_slice_share(0, 0.0);
+  EXPECT_EQ(manager.slice_threads(0), 0u);
+}
+
+TEST(ComputingManager, Validation) {
+  ComputingManager manager(prototype_config());
+  EXPECT_THROW(manager.set_slice_share(0, -0.1), std::invalid_argument);
+  EXPECT_THROW(manager.set_slice_share(5, 0.5), std::out_of_range);
+}
+
+TEST(ComputingManager, IpAssociation) {
+  ComputingManager manager(prototype_config());
+  manager.register_ip("10.0.1.1", 1);
+  EXPECT_EQ(manager.slice_of_ip("10.0.1.1"), 1u);
+  EXPECT_THROW(manager.slice_of_ip("1.1.1.1"), std::out_of_range);
+}
+
+TEST(ComputingManager, ServiceTimeInverseInShare) {
+  ComputingManager manager(prototype_config());
+  manager.set_slice_share(0, 0.5);
+  const double half = manager.service_time(0, 1280.0);
+  manager.set_slice_share(0, 1.0);
+  const double full = manager.service_time(0, 1280.0);
+  EXPECT_NEAR(half, 2.0 * full, 1e-9);
+}
+
+TEST(ComputingManager, ZeroShareServiceTimeInfinite) {
+  ComputingManager manager(prototype_config());
+  EXPECT_TRUE(std::isinf(manager.service_time(0, 100.0)));
+}
+
+TEST(ComputingManager, SlicesIsolatedByKernelSplit) {
+  ComputingManagerConfig config;
+  config.gpu.total_threads = 1000;
+  config.slices = 2;
+  ComputingManager manager(config);
+  manager.set_slice_share(0, 0.3);
+  manager.set_slice_share(1, 0.7);
+  manager.submit(0, Kernel{1000, 1e6});  // demands the whole GPU
+  manager.submit(1, Kernel{700, 1e6});
+  const auto done = manager.run(1.0, 1e-2);
+  // Despite slice 0 submitting a full-GPU kernel, the split caps it at 300
+  // threads, leaving slice 1's 700 untouched.
+  EXPECT_NEAR(done[0] / done[1], 300.0 / 700.0, 0.05);
+}
+
+TEST(ComputingManager, RunCompletesSubmittedWork) {
+  ComputingManagerConfig config;
+  config.gpu.total_threads = 1000;
+  config.slices = 1;
+  ComputingManager manager(config);
+  manager.set_slice_share(0, 1.0);
+  manager.submit(0, Kernel{500, 50.0});
+  const auto done = manager.run(1.0, 1e-2);
+  EXPECT_NEAR(done[0], 50.0, 1e-9);
+  EXPECT_TRUE(manager.idle(0));
+}
+
+TEST(ComputingManager, ZeroQuotaWorkWaits) {
+  ComputingManagerConfig config;
+  config.gpu.total_threads = 1000;
+  config.slices = 2;
+  ComputingManager manager(config);
+  manager.set_slice_share(0, 0.0);
+  manager.submit(0, Kernel{100, 10.0});
+  const auto stalled = manager.run(0.5, 1e-2);
+  EXPECT_DOUBLE_EQ(stalled[0], 0.0);
+  // Grant a share later: the queued kernel now executes.
+  manager.set_slice_share(0, 0.5);
+  const auto done = manager.run(0.5, 1e-2);
+  EXPECT_GT(done[0], 0.0);
+}
+
+TEST(ComputingManager, PrototypeYolo320Latency) {
+  // DESIGN.md anchor: YOLO-320 (320 work units) on the full 51200-thread
+  // GPU should take ~6.25 ms.
+  ComputingManager manager(prototype_config());
+  manager.set_slice_share(0, 1.0);
+  EXPECT_NEAR(manager.service_time(0, 320.0), 0.00625, 1e-9);
+}
+
+}  // namespace
+}  // namespace edgeslice::compute

@@ -1,0 +1,111 @@
+#include "compute/gpu.h"
+
+#include <gtest/gtest.h>
+
+namespace edgeslice::compute {
+namespace {
+
+GpuConfig small_gpu(std::size_t threads = 1000) {
+  GpuConfig config;
+  config.total_threads = threads;
+  config.work_units_per_thread_per_second = 1.0;
+  return config;
+}
+
+TEST(Gpu, ValidatesConfig) {
+  GpuConfig bad;
+  bad.total_threads = 0;
+  EXPECT_THROW(Gpu{bad}, std::invalid_argument);
+  bad = small_gpu();
+  bad.work_units_per_thread_per_second = 0.0;
+  EXPECT_THROW(Gpu{bad}, std::invalid_argument);
+}
+
+TEST(Gpu, SubmitValidates) {
+  Gpu gpu(small_gpu());
+  const auto app = gpu.register_app();
+  EXPECT_THROW(gpu.submit(app + 1, Kernel{10, 1.0}), std::out_of_range);
+  EXPECT_THROW(gpu.submit(app, Kernel{0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(gpu.submit(app, Kernel{2000, 1.0}), std::invalid_argument);  // > total
+  EXPECT_THROW(gpu.submit(app, Kernel{10, -1.0}), std::invalid_argument);
+}
+
+TEST(Gpu, SingleKernelRunsToCompletion) {
+  Gpu gpu(small_gpu());
+  const auto app = gpu.register_app();
+  gpu.submit(app, Kernel{100, 50.0});  // 100 threads -> 0.5 s
+  const auto done = gpu.run(1.0, 1e-2);
+  EXPECT_NEAR(done.at(app), 50.0, 1e-9);
+  EXPECT_TRUE(gpu.idle(app));
+}
+
+TEST(Gpu, ExecutionIsInOrderPerStream) {
+  Gpu gpu(small_gpu());
+  const auto app = gpu.register_app();
+  gpu.submit(app, Kernel{100, 10.0});
+  gpu.submit(app, Kernel{100, 10.0});
+  EXPECT_EQ(gpu.queued_kernels(app), 2u);
+  gpu.run(0.1, 1e-2);  // exactly enough for the first kernel
+  EXPECT_EQ(gpu.queued_kernels(app), 1u);
+}
+
+TEST(Gpu, ConcurrentAppsShareThreads) {
+  Gpu gpu(small_gpu(100));
+  const auto a = gpu.register_app();
+  const auto b = gpu.register_app();
+  gpu.submit(a, Kernel{60, 1000.0});
+  gpu.submit(b, Kernel{40, 1000.0});
+  gpu.run(1.0, 1e-2);
+  const auto& occ = gpu.last_occupancy();
+  EXPECT_EQ(occ.at(a), 60u);
+  EXPECT_EQ(occ.at(b), 40u);
+}
+
+TEST(Gpu, MpsAdmissionIsGreedyAndUncontrollable) {
+  // Without kernel-split caps, a greedy app starves its neighbour —
+  // the vanilla-MPS behaviour the paper works around.
+  Gpu gpu(small_gpu(100));
+  const auto greedy = gpu.register_app();
+  const auto victim = gpu.register_app();
+  gpu.submit(greedy, Kernel{100, 1000.0});
+  gpu.submit(victim, Kernel{50, 1000.0});
+  const auto done = gpu.run(1.0, 1e-2);
+  EXPECT_GT(done.at(greedy), 90.0);
+  EXPECT_DOUBLE_EQ(done.at(victim), 0.0);
+}
+
+TEST(Gpu, ThreadCapBoundsOccupancy) {
+  Gpu gpu(small_gpu(100));
+  const auto a = gpu.register_app();
+  const auto b = gpu.register_app();
+  gpu.set_thread_cap(a, 30);
+  gpu.submit(a, Kernel{100, 1000.0});
+  gpu.submit(b, Kernel{70, 1000.0});
+  gpu.run(0.5, 1e-2);
+  EXPECT_LE(gpu.last_occupancy().at(a), 30u);
+  EXPECT_EQ(gpu.last_occupancy().at(b), 70u);
+}
+
+TEST(Gpu, WorkRateScalesWithThreads) {
+  Gpu gpu(small_gpu(1000));
+  const auto a = gpu.register_app();
+  const auto b = gpu.register_app();
+  gpu.submit(a, Kernel{200, 1e6});
+  gpu.submit(b, Kernel{100, 1e6});
+  const auto done = gpu.run(1.0, 1e-2);
+  EXPECT_NEAR(done.at(a) / done.at(b), 2.0, 1e-9);
+}
+
+TEST(Gpu, RunValidatesDurations) {
+  Gpu gpu(small_gpu());
+  EXPECT_THROW(gpu.run(-1.0), std::invalid_argument);
+  EXPECT_THROW(gpu.run(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Gpu, IdleChecksUnknownApp) {
+  Gpu gpu(small_gpu());
+  EXPECT_THROW(gpu.idle(42), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace edgeslice::compute

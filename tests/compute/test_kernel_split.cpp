@@ -1,0 +1,85 @@
+#include "compute/kernel_split.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace edgeslice::compute {
+namespace {
+
+TEST(KernelSplit, SmallKernelUnchanged) {
+  const auto chunks = split_kernel(Kernel{100, 10.0}, 200);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].threads, 100u);
+  EXPECT_DOUBLE_EQ(chunks[0].work, 10.0);
+}
+
+TEST(KernelSplit, EvenSplit) {
+  const auto chunks = split_kernel(Kernel{400, 40.0}, 100);
+  ASSERT_EQ(chunks.size(), 4u);
+  for (const auto& c : chunks) {
+    EXPECT_EQ(c.threads, 100u);
+    EXPECT_DOUBLE_EQ(c.work, 10.0);
+  }
+}
+
+TEST(KernelSplit, RemainderChunkIsSmaller) {
+  const auto chunks = split_kernel(Kernel{250, 25.0}, 100);
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_EQ(chunks[2].threads, 50u);
+  EXPECT_DOUBLE_EQ(chunks[2].work, 5.0);
+}
+
+TEST(KernelSplit, WorkIsConserved) {
+  for (std::size_t quota : {1u, 7u, 64u, 333u, 1000u}) {
+    const Kernel k{1000, 123.456};
+    const auto chunks = split_kernel(k, quota);
+    double total_work = 0.0;
+    std::size_t total_threads = 0;
+    for (const auto& c : chunks) {
+      EXPECT_LE(c.threads, quota);
+      total_work += c.work;
+      total_threads += c.threads;
+    }
+    EXPECT_NEAR(total_work, k.work, 1e-9) << "quota " << quota;
+    EXPECT_EQ(total_threads, k.threads);
+  }
+}
+
+TEST(KernelSplit, Validation) {
+  EXPECT_THROW(split_kernel(Kernel{100, 1.0}, 0), std::invalid_argument);
+  EXPECT_THROW(split_kernel(Kernel{0, 1.0}, 10), std::invalid_argument);
+}
+
+TEST(KernelSplit, SubmitSplitEnforcesQuotaEndToEnd) {
+  GpuConfig config;
+  config.total_threads = 1000;
+  Gpu gpu(config);
+  const auto capped = gpu.register_app();
+  const auto other = gpu.register_app();
+  gpu.set_thread_cap(capped, 100);
+  // A huge kernel, split against the cap, cannot exceed 100 threads
+  // concurrently, so the other app keeps 900 threads available.
+  submit_split(gpu, capped, Kernel{1000, 1e6}, 100);
+  gpu.submit(other, Kernel{900, 1e6});
+  gpu.run(0.5, 1e-2);
+  EXPECT_LE(gpu.last_occupancy().at(capped), 100u);
+  EXPECT_EQ(gpu.last_occupancy().at(other), 900u);
+}
+
+TEST(KernelSplit, SplitKernelsRunConsecutively) {
+  GpuConfig config;
+  config.total_threads = 1000;
+  Gpu gpu(config);
+  const auto app = gpu.register_app();
+  submit_split(gpu, app, Kernel{300, 30.0}, 100);
+  EXPECT_EQ(gpu.queued_kernels(app), 3u);
+  // Each 100-thread chunk of 10 work units takes 0.1 s.
+  gpu.run(0.1, 1e-3);
+  EXPECT_EQ(gpu.queued_kernels(app), 2u);
+  gpu.run(0.2, 1e-3);
+  EXPECT_TRUE(gpu.idle(app));
+}
+
+}  // namespace
+}  // namespace edgeslice::compute

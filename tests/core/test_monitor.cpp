@@ -1,0 +1,125 @@
+#include "core/monitor.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace edgeslice::core {
+namespace {
+
+env::StepResult make_step(std::vector<double> perf, std::vector<double> queues) {
+  env::StepResult result;
+  result.performance = std::move(perf);
+  result.queue_lengths = std::move(queues);
+  result.reward = -1.0;
+  return result;
+}
+
+TEST(Monitor, ValidatesConstruction) {
+  EXPECT_THROW(SystemMonitor(0, 1), std::invalid_argument);
+  EXPECT_THROW(SystemMonitor(1, 0), std::invalid_argument);
+}
+
+TEST(Monitor, RecordsRows) {
+  SystemMonitor monitor(2, 2);
+  monitor.record(0, 0, 0, make_step({-1, -2}, {1, 2}), {0.5, 0.5, 0.5, 0.5, 0.5, 0.5});
+  ASSERT_EQ(monitor.records().size(), 1u);
+  EXPECT_EQ(monitor.records()[0].ra, 0u);
+  EXPECT_THROW(monitor.record(5, 0, 0, make_step({}, {}), {}), std::out_of_range);
+}
+
+TEST(Monitor, RcmReportSumsPeriodPerformance) {
+  SystemMonitor monitor(2, 2);
+  monitor.record(0, 0, 0, make_step({-1, -2}, {}), {});
+  monitor.record(0, 0, 1, make_step({-3, -4}, {}), {});
+  monitor.record(0, 1, 2, make_step({-100, -100}, {}), {});  // next period
+  monitor.record(1, 0, 0, make_step({-10, -10}, {}), {});    // other RA
+  const auto report = monitor.report(0, 0);
+  EXPECT_EQ(report.ra, 0u);
+  EXPECT_DOUBLE_EQ(report.performance_sums[0], -4.0);
+  EXPECT_DOUBLE_EQ(report.performance_sums[1], -6.0);
+}
+
+TEST(Monitor, SystemPerformanceSeriesSumsAcrossRas) {
+  SystemMonitor monitor(2, 2);
+  monitor.record(0, 0, 0, make_step({-1, -2}, {}), {});
+  monitor.record(1, 0, 0, make_step({-3, -4}, {}), {});
+  monitor.record(0, 0, 1, make_step({-5, -5}, {}), {});
+  const auto series = monitor.system_performance_series();
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series[0], -10.0);
+  EXPECT_DOUBLE_EQ(series[1], -10.0);
+}
+
+TEST(Monitor, SlicePerformanceSeries) {
+  SystemMonitor monitor(2, 1);
+  monitor.record(0, 0, 0, make_step({-1, -9}, {}), {});
+  const auto series = monitor.slice_performance_series();
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series[0][0], -1.0);
+  EXPECT_DOUBLE_EQ(series[1][0], -9.0);
+}
+
+TEST(Monitor, ResourceUsageSeries) {
+  SystemMonitor monitor(2, 1);
+  monitor.record(0, 0, 0, make_step({-1, -1}, {}), {0.7, 0.6, 0.5, 0.3, 0.4, 0.5});
+  const auto radio_s0 = monitor.resource_usage_series(0, 0, 0);
+  const auto compute_s1 = monitor.resource_usage_series(0, 1, 2);
+  EXPECT_DOUBLE_EQ(radio_s0[0], 0.7);
+  EXPECT_DOUBLE_EQ(compute_s1[0], 0.5);
+  EXPECT_THROW(monitor.resource_usage_series(0, 0, 9), std::out_of_range);
+}
+
+TEST(Monitor, UserAssociationByImsiAndIp) {
+  SystemMonitor monitor(2, 1);
+  monitor.register_user(UserAssociation{"310170000000001", "10.0.0.1", 0});
+  monitor.register_user(UserAssociation{"310170000000002", "10.0.1.1", 1});
+  EXPECT_EQ(monitor.slice_of_imsi("310170000000001"), 0u);
+  EXPECT_EQ(monitor.slice_of_ip("10.0.1.1"), 1u);
+  EXPECT_EQ(monitor.user_count(), 2u);
+  EXPECT_THROW(monitor.slice_of_imsi("nope"), std::out_of_range);
+  EXPECT_THROW(monitor.slice_of_ip("9.9.9.9"), std::out_of_range);
+}
+
+TEST(Monitor, DuplicateIdentityRejected) {
+  SystemMonitor monitor(2, 1);
+  monitor.register_user(UserAssociation{"imsi-1", "10.0.0.1", 0});
+  EXPECT_THROW(monitor.register_user(UserAssociation{"imsi-1", "10.0.0.2", 0}),
+               std::invalid_argument);
+  EXPECT_THROW(monitor.register_user(UserAssociation{"imsi-2", "10.0.0.1", 0}),
+               std::invalid_argument);
+}
+
+TEST(Monitor, BadSliceInAssociationRejected) {
+  SystemMonitor monitor(2, 1);
+  EXPECT_THROW(monitor.register_user(UserAssociation{"x", "y", 7}),
+               std::invalid_argument);
+}
+
+TEST(Monitor, CsvExportHasRowPerSlice) {
+  SystemMonitor monitor(2, 1);
+  env::StepResult step = make_step({-1, -2}, {3, 4});
+  monitor.record(0, 0, 0, step, {0.1, 0.2, 0.3, 0.4, 0.5, 0.6});
+  std::stringstream out;
+  monitor.write_csv(out);
+  std::string line;
+  std::getline(out, line);
+  EXPECT_EQ(line,
+            "period,interval,ra,slice,queue,performance,radio,transport,computing,reward");
+  std::getline(out, line);
+  EXPECT_EQ(line, "0,0,0,0,3,-1,0.1,0.2,0.3,-1");
+  std::getline(out, line);
+  EXPECT_EQ(line, "0,0,0,1,4,-2,0.4,0.5,0.6,-1");
+}
+
+TEST(Monitor, ClearRecordsKeepsAssociations) {
+  SystemMonitor monitor(2, 1);
+  monitor.register_user(UserAssociation{"imsi-1", "10.0.0.1", 0});
+  monitor.record(0, 0, 0, make_step({-1, -1}, {}), {});
+  monitor.clear_records();
+  EXPECT_TRUE(monitor.records().empty());
+  EXPECT_EQ(monitor.user_count(), 1u);
+}
+
+}  // namespace
+}  // namespace edgeslice::core

@@ -1,0 +1,73 @@
+#include "core/resource_autonomy.h"
+
+#include <gtest/gtest.h>
+
+namespace edgeslice::core {
+namespace {
+
+TEST(ResourceAutonomy, PrototypeConfigMatchesTable2) {
+  const auto config = prototype_ra_config(0);
+  EXPECT_DOUBLE_EQ(config.radio.bandwidth_mhz, 5.0);
+  EXPECT_DOUBLE_EQ(config.transport.link_capacity_mbps, 80.0);
+  EXPECT_EQ(config.transport.switches, 6u);
+  EXPECT_EQ(config.computing.gpu.total_threads, 51200u);
+}
+
+TEST(ResourceAutonomy, MismatchedSliceCountsThrow) {
+  auto config = prototype_ra_config(0);
+  config.radio.slices = 3;
+  Rng rng(1);
+  EXPECT_THROW(ResourceAutonomy(config, rng), std::invalid_argument);
+}
+
+TEST(ResourceAutonomy, ApplyDispatchesVrMessages) {
+  Rng rng(2);
+  ResourceAutonomy ra(prototype_ra_config(1), rng);
+  const auto messages = ra.apply({0.6, 0.5, 0.4, 0.3, 0.2, 0.1});
+  ASSERT_EQ(messages.size(), 6u);  // 2 slices x 3 domains
+  EXPECT_EQ(messages[0].domain, Domain::Radio);
+  EXPECT_EQ(messages[0].ra, 1u);
+  EXPECT_DOUBLE_EQ(messages[0].fraction, 0.6);
+  EXPECT_EQ(messages[5].domain, Domain::Computing);
+  // Managers reflect the applied shares.
+  EXPECT_EQ(ra.radio().slice_prbs(0), 15u);  // floor(0.6 * 25)
+  EXPECT_DOUBLE_EQ(ra.transport().slice_rate_mbps(0), 40.0);
+  EXPECT_EQ(ra.computing().slice_threads(1), 5120u);  // 0.1 * 51200
+}
+
+TEST(ResourceAutonomy, OversubscriptionScaledProportionally) {
+  Rng rng(3);
+  ResourceAutonomy ra(prototype_ra_config(0), rng);
+  // Radio column sums to 1.6: must be scaled by 1/1.6.
+  const auto messages = ra.apply({0.8, 0.2, 0.2, 0.8, 0.2, 0.2});
+  EXPECT_NEAR(messages[0].fraction, 0.5, 1e-12);
+  EXPECT_NEAR(messages[3].fraction, 0.5, 1e-12);
+  // Non-oversubscribed columns untouched.
+  EXPECT_NEAR(messages[1].fraction, 0.2, 1e-12);
+}
+
+TEST(ResourceAutonomy, ApplyValidatesSize) {
+  Rng rng(4);
+  ResourceAutonomy ra(prototype_ra_config(0), rng);
+  EXPECT_THROW(ra.apply({0.5, 0.5}), std::invalid_argument);
+}
+
+TEST(ResourceAutonomy, AttachUserWiresAllManagers) {
+  Rng rng(5);
+  ResourceAutonomy ra(prototype_ra_config(0), rng);
+  ra.attach_user("310170000000001", "10.0.1.9", 42, 1);
+  EXPECT_EQ(ra.radio().slice_of_user(42), 1u);
+  EXPECT_EQ(ra.computing().slice_of_ip("10.0.1.9"), 1u);
+}
+
+TEST(ResourceAutonomy, CapacityIsPositive) {
+  Rng rng(6);
+  ResourceAutonomy ra(prototype_ra_config(0), rng);
+  const auto cap = ra.capacity();
+  EXPECT_GT(cap.radio_bits_per_second, 0.0);
+  EXPECT_GT(cap.transport_bits_per_second, 0.0);
+  EXPECT_GT(cap.compute_work_per_second, 0.0);
+}
+
+}  // namespace
+}  // namespace edgeslice::core

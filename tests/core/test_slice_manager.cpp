@@ -1,0 +1,122 @@
+#include "core/slice_manager.h"
+
+#include <gtest/gtest.h>
+
+namespace edgeslice::core {
+namespace {
+
+SliceManagerConfig make_config() {
+  SliceManagerConfig config;
+  config.capacity = env::prototype_capacity();
+  config.max_slices = 4;
+  config.admission_load_limit = 1.0;
+  return config;
+}
+
+TEST(SliceManager, ValidatesConstruction) {
+  SliceManagerConfig config = make_config();
+  config.max_slices = 0;
+  EXPECT_THROW(SliceManager(config, nullptr, nullptr), std::invalid_argument);
+  config = make_config();
+  config.capacity.radio_bits_per_second = 0.0;
+  EXPECT_THROW(SliceManager(config, nullptr, nullptr), std::invalid_argument);
+}
+
+TEST(SliceManager, AdmitsWithinBudget) {
+  SliceManager manager(make_config(), nullptr, nullptr);
+  const auto result = manager.request_slice("tenant-a", env::slice2_profile(), -50.0);
+  EXPECT_TRUE(result.admitted);
+  ASSERT_TRUE(result.slice_id.has_value());
+  EXPECT_EQ(manager.slice(*result.slice_id).tenant, "tenant-a");
+  EXPECT_EQ(manager.slice(*result.slice_id).state, SliceState::Active);
+  EXPECT_EQ(manager.active_slices(), 1u);
+}
+
+TEST(SliceManager, EstimatedLoadPicksDominantResource) {
+  SliceManager manager(make_config(), nullptr, nullptr);
+  // Slice 1's dominant demand is radio; slice 2's is compute.
+  const double l1 = manager.estimated_load(env::slice1_profile());
+  const double l2 = manager.estimated_load(env::slice2_profile());
+  EXPECT_GT(l1, 0.0);
+  EXPECT_GT(l2, 0.0);
+  const auto cap = env::prototype_capacity();
+  EXPECT_NEAR(l1, 10.0 * env::slice1_profile().uplink_bits / cap.radio_bits_per_second,
+              1e-12);
+  EXPECT_NEAR(l2, 10.0 * env::slice2_profile().compute_work / cap.compute_work_per_second,
+              1e-12);
+}
+
+TEST(SliceManager, RejectsWhenBudgetExceeded) {
+  SliceManagerConfig config = make_config();
+  config.admission_load_limit = 0.8;
+  SliceManager manager(config, nullptr, nullptr);
+  // Slice 1 consumes ~0.38 of radio per unit; two fit, a third does not.
+  EXPECT_TRUE(manager.request_slice("a", env::slice1_profile(), -50.0).admitted);
+  EXPECT_TRUE(manager.request_slice("b", env::slice1_profile(), -50.0).admitted);
+  const auto third = manager.request_slice("c", env::slice1_profile(), -50.0);
+  EXPECT_FALSE(third.admitted);
+  EXPECT_NE(third.reason.find("budget"), std::string::npos);
+}
+
+TEST(SliceManager, RejectsWhenSlotsExhausted) {
+  SliceManagerConfig config = make_config();
+  config.max_slices = 1;
+  config.admission_load_limit = 10.0;
+  SliceManager manager(config, nullptr, nullptr);
+  EXPECT_TRUE(manager.request_slice("a", env::slice2_profile(), -50.0).admitted);
+  const auto second = manager.request_slice("b", env::slice2_profile(), -50.0);
+  EXPECT_FALSE(second.admitted);
+  EXPECT_NE(second.reason.find("capacity"), std::string::npos);
+}
+
+TEST(SliceManager, TerminationReleasesBudget) {
+  SliceManagerConfig config = make_config();
+  config.admission_load_limit = 0.8;
+  SliceManager manager(config, nullptr, nullptr);
+  const auto a = manager.request_slice("a", env::slice1_profile(), -50.0);
+  EXPECT_TRUE(manager.request_slice("b", env::slice1_profile(), -50.0).admitted);
+  EXPECT_FALSE(manager.request_slice("c", env::slice1_profile(), -50.0).admitted);
+  manager.terminate(*a.slice_id);
+  EXPECT_TRUE(manager.request_slice("c", env::slice1_profile(), -50.0).admitted);
+  EXPECT_EQ(manager.active_slices(), 2u);
+}
+
+TEST(SliceManager, SlaPropagatesToCoordinator) {
+  CoordinatorConfig coordinator_config;
+  coordinator_config.slices = 2;
+  coordinator_config.ras = 1;
+  PerformanceCoordinator coordinator(coordinator_config);
+  SliceManager manager(make_config(), &coordinator, nullptr);
+  const auto result = manager.request_slice("a", env::slice1_profile(), -33.0);
+  ASSERT_TRUE(result.admitted);
+  EXPECT_DOUBLE_EQ(coordinator.config().u_min[0], -33.0);
+  manager.modify_sla(0, -44.0);
+  EXPECT_DOUBLE_EQ(coordinator.config().u_min[0], -44.0);
+  EXPECT_EQ(manager.slice(0).state, SliceState::Modified);
+}
+
+TEST(SliceManager, UserAttachRegistersWithMonitor) {
+  SystemMonitor monitor(2, 1);
+  SliceManager manager(make_config(), nullptr, &monitor);
+  const auto result = manager.request_slice("a", env::slice1_profile(), -50.0);
+  manager.attach_user(*result.slice_id, "310170000000009", "10.0.0.9");
+  EXPECT_EQ(monitor.slice_of_imsi("310170000000009"), *result.slice_id);
+  EXPECT_EQ(manager.slice(*result.slice_id).user_count, 1u);
+}
+
+TEST(SliceManager, TerminatedSliceRejectsOperations) {
+  SliceManager manager(make_config(), nullptr, nullptr);
+  const auto result = manager.request_slice("a", env::slice2_profile(), -50.0);
+  manager.terminate(*result.slice_id);
+  EXPECT_THROW(manager.modify_sla(*result.slice_id, -10.0), std::logic_error);
+  EXPECT_THROW(manager.attach_user(*result.slice_id, "i", "p"), std::logic_error);
+}
+
+TEST(SliceManager, UnknownSliceThrows) {
+  SliceManager manager(make_config(), nullptr, nullptr);
+  EXPECT_THROW(manager.slice(0), std::out_of_range);
+  EXPECT_THROW(manager.terminate(3), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace edgeslice::core

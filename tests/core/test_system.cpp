@@ -1,0 +1,122 @@
+#include "core/system.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "env/service_model.h"
+
+namespace edgeslice::core {
+namespace {
+
+class SystemTest : public ::testing::Test {
+ protected:
+  SystemTest() {
+    const auto model =
+        std::make_shared<env::DirectServiceModel>(env::prototype_capacity());
+    env::RaEnvironmentConfig config;
+    config.intervals_per_period = 5;
+    for (std::size_t j = 0; j < 2; ++j) {
+      environments_.push_back(std::make_unique<env::RaEnvironment>(
+          config, std::vector<env::AppProfile>{env::slice1_profile(), env::slice2_profile()},
+          model, env::make_queue_power_perf(), Rng(100 + j)));
+      policies_.push_back(std::make_unique<TaroPolicy>());
+    }
+  }
+
+  CoordinatorConfig coordinator_config() {
+    CoordinatorConfig config;
+    config.slices = 2;
+    config.ras = 2;
+    return config;
+  }
+
+  std::vector<env::RaEnvironment*> env_ptrs() {
+    std::vector<env::RaEnvironment*> out;
+    for (auto& e : environments_) out.push_back(e.get());
+    return out;
+  }
+  std::vector<RaPolicy*> policy_ptrs() {
+    std::vector<RaPolicy*> out;
+    for (auto& p : policies_) out.push_back(p.get());
+    return out;
+  }
+
+  std::vector<std::unique_ptr<env::RaEnvironment>> environments_;
+  std::vector<std::unique_ptr<RaPolicy>> policies_;
+};
+
+TEST_F(SystemTest, ValidatesWiring) {
+  auto envs = env_ptrs();
+  auto pols = policy_ptrs();
+  pols.pop_back();
+  EXPECT_THROW(EdgeSliceSystem(envs, pols, coordinator_config()), std::invalid_argument);
+  CoordinatorConfig bad = coordinator_config();
+  bad.ras = 3;
+  EXPECT_THROW(EdgeSliceSystem(env_ptrs(), policy_ptrs(), bad), std::invalid_argument);
+}
+
+TEST_F(SystemTest, PeriodRunsTIntervalsPerRa) {
+  EdgeSliceSystem system(env_ptrs(), policy_ptrs(), coordinator_config());
+  system.run_period();
+  // 5 intervals x 2 RAs = 10 monitor rows.
+  EXPECT_EQ(system.monitor().records().size(), 10u);
+  EXPECT_EQ(system.period_count(), 1u);
+}
+
+TEST_F(SystemTest, PerformanceSumsConsistent) {
+  EdgeSliceSystem system(env_ptrs(), policy_ptrs(), coordinator_config());
+  const auto result = system.run_period();
+  double total = 0.0;
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) total += result.performance_sums(i, j);
+  }
+  EXPECT_NEAR(total, result.system_performance, 1e-9);
+  EXPECT_NEAR(result.slice_performance[0] + result.slice_performance[1],
+              result.system_performance, 1e-9);
+}
+
+TEST_F(SystemTest, CoordinatorFeedsCoordinationToEnvs) {
+  EdgeSliceSystem system(env_ptrs(), policy_ptrs(), coordinator_config());
+  system.run_period();
+  // TARO with queue growth violates the SLA, so coordination becomes
+  // non-zero after the first coordinator update.
+  bool any_nonzero = false;
+  for (const auto* environment : env_ptrs()) {
+    for (double c : environment->coordination()) {
+      if (c != 0.0) any_nonzero = true;
+    }
+  }
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST_F(SystemTest, NoCoordinatorModeLeavesCoordinationZero) {
+  SystemConfig config;
+  config.use_coordinator = false;
+  EdgeSliceSystem system(env_ptrs(), policy_ptrs(), coordinator_config(), config);
+  system.run_period();
+  for (const auto* environment : env_ptrs()) {
+    for (double c : environment->coordination()) EXPECT_DOUBLE_EQ(c, 0.0);
+  }
+}
+
+TEST_F(SystemTest, RunReturnsOneResultPerPeriod) {
+  EdgeSliceSystem system(env_ptrs(), policy_ptrs(), coordinator_config());
+  const auto results = system.run(4);
+  EXPECT_EQ(results.size(), 4u);
+  EXPECT_EQ(system.period_count(), 4u);
+  // Interval indices are global: 4 periods x 5 intervals.
+  EXPECT_EQ(system.monitor().system_performance_series().size(), 20u);
+}
+
+TEST_F(SystemTest, MonitorSeriesMatchesPeriodSums) {
+  EdgeSliceSystem system(env_ptrs(), policy_ptrs(), coordinator_config());
+  const auto result = system.run_period();
+  const auto series = system.monitor().system_performance_series();
+  double from_series = 0.0;
+  for (double v : series) from_series += v;
+  EXPECT_NEAR(from_series, result.system_performance, 1e-9);
+}
+
+}  // namespace
+}  // namespace edgeslice::core

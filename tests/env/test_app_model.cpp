@@ -1,0 +1,50 @@
+#include "env/app_model.h"
+
+#include <gtest/gtest.h>
+
+namespace edgeslice::env {
+namespace {
+
+TEST(AppModel, FrameBitsScaleWithPixels) {
+  EXPECT_DOUBLE_EQ(frame_bits(FrameResolution::R100x100), 100 * 100 * 1.15);
+  EXPECT_DOUBLE_EQ(frame_bits(FrameResolution::R500x500), 500 * 500 * 1.15);
+  EXPECT_GT(frame_bits(FrameResolution::R300x300), frame_bits(FrameResolution::R100x100));
+}
+
+TEST(AppModel, YoloWorkGrowsWithModelSize) {
+  EXPECT_LT(yolo_work(YoloModel::Y320), yolo_work(YoloModel::Y416));
+  EXPECT_LT(yolo_work(YoloModel::Y416), yolo_work(YoloModel::Y608));
+}
+
+TEST(AppModel, YoloWorkQuadraticRatio) {
+  const double ratio = yolo_work(YoloModel::Y608) / yolo_work(YoloModel::Y320);
+  EXPECT_NEAR(ratio, (608.0 * 608.0) / (320.0 * 320.0), 1e-9);
+}
+
+TEST(AppModel, Slice1IsTrafficHeavyComputeLight) {
+  // Sec. VII-C: slice 1 = 500x500 + YOLO-320.
+  const auto p = slice1_profile();
+  EXPECT_DOUBLE_EQ(p.uplink_bits, frame_bits(FrameResolution::R500x500));
+  EXPECT_DOUBLE_EQ(p.compute_work, yolo_work(YoloModel::Y320));
+}
+
+TEST(AppModel, Slice2IsTrafficLightComputeHeavy) {
+  const auto p = slice2_profile();
+  EXPECT_DOUBLE_EQ(p.uplink_bits, frame_bits(FrameResolution::R100x100));
+  EXPECT_DOUBLE_EQ(p.compute_work, yolo_work(YoloModel::Y608));
+}
+
+TEST(AppModel, ArchetypesHaveOppositeDemandAsymmetry) {
+  const auto s1 = slice1_profile();
+  const auto s2 = slice2_profile();
+  EXPECT_GT(s1.uplink_bits, 10.0 * s2.uplink_bits);
+  EXPECT_GT(s2.compute_work, 2.0 * s1.compute_work);
+}
+
+TEST(AppModel, ProfileNamesAreDescriptive) {
+  const auto p = make_profile(FrameResolution::R300x300, YoloModel::Y416);
+  EXPECT_EQ(p.name, "300x300+YOLO-416");
+}
+
+}  // namespace
+}  // namespace edgeslice::env

@@ -1,0 +1,220 @@
+#include "env/environment.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace edgeslice::env {
+namespace {
+
+RaEnvironment make_env(RaEnvironmentConfig config = {}, double alpha = 2.0,
+                       std::uint64_t seed = 1) {
+  const auto model = std::make_shared<DirectServiceModel>(prototype_capacity());
+  return RaEnvironment(config, {slice1_profile(), slice2_profile()}, model,
+                       make_queue_power_perf(alpha), Rng(seed));
+}
+
+std::vector<double> equal_action() { return std::vector<double>(6, 0.5); }
+
+TEST(Environment, DimensionsMatchPaperState) {
+  auto environment = make_env();
+  // Eq. 13: queue lengths + coordination, one each per slice.
+  EXPECT_EQ(environment.state_dim(), 4u);
+  EXPECT_EQ(environment.action_dim(), 6u);  // I * K = 2 * 3
+  EXPECT_EQ(environment.state().size(), 4u);
+}
+
+TEST(Environment, NtVariantDropsTrafficFromState) {
+  RaEnvironmentConfig config;
+  config.include_traffic_in_state = false;  // EdgeSlice-NT
+  auto environment = make_env(config);
+  EXPECT_EQ(environment.state_dim(), 2u);
+}
+
+TEST(Environment, ValidatesConstruction) {
+  const auto model = std::make_shared<DirectServiceModel>(prototype_capacity());
+  RaEnvironmentConfig config;
+  EXPECT_THROW(RaEnvironment(config, {slice1_profile()}, model, make_queue_power_perf(),
+                             Rng(1)),
+               std::invalid_argument);
+  EXPECT_THROW(RaEnvironment(config, {slice1_profile(), slice2_profile()}, nullptr,
+                             make_queue_power_perf(), Rng(1)),
+               std::invalid_argument);
+}
+
+TEST(Environment, StepValidatesAction) {
+  auto environment = make_env();
+  EXPECT_THROW(environment.step({0.5, 0.5}), std::invalid_argument);
+  EXPECT_THROW(environment.step({2.0, 0, 0, 0, 0, 0}), std::invalid_argument);
+}
+
+TEST(Environment, QueuesGrowWithoutResources) {
+  auto environment = make_env();
+  const auto result = environment.step(std::vector<double>(6, 0.0));
+  EXPECT_GT(result.queue_lengths[0] + result.queue_lengths[1], 0.0);
+  EXPECT_LT(result.performance[0] + result.performance[1], 0.0);
+}
+
+TEST(Environment, AdequateResourcesDrainQueues) {
+  RaEnvironmentConfig config;
+  config.arrival_rate = 2.0;  // light load
+  auto environment = make_env(config);
+  double final_queue = 0.0;
+  for (int t = 0; t < 50; ++t) {
+    const auto result = environment.step(equal_action());
+    final_queue = result.queue_lengths[0] + result.queue_lengths[1];
+  }
+  EXPECT_LT(final_queue, 10.0);
+}
+
+TEST(Environment, RewardFollowsEq15Shape) {
+  RaEnvironmentConfig config;
+  config.rho = 1.0;
+  config.beta = 20.0;
+  config.reward_scale = 1.0;  // assert the raw Eq. 15 value
+  config.reward_clip = 0.0;
+  auto environment = make_env(config);
+  environment.set_coordination({0.0, 0.0});
+  const auto result = environment.step(equal_action());
+  // reward = sum_i (U_i - 0.5 * rho * U_i^2) with zero coordination, no penalty.
+  double expected = 0.0;
+  for (double u : result.performance) expected += u - 0.5 * u * u;
+  EXPECT_NEAR(result.reward, expected, 1e-9);
+}
+
+TEST(Environment, OverAllocationPenalized) {
+  RaEnvironmentConfig config;
+  config.beta = 20.0;
+  config.reward_scale = 1.0;
+  config.reward_clip = 0.0;
+  auto environment = make_env(config);
+  auto env2 = make_env(config, 2.0, 1);  // same seed: same arrivals
+  const auto modest = environment.step(equal_action());
+  const auto greedy = env2.step(std::vector<double>(6, 1.0));  // 2x oversubscribed
+  EXPECT_DOUBLE_EQ(modest.constraint_violation, 0.0);
+  EXPECT_DOUBLE_EQ(greedy.constraint_violation, 3.0);  // 1 extra unit per resource
+  // The physical service is identical (proportional scaling) but the shaped
+  // reward charges beta * violation.
+  EXPECT_NEAR(greedy.reward, modest.reward - 20.0 * 3.0, 1e-9);
+}
+
+TEST(Environment, CoordinationEntersStateNormalized) {
+  RaEnvironmentConfig config;
+  config.coordination_scale = 50.0;
+  auto environment = make_env(config);
+  environment.set_coordination({-25.0, 10.0});
+  const auto s = environment.state();
+  EXPECT_DOUBLE_EQ(s[2], -0.5);
+  // Positive z - y clamps to 0: every performance function is <= 0, so a
+  // positive target is unreachable and reads as "maximize".
+  EXPECT_DOUBLE_EQ(s[3], 0.0);
+}
+
+TEST(Environment, CoordinationShiftsRewardTarget) {
+  // With U == c/T the quadratic term vanishes; moving c away lowers reward.
+  RaEnvironmentConfig config;
+  config.arrival_rate = 0.0;  // empty queues -> U = 0
+  auto environment = make_env(config);
+  environment.set_coordination({0.0, 0.0});
+  const double matched = environment.step(equal_action()).reward;
+  environment.set_coordination({-100.0, -100.0});
+  const double mismatched = environment.step(equal_action()).reward;
+  EXPECT_GT(matched, mismatched);
+}
+
+TEST(Environment, ArrivalRatesControlLoad) {
+  RaEnvironmentConfig config;
+  auto environment = make_env(config);
+  environment.set_arrival_rates({0.0, 0.0});
+  const auto result = environment.step(std::vector<double>(6, 0.0));
+  EXPECT_DOUBLE_EQ(result.queue_lengths[0], 0.0);
+  EXPECT_THROW(environment.set_arrival_rates({1.0}), std::invalid_argument);
+  EXPECT_THROW(environment.set_arrival_rates({-1.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Environment, ArrivalProfilesCycle) {
+  RaEnvironmentConfig config;
+  auto environment = make_env(config);
+  // Slice 0 alternates 0 / 20 arrivals; slice 1 silent.
+  environment.set_arrival_profiles({{0.0, 20.0}, {0.0, 0.0}});
+  const std::vector<double> no_service(6, 0.0);
+  double even_growth = 0.0;
+  double odd_growth = 0.0;
+  double prev = 0.0;
+  for (int t = 0; t < 40; ++t) {
+    const auto result = environment.step(no_service);
+    const double growth = result.queue_lengths[0] - prev;
+    prev = result.queue_lengths[0];
+    (t % 2 == 0 ? even_growth : odd_growth) += growth;
+    EXPECT_DOUBLE_EQ(result.queue_lengths[1], 0.0);
+  }
+  EXPECT_DOUBLE_EQ(even_growth, 0.0);   // profile bin 0: rate 0
+  EXPECT_GT(odd_growth, 100.0);         // profile bin 1: rate 20
+}
+
+TEST(Environment, ArrivalProfilesValidated) {
+  auto environment = make_env();
+  EXPECT_THROW(environment.set_arrival_profiles({{1.0}}), std::invalid_argument);
+  EXPECT_THROW(environment.set_arrival_profiles({{1.0}, {}}), std::invalid_argument);
+  EXPECT_THROW(environment.set_arrival_profiles({{1.0}, {-2.0}}), std::invalid_argument);
+  // Clearing restores static rates.
+  environment.set_arrival_profiles({{0.0}, {0.0}});
+  environment.set_arrival_profiles({});
+  const auto result = environment.step(std::vector<double>(6, 0.0));
+  EXPECT_GT(result.queue_lengths[0], 0.0);  // default Poisson(10) is back
+}
+
+TEST(Environment, ResetRestartsArrivalProfilePhase) {
+  auto environment = make_env();
+  environment.set_arrival_profiles({{0.0, 30.0}, {0.0, 0.0}});
+  const std::vector<double> no_service(6, 0.0);
+  environment.step(no_service);  // consumes bin 0
+  environment.reset();
+  const auto result = environment.step(no_service);  // bin 0 again: rate 0
+  EXPECT_DOUBLE_EQ(result.queue_lengths[0], 0.0);
+}
+
+TEST(Environment, ResetClearsQueues) {
+  auto environment = make_env();
+  environment.step(std::vector<double>(6, 0.0));
+  environment.reset();
+  EXPECT_EQ(environment.queue(0).length(), 0u);
+  EXPECT_EQ(environment.queue(1).length(), 0u);
+}
+
+TEST(Environment, DeterministicGivenSeed) {
+  auto a = make_env({}, 2.0, 77);
+  auto b = make_env({}, 2.0, 77);
+  for (int t = 0; t < 20; ++t) {
+    const auto ra = a.step(equal_action());
+    const auto rb = b.step(equal_action());
+    EXPECT_EQ(ra.reward, rb.reward);
+    EXPECT_EQ(ra.queue_lengths, rb.queue_lengths);
+  }
+}
+
+TEST(Environment, ServiceTimePerfFunctionWorks) {
+  RaEnvironmentConfig config;
+  const auto model = std::make_shared<DirectServiceModel>(prototype_capacity());
+  RaEnvironment environment(config, {slice1_profile(), slice2_profile()}, model,
+                            make_neg_service_time_perf(), Rng(3));
+  const auto result = environment.step(equal_action());
+  for (double u : result.performance) EXPECT_LT(u, 0.0);  // -service_time
+}
+
+TEST(Environment, AsymmetricDemandShowsInServiceRates) {
+  // Giving slice 1 only compute and slice 2 only bandwidth starves both;
+  // matching allocations to the demand asymmetry serves both faster.
+  auto env_good = make_env({}, 2.0, 5);
+  auto env_bad = make_env({}, 2.0, 5);
+  // slice 1 traffic-heavy: radio+transport; slice 2 compute-heavy: compute.
+  const std::vector<double> matched{0.8, 0.8, 0.2, 0.2, 0.2, 0.8};
+  const std::vector<double> inverted{0.2, 0.2, 0.8, 0.8, 0.8, 0.2};
+  const auto good = env_good.step(matched);
+  const auto bad = env_bad.step(inverted);
+  EXPECT_GT(good.service_rates[0], bad.service_rates[0]);
+  EXPECT_GT(good.service_rates[1], bad.service_rates[1]);
+}
+
+}  // namespace
+}  // namespace edgeslice::env

@@ -1,0 +1,64 @@
+#include "env/perf.h"
+
+#include <gtest/gtest.h>
+
+namespace edgeslice::env {
+namespace {
+
+TEST(QueuePowerPerf, DefaultAlphaIsSquare) {
+  QueuePowerPerf perf;  // alpha = 2, the paper's default
+  EXPECT_DOUBLE_EQ(perf.evaluate({5.0, 0.0}), -25.0);
+  EXPECT_DOUBLE_EQ(perf.evaluate({0.0, 0.0}), 0.0);
+}
+
+TEST(QueuePowerPerf, AlphaSweepOrdering) {
+  // Fig. 11(a): larger alpha reports worse performance at the same queue.
+  const PerfObservation obs{4.0, 0.0};
+  double previous = 0.0;
+  for (double alpha : {1.0, 1.5, 2.0, 2.5}) {
+    const double u = QueuePowerPerf(alpha).evaluate(obs);
+    EXPECT_LT(u, previous);
+    previous = u;
+  }
+}
+
+TEST(QueuePowerPerf, AlphaOneIsLinear) {
+  QueuePowerPerf perf(1.0);
+  EXPECT_DOUBLE_EQ(perf.evaluate({7.0, 0.0}), -7.0);
+}
+
+TEST(QueuePowerPerf, InvalidAlphaThrows) {
+  EXPECT_THROW(QueuePowerPerf(0.0), std::invalid_argument);
+  EXPECT_THROW(QueuePowerPerf(-1.0), std::invalid_argument);
+}
+
+TEST(QueuePowerPerf, NegativeQueueClamped) {
+  QueuePowerPerf perf;
+  EXPECT_DOUBLE_EQ(perf.evaluate({-3.0, 0.0}), 0.0);
+}
+
+TEST(QueuePowerPerf, NameEncodesAlpha) {
+  EXPECT_NE(QueuePowerPerf(1.5).name().find("1.5"), std::string::npos);
+}
+
+TEST(NegServiceTimePerf, IgnoresQueue) {
+  NegServiceTimePerf perf;
+  EXPECT_DOUBLE_EQ(perf.evaluate({100.0, 2.0}), -2.0);
+  EXPECT_DOUBLE_EQ(perf.evaluate({0.0, 2.0}), -2.0);
+}
+
+TEST(NegServiceTimePerf, CapKeepsFinite) {
+  NegServiceTimePerf perf(10.0);
+  EXPECT_DOUBLE_EQ(perf.evaluate({0.0, 1e9}), -10.0);
+  EXPECT_THROW(NegServiceTimePerf(0.0), std::invalid_argument);
+}
+
+TEST(PerfFactories, ProduceExpectedTypes) {
+  const auto qp = make_queue_power_perf(1.5);
+  EXPECT_DOUBLE_EQ(qp->evaluate({4.0, 0.0}), -8.0);
+  const auto st = make_neg_service_time_perf();
+  EXPECT_DOUBLE_EQ(st->evaluate({1.0, 3.0}), -3.0);
+}
+
+}  // namespace
+}  // namespace edgeslice::env

@@ -1,0 +1,182 @@
+#include "env/service_model.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "core/resource_autonomy.h"
+
+namespace edgeslice::env {
+namespace {
+
+TEST(Capacity, PrototypeValuesPlausible) {
+  const auto cap = prototype_capacity();
+  EXPECT_GT(cap.radio_bits_per_second, 1e6);       // Mbps-scale radio
+  EXPECT_DOUBLE_EQ(cap.transport_bits_per_second, 80e6);
+  EXPECT_DOUBLE_EQ(cap.compute_work_per_second, 51200.0);
+}
+
+TEST(Capacity, MeasuredThroughManagersMatchesPrototype) {
+  Rng rng(1);
+  edgeslice::core::ResourceAutonomy ra(edgeslice::core::prototype_ra_config(0), rng);
+  const auto measured = ra.capacity();
+  const auto expected = prototype_capacity();
+  EXPECT_NEAR(measured.radio_bits_per_second, expected.radio_bits_per_second, 1.0);
+  EXPECT_NEAR(measured.transport_bits_per_second, expected.transport_bits_per_second, 1.0);
+  EXPECT_NEAR(measured.compute_work_per_second, expected.compute_work_per_second, 1.0);
+}
+
+TEST(DirectServiceModel, ValidatesCapacity) {
+  RaCapacity cap;  // zeros
+  EXPECT_THROW(DirectServiceModel{cap}, std::invalid_argument);
+}
+
+TEST(DirectServiceModel, PipelineIsSumOfStages) {
+  RaCapacity cap;
+  cap.radio_bits_per_second = 100.0;
+  cap.transport_bits_per_second = 200.0;
+  cap.compute_work_per_second = 50.0;
+  DirectServiceModel model(cap);
+  AppProfile app;
+  app.uplink_bits = 100.0;
+  app.compute_work = 25.0;
+  // Full allocation: 1 s radio + 0.5 s transport + 0.5 s compute.
+  EXPECT_DOUBLE_EQ(model.service_time(app, {1.0, 1.0, 1.0}), 2.0);
+  // Halving the radio share doubles the radio stage only.
+  EXPECT_DOUBLE_EQ(model.service_time(app, {0.5, 1.0, 1.0}), 3.0);
+}
+
+TEST(DirectServiceModel, ZeroAllocationHitsCap) {
+  DirectServiceModel model(prototype_capacity());
+  EXPECT_DOUBLE_EQ(model.service_time(slice1_profile(), {0.0, 0.5, 0.5}), kServiceTimeCap);
+}
+
+TEST(DirectServiceModel, MonotoneInEveryResource) {
+  DirectServiceModel model(prototype_capacity());
+  const auto app = slice2_profile();
+  for (std::size_t k = 0; k < kResources; ++k) {
+    Allocation lo{0.5, 0.5, 0.5};
+    Allocation hi{0.5, 0.5, 0.5};
+    lo[k] = 0.2;
+    hi[k] = 0.9;
+    EXPECT_GT(model.service_time(app, lo), model.service_time(app, hi)) << "resource " << k;
+  }
+}
+
+TEST(DirectServiceModel, AllocationOutOfRangeThrows) {
+  DirectServiceModel model(prototype_capacity());
+  EXPECT_THROW(model.service_time(slice1_profile(), {1.5, 0.5, 0.5}),
+               std::invalid_argument);
+  EXPECT_THROW(model.service_time(slice1_profile(), {-0.1, 0.5, 0.5}),
+               std::invalid_argument);
+}
+
+TEST(GridDataset, TenPercentGranularityHas11Cubed) {
+  DirectServiceModel truth(prototype_capacity());
+  const GridDataset grid(slice1_profile(), truth, 0.1);  // the paper's granularity
+  EXPECT_EQ(grid.samples().size(), 11u * 11u * 11u);
+}
+
+TEST(GridDataset, ValidatesGranularity) {
+  DirectServiceModel truth(prototype_capacity());
+  EXPECT_THROW(GridDataset(slice1_profile(), truth, 0.0), std::invalid_argument);
+  EXPECT_THROW(GridDataset(slice1_profile(), truth, 1.5), std::invalid_argument);
+}
+
+TEST(GridDataset, AdjacentReturnsCellCorners) {
+  DirectServiceModel truth(prototype_capacity());
+  const GridDataset grid(slice1_profile(), truth, 0.1);
+  // The paper's example: [12, 38, 22]% -> corners like [10, 30, 20]%.
+  const auto corners = grid.adjacent({0.12, 0.38, 0.22});
+  EXPECT_EQ(corners.size(), 8u);
+  for (const auto& c : corners) {
+    EXPECT_TRUE(c.allocation[0] == 0.1 || std::abs(c.allocation[0] - 0.2) < 1e-12);
+    EXPECT_TRUE(std::abs(c.allocation[1] - 0.3) < 1e-12 ||
+                std::abs(c.allocation[1] - 0.4) < 1e-12);
+  }
+}
+
+TEST(GridDataset, AdjacentOnGridPointDeduplicates) {
+  DirectServiceModel truth(prototype_capacity());
+  const GridDataset grid(slice1_profile(), truth, 0.1);
+  const auto corners = grid.adjacent({1.0, 1.0, 1.0});  // boundary corner
+  EXPECT_LT(corners.size(), 8u);
+  EXPECT_GE(corners.size(), 1u);
+}
+
+TEST(LocalLinearModel, InterpolatesBetweenGridPoints) {
+  const auto truth = std::make_shared<DirectServiceModel>(prototype_capacity());
+  const auto grid = std::make_shared<GridDataset>(slice1_profile(), *truth, 0.1);
+  LocalLinearServiceModel model(grid);
+  const Allocation query{0.35, 0.45, 0.55};
+  const double predicted = model.service_time(slice1_profile(), query);
+  const double actual = truth->service_time(slice1_profile(), query);
+  // 1/x curvature within a 10% cell is modest: linear fit within ~30%.
+  EXPECT_NEAR(predicted / actual, 1.0, 0.3);
+}
+
+TEST(LocalLinearModel, ExactOnGridPoints) {
+  const auto truth = std::make_shared<DirectServiceModel>(prototype_capacity());
+  const auto grid = std::make_shared<GridDataset>(slice2_profile(), *truth, 0.1);
+  LocalLinearServiceModel model(grid);
+  // Regression through 8 corners isn't guaranteed exact at a corner, but a
+  // query at a corner uses that corner in its fit and stays close.
+  const Allocation corner{0.5, 0.5, 0.5};
+  const double predicted = model.service_time(slice2_profile(), corner);
+  const double actual = truth->service_time(slice2_profile(), corner);
+  EXPECT_NEAR(predicted / actual, 1.0, 0.35);
+}
+
+TEST(LocalLinearModel, PredictionsNonNegativeAndCapped) {
+  const auto truth = std::make_shared<DirectServiceModel>(prototype_capacity());
+  const auto grid = std::make_shared<GridDataset>(slice1_profile(), *truth, 0.1);
+  LocalLinearServiceModel model(grid);
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    Allocation a{rng.uniform(), rng.uniform(), rng.uniform()};
+    const double t = model.service_time(slice1_profile(), a);
+    EXPECT_GE(t, 0.0);
+    EXPECT_LE(t, kServiceTimeCap);
+  }
+}
+
+TEST(LocalLinearModel, NullDatasetThrows) {
+  EXPECT_THROW(LocalLinearServiceModel(nullptr), std::invalid_argument);
+}
+
+TEST(PerProfileLinearModel, DispatchesByProfile) {
+  DirectServiceModel truth(prototype_capacity());
+  const std::vector<AppProfile> profiles{slice1_profile(), slice2_profile()};
+  PerProfileLinearServiceModel model(profiles, truth, 0.2);
+  EXPECT_EQ(model.profile_count(), 2u);
+  const Allocation a{0.5, 0.5, 0.5};
+  // Each profile's prediction should track its own ground truth, which
+  // differ strongly between the two archetypes.
+  const double p1 = model.service_time(slice1_profile(), a);
+  const double p2 = model.service_time(slice2_profile(), a);
+  EXPECT_NEAR(p1 / truth.service_time(slice1_profile(), a), 1.0, 0.35);
+  EXPECT_NEAR(p2 / truth.service_time(slice2_profile(), a), 1.0, 0.35);
+  EXPECT_NE(p1, p2);
+}
+
+TEST(PerProfileLinearModel, UnknownProfileThrows) {
+  DirectServiceModel truth(prototype_capacity());
+  PerProfileLinearServiceModel model({slice1_profile()}, truth, 0.2);
+  EXPECT_THROW(model.service_time(slice2_profile(), {0.5, 0.5, 0.5}),
+               std::invalid_argument);
+}
+
+TEST(PerProfileLinearModel, SharedProfilesDeduplicated) {
+  DirectServiceModel truth(prototype_capacity());
+  PerProfileLinearServiceModel model({slice1_profile(), slice1_profile()}, truth, 0.2);
+  EXPECT_EQ(model.profile_count(), 1u);
+}
+
+TEST(PerProfileLinearModel, EmptyProfilesThrow) {
+  DirectServiceModel truth(prototype_capacity());
+  EXPECT_THROW(PerProfileLinearServiceModel({}, truth, 0.2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace edgeslice::env

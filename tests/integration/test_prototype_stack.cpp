@@ -1,0 +1,104 @@
+// Integration: the environment's service model grounded in the actual
+// substrate managers, plus an end-to-end task flow through radio ->
+// transport -> compute for one RA (the prototype path of Fig. 4).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/resource_autonomy.h"
+#include "env/environment.h"
+#include "env/service_model.h"
+
+namespace edgeslice::core {
+namespace {
+
+TEST(PrototypeStack, GridDatasetFromManagerCapacity) {
+  Rng rng(1);
+  ResourceAutonomy ra(prototype_ra_config(0), rng);
+  const auto capacity = ra.capacity();
+  env::DirectServiceModel ground_truth(capacity);
+  const env::GridDataset grid(env::slice1_profile(), ground_truth, 0.2);
+  EXPECT_EQ(grid.samples().size(), 6u * 6u * 6u);
+  // Every measured point with full allocation is fast; zero allocation is capped.
+  for (const auto& s : grid.samples()) {
+    if (s.allocation[0] == 0.0) {
+      EXPECT_DOUBLE_EQ(s.service_time, env::kServiceTimeCap);
+    } else {
+      EXPECT_GT(s.service_time, 0.0);
+    }
+  }
+}
+
+TEST(PrototypeStack, LinearModelEnvTracksDirectEnv) {
+  // The paper's simulated environment (linear model over grid data) should
+  // behave like the direct pipeline model under identical seeds/actions.
+  const auto capacity = env::prototype_capacity();
+  const auto direct = std::make_shared<env::DirectServiceModel>(capacity);
+  const auto grid =
+      std::make_shared<env::GridDataset>(env::slice1_profile(), *direct, 0.1);
+  const auto grid2 =
+      std::make_shared<env::GridDataset>(env::slice2_profile(), *direct, 0.1);
+  (void)grid2;
+  const auto linear = std::make_shared<env::LocalLinearServiceModel>(grid);
+
+  // Compare service-time predictions across a sweep (slice 1's profile).
+  Rng rng(5);
+  double ratio_sum = 0.0;
+  int count = 0;
+  for (int i = 0; i < 100; ++i) {
+    env::Allocation a{rng.uniform(0.1, 1.0), rng.uniform(0.1, 1.0), rng.uniform(0.1, 1.0)};
+    const double d = direct->service_time(env::slice1_profile(), a);
+    const double l = linear->service_time(env::slice1_profile(), a);
+    if (d > 0.0 && d < env::kServiceTimeCap) {
+      ratio_sum += l / d;
+      ++count;
+    }
+  }
+  ASSERT_GT(count, 50);
+  EXPECT_NEAR(ratio_sum / count, 1.0, 0.15);  // close on average
+}
+
+TEST(PrototypeStack, TaskFlowThroughAllThreeManagers) {
+  Rng rng(2);
+  ResourceAutonomy ra(prototype_ra_config(0), rng);
+  ra.attach_user("310170000000001", "10.0.0.1", 1, 0);
+  ra.attach_user("310170000000002", "10.0.1.1", 2, 1);
+  ra.apply({0.7, 0.7, 0.3, 0.3, 0.3, 0.7});
+
+  // One slice-1 task (500x500 frame, YOLO-320).
+  const auto app = env::slice1_profile();
+  ra.radio().enqueue_bits(1, app.uplink_bits);
+  const auto served = ra.radio().run(100, rng);  // 100 ms of TTIs
+  EXPECT_NEAR(served[0], app.uplink_bits, 1.0);  // uplink done within 100 ms
+
+  const double transported =
+      ra.transport().slice_capacity_bits(0, 0.1);  // 100 ms of link time
+  EXPECT_GT(transported, app.uplink_bits);         // 0.7 * 80 Mbps * 0.1 s
+
+  ra.computing().submit(0, compute::Kernel{20000, app.compute_work});
+  const auto done = ra.computing().run(0.5, 1e-3);
+  EXPECT_NEAR(done[0], app.compute_work, 1e-6);
+}
+
+TEST(PrototypeStack, EnvironmentOverManagerCapacityIsStable) {
+  Rng rng(3);
+  ResourceAutonomy ra(prototype_ra_config(0), rng);
+  const auto model = std::make_shared<env::DirectServiceModel>(ra.capacity());
+  env::RaEnvironmentConfig config;
+  config.arrival_rate = 5.0;
+  env::RaEnvironment environment(config,
+                                 {env::slice1_profile(), env::slice2_profile()}, model,
+                                 env::make_queue_power_perf(), Rng(9));
+  // A sensible static allocation keeps queues bounded over a long run.
+  const std::vector<double> action{0.7, 0.7, 0.25, 0.25, 0.25, 0.7};
+  double max_queue = 0.0;
+  for (int t = 0; t < 200; ++t) {
+    const auto result = environment.step(action);
+    max_queue = std::max(max_queue,
+                         result.queue_lengths[0] + result.queue_lengths[1]);
+  }
+  EXPECT_LT(max_queue, 100.0);
+}
+
+}  // namespace
+}  // namespace edgeslice::core

@@ -1,0 +1,92 @@
+// Integration: tenant-driven slice lifecycle over the running system.
+//
+// A tenant requests slices through the SR interface (SliceManager), the
+// SLAs propagate into the performance coordinator, users attach, the
+// system runs, and an SLA modification at runtime changes the
+// coordinator's projection target.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/slice_manager.h"
+#include "core/system.h"
+#include "env/service_model.h"
+
+namespace edgeslice::core {
+namespace {
+
+TEST(SliceLifecycle, RequestsDriveCoordinatorAndSystem) {
+  // Operator-side setup: 2 RAs, capacity for 2 slices.
+  CoordinatorConfig coordinator_config;
+  coordinator_config.slices = 2;
+  coordinator_config.ras = 2;
+
+  const auto model =
+      std::make_shared<env::DirectServiceModel>(env::prototype_capacity());
+  std::vector<std::unique_ptr<env::RaEnvironment>> environments;
+  std::vector<std::unique_ptr<RaPolicy>> policies;
+  env::RaEnvironmentConfig env_config;
+  env_config.intervals_per_period = 5;
+  for (std::size_t j = 0; j < 2; ++j) {
+    environments.push_back(std::make_unique<env::RaEnvironment>(
+        env_config, std::vector<env::AppProfile>{env::slice1_profile(),
+                                                 env::slice2_profile()},
+        model, env::make_queue_power_perf(), Rng(40 + j)));
+    policies.push_back(std::make_unique<TaroPolicy>());
+  }
+  std::vector<env::RaEnvironment*> env_ptrs{environments[0].get(), environments[1].get()};
+  std::vector<RaPolicy*> policy_ptrs{policies[0].get(), policies[1].get()};
+  EdgeSliceSystem system(env_ptrs, policy_ptrs, coordinator_config);
+
+  // Tenant-side: request two slices with distinct SLAs.
+  SliceManagerConfig manager_config;
+  manager_config.capacity = env::prototype_capacity();
+  manager_config.admission_load_limit = 1.5;
+  SliceManager manager(manager_config, &system.coordinator(), &system.monitor());
+
+  const auto dashcam = manager.request_slice("acme-dashcam", env::slice1_profile(), -60.0);
+  const auto inspect = manager.request_slice("inspect-co", env::slice2_profile(), -40.0);
+  ASSERT_TRUE(dashcam.admitted);
+  ASSERT_TRUE(inspect.admitted);
+  EXPECT_DOUBLE_EQ(system.coordinator().config().u_min[0], -60.0);
+  EXPECT_DOUBLE_EQ(system.coordinator().config().u_min[1], -40.0);
+
+  manager.attach_user(*dashcam.slice_id, "310170000000001", "10.0.0.1");
+  manager.attach_user(*inspect.slice_id, "310170000000002", "10.0.1.1");
+  EXPECT_EQ(system.monitor().slice_of_imsi("310170000000001"), 0u);
+
+  // Run a few periods; the coordinator projects onto the requested SLAs.
+  system.run(3);
+  EXPECT_TRUE(system.coordinator().sla_satisfied(0));
+  EXPECT_TRUE(system.coordinator().sla_satisfied(1));
+
+  // Runtime SLA modification tightens the projection target.
+  manager.modify_sla(*inspect.slice_id, -20.0);
+  EXPECT_DOUBLE_EQ(system.coordinator().config().u_min[1], -20.0);
+  system.run(2);
+  // z for slice 1 must respect the new bound by construction.
+  double z_total = 0.0;
+  for (std::size_t j = 0; j < 2; ++j) z_total += system.coordinator().z(1, j);
+  EXPECT_GE(z_total, -20.0 - 1e-9);
+}
+
+TEST(SliceLifecycle, OverbookedTenantIsRejectedNotBroken) {
+  CoordinatorConfig coordinator_config;
+  coordinator_config.slices = 2;
+  coordinator_config.ras = 1;
+  PerformanceCoordinator coordinator(coordinator_config);
+  SliceManagerConfig manager_config;
+  manager_config.capacity = env::prototype_capacity();
+  manager_config.admission_load_limit = 0.5;
+  SliceManager manager(manager_config, &coordinator, nullptr);
+
+  ASSERT_TRUE(manager.request_slice("a", env::slice1_profile(), -50.0).admitted);
+  const auto rejected = manager.request_slice("b", env::slice1_profile(), -50.0);
+  EXPECT_FALSE(rejected.admitted);
+  // The rejected request must not have touched the coordinator's SLAs.
+  EXPECT_DOUBLE_EQ(coordinator.config().u_min[1], -50.0);  // still the default
+  EXPECT_EQ(manager.active_slices(), 1u);
+}
+
+}  // namespace
+}  // namespace edgeslice::core

@@ -1,0 +1,63 @@
+#include "nn/activations.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace edgeslice::nn {
+namespace {
+
+class ActivationGradientTest : public ::testing::TestWithParam<Activation> {};
+
+// Property: analytic derivative matches central finite difference.
+TEST_P(ActivationGradientTest, MatchesFiniteDifference) {
+  const Activation a = GetParam();
+  const double eps = 1e-6;
+  for (double z : {-2.0, -0.5, 0.3, 1.7, 4.0}) {
+    const double fd = (activate(z + eps, a) - activate(z - eps, a)) / (2 * eps);
+    EXPECT_NEAR(activate_grad(z, a), fd, 1e-5) << activation_name(a) << " at z=" << z;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllActivations, ActivationGradientTest,
+                         ::testing::Values(Activation::Identity, Activation::Relu,
+                                           Activation::LeakyRelu, Activation::Tanh,
+                                           Activation::Sigmoid, Activation::Softplus),
+                         [](const auto& info) { return activation_name(info.param); });
+
+TEST(Activations, ReluClampsNegative) {
+  EXPECT_DOUBLE_EQ(activate(-3.0, Activation::Relu), 0.0);
+  EXPECT_DOUBLE_EQ(activate(2.0, Activation::Relu), 2.0);
+}
+
+TEST(Activations, LeakyReluSlope) {
+  EXPECT_DOUBLE_EQ(activate(-1.0, Activation::LeakyRelu), -kLeakyReluSlope);
+  EXPECT_DOUBLE_EQ(activate_grad(-1.0, Activation::LeakyRelu), kLeakyReluSlope);
+  EXPECT_DOUBLE_EQ(activate_grad(1.0, Activation::LeakyRelu), 1.0);
+}
+
+TEST(Activations, SigmoidRange) {
+  EXPECT_NEAR(activate(0.0, Activation::Sigmoid), 0.5, 1e-12);
+  EXPECT_GT(activate(-30.0, Activation::Sigmoid), 0.0);
+  EXPECT_LT(activate(30.0, Activation::Sigmoid), 1.0 + 1e-12);
+}
+
+TEST(Activations, TanhOddSymmetry) {
+  EXPECT_NEAR(activate(1.3, Activation::Tanh), -activate(-1.3, Activation::Tanh), 1e-12);
+}
+
+TEST(Activations, SoftplusLargeInputStable) {
+  EXPECT_NEAR(activate(100.0, Activation::Softplus), 100.0, 1e-9);
+  EXPECT_GT(activate(0.0, Activation::Softplus), 0.0);
+}
+
+TEST(Activations, MatrixFormMatchesScalar) {
+  Matrix z{{-1.0, 0.0, 2.0}};
+  const auto y = activate(z, Activation::Sigmoid);
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_DOUBLE_EQ(y(0, c), activate(z(0, c), Activation::Sigmoid));
+  }
+}
+
+}  // namespace
+}  // namespace edgeslice::nn

@@ -1,0 +1,85 @@
+#include "nn/adam.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace edgeslice::nn {
+namespace {
+
+TEST(Adam, AttachValidatesShapes) {
+  Adam opt;
+  Matrix p(2, 2);
+  Matrix g(2, 3);
+  EXPECT_THROW(opt.attach(&p, &g), std::invalid_argument);
+  EXPECT_THROW(opt.attach(nullptr, &g), std::invalid_argument);
+}
+
+TEST(Adam, FirstStepMovesByLearningRate) {
+  // With bias correction, the first Adam step is ~lr * sign(grad).
+  Adam opt(AdamConfig{.learning_rate = 0.1});
+  Matrix p(1, 1, 5.0);
+  Matrix g(1, 1, 2.0);
+  opt.attach(&p, &g);
+  opt.step();
+  EXPECT_NEAR(p(0, 0), 5.0 - 0.1, 1e-6);
+}
+
+TEST(Adam, StepZeroesGradients) {
+  Adam opt;
+  Matrix p(1, 2, 0.0);
+  Matrix g(1, 2, 1.0);
+  opt.attach(&p, &g);
+  opt.step();
+  EXPECT_DOUBLE_EQ(g(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(g(0, 1), 0.0);
+}
+
+TEST(Adam, MinimizesQuadratic) {
+  // minimize (x - 3)^2 by feeding grad = 2(x-3).
+  Adam opt(AdamConfig{.learning_rate = 0.05});
+  Matrix x(1, 1, -4.0);
+  Matrix g(1, 1, 0.0);
+  opt.attach(&x, &g);
+  for (int i = 0; i < 2000; ++i) {
+    g(0, 0) = 2.0 * (x(0, 0) - 3.0);
+    opt.step();
+  }
+  EXPECT_NEAR(x(0, 0), 3.0, 1e-3);
+}
+
+TEST(Adam, ScaleFlipsToAscent) {
+  // maximize -(x-3)^2 with scale = -1 applied to the descent gradient.
+  Adam opt(AdamConfig{.learning_rate = 0.05});
+  Matrix x(1, 1, 0.0);
+  Matrix g(1, 1, 0.0);
+  opt.attach(&x, &g);
+  for (int i = 0; i < 2000; ++i) {
+    g(0, 0) = -2.0 * (x(0, 0) - 3.0);  // gradient of the objective
+    opt.step(-1.0);                    // ascend
+  }
+  EXPECT_NEAR(x(0, 0), 3.0, 1e-3);
+}
+
+TEST(Adam, CountsSteps) {
+  Adam opt;
+  Matrix p(1, 1);
+  Matrix g(1, 1);
+  opt.attach(&p, &g);
+  opt.step();
+  opt.step();
+  EXPECT_EQ(opt.step_count(), 2u);
+}
+
+TEST(Adam, LearningRateAdjustable) {
+  Adam opt(AdamConfig{.learning_rate = 0.1});
+  opt.set_learning_rate(0.0);
+  Matrix p(1, 1, 1.0);
+  Matrix g(1, 1, 5.0);
+  opt.attach(&p, &g);
+  opt.step();
+  EXPECT_DOUBLE_EQ(p(0, 0), 1.0);
+}
+
+}  // namespace
+}  // namespace edgeslice::nn

@@ -1,0 +1,113 @@
+#include "nn/dense.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace edgeslice::nn {
+namespace {
+
+TEST(Dense, ForwardShape) {
+  Rng rng(1);
+  Dense layer(3, 5, Activation::Identity, rng);
+  const auto y = layer.forward(Matrix(4, 3, 1.0));
+  EXPECT_EQ(y.rows(), 4u);
+  EXPECT_EQ(y.cols(), 5u);
+}
+
+TEST(Dense, ForwardComputesAffine) {
+  Rng rng(1);
+  Dense layer(2, 1, Activation::Identity, rng);
+  layer.weights() = Matrix{{2.0}, {3.0}};
+  layer.bias() = Matrix{{1.0}};
+  const auto y = layer.forward(Matrix{{1.0, 1.0}});
+  EXPECT_DOUBLE_EQ(y(0, 0), 6.0);
+}
+
+TEST(Dense, InferMatchesForward) {
+  Rng rng(3);
+  Dense layer(4, 3, Activation::Tanh, rng);
+  Matrix x(2, 4);
+  Rng data(9);
+  for (auto& v : x.data()) v = data.normal();
+  const auto a = layer.forward(x);
+  const auto b = layer.infer(x);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.data()[i], b.data()[i]);
+  }
+}
+
+// Numerical gradient check of dL/dW, dL/db and dL/dX where L = sum(Y).
+TEST(Dense, BackwardMatchesFiniteDifference) {
+  Rng rng(5);
+  Dense layer(3, 2, Activation::LeakyRelu, rng);
+  Matrix x(2, 3);
+  Rng data(17);
+  for (auto& v : x.data()) v = data.normal();
+
+  layer.zero_grad();
+  layer.forward(x);
+  const Matrix ones(2, 2, 1.0);
+  const Matrix dx = layer.backward(ones);
+
+  const double eps = 1e-6;
+  const auto loss = [&](Dense& l, const Matrix& input) { return l.infer(input).total(); };
+
+  for (std::size_t i = 0; i < layer.weights().size(); ++i) {
+    const double original = layer.weights().data()[i];
+    layer.weights().data()[i] = original + eps;
+    const double up = loss(layer, x);
+    layer.weights().data()[i] = original - eps;
+    const double down = loss(layer, x);
+    layer.weights().data()[i] = original;
+    EXPECT_NEAR(layer.weight_grad().data()[i], (up - down) / (2 * eps), 1e-5)
+        << "weight " << i;
+  }
+  for (std::size_t i = 0; i < layer.bias().size(); ++i) {
+    const double original = layer.bias().data()[i];
+    layer.bias().data()[i] = original + eps;
+    const double up = loss(layer, x);
+    layer.bias().data()[i] = original - eps;
+    const double down = loss(layer, x);
+    layer.bias().data()[i] = original;
+    EXPECT_NEAR(layer.bias_grad().data()[i], (up - down) / (2 * eps), 1e-5) << "bias " << i;
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double original = x.data()[i];
+    x.data()[i] = original + eps;
+    const double up = loss(layer, x);
+    x.data()[i] = original - eps;
+    const double down = loss(layer, x);
+    x.data()[i] = original;
+    EXPECT_NEAR(dx.data()[i], (up - down) / (2 * eps), 1e-5) << "input " << i;
+  }
+}
+
+TEST(Dense, GradientsAccumulateAcrossBackwardCalls) {
+  Rng rng(7);
+  Dense layer(2, 2, Activation::Identity, rng);
+  const Matrix x(1, 2, 1.0);
+  const Matrix g(1, 2, 1.0);
+  layer.forward(x);
+  layer.backward(g);
+  const double once = layer.weight_grad()(0, 0);
+  layer.forward(x);
+  layer.backward(g);
+  EXPECT_DOUBLE_EQ(layer.weight_grad()(0, 0), 2.0 * once);
+  layer.zero_grad();
+  EXPECT_DOUBLE_EQ(layer.weight_grad()(0, 0), 0.0);
+}
+
+TEST(Dense, InitializationIsSeedDependent) {
+  Rng a(1);
+  Rng b(1);
+  Rng c(2);
+  Dense la(4, 4, Activation::Relu, a);
+  Dense lb(4, 4, Activation::Relu, b);
+  Dense lc(4, 4, Activation::Relu, c);
+  EXPECT_EQ(la.weights().data(), lb.weights().data());
+  EXPECT_NE(la.weights().data(), lc.weights().data());
+}
+
+}  // namespace
+}  // namespace edgeslice::nn

@@ -1,0 +1,169 @@
+#include "nn/mlp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/rng.h"
+
+namespace edgeslice::nn {
+namespace {
+
+Mlp make_net(Rng& rng) {
+  return Mlp({3, 8, 8, 2}, Activation::LeakyRelu, Activation::Identity, rng);
+}
+
+TEST(Mlp, RequiresAtLeastTwoSizes) {
+  Rng rng(1);
+  EXPECT_THROW(Mlp({4}, Activation::Relu, Activation::Identity, rng),
+               std::invalid_argument);
+}
+
+TEST(Mlp, ShapesAndDims) {
+  Rng rng(1);
+  Mlp net = make_net(rng);
+  EXPECT_EQ(net.in_dim(), 3u);
+  EXPECT_EQ(net.out_dim(), 2u);
+  EXPECT_EQ(net.layers().size(), 3u);
+  const auto y = net.infer(Matrix(5, 3, 0.5));
+  EXPECT_EQ(y.rows(), 5u);
+  EXPECT_EQ(y.cols(), 2u);
+}
+
+TEST(Mlp, InferVectorMatchesInfer) {
+  Rng rng(2);
+  Mlp net = make_net(rng);
+  const std::vector<double> x{0.1, -0.4, 0.9};
+  const auto a = net.infer_vector(x);
+  const auto b = net.infer(Matrix::row(x)).row_vector(0);
+  EXPECT_EQ(a, b);
+}
+
+// Full-stack numerical gradient check: L = sum(net(x)).
+TEST(Mlp, BackwardMatchesFiniteDifference) {
+  Rng rng(3);
+  Mlp net({2, 5, 3}, Activation::Tanh, Activation::Sigmoid, rng);
+  Matrix x(3, 2);
+  Rng data(4);
+  for (auto& v : x.data()) v = data.normal();
+
+  net.zero_grad();
+  net.forward(x);
+  net.backward(Matrix(3, 3, 1.0));
+  const auto analytic = net.flat_gradients();
+
+  const auto theta = net.flat_parameters();
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < theta.size(); i += 7) {  // sample every 7th param
+    auto up = theta;
+    auto down = theta;
+    up[i] += eps;
+    down[i] -= eps;
+    net.set_flat_parameters(up);
+    const double lu = net.infer(x).total();
+    net.set_flat_parameters(down);
+    const double ld = net.infer(x).total();
+    net.set_flat_parameters(theta);
+    EXPECT_NEAR(analytic[i], (lu - ld) / (2 * eps), 1e-5) << "param " << i;
+  }
+}
+
+TEST(Mlp, LearnsLinearRegression) {
+  // y = 2 x0 - x1; MSE descent should reach near-zero loss.
+  Rng rng(5);
+  Mlp net({2, 16, 1}, Activation::LeakyRelu, Activation::Identity, rng);
+  Adam opt(AdamConfig{.learning_rate = 0.01});
+  net.attach_to(opt);
+  Rng data(6);
+  double loss = 0.0;
+  for (int step = 0; step < 3000; ++step) {
+    Matrix x(16, 2);
+    for (auto& v : x.data()) v = data.uniform(-1, 1);
+    Matrix target(16, 1);
+    for (std::size_t r = 0; r < 16; ++r) target(r, 0) = 2 * x(r, 0) - x(r, 1);
+    const auto y = net.forward(x);
+    Matrix grad(16, 1);
+    loss = 0.0;
+    for (std::size_t r = 0; r < 16; ++r) {
+      const double e = y(r, 0) - target(r, 0);
+      loss += e * e / 16.0;
+      grad(r, 0) = 2.0 * e / 16.0;
+    }
+    net.backward(grad);
+    opt.step();
+  }
+  EXPECT_LT(loss, 1e-3);
+}
+
+TEST(Mlp, SoftUpdateInterpolates) {
+  Rng rng(7);
+  Mlp a({2, 4, 1}, Activation::Relu, Activation::Identity, rng);
+  Mlp b({2, 4, 1}, Activation::Relu, Activation::Identity, rng);
+  const double wa = a.layers()[0].weights()(0, 0);
+  const double wb = b.layers()[0].weights()(0, 0);
+  b.soft_update_from(a, 0.25);
+  EXPECT_NEAR(b.layers()[0].weights()(0, 0), 0.25 * wa + 0.75 * wb, 1e-12);
+}
+
+TEST(Mlp, CopyParametersMakesIdentical) {
+  Rng rng(8);
+  Mlp a({2, 4, 1}, Activation::Relu, Activation::Identity, rng);
+  Mlp b({2, 4, 1}, Activation::Relu, Activation::Identity, rng);
+  b.copy_parameters_from(a);
+  const std::vector<double> x{0.3, -0.7};
+  EXPECT_EQ(a.infer_vector(x), b.infer_vector(x));
+}
+
+TEST(Mlp, SoftUpdateArchitectureMismatchThrows) {
+  Rng rng(9);
+  Mlp a({2, 4, 1}, Activation::Relu, Activation::Identity, rng);
+  Mlp b({2, 4, 4, 1}, Activation::Relu, Activation::Identity, rng);
+  EXPECT_THROW(b.soft_update_from(a, 0.5), std::invalid_argument);
+}
+
+TEST(Mlp, FlatParameterRoundTrip) {
+  Rng rng(10);
+  Mlp net = make_net(rng);
+  auto theta = net.flat_parameters();
+  EXPECT_EQ(theta.size(), net.parameter_count());
+  for (auto& v : theta) v += 0.5;
+  net.set_flat_parameters(theta);
+  EXPECT_EQ(net.flat_parameters(), theta);
+  theta.pop_back();
+  EXPECT_THROW(net.set_flat_parameters(theta), std::invalid_argument);
+}
+
+TEST(Mlp, SaveLoadRoundTripsExactly) {
+  Rng rng(21);
+  Mlp net({3, 7, 2}, Activation::LeakyRelu, Activation::Sigmoid, rng);
+  std::stringstream stream;
+  net.save(stream);
+  const Mlp loaded = Mlp::load(stream);
+  EXPECT_EQ(loaded.in_dim(), 3u);
+  EXPECT_EQ(loaded.out_dim(), 2u);
+  EXPECT_EQ(loaded.layers()[0].activation(), Activation::LeakyRelu);
+  EXPECT_EQ(loaded.layers()[1].activation(), Activation::Sigmoid);
+  const std::vector<double> x{0.31, -0.87, 1.44};
+  EXPECT_EQ(net.infer_vector(x), loaded.infer_vector(x));  // bit-exact (hex floats)
+}
+
+TEST(Mlp, LoadRejectsGarbage) {
+  std::stringstream bad("not an mlp");
+  EXPECT_THROW(Mlp::load(bad), std::runtime_error);
+  std::stringstream truncated("mlp v1\n3\n2 4 1\n2 4\n0x1p+0\n");
+  EXPECT_THROW(Mlp::load(truncated), std::runtime_error);
+}
+
+TEST(Mlp, CopyConstructorClones) {
+  Rng rng(11);
+  Mlp a = make_net(rng);
+  Mlp b = a;  // Dense/Matrix are value types: this is a deep clone
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  EXPECT_EQ(a.infer_vector(x), b.infer_vector(x));
+  b.layers()[0].weights()(0, 0) += 1.0;
+  EXPECT_NE(a.infer_vector(x), b.infer_vector(x));
+}
+
+}  // namespace
+}  // namespace edgeslice::nn

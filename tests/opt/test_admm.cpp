@@ -1,0 +1,89 @@
+#include "opt/admm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace edgeslice::opt {
+namespace {
+
+TEST(AdmmResiduals, PrimalNormKnownValue) {
+  // r = (1-0, 2-2, -3-0) -> ||r|| = sqrt(1 + 0 + 9).
+  EXPECT_NEAR(primal_residual_norm({1, 2, -3}, {0, 2, 0}), std::sqrt(10.0), 1e-12);
+}
+
+TEST(AdmmResiduals, DualNormScalesWithRho) {
+  const double base = dual_residual_norm({1, 1}, {0, 0}, 1.0);
+  EXPECT_NEAR(dual_residual_norm({1, 1}, {0, 0}, 2.5), 2.5 * base, 1e-12);
+}
+
+TEST(AdmmResiduals, SizeMismatchThrows) {
+  EXPECT_THROW(primal_residual_norm({1}, {1, 2}), std::invalid_argument);
+  EXPECT_THROW(dual_residual_norm({1}, {1, 2}, 1.0), std::invalid_argument);
+}
+
+TEST(AdmmDuals, UpdateAccumulatesResidual) {
+  std::vector<double> y{0.5, -0.5};
+  update_scaled_duals(y, {2.0, 1.0}, {1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 1.5);   // 0.5 + (2 - 1)
+  EXPECT_DOUBLE_EQ(y[1], -0.5);  // -0.5 + (1 - 1)
+}
+
+TEST(AdmmDuals, ZeroResidualFixedPoint) {
+  std::vector<double> y{1.0, 2.0};
+  update_scaled_duals(y, {3.0, 4.0}, {3.0, 4.0});
+  EXPECT_DOUBLE_EQ(y[0], 1.0);
+  EXPECT_DOUBLE_EQ(y[1], 2.0);
+}
+
+TEST(AdmmMonitor, ConvergesOnSmallResiduals) {
+  AdmmMonitor monitor;
+  monitor.record({10.0, 10.0}, 100.0, 100.0, 4);
+  EXPECT_FALSE(monitor.converged());
+  monitor.record({1e-6, 1e-6}, 100.0, 100.0, 4);
+  EXPECT_TRUE(monitor.converged());
+  EXPECT_EQ(monitor.iterations(), 2u);
+}
+
+TEST(AdmmMonitor, MinIterationsRespected) {
+  AdmmStopCriteria criteria;
+  criteria.min_iterations = 3;
+  AdmmMonitor monitor(criteria);
+  monitor.record({0.0, 0.0}, 1.0, 1.0, 2);
+  monitor.record({0.0, 0.0}, 1.0, 1.0, 2);
+  EXPECT_FALSE(monitor.converged());
+  monitor.record({0.0, 0.0}, 1.0, 1.0, 2);
+  EXPECT_TRUE(monitor.converged());
+}
+
+TEST(AdmmMonitor, RelativeToleranceScalesWithProblem) {
+  AdmmStopCriteria criteria;
+  criteria.absolute_tolerance = 0.0;
+  criteria.relative_tolerance = 0.1;
+  criteria.min_iterations = 1;
+  AdmmMonitor monitor(criteria);
+  // primal 5 <= 0.1 * 100, dual 5 <= 0.1 * 100 -> converged.
+  monitor.record({5.0, 5.0}, 100.0, 100.0, 4);
+  EXPECT_TRUE(monitor.converged());
+}
+
+TEST(AdmmMonitor, ExhaustionFlag) {
+  AdmmStopCriteria criteria;
+  criteria.max_iterations = 2;
+  AdmmMonitor monitor(criteria);
+  monitor.record({10, 10}, 1.0, 1.0, 2);
+  EXPECT_FALSE(monitor.exhausted());
+  monitor.record({10, 10}, 1.0, 1.0, 2);
+  EXPECT_TRUE(monitor.exhausted());
+}
+
+TEST(AdmmMonitor, HistoryIsRecorded) {
+  AdmmMonitor monitor;
+  monitor.record({1.0, 2.0}, 1.0, 1.0, 2);
+  ASSERT_EQ(monitor.history().size(), 1u);
+  EXPECT_DOUBLE_EQ(monitor.history()[0].primal, 1.0);
+  EXPECT_DOUBLE_EQ(monitor.history()[0].dual, 2.0);
+}
+
+}  // namespace
+}  // namespace edgeslice::opt

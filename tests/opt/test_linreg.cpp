@@ -1,0 +1,107 @@
+#include "opt/linreg.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace edgeslice::opt {
+namespace {
+
+TEST(SolveLinearSystem, KnownSolution) {
+  // 2x + y = 5; x - y = 1  =>  x = 2, y = 1.
+  nn::Matrix a{{2, 1}, {1, -1}};
+  const auto x = solve_linear_system(a, {5, 1});
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(SolveLinearSystem, NeedsPivoting) {
+  // First pivot is 0; partial pivoting must swap rows.
+  nn::Matrix a{{0, 1}, {1, 0}};
+  const auto x = solve_linear_system(a, {3, 7});
+  EXPECT_NEAR(x[0], 7.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinearSystem, SingularThrows) {
+  nn::Matrix a{{1, 2}, {2, 4}};
+  EXPECT_THROW(solve_linear_system(a, {1, 2}), std::runtime_error);
+}
+
+TEST(SolveLinearSystem, ShapeMismatchThrows) {
+  nn::Matrix a(2, 3);
+  EXPECT_THROW(solve_linear_system(a, {1, 2}), std::invalid_argument);
+}
+
+TEST(FitLinear, RecoversExactLine) {
+  // y = 3 x0 - 2 x1 + 5 on noiseless data.
+  nn::Matrix x{{0, 0}, {1, 0}, {0, 1}, {1, 1}, {2, 3}};
+  std::vector<double> y;
+  for (std::size_t r = 0; r < x.rows(); ++r) y.push_back(3 * x(r, 0) - 2 * x(r, 1) + 5);
+  const auto model = fit_linear(x, y);
+  EXPECT_NEAR(model.coefficients[0], 3.0, 1e-6);
+  EXPECT_NEAR(model.coefficients[1], -2.0, 1e-6);
+  EXPECT_NEAR(model.intercept, 5.0, 1e-6);
+  EXPECT_NEAR(r_squared(model, x, y), 1.0, 1e-9);
+}
+
+TEST(FitLinear, NoisyDataStillClose) {
+  Rng rng(3);
+  const std::size_t n = 200;
+  nn::Matrix x(n, 1);
+  std::vector<double> y(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    x(r, 0) = rng.uniform(-5, 5);
+    y[r] = 2.0 * x(r, 0) + 1.0 + rng.normal(0, 0.1);
+  }
+  const auto model = fit_linear(x, y);
+  EXPECT_NEAR(model.coefficients[0], 2.0, 0.05);
+  EXPECT_NEAR(model.intercept, 1.0, 0.05);
+  EXPECT_GT(r_squared(model, x, y), 0.99);
+}
+
+TEST(FitLinear, PredictValidatesFeatureCount) {
+  nn::Matrix x{{1, 2}, {3, 4}, {5, 6}};
+  const auto model = fit_linear(x, {1, 2, 3});
+  EXPECT_THROW(model.predict({1.0}), std::invalid_argument);
+}
+
+TEST(FitLinear, EmptyThrows) {
+  nn::Matrix x(0, 2);
+  EXPECT_THROW(fit_linear(x, {}), std::invalid_argument);
+}
+
+TEST(FitLinear, DegenerateNeighborhoodIsStable) {
+  // All samples share the same x: ridge keeps the solve non-singular.
+  nn::Matrix x{{0.5}, {0.5}, {0.5}};
+  const auto model = fit_linear(x, {1.0, 2.0, 3.0}, 1e-6);
+  EXPECT_NEAR(model.predict({0.5}), 2.0, 0.1);
+}
+
+TEST(FitLinear, GridCellInterpolation) {
+  // The paper's use case: adjacent 10%-grid actions -> local plane.
+  nn::Matrix x{{0.1, 0.3, 0.2}, {0.1, 0.4, 0.2}, {0.2, 0.3, 0.2}, {0.2, 0.4, 0.2},
+               {0.1, 0.3, 0.3}, {0.1, 0.4, 0.3}, {0.2, 0.3, 0.3}, {0.2, 0.4, 0.3}};
+  std::vector<double> y;
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    y.push_back(10.0 / (x(r, 0) + 0.1) + 5.0 / (x(r, 1) + 0.1));
+  }
+  const auto model = fit_linear(x, y);
+  // Prediction at the cell centre should land between corner values.
+  const double p = model.predict({0.15, 0.35, 0.25});
+  const auto [lo, hi] = std::minmax_element(y.begin(), y.end());
+  EXPECT_GT(p, *lo - 1e-9);
+  EXPECT_LT(p, *hi + 1e-9);
+}
+
+TEST(RSquared, ZeroForMeanPredictor) {
+  nn::Matrix x{{1}, {2}, {3}};
+  LinearModel mean_only;
+  mean_only.coefficients = {0.0};
+  mean_only.intercept = 2.0;  // mean of y
+  const double r2 = r_squared(mean_only, x, {1, 2, 3});
+  EXPECT_NEAR(r2, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace edgeslice::opt

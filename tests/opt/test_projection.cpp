@@ -1,0 +1,112 @@
+#include "opt/projection.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace edgeslice::opt {
+namespace {
+
+double vec_sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+double dist2(const std::vector<double>& a, const std::vector<double>& b) {
+  double d = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) d += (a[i] - b[i]) * (a[i] - b[i]);
+  return d;
+}
+
+TEST(HalfspaceGe, FeasiblePointUnchanged) {
+  const std::vector<double> c{3.0, 4.0};
+  EXPECT_EQ(project_halfspace_sum_ge(c, 5.0), c);
+}
+
+TEST(HalfspaceGe, InfeasibleLandsOnBoundary) {
+  const auto z = project_halfspace_sum_ge({0.0, 0.0}, 4.0);
+  EXPECT_NEAR(vec_sum(z), 4.0, 1e-12);
+  EXPECT_NEAR(z[0], 2.0, 1e-12);
+}
+
+TEST(HalfspaceGe, EmptyThrows) {
+  EXPECT_THROW(project_halfspace_sum_ge({}, 1.0), std::invalid_argument);
+}
+
+// Property: the projection is the closest feasible point — no random
+// feasible point may be closer.
+TEST(HalfspaceGe, ProjectionIsClosestFeasiblePoint) {
+  Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto c = rng.normals(4, 0.0, 5.0);
+    const double bound = rng.uniform(-10, 10);
+    const auto z = project_halfspace_sum_ge(c, bound);
+    EXPECT_GE(vec_sum(z), bound - 1e-9);
+    const double best = dist2(c, z);
+    for (int k = 0; k < 20; ++k) {
+      auto candidate = rng.normals(4, 0.0, 5.0);
+      candidate = project_halfspace_sum_ge(candidate, bound);  // feasible point
+      EXPECT_GE(dist2(c, candidate), best - 1e-9);
+    }
+  }
+}
+
+TEST(HalfspaceLe, MirrorsGe) {
+  const auto z = project_halfspace_sum_le({3.0, 3.0}, 4.0);
+  EXPECT_NEAR(vec_sum(z), 4.0, 1e-12);
+  const std::vector<double> ok{1.0, 2.0};
+  EXPECT_EQ(project_halfspace_sum_le(ok, 4.0), ok);
+}
+
+TEST(Box, ClampsBothSides) {
+  const auto z = project_box({-1.0, 0.5, 2.0}, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(z[0], 0.0);
+  EXPECT_DOUBLE_EQ(z[1], 0.5);
+  EXPECT_DOUBLE_EQ(z[2], 1.0);
+  EXPECT_THROW(project_box({1.0}, 2.0, 1.0), std::invalid_argument);
+}
+
+TEST(Simplex, AlreadyOnSimplexUnchanged) {
+  const auto z = project_simplex({0.25, 0.75}, 1.0);
+  EXPECT_NEAR(z[0], 0.25, 1e-12);
+  EXPECT_NEAR(z[1], 0.75, 1e-12);
+}
+
+TEST(Simplex, ResultIsOnSimplex) {
+  Rng rng(2);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto c = rng.normals(5, 0.0, 3.0);
+    const auto z = project_simplex(c, 2.0);
+    EXPECT_NEAR(vec_sum(z), 2.0, 1e-9);
+    for (double v : z) EXPECT_GE(v, -1e-12);
+  }
+}
+
+TEST(Simplex, PreservesOrdering) {
+  const auto z = project_simplex({3.0, 1.0, 2.0}, 1.0);
+  EXPECT_GE(z[0], z[2]);
+  EXPECT_GE(z[2], z[1]);
+}
+
+TEST(Simplex, InvalidTotalThrows) {
+  EXPECT_THROW(project_simplex({1.0}, 0.0), std::invalid_argument);
+  EXPECT_THROW(project_simplex({}, 1.0), std::invalid_argument);
+}
+
+// Property: projecting twice is the same as projecting once (idempotence).
+TEST(Projections, Idempotent) {
+  Rng rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto c = rng.normals(4, 0.0, 4.0);
+    const auto once = project_halfspace_sum_ge(c, 1.5);
+    const auto twice = project_halfspace_sum_ge(once, 1.5);
+    for (std::size_t i = 0; i < once.size(); ++i) EXPECT_NEAR(once[i], twice[i], 1e-12);
+    const auto s1 = project_simplex(c, 1.0);
+    const auto s2 = project_simplex(s1, 1.0);
+    for (std::size_t i = 0; i < s1.size(); ++i) EXPECT_NEAR(s1[i], s2[i], 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace edgeslice::opt

@@ -1,0 +1,60 @@
+#include "radio/channel.h"
+
+#include <gtest/gtest.h>
+
+namespace edgeslice::radio {
+namespace {
+
+TEST(Channel, StartsAtMeanCqi) {
+  ChannelModel channel(9);
+  EXPECT_EQ(channel.cqi(), 9u);
+}
+
+TEST(Channel, ValidatesConstruction) {
+  EXPECT_THROW(ChannelModel(0), std::invalid_argument);
+  EXPECT_THROW(ChannelModel(16), std::invalid_argument);
+  EXPECT_THROW(ChannelModel(9, 1.5), std::invalid_argument);
+  EXPECT_THROW(ChannelModel(9, -0.1), std::invalid_argument);
+}
+
+TEST(Channel, StaysInValidRange) {
+  ChannelModel channel(3, 0.9);
+  Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    const std::size_t cqi = channel.step(rng);
+    EXPECT_GE(cqi, kMinCqi);
+    EXPECT_LE(cqi, kMaxCqi);
+  }
+}
+
+TEST(Channel, ZeroVolatilityIsConstant) {
+  ChannelModel channel(7, 0.0);
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(channel.step(rng), 7u);
+  }
+}
+
+TEST(Channel, LongRunMeanNearAnchor) {
+  ChannelModel channel(10, 0.5);
+  Rng rng(3);
+  double total = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) total += static_cast<double>(channel.step(rng));
+  EXPECT_NEAR(total / n, 10.0, 1.5);
+}
+
+TEST(Channel, ChangesAreUnitSteps) {
+  ChannelModel channel(8, 1.0);
+  Rng rng(4);
+  std::size_t prev = channel.cqi();
+  for (int i = 0; i < 1000; ++i) {
+    const std::size_t cur = channel.step(rng);
+    const auto diff = cur > prev ? cur - prev : prev - cur;
+    EXPECT_LE(diff, 1u);
+    prev = cur;
+  }
+}
+
+}  // namespace
+}  // namespace edgeslice::radio

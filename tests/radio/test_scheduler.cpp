@@ -1,0 +1,106 @@
+#include "radio/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "radio/lte.h"
+
+namespace edgeslice::radio {
+namespace {
+
+UserDemand user(std::size_t id, std::size_t slice, double backlog, std::size_t cqi = 9) {
+  return UserDemand{id, slice, cqi, backlog};
+}
+
+TEST(Scheduler, ZeroPrbsThrows) {
+  EXPECT_THROW(SliceAwareScheduler(0, {}), std::invalid_argument);
+}
+
+TEST(Scheduler, ZeroQuotaSliceNotScheduled) {
+  // The paper's key MAC change: users of a slice holding no radio
+  // resources are not scheduled at all.
+  SliceAwareScheduler scheduler(25, {0, 25});
+  const auto result = scheduler.schedule({user(1, 0, 1e6), user(2, 1, 1e6)});
+  EXPECT_DOUBLE_EQ(result.slice_served_bits[0], 0.0);
+  EXPECT_GT(result.slice_served_bits[1], 0.0);
+  for (const auto& grant : result.grants) EXPECT_EQ(grant.slice_id, 1u);
+}
+
+TEST(Scheduler, GrantsAreConsecutive) {
+  SliceAwareScheduler scheduler(25, {10, 15});
+  const auto result =
+      scheduler.schedule({user(1, 0, 1e6), user(2, 0, 1e6), user(3, 1, 1e6)});
+  std::size_t expected_start = 0;
+  for (const auto& grant : result.grants) {
+    EXPECT_EQ(grant.first_prb, expected_start);
+    expected_start += grant.prbs;
+  }
+  EXPECT_EQ(result.prbs_used, expected_start);
+}
+
+TEST(Scheduler, QuotaIsRespected) {
+  SliceAwareScheduler scheduler(25, {10, 15});
+  const auto result = scheduler.schedule({user(1, 0, 1e9), user(2, 1, 1e9)});
+  std::size_t slice0_prbs = 0;
+  std::size_t slice1_prbs = 0;
+  for (const auto& grant : result.grants) {
+    (grant.slice_id == 0 ? slice0_prbs : slice1_prbs) += grant.prbs;
+  }
+  EXPECT_EQ(slice0_prbs, 10u);
+  EXPECT_EQ(slice1_prbs, 15u);
+}
+
+TEST(Scheduler, BacklogLimitsGrant) {
+  SliceAwareScheduler scheduler(25, {25, 0});
+  const double one_prb_bits = tbs_bits(1, 9);
+  const auto result = scheduler.schedule({user(1, 0, one_prb_bits * 2.5)});
+  ASSERT_EQ(result.grants.size(), 1u);
+  EXPECT_EQ(result.grants[0].prbs, 3u);  // ceil(2.5)
+  EXPECT_NEAR(result.grants[0].bits, one_prb_bits * 2.5, 1e-6);
+}
+
+TEST(Scheduler, EmptyBacklogUsersSkipped) {
+  SliceAwareScheduler scheduler(25, {25});
+  const auto result = scheduler.schedule({user(1, 0, 0.0)});
+  EXPECT_TRUE(result.grants.empty());
+  EXPECT_EQ(result.prbs_used, 0u);
+}
+
+TEST(Scheduler, OversubscribedQuotasTruncated) {
+  SliceAwareScheduler scheduler(25, {20, 20});  // sums to 40 > 25
+  const auto result = scheduler.schedule({user(1, 0, 1e9), user(2, 1, 1e9)});
+  EXPECT_LE(result.prbs_used, 25u);
+  std::size_t slice1_prbs = 0;
+  for (const auto& grant : result.grants) {
+    if (grant.slice_id == 1) slice1_prbs += grant.prbs;
+  }
+  EXPECT_EQ(slice1_prbs, 5u);  // only what remains after slice 0
+}
+
+TEST(Scheduler, HigherCqiMovesMoreBits) {
+  SliceAwareScheduler scheduler(25, {25});
+  const auto low = scheduler.schedule({user(1, 0, 1e9, 3)});
+  const auto high = scheduler.schedule({user(1, 0, 1e9, 14)});
+  EXPECT_GT(high.slice_served_bits[0], 2.0 * low.slice_served_bits[0]);
+}
+
+TEST(Scheduler, RoundRobinRotatesUsers) {
+  // Quota of 1 PRB: only one user served per TTI; rotation must alternate.
+  SliceAwareScheduler scheduler(25, {1});
+  const std::vector<UserDemand> users{user(1, 0, 1e9), user(2, 0, 1e9)};
+  const auto first = scheduler.schedule(users);
+  const auto second = scheduler.schedule(users);
+  ASSERT_EQ(first.grants.size(), 1u);
+  ASSERT_EQ(second.grants.size(), 1u);
+  EXPECT_NE(first.grants[0].user_id, second.grants[0].user_id);
+}
+
+TEST(Scheduler, SetQuotasTakesEffect) {
+  SliceAwareScheduler scheduler(25, {25, 0});
+  scheduler.set_quotas({0, 25});
+  const auto result = scheduler.schedule({user(1, 0, 1e9), user(2, 1, 1e9)});
+  EXPECT_DOUBLE_EQ(result.slice_served_bits[0], 0.0);
+  EXPECT_GT(result.slice_served_bits[1], 0.0);
+}
+
+}  // namespace
+}  // namespace edgeslice::radio

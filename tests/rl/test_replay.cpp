@@ -1,0 +1,77 @@
+#include "rl/replay_buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace edgeslice::rl {
+namespace {
+
+Transition make_transition(double tag) {
+  return Transition{{tag, tag}, {tag}, tag, {tag + 1, tag + 1}, false};
+}
+
+TEST(ReplayBuffer, ZeroCapacityThrows) {
+  EXPECT_THROW(ReplayBuffer(0), std::invalid_argument);
+}
+
+TEST(ReplayBuffer, GrowsUntilCapacity) {
+  ReplayBuffer buffer(3);
+  EXPECT_TRUE(buffer.empty());
+  buffer.push(make_transition(1));
+  buffer.push(make_transition(2));
+  EXPECT_EQ(buffer.size(), 2u);
+  buffer.push(make_transition(3));
+  buffer.push(make_transition(4));  // evicts the oldest
+  EXPECT_EQ(buffer.size(), 3u);
+}
+
+TEST(ReplayBuffer, RingEvictsOldestFirst) {
+  ReplayBuffer buffer(2);
+  buffer.push(make_transition(1));
+  buffer.push(make_transition(2));
+  buffer.push(make_transition(3));  // overwrites slot 0
+  EXPECT_DOUBLE_EQ(buffer.at(0).reward, 3.0);
+  EXPECT_DOUBLE_EQ(buffer.at(1).reward, 2.0);
+}
+
+TEST(ReplayBuffer, SampleEmptyThrows) {
+  ReplayBuffer buffer(4);
+  Rng rng(1);
+  EXPECT_THROW(buffer.sample(2, rng), std::logic_error);
+}
+
+TEST(ReplayBuffer, SampleShapes) {
+  ReplayBuffer buffer(10);
+  for (int i = 0; i < 5; ++i) buffer.push(make_transition(i));
+  Rng rng(2);
+  const Batch batch = buffer.sample(8, rng);
+  EXPECT_EQ(batch.size(), 8u);
+  EXPECT_EQ(batch.states.rows(), 8u);
+  EXPECT_EQ(batch.states.cols(), 2u);
+  EXPECT_EQ(batch.actions.cols(), 1u);
+  EXPECT_EQ(batch.next_states.cols(), 2u);
+}
+
+TEST(ReplayBuffer, SampleRowsAreStoredTransitions) {
+  ReplayBuffer buffer(4);
+  buffer.push(make_transition(7));
+  Rng rng(3);
+  const Batch batch = buffer.sample(3, rng);
+  for (std::size_t b = 0; b < batch.size(); ++b) {
+    EXPECT_DOUBLE_EQ(batch.rewards[b], 7.0);
+    EXPECT_DOUBLE_EQ(batch.states(b, 0), 7.0);
+    EXPECT_DOUBLE_EQ(batch.next_states(b, 0), 8.0);
+  }
+}
+
+TEST(ReplayBuffer, DoneFlagRoundTrips) {
+  ReplayBuffer buffer(2);
+  Transition t = make_transition(1);
+  t.done = true;
+  buffer.push(t);
+  Rng rng(4);
+  const Batch batch = buffer.sample(2, rng);
+  EXPECT_TRUE(batch.done[0]);
+}
+
+}  // namespace
+}  // namespace edgeslice::rl

@@ -1,0 +1,80 @@
+#include "rl/rollout.h"
+
+#include <gtest/gtest.h>
+
+namespace edgeslice::rl {
+namespace {
+
+TEST(RolloutBuffer, PushUntilFull) {
+  RolloutBuffer buffer(2, 1, 1);
+  EXPECT_FALSE(buffer.full());
+  buffer.push({0.0}, {0.5}, 1.0, 0.0, -1.0, false);
+  buffer.push({1.0}, {0.5}, 1.0, 0.0, -1.0, false);
+  EXPECT_TRUE(buffer.full());
+  EXPECT_THROW(buffer.push({2.0}, {0.5}, 1.0, 0.0, -1.0, false), std::logic_error);
+}
+
+TEST(RolloutBuffer, ClearResets) {
+  RolloutBuffer buffer(2, 1, 1);
+  buffer.push({0.0}, {0.5}, 1.0, 0.0, -1.0, false);
+  buffer.clear();
+  EXPECT_EQ(buffer.size(), 0u);
+  EXPECT_FALSE(buffer.full());
+}
+
+// Hand-computed GAE on a 3-step rollout, no normalization.
+TEST(RolloutBuffer, GaeMatchesHandComputation) {
+  RolloutBuffer buffer(3, 1, 1);
+  const double gamma = 0.9;
+  const double lambda = 0.8;
+  // rewards 1, 2, 3; values 0.5, 0.6, 0.7; bootstrap 0.8; no terminals.
+  buffer.push({0.0}, {0.0}, 1.0, 0.5, 0.0, false);
+  buffer.push({0.0}, {0.0}, 2.0, 0.6, 0.0, false);
+  buffer.push({0.0}, {0.0}, 3.0, 0.7, 0.0, false);
+  buffer.finish(0.8, gamma, lambda, /*normalize=*/false);
+
+  const double d2 = 3.0 + gamma * 0.8 - 0.7;
+  const double d1 = 2.0 + gamma * 0.7 - 0.6;
+  const double d0 = 1.0 + gamma * 0.6 - 0.5;
+  const double a2 = d2;
+  const double a1 = d1 + gamma * lambda * a2;
+  const double a0 = d0 + gamma * lambda * a1;
+  EXPECT_NEAR(buffer.advantages()[2], a2, 1e-12);
+  EXPECT_NEAR(buffer.advantages()[1], a1, 1e-12);
+  EXPECT_NEAR(buffer.advantages()[0], a0, 1e-12);
+  EXPECT_NEAR(buffer.returns()[0], a0 + 0.5, 1e-12);
+}
+
+TEST(RolloutBuffer, TerminalCutsBootstrap) {
+  RolloutBuffer buffer(2, 1, 1);
+  buffer.push({0.0}, {0.0}, 1.0, 0.0, 0.0, true);  // terminal at step 0
+  buffer.push({0.0}, {0.0}, 5.0, 0.0, 0.0, false);
+  buffer.finish(100.0, 0.99, 0.95, false);
+  // Step 0's advantage must not see step 1's value or the bootstrap.
+  EXPECT_NEAR(buffer.advantages()[0], 1.0, 1e-12);
+}
+
+TEST(RolloutBuffer, NormalizationZeroMeanUnitStd) {
+  RolloutBuffer buffer(4, 1, 1);
+  for (int i = 0; i < 4; ++i) {
+    buffer.push({0.0}, {0.0}, static_cast<double>(i), 0.0, 0.0, false);
+  }
+  buffer.finish(0.0, 0.9, 0.9, true);
+  double mean = 0.0;
+  for (double a : buffer.advantages()) mean += a / 4.0;
+  EXPECT_NEAR(mean, 0.0, 1e-9);
+}
+
+TEST(RolloutBuffer, StoresStatesAndActions) {
+  RolloutBuffer buffer(2, 2, 1);
+  buffer.push({1.0, 2.0}, {0.3}, 0.0, 0.0, 0.0, false);
+  EXPECT_DOUBLE_EQ(buffer.states()(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(buffer.actions()(0, 0), 0.3);
+}
+
+TEST(RolloutBuffer, ZeroCapacityThrows) {
+  EXPECT_THROW(RolloutBuffer(0, 1, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace edgeslice::rl

@@ -1,0 +1,64 @@
+#include "trace/arrivals.h"
+
+#include <gtest/gtest.h>
+
+namespace edgeslice::trace {
+namespace {
+
+TEST(PoissonArrivals, MeanMatchesRate) {
+  PoissonArrivals arrivals(10.0);  // the prototype's rate (Sec. VII-C)
+  Rng rng(1);
+  double total = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) total += static_cast<double>(arrivals.next(rng));
+  EXPECT_NEAR(total / n, 10.0, 0.2);
+}
+
+TEST(PoissonArrivals, NegativeRateThrows) {
+  EXPECT_THROW(PoissonArrivals(-1.0), std::invalid_argument);
+  PoissonArrivals arrivals(1.0);
+  EXPECT_THROW(arrivals.set_rate(-2.0), std::invalid_argument);
+}
+
+TEST(PoissonArrivals, SetRateTakesEffect) {
+  PoissonArrivals arrivals(0.0);
+  Rng rng(2);
+  EXPECT_EQ(arrivals.next(rng), 0u);
+  arrivals.set_rate(5.0);
+  double total = 0.0;
+  for (int i = 0; i < 5000; ++i) total += static_cast<double>(arrivals.next(rng));
+  EXPECT_NEAR(total / 5000.0, 5.0, 0.3);
+}
+
+TEST(ProfileArrivals, FollowsProfileShape) {
+  ProfileArrivals arrivals({1.0, 10.0}, 2.0);
+  EXPECT_DOUBLE_EQ(arrivals.mean_at(0), 2.0);
+  EXPECT_DOUBLE_EQ(arrivals.mean_at(1), 20.0);
+  EXPECT_DOUBLE_EQ(arrivals.mean_at(2), 2.0);  // wraps
+}
+
+TEST(ProfileArrivals, EmpiricalMeansTrackProfile) {
+  ProfileArrivals arrivals({2.0, 8.0}, 1.0);
+  Rng rng(3);
+  double low = 0.0;
+  double high = 0.0;
+  for (int i = 0; i < 5000; ++i) {
+    low += static_cast<double>(arrivals.next(0, rng));
+    high += static_cast<double>(arrivals.next(1, rng));
+  }
+  EXPECT_NEAR(low / 5000.0, 2.0, 0.2);
+  EXPECT_NEAR(high / 5000.0, 8.0, 0.3);
+}
+
+TEST(ProfileArrivals, ValidatesInput) {
+  EXPECT_THROW(ProfileArrivals({}), std::invalid_argument);
+  EXPECT_THROW(ProfileArrivals({1.0, -2.0}), std::invalid_argument);
+}
+
+TEST(ProfileArrivals, PeriodReported) {
+  ProfileArrivals arrivals({1, 2, 3});
+  EXPECT_EQ(arrivals.period(), 3u);
+}
+
+}  // namespace
+}  // namespace edgeslice::trace

@@ -1,0 +1,94 @@
+#include "trace/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace edgeslice::trace {
+namespace {
+
+std::vector<TraceEntry> sample_entries() {
+  return {
+      {0, 0, 10.0, 4.0, 30.0},
+      {0, 1, 12.0, 5.0, 31.0},
+      {1, 0, 3.0, 1.0, 9.0},
+  };
+}
+
+TEST(TraceCsv, RoundTrip) {
+  std::stringstream stream;
+  write_trace_csv(stream, sample_entries());
+  const auto loaded = read_trace_csv(stream);
+  ASSERT_EQ(loaded.size(), 3u);
+  EXPECT_EQ(loaded[1].cell_id, 0u);
+  EXPECT_EQ(loaded[1].interval, 1u);
+  EXPECT_DOUBLE_EQ(loaded[1].calls, 12.0);
+  EXPECT_DOUBLE_EQ(loaded[2].internet, 9.0);
+}
+
+TEST(TraceCsv, GeneratedDatasetRoundTrips) {
+  TraceConfig config;
+  config.cells = 2;
+  config.days = 1;
+  config.intervals_per_day = 24;
+  Rng rng(1);
+  const TraceDataset dataset(config, rng);
+  std::stringstream stream;
+  write_trace_csv(stream, dataset.entries());
+  const auto loaded = read_trace_csv(stream);
+  EXPECT_EQ(loaded.size(), dataset.entries().size());
+  EXPECT_DOUBLE_EQ(loaded[7].calls, dataset.entries()[7].calls);
+}
+
+TEST(TraceCsv, RejectsBadHeader) {
+  std::stringstream stream("wrong,header\n1,2,3,4,5\n");
+  EXPECT_THROW(read_trace_csv(stream), std::runtime_error);
+}
+
+TEST(TraceCsv, RejectsShortRow) {
+  std::stringstream stream("cell_id,interval,calls,sms,internet\n1,2,3\n");
+  EXPECT_THROW(read_trace_csv(stream), std::runtime_error);
+}
+
+TEST(TraceCsv, RejectsNonNumeric) {
+  std::stringstream stream("cell_id,interval,calls,sms,internet\n1,2,abc,4,5\n");
+  EXPECT_THROW(read_trace_csv(stream), std::runtime_error);
+}
+
+TEST(TraceCsv, SkipsBlankLines) {
+  std::stringstream stream("cell_id,interval,calls,sms,internet\n1,2,3,4,5\n\n");
+  EXPECT_EQ(read_trace_csv(stream).size(), 1u);
+}
+
+TEST(DailyCallProfile, ReducesExternalEntries) {
+  // Two days of 4-bin "days": bins should average across days.
+  std::vector<TraceEntry> entries;
+  for (std::size_t day = 0; day < 2; ++day) {
+    for (std::size_t bin = 0; bin < 4; ++bin) {
+      entries.push_back(TraceEntry{0, day * 4 + bin,
+                                   static_cast<double>(bin * 10 + day), 0.0, 0.0});
+    }
+  }
+  const auto profile = daily_call_profile(entries, 0, 4, 4);
+  ASSERT_EQ(profile.size(), 4u);
+  EXPECT_DOUBLE_EQ(profile[0], 0.5);   // mean(0, 1)
+  EXPECT_DOUBLE_EQ(profile[3], 30.5);  // mean(30, 31)
+}
+
+TEST(DailyCallProfile, MatchesDatasetReduction) {
+  TraceConfig config;
+  config.cells = 1;
+  config.days = 2;
+  config.intervals_per_day = 48;
+  Rng rng(5);
+  const TraceDataset dataset(config, rng);
+  const auto via_dataset = dataset.average_daily_calls(0, 24);
+  const auto via_entries = daily_call_profile(dataset.entries(), 0, 24, 48);
+  ASSERT_EQ(via_dataset.size(), via_entries.size());
+  for (std::size_t b = 0; b < 24; ++b) {
+    EXPECT_NEAR(via_dataset[b], via_entries[b], 1e-9) << "bin " << b;
+  }
+}
+
+}  // namespace
+}  // namespace edgeslice::trace

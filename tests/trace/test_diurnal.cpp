@@ -1,0 +1,83 @@
+#include "trace/diurnal.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace edgeslice::trace {
+namespace {
+
+TEST(Diurnal, NightTroughBelowEveningPeak) {
+  const double night = diurnal_activity(4.0);
+  const double evening = diurnal_activity(19.0);
+  EXPECT_LT(night, 0.3 * evening);
+}
+
+TEST(Diurnal, TwoPeaksExist) {
+  // Morning (~11h) and evening (~19h) are local maxima vs the 15h saddle.
+  const double morning = diurnal_activity(11.0);
+  const double saddle = diurnal_activity(15.0);
+  const double evening = diurnal_activity(19.0);
+  EXPECT_GT(morning, saddle);
+  EXPECT_GT(evening, saddle);
+}
+
+TEST(Diurnal, EveningIsGlobalPeak) {
+  double best_hour = 0.0;
+  double best = -1.0;
+  for (double h = 0.0; h < 24.0; h += 0.25) {
+    const double a = diurnal_activity(h);
+    if (a > best) {
+      best = a;
+      best_hour = h;
+    }
+  }
+  EXPECT_NEAR(best_hour, 19.0, 1.5);
+  EXPECT_NEAR(best, 1.0, 0.15);
+}
+
+TEST(Diurnal, NonNegativeEverywhere) {
+  for (double h = 0.0; h < 24.0; h += 0.1) {
+    EXPECT_GE(diurnal_activity(h), 0.0);
+  }
+}
+
+TEST(Diurnal, WrapsAroundMidnight) {
+  EXPECT_NEAR(diurnal_activity(0.0), diurnal_activity(24.0), 1e-9);
+}
+
+TEST(CellProfile, SampledScalesAreHeavyTailed) {
+  Rng rng(1);
+  std::vector<double> scales;
+  for (int i = 0; i < 2000; ++i) scales.push_back(sample_cell_profile(rng).scale);
+  std::sort(scales.begin(), scales.end());
+  const double median = scales[scales.size() / 2];
+  const double p99 = scales[static_cast<std::size_t>(scales.size() * 0.99)];
+  EXPECT_NEAR(median, 1.0, 0.15);  // log-normal with mu = 0
+  EXPECT_GT(p99, 2.5 * median);    // heavy tail
+}
+
+TEST(CellProfile, PhaseShiftsTheCurve) {
+  CellProfile cell;
+  cell.phase_hours = 2.0;
+  EXPECT_NEAR(cell_activity(cell, 21.0), diurnal_activity(19.0), 1e-9);
+}
+
+TEST(CellProfile, ScaleMultiplies) {
+  CellProfile cell;
+  cell.scale = 3.0;
+  EXPECT_NEAR(cell_activity(cell, 12.0), 3.0 * diurnal_activity(12.0), 1e-9);
+}
+
+TEST(CellProfile, SamplingIsDeterministicPerSeed) {
+  Rng a(5);
+  Rng b(5);
+  const auto pa = sample_cell_profile(a);
+  const auto pb = sample_cell_profile(b);
+  EXPECT_DOUBLE_EQ(pa.scale, pb.scale);
+  EXPECT_DOUBLE_EQ(pa.phase_hours, pb.phase_hours);
+}
+
+}  // namespace
+}  // namespace edgeslice::trace

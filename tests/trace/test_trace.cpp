@@ -1,0 +1,106 @@
+#include "trace/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace edgeslice::trace {
+namespace {
+
+TraceConfig small_config() {
+  TraceConfig config;
+  config.cells = 4;
+  config.days = 3;
+  config.intervals_per_day = 48;  // 30-minute bins for test speed
+  config.mean_calls_per_interval = 40.0;
+  return config;
+}
+
+TEST(TraceDataset, EntryCountMatchesConfig) {
+  Rng rng(1);
+  const TraceDataset trace(small_config(), rng);
+  EXPECT_EQ(trace.entries().size(), 4u * 3u * 48u);
+}
+
+TEST(TraceDataset, SchemaFieldsPopulated) {
+  Rng rng(1);
+  const TraceDataset trace(small_config(), rng);
+  const auto& e = trace.entries().front();
+  EXPECT_LT(e.cell_id, 4u);
+  EXPECT_GE(e.calls, 0.0);
+  EXPECT_GE(e.sms, 0.0);
+  EXPECT_GE(e.internet, 0.0);
+}
+
+TEST(TraceDataset, InternetVolumeExceedsCalls) {
+  Rng rng(2);
+  const TraceDataset trace(small_config(), rng);
+  double calls = 0.0;
+  double internet = 0.0;
+  for (const auto& e : trace.entries()) {
+    calls += e.calls;
+    internet += e.internet;
+  }
+  EXPECT_GT(internet, calls);
+}
+
+TEST(TraceDataset, DailyProfileIsDiurnal) {
+  Rng rng(3);
+  TraceConfig config = small_config();
+  config.days = 7;
+  config.noise = 0.05;
+  const TraceDataset trace(config, rng);
+  for (std::size_t cell = 0; cell < config.cells; ++cell) {
+    const auto profile = trace.average_daily_calls(cell, 24);
+    ASSERT_EQ(profile.size(), 24u);
+    // Busy evening hours should dominate the deep night (phase shifts of
+    // up to ~2h keep 18-21h inside the evening peak).
+    const double night = profile[3] + profile[4];
+    const double evening = profile[18] + profile[19] + profile[20];
+    EXPECT_GT(evening, night) << "cell " << cell;
+  }
+}
+
+TEST(TraceDataset, NormalizedProfilePeaksAtRequestedValue) {
+  Rng rng(4);
+  const TraceDataset trace(small_config(), rng);
+  const auto profile = trace.normalized_daily_profile(0, 24, 10.0);
+  const double max_value = *std::max_element(profile.begin(), profile.end());
+  EXPECT_NEAR(max_value, 10.0, 1e-9);
+  for (double v : profile) EXPECT_GE(v, 0.0);
+}
+
+TEST(TraceDataset, CellsDiffer) {
+  Rng rng(5);
+  const TraceDataset trace(small_config(), rng);
+  const auto a = trace.average_daily_calls(0, 24);
+  const auto b = trace.average_daily_calls(1, 24);
+  EXPECT_NE(a, b);
+}
+
+TEST(TraceDataset, BadCellThrows) {
+  Rng rng(6);
+  const TraceDataset trace(small_config(), rng);
+  EXPECT_THROW(trace.average_daily_calls(99, 24), std::out_of_range);
+  EXPECT_THROW(trace.average_daily_calls(0, 0), std::invalid_argument);
+}
+
+TEST(TraceDataset, DegenerateConfigThrows) {
+  Rng rng(7);
+  TraceConfig config = small_config();
+  config.cells = 0;
+  EXPECT_THROW(TraceDataset(config, rng), std::invalid_argument);
+}
+
+TEST(TraceDataset, DeterministicPerSeed) {
+  TraceConfig config = small_config();
+  Rng a(11);
+  Rng b(11);
+  const TraceDataset ta(config, a);
+  const TraceDataset tb(config, b);
+  EXPECT_EQ(ta.entries().size(), tb.entries().size());
+  EXPECT_DOUBLE_EQ(ta.entries()[100].calls, tb.entries()[100].calls);
+}
+
+}  // namespace
+}  // namespace edgeslice::trace

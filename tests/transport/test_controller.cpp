@@ -1,0 +1,108 @@
+#include "transport/controller.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace edgeslice::transport {
+namespace {
+
+class ControllerTest : public ::testing::Test {
+ protected:
+  ControllerTest() {
+    for (int i = 0; i < 6; ++i) {
+      switches_.push_back(std::make_unique<OpenFlowSwitch>("of:" + std::to_string(i)));
+      path_.push_back(switches_.back().get());
+    }
+  }
+
+  SliceProgram program(std::size_t slice, double rate) {
+    SliceProgram p;
+    p.slice = slice;
+    p.src_ip = "10.0." + std::to_string(slice) + ".1";
+    p.dst_ip = "192.168.0.1";
+    p.rate_mbps = rate;
+    return p;
+  }
+
+  std::vector<std::unique_ptr<OpenFlowSwitch>> switches_;
+  std::vector<OpenFlowSwitch*> path_;
+};
+
+TEST_F(ControllerTest, EmptyPathThrows) {
+  EXPECT_THROW(SdnController({}), std::invalid_argument);
+  EXPECT_THROW(SdnController({nullptr}), std::invalid_argument);
+}
+
+TEST_F(ControllerTest, InitialInstallHasNoOutage) {
+  SdnController controller(path_);
+  const auto report = controller.apply(program(0, 40.0), ReconfigStrategy::NaiveDeleteRecreate);
+  EXPECT_DOUBLE_EQ(report.outage_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(controller.end_to_end_rate("10.0.0.1", "192.168.0.1", 100.0), 40.0);
+}
+
+TEST_F(ControllerTest, NaiveReconfigCausesOutage) {
+  SdnController controller(path_);
+  controller.apply(program(0, 40.0), ReconfigStrategy::NaiveDeleteRecreate);
+  const auto report = controller.apply(program(0, 20.0), ReconfigStrategy::NaiveDeleteRecreate);
+  // One deletion-creation gap per switch on the path.
+  EXPECT_NEAR(report.outage_seconds, 6 * ControllerConfig{}.deletion_creation_gap_s, 1e-12);
+  EXPECT_GT(controller.total_outage_seconds(), 0.0);
+}
+
+TEST_F(ControllerTest, HitlessReconfigHasZeroOutage) {
+  SdnController controller(path_);
+  controller.apply(program(0, 40.0), ReconfigStrategy::ParallelHitless);
+  const auto report = controller.apply(program(0, 20.0), ReconfigStrategy::ParallelHitless);
+  EXPECT_DOUBLE_EQ(report.outage_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(controller.total_outage_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(controller.end_to_end_rate("10.0.0.1", "192.168.0.1", 100.0), 20.0);
+}
+
+TEST_F(ControllerTest, HitlessLeavesNoStaleState) {
+  SdnController controller(path_);
+  for (int i = 0; i < 5; ++i) {
+    controller.apply(program(0, 10.0 + i), ReconfigStrategy::ParallelHitless);
+  }
+  // Exactly one meter and one flow per switch for the slice.
+  for (const auto* sw : path_) {
+    EXPECT_EQ(sw->flow_count(), 1u);
+    EXPECT_EQ(sw->meter_count(), 1u);
+  }
+}
+
+TEST_F(ControllerTest, RepeatedNaiveReconfigAccumulatesOutage) {
+  SdnController controller(path_);
+  controller.apply(program(0, 40.0), ReconfigStrategy::NaiveDeleteRecreate);
+  controller.apply(program(0, 30.0), ReconfigStrategy::NaiveDeleteRecreate);
+  controller.apply(program(0, 20.0), ReconfigStrategy::NaiveDeleteRecreate);
+  EXPECT_NEAR(controller.total_outage_seconds(),
+              2 * 6 * ControllerConfig{}.deletion_creation_gap_s, 1e-12);
+}
+
+TEST_F(ControllerTest, SlicesAreIndependentPrograms) {
+  SdnController controller(path_);
+  controller.apply(program(0, 40.0), ReconfigStrategy::ParallelHitless);
+  controller.apply(program(1, 10.0), ReconfigStrategy::ParallelHitless);
+  EXPECT_DOUBLE_EQ(controller.end_to_end_rate("10.0.0.1", "192.168.0.1", 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(controller.end_to_end_rate("10.0.1.1", "192.168.0.1", 100.0), 10.0);
+}
+
+TEST_F(ControllerTest, EndToEndIsMinAcrossPath) {
+  SdnController controller(path_);
+  controller.apply(program(0, 40.0), ReconfigStrategy::ParallelHitless);
+  // Manually tighten one mid-path switch's meter: end-to-end follows the min.
+  path_[3]->add_meter(Meter{999, 5.0});
+  path_[3]->add_flow(FlowEntry{999, "10.0.0.1", "192.168.0.1", MeterId{999}, 100});
+  EXPECT_DOUBLE_EQ(controller.end_to_end_rate("10.0.0.1", "192.168.0.1", 100.0), 5.0);
+}
+
+TEST_F(ControllerTest, UnknownTrafficDropsEndToEnd) {
+  SdnController controller(path_);
+  controller.apply(program(0, 40.0), ReconfigStrategy::ParallelHitless);
+  EXPECT_DOUBLE_EQ(controller.end_to_end_rate("99.9.9.9", "192.168.0.1", 10.0), 0.0);
+}
+
+}  // namespace
+}  // namespace edgeslice::transport

@@ -1,0 +1,100 @@
+#include "transport/switch.h"
+
+#include <gtest/gtest.h>
+
+namespace edgeslice::transport {
+namespace {
+
+TEST(Switch, MeterCrud) {
+  OpenFlowSwitch sw("of:1");
+  sw.add_meter(Meter{1, 40.0});
+  EXPECT_TRUE(sw.has_meter(1));
+  EXPECT_DOUBLE_EQ(sw.meter_rate(1), 40.0);
+  EXPECT_THROW(sw.add_meter(Meter{1, 10.0}), std::invalid_argument);
+  sw.delete_meter(1);
+  EXPECT_FALSE(sw.has_meter(1));
+  EXPECT_THROW(sw.delete_meter(1), std::invalid_argument);
+}
+
+TEST(Switch, NegativeRateRejected) {
+  OpenFlowSwitch sw("of:1");
+  EXPECT_THROW(sw.add_meter(Meter{1, -5.0}), std::invalid_argument);
+}
+
+TEST(Switch, FlowCrud) {
+  OpenFlowSwitch sw("of:1");
+  sw.add_flow(FlowEntry{1, "10.0.0.1", "192.168.0.1", std::nullopt, 0});
+  EXPECT_TRUE(sw.has_flow(1));
+  EXPECT_THROW(sw.add_flow(FlowEntry{1, "", "", std::nullopt, 0}), std::invalid_argument);
+  sw.delete_flow(1);
+  EXPECT_FALSE(sw.has_flow(1));
+  EXPECT_THROW(sw.delete_flow(1), std::invalid_argument);
+}
+
+TEST(Switch, FlowReferencingUnknownMeterRejected) {
+  OpenFlowSwitch sw("of:1");
+  EXPECT_THROW(sw.add_flow(FlowEntry{1, "", "", MeterId{9}, 0}), std::invalid_argument);
+}
+
+TEST(Switch, MeterDeleteBlockedWhileAttached) {
+  // The OpenFlow constraint behind the paper's hitless-reconfig design:
+  // a meter cannot be removed while flows reference it.
+  OpenFlowSwitch sw("of:1");
+  sw.add_meter(Meter{1, 40.0});
+  sw.add_flow(FlowEntry{1, "", "", MeterId{1}, 0});
+  EXPECT_THROW(sw.delete_meter(1), std::logic_error);
+  sw.delete_flow(1);
+  EXPECT_NO_THROW(sw.delete_meter(1));
+}
+
+TEST(Switch, TableMissDrops) {
+  OpenFlowSwitch sw("of:1");
+  const auto result = sw.forward("10.0.0.1", "192.168.0.1", 10.0);
+  EXPECT_FALSE(result.matched);
+  EXPECT_DOUBLE_EQ(result.dropped_mbps, 10.0);
+  EXPECT_DOUBLE_EQ(result.forwarded_mbps, 0.0);
+}
+
+TEST(Switch, MatchingFlowForwards) {
+  OpenFlowSwitch sw("of:1");
+  sw.add_flow(FlowEntry{1, "10.0.0.1", "192.168.0.1", std::nullopt, 0});
+  const auto result = sw.forward("10.0.0.1", "192.168.0.1", 10.0);
+  EXPECT_TRUE(result.matched);
+  EXPECT_DOUBLE_EQ(result.forwarded_mbps, 10.0);
+}
+
+TEST(Switch, WildcardMatches) {
+  OpenFlowSwitch sw("of:1");
+  sw.add_flow(FlowEntry{1, "", "", std::nullopt, 0});
+  EXPECT_TRUE(sw.forward("1.2.3.4", "5.6.7.8", 1.0).matched);
+}
+
+TEST(Switch, MeterLimitsRate) {
+  OpenFlowSwitch sw("of:1");
+  sw.add_meter(Meter{1, 8.0});
+  sw.add_flow(FlowEntry{1, "", "", MeterId{1}, 0});
+  const auto result = sw.forward("a", "b", 10.0);
+  EXPECT_DOUBLE_EQ(result.forwarded_mbps, 8.0);
+  EXPECT_DOUBLE_EQ(result.dropped_mbps, 2.0);
+}
+
+TEST(Switch, HighestPriorityWins) {
+  OpenFlowSwitch sw("of:1");
+  sw.add_meter(Meter{1, 1.0});
+  sw.add_meter(Meter{2, 50.0});
+  sw.add_flow(FlowEntry{1, "", "", MeterId{1}, 0});
+  sw.add_flow(FlowEntry{2, "", "", MeterId{2}, 5});
+  EXPECT_DOUBLE_EQ(sw.forward("a", "b", 10.0).forwarded_mbps, 10.0);
+}
+
+TEST(Switch, SpecificMatchBeatsWildcardOnPriority) {
+  OpenFlowSwitch sw("of:1");
+  sw.add_flow(FlowEntry{1, "", "", std::nullopt, 1});
+  sw.add_meter(Meter{1, 2.0});
+  sw.add_flow(FlowEntry{2, "10.0.0.1", "", MeterId{1}, 10});
+  EXPECT_DOUBLE_EQ(sw.forward("10.0.0.1", "x", 10.0).forwarded_mbps, 2.0);
+  EXPECT_DOUBLE_EQ(sw.forward("10.0.0.2", "x", 10.0).forwarded_mbps, 10.0);
+}
+
+}  // namespace
+}  // namespace edgeslice::transport

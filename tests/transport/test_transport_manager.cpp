@@ -1,0 +1,80 @@
+#include "transport/transport_manager.h"
+
+#include <gtest/gtest.h>
+
+namespace edgeslice::transport {
+namespace {
+
+TransportManagerConfig prototype_config() {
+  TransportManagerConfig config;
+  config.link_capacity_mbps = 80.0;  // Table II
+  config.slices = 2;
+  config.switches = 6;
+  return config;
+}
+
+TEST(TransportManager, ShareMapsToMeterRate) {
+  TransportManager manager(prototype_config());
+  manager.set_slice_share(0, 0.5);
+  EXPECT_DOUBLE_EQ(manager.slice_rate_mbps(0), 40.0);
+  EXPECT_DOUBLE_EQ(manager.offered_load_rate(0, 100.0), 40.0);
+}
+
+TEST(TransportManager, ValidatesInput) {
+  TransportManager manager(prototype_config());
+  EXPECT_THROW(manager.set_slice_share(0, 1.5), std::invalid_argument);
+  EXPECT_THROW(manager.set_slice_share(7, 0.5), std::out_of_range);
+  EXPECT_THROW(manager.slice_capacity_bits(0, -1.0), std::invalid_argument);
+}
+
+TEST(TransportManager, CapacityBitsForInterval) {
+  TransportManager manager(prototype_config());
+  manager.set_slice_share(0, 0.25);
+  EXPECT_DOUBLE_EQ(manager.slice_capacity_bits(0, 1.0), 20e6);
+  EXPECT_DOUBLE_EQ(manager.slice_capacity_bits(0, 2.0), 40e6);
+}
+
+TEST(TransportManager, HitlessDefaultHasNoOutage) {
+  TransportManager manager(prototype_config());
+  for (int i = 0; i < 10; ++i) {
+    manager.set_slice_share(0, 0.1 * (i + 1) / 2.0);
+  }
+  EXPECT_DOUBLE_EQ(manager.total_outage_seconds(), 0.0);
+}
+
+TEST(TransportManager, NaiveStrategyChargesOutageAgainstCapacity) {
+  TransportManagerConfig config = prototype_config();
+  config.strategy = ReconfigStrategy::NaiveDeleteRecreate;
+  TransportManager manager(config);
+  manager.set_slice_share(0, 0.5);   // install: no outage
+  manager.set_slice_share(0, 0.25);  // reconfig: 6 * 0.05 s outage
+  const double capacity = manager.slice_capacity_bits(0, 1.0);
+  EXPECT_NEAR(capacity, 20e6 * (1.0 - 0.3), 1e-3);
+  // Outage was consumed; the next interval is clean.
+  EXPECT_NEAR(manager.slice_capacity_bits(0, 1.0), 20e6, 1e-3);
+}
+
+TEST(TransportManager, ReconfigReportCountsMods) {
+  TransportManager manager(prototype_config());
+  const auto report = manager.set_slice_share(0, 0.5);
+  EXPECT_EQ(report.flow_mods, 6u);
+  EXPECT_EQ(report.meter_mods, 6u);
+}
+
+TEST(TransportManager, CustomEndpointsRespected) {
+  TransportManager manager(prototype_config());
+  manager.register_slice_endpoints(1, "10.9.9.9", "192.168.7.7");
+  manager.set_slice_share(1, 0.5);
+  EXPECT_DOUBLE_EQ(manager.offered_load_rate(1, 100.0), 40.0);
+}
+
+TEST(TransportManager, SlicesShareIsIndependent) {
+  TransportManager manager(prototype_config());
+  manager.set_slice_share(0, 0.75);
+  manager.set_slice_share(1, 0.25);
+  EXPECT_DOUBLE_EQ(manager.slice_rate_mbps(0), 60.0);
+  EXPECT_DOUBLE_EQ(manager.slice_rate_mbps(1), 20.0);
+}
+
+}  // namespace
+}  // namespace edgeslice::transport

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ddpg.dir/ablation_ddpg.cpp.o"
+  "CMakeFiles/ablation_ddpg.dir/ablation_ddpg.cpp.o.d"
+  "ablation_ddpg"
+  "ablation_ddpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ddpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_kernel_split.dir/ablation_kernel_split.cpp.o"
+  "CMakeFiles/ablation_kernel_split.dir/ablation_kernel_split.cpp.o.d"
+  "ablation_kernel_split"
+  "ablation_kernel_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_kernel_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_reward_shaping.dir/ablation_reward_shaping.cpp.o"
+  "CMakeFiles/ablation_reward_shaping.dir/ablation_reward_shaping.cpp.o.d"
+  "ablation_reward_shaping"
+  "ablation_reward_shaping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reward_shaping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/common.cpp" "bench/CMakeFiles/es_bench_common.dir/common.cpp.o" "gcc" "bench/CMakeFiles/es_bench_common.dir/common.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/es_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/es_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/es_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/es_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/es_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/es_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/es_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/es_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/compute/CMakeFiles/es_compute.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/es_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/es_bench_common.dir/common.cpp.o"
+  "CMakeFiles/es_bench_common.dir/common.cpp.o.d"
+  "libes_bench_common.a"
+  "libes_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/es_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

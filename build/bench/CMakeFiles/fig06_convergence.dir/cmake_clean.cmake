@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_convergence.dir/fig06_convergence.cpp.o"
+  "CMakeFiles/fig06_convergence.dir/fig06_convergence.cpp.o.d"
+  "fig06_convergence"
+  "fig06_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

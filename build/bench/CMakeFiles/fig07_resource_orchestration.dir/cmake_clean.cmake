@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_resource_orchestration.dir/fig07_resource_orchestration.cpp.o"
+  "CMakeFiles/fig07_resource_orchestration.dir/fig07_resource_orchestration.cpp.o.d"
+  "fig07_resource_orchestration"
+  "fig07_resource_orchestration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_resource_orchestration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

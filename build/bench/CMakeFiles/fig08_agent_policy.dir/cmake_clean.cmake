@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_agent_policy.dir/fig08_agent_policy.cpp.o"
+  "CMakeFiles/fig08_agent_policy.dir/fig08_agent_policy.cpp.o.d"
+  "fig08_agent_policy"
+  "fig08_agent_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_agent_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_training.dir/fig10_training.cpp.o"
+  "CMakeFiles/fig10_training.dir/fig10_training.cpp.o.d"
+  "fig10_training"
+  "fig10_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

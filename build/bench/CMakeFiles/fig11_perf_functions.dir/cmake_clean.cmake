@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_perf_functions.dir/fig11_perf_functions.cpp.o"
+  "CMakeFiles/fig11_perf_functions.dir/fig11_perf_functions.cpp.o.d"
+  "fig11_perf_functions"
+  "fig11_perf_functions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_perf_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prototype_testbed.dir/prototype_testbed.cpp.o"
+  "CMakeFiles/prototype_testbed.dir/prototype_testbed.cpp.o.d"
+  "prototype_testbed"
+  "prototype_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prototype_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

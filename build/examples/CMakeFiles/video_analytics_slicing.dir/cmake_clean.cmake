@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_analytics_slicing.dir/video_analytics_slicing.cpp.o"
+  "CMakeFiles/video_analytics_slicing.dir/video_analytics_slicing.cpp.o.d"
+  "video_analytics_slicing"
+  "video_analytics_slicing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_analytics_slicing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/es_common.dir/cli.cpp.o"
+  "CMakeFiles/es_common.dir/cli.cpp.o.d"
+  "CMakeFiles/es_common.dir/logging.cpp.o"
+  "CMakeFiles/es_common.dir/logging.cpp.o.d"
+  "CMakeFiles/es_common.dir/rng.cpp.o"
+  "CMakeFiles/es_common.dir/rng.cpp.o.d"
+  "CMakeFiles/es_common.dir/stats.cpp.o"
+  "CMakeFiles/es_common.dir/stats.cpp.o.d"
+  "libes_common.a"
+  "libes_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/es_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compute/computing_manager.cpp" "src/compute/CMakeFiles/es_compute.dir/computing_manager.cpp.o" "gcc" "src/compute/CMakeFiles/es_compute.dir/computing_manager.cpp.o.d"
+  "/root/repo/src/compute/gpu.cpp" "src/compute/CMakeFiles/es_compute.dir/gpu.cpp.o" "gcc" "src/compute/CMakeFiles/es_compute.dir/gpu.cpp.o.d"
+  "/root/repo/src/compute/kernel_split.cpp" "src/compute/CMakeFiles/es_compute.dir/kernel_split.cpp.o" "gcc" "src/compute/CMakeFiles/es_compute.dir/kernel_split.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/es_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

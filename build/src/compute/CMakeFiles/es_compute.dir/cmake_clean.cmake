@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/es_compute.dir/computing_manager.cpp.o"
+  "CMakeFiles/es_compute.dir/computing_manager.cpp.o.d"
+  "CMakeFiles/es_compute.dir/gpu.cpp.o"
+  "CMakeFiles/es_compute.dir/gpu.cpp.o.d"
+  "CMakeFiles/es_compute.dir/kernel_split.cpp.o"
+  "CMakeFiles/es_compute.dir/kernel_split.cpp.o.d"
+  "libes_compute.a"
+  "libes_compute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/es_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

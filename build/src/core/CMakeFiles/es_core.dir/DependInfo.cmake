@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/coordinator.cpp" "src/core/CMakeFiles/es_core.dir/coordinator.cpp.o" "gcc" "src/core/CMakeFiles/es_core.dir/coordinator.cpp.o.d"
+  "/root/repo/src/core/monitor.cpp" "src/core/CMakeFiles/es_core.dir/monitor.cpp.o" "gcc" "src/core/CMakeFiles/es_core.dir/monitor.cpp.o.d"
+  "/root/repo/src/core/policies.cpp" "src/core/CMakeFiles/es_core.dir/policies.cpp.o" "gcc" "src/core/CMakeFiles/es_core.dir/policies.cpp.o.d"
+  "/root/repo/src/core/resource_autonomy.cpp" "src/core/CMakeFiles/es_core.dir/resource_autonomy.cpp.o" "gcc" "src/core/CMakeFiles/es_core.dir/resource_autonomy.cpp.o.d"
+  "/root/repo/src/core/slice_manager.cpp" "src/core/CMakeFiles/es_core.dir/slice_manager.cpp.o" "gcc" "src/core/CMakeFiles/es_core.dir/slice_manager.cpp.o.d"
+  "/root/repo/src/core/system.cpp" "src/core/CMakeFiles/es_core.dir/system.cpp.o" "gcc" "src/core/CMakeFiles/es_core.dir/system.cpp.o.d"
+  "/root/repo/src/core/training.cpp" "src/core/CMakeFiles/es_core.dir/training.cpp.o" "gcc" "src/core/CMakeFiles/es_core.dir/training.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/es_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/es_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/es_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/es_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/es_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/es_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/es_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/es_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/compute/CMakeFiles/es_compute.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/es_core.dir/coordinator.cpp.o"
+  "CMakeFiles/es_core.dir/coordinator.cpp.o.d"
+  "CMakeFiles/es_core.dir/monitor.cpp.o"
+  "CMakeFiles/es_core.dir/monitor.cpp.o.d"
+  "CMakeFiles/es_core.dir/policies.cpp.o"
+  "CMakeFiles/es_core.dir/policies.cpp.o.d"
+  "CMakeFiles/es_core.dir/resource_autonomy.cpp.o"
+  "CMakeFiles/es_core.dir/resource_autonomy.cpp.o.d"
+  "CMakeFiles/es_core.dir/slice_manager.cpp.o"
+  "CMakeFiles/es_core.dir/slice_manager.cpp.o.d"
+  "CMakeFiles/es_core.dir/system.cpp.o"
+  "CMakeFiles/es_core.dir/system.cpp.o.d"
+  "CMakeFiles/es_core.dir/training.cpp.o"
+  "CMakeFiles/es_core.dir/training.cpp.o.d"
+  "libes_core.a"
+  "libes_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/es_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/env/app_model.cpp" "src/env/CMakeFiles/es_env.dir/app_model.cpp.o" "gcc" "src/env/CMakeFiles/es_env.dir/app_model.cpp.o.d"
+  "/root/repo/src/env/environment.cpp" "src/env/CMakeFiles/es_env.dir/environment.cpp.o" "gcc" "src/env/CMakeFiles/es_env.dir/environment.cpp.o.d"
+  "/root/repo/src/env/perf.cpp" "src/env/CMakeFiles/es_env.dir/perf.cpp.o" "gcc" "src/env/CMakeFiles/es_env.dir/perf.cpp.o.d"
+  "/root/repo/src/env/queue.cpp" "src/env/CMakeFiles/es_env.dir/queue.cpp.o" "gcc" "src/env/CMakeFiles/es_env.dir/queue.cpp.o.d"
+  "/root/repo/src/env/service_model.cpp" "src/env/CMakeFiles/es_env.dir/service_model.cpp.o" "gcc" "src/env/CMakeFiles/es_env.dir/service_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/es_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/es_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/es_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/es_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/es_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/compute/CMakeFiles/es_compute.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/es_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

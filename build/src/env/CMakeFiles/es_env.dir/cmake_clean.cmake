@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/es_env.dir/app_model.cpp.o"
+  "CMakeFiles/es_env.dir/app_model.cpp.o.d"
+  "CMakeFiles/es_env.dir/environment.cpp.o"
+  "CMakeFiles/es_env.dir/environment.cpp.o.d"
+  "CMakeFiles/es_env.dir/perf.cpp.o"
+  "CMakeFiles/es_env.dir/perf.cpp.o.d"
+  "CMakeFiles/es_env.dir/queue.cpp.o"
+  "CMakeFiles/es_env.dir/queue.cpp.o.d"
+  "CMakeFiles/es_env.dir/service_model.cpp.o"
+  "CMakeFiles/es_env.dir/service_model.cpp.o.d"
+  "libes_env.a"
+  "libes_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/es_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/es_nn.dir/activations.cpp.o"
+  "CMakeFiles/es_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/es_nn.dir/adam.cpp.o"
+  "CMakeFiles/es_nn.dir/adam.cpp.o.d"
+  "CMakeFiles/es_nn.dir/dense.cpp.o"
+  "CMakeFiles/es_nn.dir/dense.cpp.o.d"
+  "CMakeFiles/es_nn.dir/matrix.cpp.o"
+  "CMakeFiles/es_nn.dir/matrix.cpp.o.d"
+  "CMakeFiles/es_nn.dir/mlp.cpp.o"
+  "CMakeFiles/es_nn.dir/mlp.cpp.o.d"
+  "libes_nn.a"
+  "libes_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/es_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

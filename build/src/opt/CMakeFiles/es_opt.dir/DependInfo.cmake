@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/admm.cpp" "src/opt/CMakeFiles/es_opt.dir/admm.cpp.o" "gcc" "src/opt/CMakeFiles/es_opt.dir/admm.cpp.o.d"
+  "/root/repo/src/opt/linreg.cpp" "src/opt/CMakeFiles/es_opt.dir/linreg.cpp.o" "gcc" "src/opt/CMakeFiles/es_opt.dir/linreg.cpp.o.d"
+  "/root/repo/src/opt/projection.cpp" "src/opt/CMakeFiles/es_opt.dir/projection.cpp.o" "gcc" "src/opt/CMakeFiles/es_opt.dir/projection.cpp.o.d"
+  "/root/repo/src/opt/qp.cpp" "src/opt/CMakeFiles/es_opt.dir/qp.cpp.o" "gcc" "src/opt/CMakeFiles/es_opt.dir/qp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/es_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/es_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

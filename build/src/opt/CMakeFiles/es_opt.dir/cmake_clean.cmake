@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/es_opt.dir/admm.cpp.o"
+  "CMakeFiles/es_opt.dir/admm.cpp.o.d"
+  "CMakeFiles/es_opt.dir/linreg.cpp.o"
+  "CMakeFiles/es_opt.dir/linreg.cpp.o.d"
+  "CMakeFiles/es_opt.dir/projection.cpp.o"
+  "CMakeFiles/es_opt.dir/projection.cpp.o.d"
+  "CMakeFiles/es_opt.dir/qp.cpp.o"
+  "CMakeFiles/es_opt.dir/qp.cpp.o.d"
+  "libes_opt.a"
+  "libes_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/es_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

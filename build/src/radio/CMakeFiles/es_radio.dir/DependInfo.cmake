@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/radio/channel.cpp" "src/radio/CMakeFiles/es_radio.dir/channel.cpp.o" "gcc" "src/radio/CMakeFiles/es_radio.dir/channel.cpp.o.d"
+  "/root/repo/src/radio/lte.cpp" "src/radio/CMakeFiles/es_radio.dir/lte.cpp.o" "gcc" "src/radio/CMakeFiles/es_radio.dir/lte.cpp.o.d"
+  "/root/repo/src/radio/radio_manager.cpp" "src/radio/CMakeFiles/es_radio.dir/radio_manager.cpp.o" "gcc" "src/radio/CMakeFiles/es_radio.dir/radio_manager.cpp.o.d"
+  "/root/repo/src/radio/scheduler.cpp" "src/radio/CMakeFiles/es_radio.dir/scheduler.cpp.o" "gcc" "src/radio/CMakeFiles/es_radio.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/es_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

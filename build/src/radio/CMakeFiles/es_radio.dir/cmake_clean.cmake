@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/es_radio.dir/channel.cpp.o"
+  "CMakeFiles/es_radio.dir/channel.cpp.o.d"
+  "CMakeFiles/es_radio.dir/lte.cpp.o"
+  "CMakeFiles/es_radio.dir/lte.cpp.o.d"
+  "CMakeFiles/es_radio.dir/radio_manager.cpp.o"
+  "CMakeFiles/es_radio.dir/radio_manager.cpp.o.d"
+  "CMakeFiles/es_radio.dir/scheduler.cpp.o"
+  "CMakeFiles/es_radio.dir/scheduler.cpp.o.d"
+  "libes_radio.a"
+  "libes_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/es_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rl/agent.cpp" "src/rl/CMakeFiles/es_rl.dir/agent.cpp.o" "gcc" "src/rl/CMakeFiles/es_rl.dir/agent.cpp.o.d"
+  "/root/repo/src/rl/ddpg.cpp" "src/rl/CMakeFiles/es_rl.dir/ddpg.cpp.o" "gcc" "src/rl/CMakeFiles/es_rl.dir/ddpg.cpp.o.d"
+  "/root/repo/src/rl/frozen.cpp" "src/rl/CMakeFiles/es_rl.dir/frozen.cpp.o" "gcc" "src/rl/CMakeFiles/es_rl.dir/frozen.cpp.o.d"
+  "/root/repo/src/rl/gaussian_policy.cpp" "src/rl/CMakeFiles/es_rl.dir/gaussian_policy.cpp.o" "gcc" "src/rl/CMakeFiles/es_rl.dir/gaussian_policy.cpp.o.d"
+  "/root/repo/src/rl/noise.cpp" "src/rl/CMakeFiles/es_rl.dir/noise.cpp.o" "gcc" "src/rl/CMakeFiles/es_rl.dir/noise.cpp.o.d"
+  "/root/repo/src/rl/ppo.cpp" "src/rl/CMakeFiles/es_rl.dir/ppo.cpp.o" "gcc" "src/rl/CMakeFiles/es_rl.dir/ppo.cpp.o.d"
+  "/root/repo/src/rl/replay_buffer.cpp" "src/rl/CMakeFiles/es_rl.dir/replay_buffer.cpp.o" "gcc" "src/rl/CMakeFiles/es_rl.dir/replay_buffer.cpp.o.d"
+  "/root/repo/src/rl/rollout.cpp" "src/rl/CMakeFiles/es_rl.dir/rollout.cpp.o" "gcc" "src/rl/CMakeFiles/es_rl.dir/rollout.cpp.o.d"
+  "/root/repo/src/rl/sac.cpp" "src/rl/CMakeFiles/es_rl.dir/sac.cpp.o" "gcc" "src/rl/CMakeFiles/es_rl.dir/sac.cpp.o.d"
+  "/root/repo/src/rl/trpo.cpp" "src/rl/CMakeFiles/es_rl.dir/trpo.cpp.o" "gcc" "src/rl/CMakeFiles/es_rl.dir/trpo.cpp.o.d"
+  "/root/repo/src/rl/vpg.cpp" "src/rl/CMakeFiles/es_rl.dir/vpg.cpp.o" "gcc" "src/rl/CMakeFiles/es_rl.dir/vpg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/es_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/es_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

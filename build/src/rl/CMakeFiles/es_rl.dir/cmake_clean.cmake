@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/es_rl.dir/agent.cpp.o"
+  "CMakeFiles/es_rl.dir/agent.cpp.o.d"
+  "CMakeFiles/es_rl.dir/ddpg.cpp.o"
+  "CMakeFiles/es_rl.dir/ddpg.cpp.o.d"
+  "CMakeFiles/es_rl.dir/frozen.cpp.o"
+  "CMakeFiles/es_rl.dir/frozen.cpp.o.d"
+  "CMakeFiles/es_rl.dir/gaussian_policy.cpp.o"
+  "CMakeFiles/es_rl.dir/gaussian_policy.cpp.o.d"
+  "CMakeFiles/es_rl.dir/noise.cpp.o"
+  "CMakeFiles/es_rl.dir/noise.cpp.o.d"
+  "CMakeFiles/es_rl.dir/ppo.cpp.o"
+  "CMakeFiles/es_rl.dir/ppo.cpp.o.d"
+  "CMakeFiles/es_rl.dir/replay_buffer.cpp.o"
+  "CMakeFiles/es_rl.dir/replay_buffer.cpp.o.d"
+  "CMakeFiles/es_rl.dir/rollout.cpp.o"
+  "CMakeFiles/es_rl.dir/rollout.cpp.o.d"
+  "CMakeFiles/es_rl.dir/sac.cpp.o"
+  "CMakeFiles/es_rl.dir/sac.cpp.o.d"
+  "CMakeFiles/es_rl.dir/trpo.cpp.o"
+  "CMakeFiles/es_rl.dir/trpo.cpp.o.d"
+  "CMakeFiles/es_rl.dir/vpg.cpp.o"
+  "CMakeFiles/es_rl.dir/vpg.cpp.o.d"
+  "libes_rl.a"
+  "libes_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/es_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/es_trace.dir/arrivals.cpp.o"
+  "CMakeFiles/es_trace.dir/arrivals.cpp.o.d"
+  "CMakeFiles/es_trace.dir/csv.cpp.o"
+  "CMakeFiles/es_trace.dir/csv.cpp.o.d"
+  "CMakeFiles/es_trace.dir/diurnal.cpp.o"
+  "CMakeFiles/es_trace.dir/diurnal.cpp.o.d"
+  "CMakeFiles/es_trace.dir/trace.cpp.o"
+  "CMakeFiles/es_trace.dir/trace.cpp.o.d"
+  "libes_trace.a"
+  "libes_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/es_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/controller.cpp" "src/transport/CMakeFiles/es_transport.dir/controller.cpp.o" "gcc" "src/transport/CMakeFiles/es_transport.dir/controller.cpp.o.d"
+  "/root/repo/src/transport/switch.cpp" "src/transport/CMakeFiles/es_transport.dir/switch.cpp.o" "gcc" "src/transport/CMakeFiles/es_transport.dir/switch.cpp.o.d"
+  "/root/repo/src/transport/transport_manager.cpp" "src/transport/CMakeFiles/es_transport.dir/transport_manager.cpp.o" "gcc" "src/transport/CMakeFiles/es_transport.dir/transport_manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/es_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/es_transport.dir/controller.cpp.o"
+  "CMakeFiles/es_transport.dir/controller.cpp.o.d"
+  "CMakeFiles/es_transport.dir/switch.cpp.o"
+  "CMakeFiles/es_transport.dir/switch.cpp.o.d"
+  "CMakeFiles/es_transport.dir/transport_manager.cpp.o"
+  "CMakeFiles/es_transport.dir/transport_manager.cpp.o.d"
+  "libes_transport.a"
+  "libes_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/es_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libes_transport.a"
+)

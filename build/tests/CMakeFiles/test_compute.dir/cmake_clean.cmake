@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compute.dir/compute/test_computing_manager.cpp.o"
+  "CMakeFiles/test_compute.dir/compute/test_computing_manager.cpp.o.d"
+  "CMakeFiles/test_compute.dir/compute/test_gpu.cpp.o"
+  "CMakeFiles/test_compute.dir/compute/test_gpu.cpp.o.d"
+  "CMakeFiles/test_compute.dir/compute/test_kernel_split.cpp.o"
+  "CMakeFiles/test_compute.dir/compute/test_kernel_split.cpp.o.d"
+  "test_compute"
+  "test_compute.pdb"
+  "test_compute[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_consensus.cpp" "tests/CMakeFiles/test_core.dir/core/test_consensus.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_consensus.cpp.o.d"
+  "/root/repo/tests/core/test_coordinator.cpp" "tests/CMakeFiles/test_core.dir/core/test_coordinator.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_coordinator.cpp.o.d"
+  "/root/repo/tests/core/test_monitor.cpp" "tests/CMakeFiles/test_core.dir/core/test_monitor.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_monitor.cpp.o.d"
+  "/root/repo/tests/core/test_policies.cpp" "tests/CMakeFiles/test_core.dir/core/test_policies.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_policies.cpp.o.d"
+  "/root/repo/tests/core/test_resource_autonomy.cpp" "tests/CMakeFiles/test_core.dir/core/test_resource_autonomy.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_resource_autonomy.cpp.o.d"
+  "/root/repo/tests/core/test_slice_manager.cpp" "tests/CMakeFiles/test_core.dir/core/test_slice_manager.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_slice_manager.cpp.o.d"
+  "/root/repo/tests/core/test_system.cpp" "tests/CMakeFiles/test_core.dir/core/test_system.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_system.cpp.o.d"
+  "/root/repo/tests/core/test_training.cpp" "tests/CMakeFiles/test_core.dir/core/test_training.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_training.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/es_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/es_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/es_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/es_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/es_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/es_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/es_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/es_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/compute/CMakeFiles/es_compute.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/es_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

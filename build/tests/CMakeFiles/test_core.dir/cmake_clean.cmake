@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_consensus.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_consensus.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_coordinator.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_coordinator.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_monitor.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_monitor.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_policies.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_policies.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_resource_autonomy.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_resource_autonomy.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_slice_manager.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_slice_manager.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_system.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_system.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_training.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_training.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_env.dir/env/test_app_model.cpp.o"
+  "CMakeFiles/test_env.dir/env/test_app_model.cpp.o.d"
+  "CMakeFiles/test_env.dir/env/test_environment.cpp.o"
+  "CMakeFiles/test_env.dir/env/test_environment.cpp.o.d"
+  "CMakeFiles/test_env.dir/env/test_perf.cpp.o"
+  "CMakeFiles/test_env.dir/env/test_perf.cpp.o.d"
+  "CMakeFiles/test_env.dir/env/test_queue.cpp.o"
+  "CMakeFiles/test_env.dir/env/test_queue.cpp.o.d"
+  "CMakeFiles/test_env.dir/env/test_service_model.cpp.o"
+  "CMakeFiles/test_env.dir/env/test_service_model.cpp.o.d"
+  "test_env"
+  "test_env.pdb"
+  "test_env[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

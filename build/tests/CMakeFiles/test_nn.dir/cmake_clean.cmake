@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn.dir/nn/test_activations.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_activations.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_adam.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_adam.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_dense.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_dense.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_matrix.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_matrix.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/test_mlp.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/test_mlp.cpp.o.d"
+  "test_nn"
+  "test_nn.pdb"
+  "test_nn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_opt.dir/opt/test_admm.cpp.o"
+  "CMakeFiles/test_opt.dir/opt/test_admm.cpp.o.d"
+  "CMakeFiles/test_opt.dir/opt/test_linreg.cpp.o"
+  "CMakeFiles/test_opt.dir/opt/test_linreg.cpp.o.d"
+  "CMakeFiles/test_opt.dir/opt/test_projection.cpp.o"
+  "CMakeFiles/test_opt.dir/opt/test_projection.cpp.o.d"
+  "CMakeFiles/test_opt.dir/opt/test_qp.cpp.o"
+  "CMakeFiles/test_opt.dir/opt/test_qp.cpp.o.d"
+  "test_opt"
+  "test_opt.pdb"
+  "test_opt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

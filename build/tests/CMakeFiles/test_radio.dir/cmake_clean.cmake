@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_radio.dir/radio/test_channel.cpp.o"
+  "CMakeFiles/test_radio.dir/radio/test_channel.cpp.o.d"
+  "CMakeFiles/test_radio.dir/radio/test_lte.cpp.o"
+  "CMakeFiles/test_radio.dir/radio/test_lte.cpp.o.d"
+  "CMakeFiles/test_radio.dir/radio/test_radio_manager.cpp.o"
+  "CMakeFiles/test_radio.dir/radio/test_radio_manager.cpp.o.d"
+  "CMakeFiles/test_radio.dir/radio/test_scheduler.cpp.o"
+  "CMakeFiles/test_radio.dir/radio/test_scheduler.cpp.o.d"
+  "test_radio"
+  "test_radio.pdb"
+  "test_radio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rl.dir/rl/test_agents.cpp.o"
+  "CMakeFiles/test_rl.dir/rl/test_agents.cpp.o.d"
+  "CMakeFiles/test_rl.dir/rl/test_frozen.cpp.o"
+  "CMakeFiles/test_rl.dir/rl/test_frozen.cpp.o.d"
+  "CMakeFiles/test_rl.dir/rl/test_gaussian_policy.cpp.o"
+  "CMakeFiles/test_rl.dir/rl/test_gaussian_policy.cpp.o.d"
+  "CMakeFiles/test_rl.dir/rl/test_noise.cpp.o"
+  "CMakeFiles/test_rl.dir/rl/test_noise.cpp.o.d"
+  "CMakeFiles/test_rl.dir/rl/test_replay.cpp.o"
+  "CMakeFiles/test_rl.dir/rl/test_replay.cpp.o.d"
+  "CMakeFiles/test_rl.dir/rl/test_rollout.cpp.o"
+  "CMakeFiles/test_rl.dir/rl/test_rollout.cpp.o.d"
+  "test_rl"
+  "test_rl.pdb"
+  "test_rl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

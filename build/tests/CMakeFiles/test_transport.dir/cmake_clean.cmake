@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transport.dir/transport/test_controller.cpp.o"
+  "CMakeFiles/test_transport.dir/transport/test_controller.cpp.o.d"
+  "CMakeFiles/test_transport.dir/transport/test_switch.cpp.o"
+  "CMakeFiles/test_transport.dir/transport/test_switch.cpp.o.d"
+  "CMakeFiles/test_transport.dir/transport/test_transport_manager.cpp.o"
+  "CMakeFiles/test_transport.dir/transport/test_transport_manager.cpp.o.d"
+  "test_transport"
+  "test_transport.pdb"
+  "test_transport[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,194 @@
+// Chaos ablation — control-plane fault tolerance.
+//
+// The paper's decentralization claim implies graceful degradation: losing
+// RC-M/RC-L messages or a whole RA should dent performance, not stall the
+// system. This bench sweeps fault intensity over the prototype setup
+// (scripted TARO agents isolate control-plane dynamics from RL noise) and
+// reports, per scenario: total system performance relative to the
+// fault-free run, SLA satisfaction (fraction of (period, slice) pairs whose
+// network-wide performance meets U_min), degraded-mode activity
+// (carry-forwards, frozen columns, crashes), and message-plane counters.
+// Every scenario is run twice from the same FaultPlan seed and checked
+// bit-identical, demonstrating reproducible chaos.
+#include "common.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/fault.h"
+#include "core/policies.h"
+
+using namespace edgeslice;
+using namespace edgeslice::bench;
+
+namespace {
+
+struct ScenarioResult {
+  double total_performance = 0.0;
+  double sla_fraction = 0.0;
+  std::size_t carried = 0;
+  std::size_t frozen = 0;
+  std::size_t crashed = 0;
+  std::size_t rcl_losses = 0;
+  core::MessageBusStats bus;
+
+  bool operator==(const ScenarioResult& other) const {
+    return total_performance == other.total_performance &&
+           sla_fraction == other.sla_fraction && carried == other.carried &&
+           frozen == other.frozen && crashed == other.crashed &&
+           rcl_losses == other.rcl_losses && bus.rcm_dropped == other.bus.rcm_dropped &&
+           bus.rcm_delayed == other.bus.rcm_delayed &&
+           bus.rcl_dropped == other.bus.rcl_dropped;
+  }
+};
+
+ScenarioResult run_scenario(const Setup& setup, const FaultPlan& plan,
+                            std::size_t periods) {
+  Rng profile_rng(setup.seed);
+  const auto profiles = make_profiles(setup.slices, profile_rng);
+  const auto model = make_service_model(profiles);
+  const auto config = env_config(setup, true);
+
+  std::vector<std::unique_ptr<env::RaEnvironment>> environments;
+  std::vector<std::unique_ptr<core::RaPolicy>> policies;
+  for (std::size_t j = 0; j < setup.ras; ++j) {
+    environments.push_back(std::make_unique<env::RaEnvironment>(
+        config, profiles, model, make_perf(setup), Rng(setup.seed * 1000 + j)));
+    policies.push_back(std::make_unique<core::TaroPolicy>());
+  }
+
+  core::CoordinatorConfig coordinator;
+  coordinator.slices = setup.slices;
+  coordinator.ras = setup.ras;
+
+  FaultInjector injector{plan};
+  core::SystemConfig system_config;
+  system_config.faults = &injector;
+
+  std::vector<env::RaEnvironment*> env_ptrs;
+  std::vector<core::RaPolicy*> policy_ptrs;
+  for (auto& e : environments) env_ptrs.push_back(e.get());
+  for (auto& p : policies) policy_ptrs.push_back(p.get());
+  core::EdgeSliceSystem system(env_ptrs, policy_ptrs, coordinator, system_config);
+
+  const auto results = system.run(periods);
+
+  ScenarioResult out;
+  const auto& u_min = system.coordinator().config().u_min;
+  std::size_t met = 0;
+  for (const auto& r : results) {
+    out.total_performance += r.system_performance;
+    out.carried += r.reports_carried;
+    out.frozen += r.columns_frozen;
+    out.crashed += r.crashed_ras;
+    out.rcl_losses += r.rcl_losses;
+    for (std::size_t i = 0; i < setup.slices; ++i) {
+      double total = 0.0;
+      for (std::size_t j = 0; j < setup.ras; ++j) total += r.performance_sums(i, j);
+      if (total >= u_min[i] - 1e-9) ++met;
+    }
+  }
+  out.sla_fraction =
+      static_cast<double>(met) / static_cast<double>(periods * setup.slices);
+  out.bus = system.bus().stats();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Setup setup = parse_common_flags(argc, argv, Setup{});
+  const std::size_t periods = setup.eval_periods * 4;  // longer horizon for rates
+  print_header("Ablation: control-plane fault tolerance",
+               "degradation under RC-M/RC-L loss and RA crashes");
+  std::printf("# %zu slices, %zu RAs, %zu periods, TARO agents, plan seed %llu\n",
+              setup.slices, setup.ras, periods,
+              static_cast<unsigned long long>(setup.seed));
+
+  struct Scenario {
+    std::string name;
+    FaultPlan plan;
+  };
+  std::vector<Scenario> scenarios;
+  scenarios.push_back({"fault-free", FaultPlan{}});
+  for (double drop : {0.05, 0.10, 0.20, 0.40}) {
+    FaultPlan plan;
+    plan.seed = setup.seed;
+    plan.rates.rcm_drop = drop;
+    char name[48];
+    std::snprintf(name, sizeof(name), "rcm-drop-%.0f%%", drop * 100.0);
+    scenarios.push_back({name, plan});
+  }
+  {
+    FaultPlan plan;
+    plan.seed = setup.seed;
+    plan.rates.rcl_drop = 0.2;
+    scenarios.push_back({"rcl-drop-20%", plan});
+  }
+  {
+    FaultPlan plan;
+    plan.seed = setup.seed;
+    plan.rates.rcm_delay = 0.3;
+    plan.rates.rcm_delay_periods = 2;
+    scenarios.push_back({"rcm-delay-30%x2", plan});
+  }
+  {
+    FaultPlan plan;
+    plan.seed = setup.seed;
+    plan.events.push_back(
+        FaultEvent{FaultType::RaCrash, periods / 3, setup.ras - 1, 4, 1.0});
+    scenarios.push_back({"ra-crash-midrun", plan});
+  }
+  {
+    FaultPlan plan;
+    plan.seed = setup.seed;
+    plan.rates.rcm_drop = 0.10;
+    plan.events.push_back(
+        FaultEvent{FaultType::RaCrash, periods / 3, setup.ras - 1, 4, 1.0});
+    scenarios.push_back({"acceptance: 10%drop+crash", plan});
+  }
+  {
+    FaultPlan plan;
+    plan.seed = setup.seed;
+    plan.rates.rcm_drop = 0.15;
+    plan.rates.rcl_drop = 0.15;
+    plan.rates.ra_crash = 0.03;
+    plan.rates.ra_crash_periods = 2;
+    plan.rates.cqi_blackout = 0.05;
+    plan.rates.link_failure = 0.05;
+    plan.rates.compute_slowdown = 0.05;
+    plan.rates.compute_slowdown_factor = 3.0;
+    scenarios.push_back({"combined-chaos", plan});
+  }
+
+  print_series_header({"perf-total", "perf-vs-clean", "sla-frac", "carried", "frozen",
+                       "crashed", "rcl-lost", "reproducible"});
+  double clean_performance = 0.0;
+  for (const auto& scenario : scenarios) {
+    const ScenarioResult first = run_scenario(setup, scenario.plan, periods);
+    const ScenarioResult second = run_scenario(setup, scenario.plan, periods);
+    const bool reproducible = first == second;
+    if (scenario.plan.empty()) clean_performance = first.total_performance;
+    const double relative = clean_performance != 0.0
+                                ? first.total_performance / clean_performance
+                                : 1.0;
+    std::printf("# %s\n", scenario.name.c_str());
+    print_row({first.total_performance, relative, first.sla_fraction,
+               static_cast<double>(first.carried), static_cast<double>(first.frozen),
+               static_cast<double>(first.crashed),
+               static_cast<double>(first.rcl_losses), reproducible ? 1.0 : 0.0});
+    std::printf("#   bus: rcm sent=%llu dropped=%llu delayed=%llu delivered=%llu | "
+                "rcl sent=%llu dropped=%llu\n",
+                static_cast<unsigned long long>(first.bus.rcm_sent),
+                static_cast<unsigned long long>(first.bus.rcm_dropped),
+                static_cast<unsigned long long>(first.bus.rcm_delayed),
+                static_cast<unsigned long long>(first.bus.rcm_delivered),
+                static_cast<unsigned long long>(first.bus.rcl_sent),
+                static_cast<unsigned long long>(first.bus.rcl_dropped));
+    if (!reproducible) {
+      std::printf("#   WARNING: scenario was NOT bit-reproducible\n");
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,133 @@
+#include "common/fault.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace edgeslice {
+
+namespace {
+
+std::uint64_t decision_tag(FaultType type, std::size_t period, std::size_t ra) {
+  // Distinct tags for distinct (type, period, ra); Rng::spawn mixes the tag
+  // through SplitMix64, so structured tags still yield decorrelated streams.
+  return (static_cast<std::uint64_t>(type) + 1) * 0x1000003ULL +
+         static_cast<std::uint64_t>(period) * 0x100000001b3ULL +
+         static_cast<std::uint64_t>(ra) * 0x9e3779b9ULL;
+}
+
+void validate_probability(double p, const char* name) {
+  if (!(p >= 0.0 && p <= 1.0))
+    throw std::invalid_argument(std::string("FaultPlan: ") + name +
+                                " must be a probability in [0,1]");
+}
+
+}  // namespace
+
+bool FaultPlan::empty() const {
+  if (!events.empty()) return false;
+  return rates.rcm_drop == 0.0 && rates.rcm_delay == 0.0 && rates.rcl_drop == 0.0 &&
+         rates.ra_crash == 0.0 && rates.cqi_blackout == 0.0 &&
+         rates.link_failure == 0.0 && rates.compute_slowdown == 0.0;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)), base_(plan_.seed) {
+  validate_probability(plan_.rates.rcm_drop, "rcm_drop");
+  validate_probability(plan_.rates.rcm_delay, "rcm_delay");
+  validate_probability(plan_.rates.rcl_drop, "rcl_drop");
+  validate_probability(plan_.rates.ra_crash, "ra_crash");
+  validate_probability(plan_.rates.cqi_blackout, "cqi_blackout");
+  validate_probability(plan_.rates.link_failure, "link_failure");
+  validate_probability(plan_.rates.compute_slowdown, "compute_slowdown");
+  if (plan_.rates.compute_slowdown_factor < 1.0)
+    throw std::invalid_argument("FaultPlan: compute_slowdown_factor must be >= 1");
+  for (const auto& event : plan_.events) {
+    if (event.duration == 0)
+      throw std::invalid_argument("FaultPlan: event duration must be >= 1");
+    if (event.type == FaultType::ComputeSlowdown && event.magnitude < 1.0)
+      throw std::invalid_argument("FaultPlan: slowdown magnitude must be >= 1");
+    if (event.type == FaultType::RcmDelay && event.magnitude < 1.0)
+      throw std::invalid_argument("FaultPlan: delay magnitude must be >= 1 period");
+  }
+}
+
+const FaultEvent* FaultInjector::scheduled(FaultType type, std::size_t period,
+                                           std::size_t ra) const {
+  const FaultEvent* match = nullptr;
+  for (const auto& event : plan_.events) {
+    if (event.type != type || event.ra != ra) continue;
+    if (period >= event.period && period < event.period + event.duration) match = &event;
+  }
+  return match;
+}
+
+bool FaultInjector::roll(FaultType type, std::size_t period, std::size_t ra,
+                         double p) const {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  Rng stream = base_.spawn(decision_tag(type, period, ra));
+  return stream.chance(p);
+}
+
+bool FaultInjector::rate_window_active(FaultType type, std::size_t period, std::size_t ra,
+                                       double p, std::size_t duration_periods) const {
+  if (p <= 0.0 || duration_periods == 0) return false;
+  // A condition triggered at p0 covers [p0, p0 + duration); scan the
+  // trailing window so the answer is stateless and order-independent.
+  const std::size_t window = std::min(duration_periods, period + 1);
+  for (std::size_t back = 0; back < window; ++back) {
+    if (roll(type, period - back, ra, p)) return true;
+  }
+  return false;
+}
+
+bool FaultInjector::ra_crashed(std::size_t period, std::size_t ra) const {
+  if (scheduled(FaultType::RaCrash, period, ra)) return true;
+  return rate_window_active(FaultType::RaCrash, period, ra, plan_.rates.ra_crash,
+                            plan_.rates.ra_crash_periods);
+}
+
+bool FaultInjector::drop_rcm(std::size_t period, std::size_t ra) const {
+  if (scheduled(FaultType::RcmDrop, period, ra)) return true;
+  return roll(FaultType::RcmDrop, period, ra, plan_.rates.rcm_drop);
+}
+
+std::size_t FaultInjector::rcm_delay(std::size_t period, std::size_t ra) const {
+  if (const FaultEvent* event = scheduled(FaultType::RcmDelay, period, ra)) {
+    return static_cast<std::size_t>(std::llround(event->magnitude));
+  }
+  if (roll(FaultType::RcmDelay, period, ra, plan_.rates.rcm_delay)) {
+    return plan_.rates.rcm_delay_periods;
+  }
+  return 0;
+}
+
+bool FaultInjector::drop_rcl(std::size_t period, std::size_t ra) const {
+  if (scheduled(FaultType::RclDrop, period, ra)) return true;
+  return roll(FaultType::RclDrop, period, ra, plan_.rates.rcl_drop);
+}
+
+bool FaultInjector::cqi_blackout(std::size_t period, std::size_t ra) const {
+  if (scheduled(FaultType::CqiBlackout, period, ra)) return true;
+  return rate_window_active(FaultType::CqiBlackout, period, ra,
+                            plan_.rates.cqi_blackout, plan_.rates.cqi_blackout_periods);
+}
+
+bool FaultInjector::link_failure(std::size_t period, std::size_t ra) const {
+  if (scheduled(FaultType::LinkFailure, period, ra)) return true;
+  return rate_window_active(FaultType::LinkFailure, period, ra,
+                            plan_.rates.link_failure, plan_.rates.link_failure_periods);
+}
+
+double FaultInjector::compute_slowdown(std::size_t period, std::size_t ra) const {
+  if (const FaultEvent* event = scheduled(FaultType::ComputeSlowdown, period, ra)) {
+    return event->magnitude;
+  }
+  if (rate_window_active(FaultType::ComputeSlowdown, period, ra,
+                         plan_.rates.compute_slowdown,
+                         plan_.rates.compute_slowdown_periods)) {
+    return plan_.rates.compute_slowdown_factor;
+  }
+  return 1.0;
+}
+
+}  // namespace edgeslice

@@ -1,0 +1,126 @@
+// Deterministic fault injection for chaos-testing the control plane.
+//
+// A FaultPlan declares what goes wrong and when: scheduled events (RA 3
+// crashes at period 12 for 4 periods) and probabilistic rates (every RC-M
+// report is dropped with p = 0.1). The FaultInjector answers point queries
+// — "is RA j crashed at period p?" — statelessly: each decision draws from
+// an RNG stream derived from (plan seed, fault type, period, RA), so a
+// chaos run is bit-reproducible from the plan alone, query order and query
+// count notwithstanding.
+//
+// Fault surface (mirrors the failure modes of the paper's prototype):
+//   RaCrash          the orchestration agent + substrates of one RA go
+//                    down: no actions, no traffic served, no RC-M reports;
+//                    the RA rejoins cleanly when the outage ends
+//   RcmDrop          one RA's RC-M monitoring report is lost in transit
+//   RcmDelay         ... or arrives d periods late
+//   RclDrop          the coordinator's RC-L message to one RA is lost; the
+//                    agent keeps acting on its last-known coordination
+//   CqiBlackout      the RA's radio link collapses (deep fade): zero
+//                    radio service capacity while active
+//   LinkFailure      the RAN <-> edge-server transport path is down
+//   ComputeSlowdown  the edge GPU is degraded by a factor (thermal
+//                    throttling, co-tenant interference)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace edgeslice {
+
+enum class FaultType {
+  RaCrash,
+  RcmDrop,
+  RcmDelay,
+  RclDrop,
+  CqiBlackout,
+  LinkFailure,
+  ComputeSlowdown,
+};
+
+/// A scheduled fault: `type` afflicts RA `ra` for periods
+/// [period, period + duration).
+struct FaultEvent {
+  FaultType type = FaultType::RcmDrop;
+  std::size_t period = 0;
+  std::size_t ra = 0;
+  std::size_t duration = 1;
+  /// ComputeSlowdown: service-time multiplier (>= 1). RcmDelay: delivery
+  /// delay in periods (>= 1). Ignored by the other types.
+  double magnitude = 1.0;
+};
+
+/// Per-period, per-RA probabilities of each fault type. A triggered
+/// crash/blackout/failure/slowdown lasts `*_periods`; a triggered delay
+/// holds the report for `rcm_delay_periods`.
+struct FaultRates {
+  double rcm_drop = 0.0;
+  double rcm_delay = 0.0;
+  std::size_t rcm_delay_periods = 1;
+  double rcl_drop = 0.0;
+  double ra_crash = 0.0;
+  std::size_t ra_crash_periods = 1;
+  double cqi_blackout = 0.0;
+  std::size_t cqi_blackout_periods = 1;
+  double link_failure = 0.0;
+  std::size_t link_failure_periods = 1;
+  double compute_slowdown = 0.0;
+  std::size_t compute_slowdown_periods = 1;
+  double compute_slowdown_factor = 2.0;
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  std::vector<FaultEvent> events;
+  FaultRates rates;
+
+  /// True when the plan can never fire: no scheduled events, zero rates.
+  bool empty() const;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  /// Is RA `ra` down during `period` (agent and substrates)?
+  bool ra_crashed(std::size_t period, std::size_t ra) const;
+
+  /// Is the RC-M report RA `ra` sends at the end of `period` lost?
+  bool drop_rcm(std::size_t period, std::size_t ra) const;
+
+  /// Delivery delay (periods) of the RC-M report sent at `period`; 0 = on time.
+  std::size_t rcm_delay(std::size_t period, std::size_t ra) const;
+
+  /// Is the RC-L message to RA `ra` after `period`'s update lost?
+  bool drop_rcl(std::size_t period, std::size_t ra) const;
+
+  bool cqi_blackout(std::size_t period, std::size_t ra) const;
+  bool link_failure(std::size_t period, std::size_t ra) const;
+
+  /// Service-time multiplier for the RA's compute substrate (1 = healthy).
+  double compute_slowdown(std::size_t period, std::size_t ra) const;
+
+  bool any_faults() const { return !plan_.empty(); }
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  /// Scheduled event of `type` covering (period, ra); returns the most
+  /// recent match or nullptr.
+  const FaultEvent* scheduled(FaultType type, std::size_t period, std::size_t ra) const;
+
+  /// Deterministic Bernoulli for (type, period, ra): same plan, same answer.
+  bool roll(FaultType type, std::size_t period, std::size_t ra, double p) const;
+
+  /// Did a rate-triggered condition of `type` fire at some period p0 with
+  /// p0 <= period < p0 + duration_periods?
+  bool rate_window_active(FaultType type, std::size_t period, std::size_t ra, double p,
+                          std::size_t duration_periods) const;
+
+  FaultPlan plan_;
+  Rng base_;
+};
+
+}  // namespace edgeslice

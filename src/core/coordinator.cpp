@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "opt/projection.h"
 
@@ -31,6 +32,10 @@ void PerformanceCoordinator::update(const nn::Matrix& performance_sums) {
   if (performance_sums.rows() != config_.slices ||
       performance_sums.cols() != config_.ras) {
     throw std::invalid_argument("PerformanceCoordinator: U matrix shape mismatch");
+  }
+  for (double v : performance_sums.data()) {
+    if (!std::isfinite(v))
+      throw std::invalid_argument("PerformanceCoordinator: non-finite performance sum");
   }
   const std::vector<double> z_old = z_;
 
@@ -70,14 +75,101 @@ void PerformanceCoordinator::update(const nn::Matrix& performance_sums) {
                   config_.rho * std::sqrt(y_norm), u_flat.size());
 }
 
+void PerformanceCoordinator::update(const nn::Matrix& performance_sums,
+                                    const std::vector<bool>& active) {
+  if (active.size() != config_.ras)
+    throw std::invalid_argument("PerformanceCoordinator: active mask size mismatch");
+  const bool all_active = std::all_of(active.begin(), active.end(), [](bool a) { return a; });
+  if (all_active) {
+    update(performance_sums);
+    return;
+  }
+  if (performance_sums.rows() != config_.slices ||
+      performance_sums.cols() != config_.ras) {
+    throw std::invalid_argument("PerformanceCoordinator: U matrix shape mismatch");
+  }
+  for (std::size_t i = 0; i < config_.slices; ++i) {
+    for (std::size_t j = 0; j < config_.ras; ++j) {
+      if (active[j] && !std::isfinite(performance_sums(i, j)))
+        throw std::invalid_argument("PerformanceCoordinator: non-finite performance sum");
+    }
+  }
+
+  std::vector<std::size_t> live;
+  for (std::size_t j = 0; j < config_.ras; ++j) {
+    if (active[j]) live.push_back(j);
+  }
+  if (live.empty()) return;  // everything frozen: no information, no update
+
+  const std::vector<double> z_old = z_;
+
+  // z-update restricted to live columns; the frozen columns contribute
+  // their last z to the SLA budget, so the projection bound becomes
+  // U_i^min - sum_{frozen j} z_{i,j}.
+  for (std::size_t i = 0; i < config_.slices; ++i) {
+    std::vector<double> c(live.size());
+    double frozen_sum = 0.0;
+    for (std::size_t j = 0; j < config_.ras; ++j) {
+      if (!active[j]) frozen_sum += z_[index(i, j)];
+    }
+    for (std::size_t k = 0; k < live.size(); ++k) {
+      c[k] = performance_sums(i, live[k]) + y_[index(i, live[k])];
+    }
+    const auto zi = opt::project_halfspace_sum_ge(c, config_.u_min[i] - frozen_sum);
+    for (std::size_t k = 0; k < live.size(); ++k) z_[index(i, live[k])] = zi[k];
+  }
+
+  // y-update on live columns only; frozen duals hold their value.
+  std::vector<double> u_live(config_.slices * live.size());
+  std::vector<double> z_live(config_.slices * live.size());
+  std::vector<double> z_old_live(config_.slices * live.size());
+  std::vector<double> y_live(config_.slices * live.size());
+  for (std::size_t i = 0; i < config_.slices; ++i) {
+    for (std::size_t k = 0; k < live.size(); ++k) {
+      const std::size_t flat = i * live.size() + k;
+      u_live[flat] = performance_sums(i, live[k]);
+      z_live[flat] = z_[index(i, live[k])];
+      z_old_live[flat] = z_old[index(i, live[k])];
+      y_live[flat] = y_[index(i, live[k])];
+    }
+  }
+  opt::update_scaled_duals(y_live, u_live, z_live);
+  for (std::size_t i = 0; i < config_.slices; ++i) {
+    for (std::size_t k = 0; k < live.size(); ++k) {
+      y_[index(i, live[k])] = y_live[i * live.size() + k];
+    }
+  }
+
+  opt::AdmmResiduals residuals;
+  residuals.primal = opt::primal_residual_norm(u_live, z_live);
+  residuals.dual = opt::dual_residual_norm(z_live, z_old_live, config_.rho);
+  double u_norm = 0.0;
+  double z_norm = 0.0;
+  double y_norm = 0.0;
+  for (std::size_t k = 0; k < u_live.size(); ++k) {
+    u_norm += u_live[k] * u_live[k];
+    z_norm += z_live[k] * z_live[k];
+    y_norm += y_live[k] * y_live[k];
+  }
+  monitor_.record(residuals, std::sqrt(std::max(u_norm, z_norm)),
+                  config_.rho * std::sqrt(y_norm), u_live.size());
+}
+
 void PerformanceCoordinator::update(const std::vector<RcMonitoringMessage>& reports) {
   nn::Matrix u(config_.slices, config_.ras);
   if (reports.size() != config_.ras)
     throw std::invalid_argument("PerformanceCoordinator: need one report per RA");
+  std::vector<bool> seen(config_.ras, false);
   for (const auto& report : reports) {
     if (report.ra >= config_.ras || report.performance_sums.size() != config_.slices)
       throw std::invalid_argument("PerformanceCoordinator: malformed RC-M report");
+    if (seen[report.ra])
+      throw std::invalid_argument("PerformanceCoordinator: duplicate RC-M report for RA " +
+                                  std::to_string(report.ra));
+    seen[report.ra] = true;
     for (std::size_t i = 0; i < config_.slices; ++i) {
+      if (!std::isfinite(report.performance_sums[i]))
+        throw std::invalid_argument("PerformanceCoordinator: non-finite RC-M report");
       u(i, report.ra) = report.performance_sums[i];
     }
   }
@@ -111,6 +203,8 @@ bool PerformanceCoordinator::sla_satisfied(std::size_t slice) const {
 void PerformanceCoordinator::apply_slice_request(const SliceRequest& request) {
   if (request.slice >= config_.slices)
     throw std::out_of_range("PerformanceCoordinator: bad slice in request");
+  if (!std::isfinite(request.u_min))
+    throw std::invalid_argument("PerformanceCoordinator: non-finite u_min in request");
   config_.u_min[request.slice] = request.u_min;
 }
 

@@ -32,10 +32,20 @@ class PerformanceCoordinator {
   explicit PerformanceCoordinator(const CoordinatorConfig& config);
 
   /// One coordinator iteration: consume per-(slice, RA) performance sums
-  /// (sum over t in T of U_{i,j}) and refresh Z and Y.
+  /// (sum over t in T of U_{i,j}) and refresh Z and Y. The matrix must be
+  /// exactly slices x ras with finite entries.
   void update(const nn::Matrix& performance_sums);
 
+  /// Degraded-mode iteration: RAs with active[j] == false are *frozen* —
+  /// their z/y columns are left untouched and excluded from the per-slice
+  /// projection, whose SLA bound is tightened by the frozen columns' last
+  /// z. Used when an RA has been silent past the staleness cutoff. With an
+  /// all-true mask this is exactly update(performance_sums).
+  void update(const nn::Matrix& performance_sums, const std::vector<bool>& active);
+
   /// Convenience overload taking RC-M messages from the system monitors.
+  /// Requires exactly one well-formed report per RA (no duplicate or
+  /// missing RA indices, finite performance sums).
   void update(const std::vector<RcMonitoringMessage>& reports);
 
   /// Coordinating information for RA j (z - y per slice), as an RC-L message.

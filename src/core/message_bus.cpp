@@ -1,0 +1,59 @@
+#include "core/message_bus.h"
+
+#include <algorithm>
+
+namespace edgeslice::core {
+
+MessageBus::MessageBus(const FaultInjector* faults) : faults_(faults) {}
+
+void MessageBus::post_report(std::size_t period, RcMonitoringMessage message) {
+  ++stats_.rcm_sent;
+  const std::size_t ra = message.ra;
+  if (faults_ && faults_->drop_rcm(period, ra)) {
+    ++stats_.rcm_dropped;
+    return;
+  }
+  RcmEnvelope envelope;
+  envelope.seq = next_seq_++;
+  envelope.sent_period = period;
+  envelope.deliver_period = period;
+  if (faults_) {
+    const std::size_t delay = faults_->rcm_delay(period, ra);
+    if (delay > 0) {
+      envelope.deliver_period = period + delay;
+      ++stats_.rcm_delayed;
+    }
+  }
+  envelope.message = std::move(message);
+  pending_.push_back(std::move(envelope));
+}
+
+std::vector<RcmEnvelope> MessageBus::collect_reports(std::size_t period) {
+  std::vector<RcmEnvelope> due;
+  auto keep = pending_.begin();
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (it->deliver_period <= period) {
+      due.push_back(std::move(*it));
+    } else {
+      *keep++ = std::move(*it);
+    }
+  }
+  pending_.erase(keep, pending_.end());
+  std::stable_sort(due.begin(), due.end(), [](const RcmEnvelope& a, const RcmEnvelope& b) {
+    if (a.deliver_period != b.deliver_period) return a.deliver_period < b.deliver_period;
+    return a.seq < b.seq;
+  });
+  stats_.rcm_delivered += due.size();
+  return due;
+}
+
+bool MessageBus::deliver_coordination(std::size_t period, const RcLearningMessage& message) {
+  ++stats_.rcl_sent;
+  if (faults_ && faults_->drop_rcl(period, message.ra)) {
+    ++stats_.rcl_dropped;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace edgeslice::core

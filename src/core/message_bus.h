@@ -1,0 +1,71 @@
+// The control-plane message plane for the RC-L / RC-M interfaces.
+//
+// The paper's decentralization claim (Sec. V-D) rests on the coordinator
+// and the RAs exchanging only two small messages per period. Making that
+// exchange an explicit, lossy channel — instead of direct function calls —
+// lets the reproduction test the claim under failure: reports can be
+// dropped or delayed, coordination pushes can be lost, and every message
+// carries a sequence number so receivers detect gaps and reordering.
+//
+// With no FaultInjector (or an empty plan) the bus is behavior-neutral:
+// every message is delivered unmodified in the period it was sent.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/fault.h"
+#include "core/interfaces.h"
+
+namespace edgeslice::core {
+
+/// An RC-M report in flight, stamped by the bus.
+struct RcmEnvelope {
+  std::uint64_t seq = 0;          // global send order
+  std::size_t sent_period = 0;    // period whose performance it reports
+  std::size_t deliver_period = 0; // earliest period the coordinator sees it
+  RcMonitoringMessage message;
+};
+
+/// Delivery counters for diagnostics and the chaos benches.
+struct MessageBusStats {
+  std::uint64_t rcm_sent = 0;
+  std::uint64_t rcm_dropped = 0;
+  std::uint64_t rcm_delayed = 0;
+  std::uint64_t rcm_delivered = 0;
+  std::uint64_t rcl_sent = 0;
+  std::uint64_t rcl_dropped = 0;
+};
+
+class MessageBus {
+ public:
+  /// `faults` is non-owning and may be null (lossless bus).
+  explicit MessageBus(const FaultInjector* faults = nullptr);
+
+  /// RA -> coordinator: submit the RC-M report for `period`. Dropped
+  /// reports vanish; delayed reports surface in a later collect.
+  void post_report(std::size_t period, RcMonitoringMessage message);
+
+  /// Coordinator side: drain every report deliverable at `period`
+  /// (in-flight envelopes with deliver_period <= period), ordered by
+  /// (deliver_period, seq) — i.e. delayed duplicates of a newer report
+  /// sort before it only if they were due earlier.
+  std::vector<RcmEnvelope> collect_reports(std::size_t period);
+
+  /// Coordinator -> RA: push an RC-L message after `period`'s update.
+  /// Returns false when delivery failed (the agent must fall back to its
+  /// last-known coordination vector).
+  bool deliver_coordination(std::size_t period, const RcLearningMessage& message);
+
+  std::size_t in_flight() const { return pending_.size(); }
+  const MessageBusStats& stats() const { return stats_; }
+
+ private:
+  const FaultInjector* faults_;
+  std::vector<RcmEnvelope> pending_;
+  std::uint64_t next_seq_ = 0;
+  MessageBusStats stats_;
+};
+
+}  // namespace edgeslice::core

@@ -1,5 +1,6 @@
 #include "core/system.h"
 
+#include <array>
 #include <stdexcept>
 
 namespace edgeslice::core {
@@ -11,7 +12,8 @@ EdgeSliceSystem::EdgeSliceSystem(std::vector<env::RaEnvironment*> environments,
     : environments_(std::move(environments)),
       policies_(std::move(policies)),
       coordinator_(coordinator_config),
-      config_(config) {
+      config_(config),
+      bus_(config.faults) {
   if (environments_.empty() || environments_.size() != policies_.size())
     throw std::invalid_argument("EdgeSliceSystem: environments/policies mismatch");
   if (environments_.size() != coordinator_config.ras)
@@ -24,19 +26,44 @@ EdgeSliceSystem::EdgeSliceSystem(std::vector<env::RaEnvironment*> environments,
   }
   monitor_ = std::make_unique<SystemMonitor>(coordinator_config.slices,
                                              environments_.size());
+  last_report_.assign(environments_.size(),
+                      std::vector<double>(coordinator_config.slices, 0.0));
+  last_report_period_.assign(environments_.size(), 0);
+  has_report_.assign(environments_.size(), false);
 }
 
 PeriodResult EdgeSliceSystem::run_period() {
   const std::size_t slices = coordinator_.config().slices;
   const std::size_t ras = environments_.size();
   const std::size_t intervals = environments_.front()->config().intervals_per_period;
+  const FaultInjector* faults = config_.faults;
 
   PeriodResult result;
   result.performance_sums = nn::Matrix(slices, ras);
   result.slice_performance.assign(slices, 0.0);
 
+  // Which RAs are down this period, and how degraded the live substrates
+  // are. Crashed RAs run no intervals: the agent is gone, so no actions
+  // are taken, no traffic is served, and no monitoring rows are recorded.
+  std::vector<bool> crashed(ras, false);
+  if (faults) {
+    for (std::size_t j = 0; j < ras; ++j) {
+      crashed[j] = faults->ra_crashed(period_, j);
+      if (crashed[j]) {
+        ++result.crashed_ras;
+        continue;
+      }
+      std::array<double, env::kResources> derate{1.0, 1.0, 1.0};
+      if (faults->cqi_blackout(period_, j)) derate[env::kRadio] = 0.0;
+      if (faults->link_failure(period_, j)) derate[env::kTransport] = 0.0;
+      derate[env::kCompute] = 1.0 / faults->compute_slowdown(period_, j);
+      environments_[j]->set_resource_derate(derate);
+    }
+  }
+
   for (std::size_t t = 0; t < intervals; ++t) {
     for (std::size_t j = 0; j < ras; ++j) {
+      if (crashed[j]) continue;
       auto& environment = *environments_[j];
       const std::vector<double> action = policies_[j]->decide(environment);
       const env::StepResult step = environment.step(action);
@@ -52,9 +79,64 @@ PeriodResult EdgeSliceSystem::run_period() {
   }
 
   if (config_.use_coordinator) {
-    coordinator_.update(result.performance_sums);
+    // Live RAs post their RC-M reports onto the message plane; the bus may
+    // drop or delay them per the fault plan.
     for (std::size_t j = 0; j < ras; ++j) {
-      environments_[j]->set_coordination(coordinator_.coordination_for(j).z_minus_y);
+      if (crashed[j]) continue;
+      RcMonitoringMessage report;
+      report.ra = j;
+      report.performance_sums.resize(slices);
+      for (std::size_t i = 0; i < slices; ++i) {
+        report.performance_sums[i] = result.performance_sums(i, j);
+      }
+      bus_.post_report(period_, std::move(report));
+    }
+
+    // Ingest everything deliverable this period. Envelopes arrive ordered
+    // by (deliver_period, seq), so a delayed stale report never overwrites
+    // a fresher one delivered alongside it; the explicit sent_period guard
+    // covers reordering across collect calls.
+    for (auto& envelope : bus_.collect_reports(period_)) {
+      const std::size_t ra = envelope.message.ra;
+      if (ra >= ras || envelope.message.performance_sums.size() != slices) continue;
+      if (has_report_[ra] && envelope.sent_period < last_report_period_[ra]) continue;
+      last_report_[ra] = std::move(envelope.message.performance_sums);
+      last_report_period_[ra] = envelope.sent_period;
+      has_report_[ra] = true;
+      if (envelope.sent_period == period_) ++result.reports_fresh;
+    }
+
+    // Assemble the coordinator's input: fresh columns, carried-forward
+    // columns within the staleness window, frozen columns beyond it.
+    nn::Matrix u(slices, ras);
+    std::vector<bool> active(ras, false);
+    for (std::size_t j = 0; j < ras; ++j) {
+      if (!has_report_[j]) {
+        ++result.columns_frozen;
+        continue;
+      }
+      const std::size_t staleness = period_ - last_report_period_[j];
+      if (staleness > config_.max_report_staleness) {
+        ++result.columns_frozen;
+        continue;
+      }
+      active[j] = true;
+      for (std::size_t i = 0; i < slices; ++i) u(i, j) = last_report_[j][i];
+      if (staleness > 0) ++result.reports_carried;
+    }
+    coordinator_.update(u, active);
+
+    // RC-L push through the bus; an RA that misses it keeps acting on its
+    // last-known coordination vector, and a crashed RA receives nothing
+    // (it picks up the current vector after its first post-restart period).
+    for (std::size_t j = 0; j < ras; ++j) {
+      if (crashed[j]) continue;
+      const RcLearningMessage message = coordinator_.coordination_for(j);
+      if (bus_.deliver_coordination(period_, message)) {
+        environments_[j]->set_coordination(message.z_minus_y);
+      } else {
+        ++result.rcl_losses;
+      }
     }
     result.coordinator_converged = coordinator_.converged();
   }

@@ -6,15 +6,30 @@
 //   initialize Z, Y
 //   repeat per period:
 //     each RA (decentralized): run T intervals under the current policy
-//     coordinator: z-update (P2) and y-update (Eq. 10) from collected U
-//     push fresh coordinating information (RC-L) to every RA
+//     each RA posts its RC-M report onto the message bus
+//     coordinator: z-update (P2) and y-update (Eq. 10) from delivered U
+//     push fresh coordinating information (RC-L) through the bus
 //   until convergence
+//
+// All coordinator <-> RA traffic flows through a MessageBus, which is
+// behavior-neutral without faults and lossy/delaying under a FaultPlan.
+// Degraded-mode semantics when messages or RAs fail:
+//   - a silent RA's last delivered RC-M report is carried forward for up
+//     to `max_report_staleness` periods, after which its z/y columns are
+//     frozen (excluded from the masked coordinator update);
+//   - an RA whose RC-L push is lost keeps acting on its last-known
+//     coordination vector;
+//   - a crashed RA serves nothing and reports nothing, and rejoins
+//     cleanly when its outage ends — the first post-restart period posts
+//     a fresh report and thaws its columns.
 #pragma once
 
 #include <memory>
 #include <vector>
 
+#include "common/fault.h"
 #include "core/coordinator.h"
+#include "core/message_bus.h"
 #include "core/monitor.h"
 #include "core/policies.h"
 #include "env/environment.h"
@@ -27,10 +42,23 @@ struct PeriodResult {
   double system_performance = 0.0;                // sum over everything
   std::vector<double> slice_performance;          // per slice, summed over t and j
   bool coordinator_converged = false;
+  /// Degraded-mode accounting (all zero on a fault-free run).
+  std::size_t crashed_ras = 0;          // RAs down this period
+  std::size_t reports_fresh = 0;        // RC-M delivered for this period
+  std::size_t reports_carried = 0;      // columns filled by carry-forward
+  std::size_t columns_frozen = 0;       // RAs past the staleness cutoff
+  std::size_t rcl_losses = 0;           // RC-L pushes lost this period
 };
 
 struct SystemConfig {
   bool use_coordinator = true;  // TARO runs without coordination
+  /// Non-owning fault injector; null runs fault-free. The injector is
+  /// queried per (period, RA), so one injector may be shared by systems.
+  const FaultInjector* faults = nullptr;
+  /// Carry-forward window: a silent RA's last report substitutes for up
+  /// to this many periods of silence; beyond it the RA's z/y columns are
+  /// frozen until a report arrives.
+  std::size_t max_report_staleness = 3;
 };
 
 class EdgeSliceSystem {
@@ -50,6 +78,7 @@ class EdgeSliceSystem {
 
   PerformanceCoordinator& coordinator() { return coordinator_; }
   SystemMonitor& monitor() { return *monitor_; }
+  const MessageBus& bus() const { return bus_; }
   std::size_t ra_count() const { return environments_.size(); }
   std::size_t period_count() const { return period_; }
 
@@ -59,8 +88,13 @@ class EdgeSliceSystem {
   PerformanceCoordinator coordinator_;
   SystemConfig config_;
   std::unique_ptr<SystemMonitor> monitor_;
+  MessageBus bus_;
   std::size_t period_ = 0;
   std::size_t interval_ = 0;
+  /// Last delivered RC-M values per RA, for carry-forward.
+  std::vector<std::vector<double>> last_report_;
+  std::vector<std::size_t> last_report_period_;
+  std::vector<bool> has_report_;
 };
 
 }  // namespace edgeslice::core

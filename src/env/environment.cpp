@@ -39,6 +39,14 @@ void RaEnvironment::set_coordination(const std::vector<double>& z_minus_y) {
   }
 }
 
+void RaEnvironment::set_resource_derate(const std::array<double, kResources>& derate) {
+  for (double d : derate) {
+    if (!(d >= 0.0 && d <= 1.0))
+      throw std::invalid_argument("RaEnvironment: derate must be in [0,1]");
+  }
+  derate_ = derate;
+}
+
 void RaEnvironment::set_arrival_rates(const std::vector<double>& rates) {
   if (rates.size() != config_.slices)
     throw std::invalid_argument("RaEnvironment: arrival-rate size mismatch");
@@ -123,7 +131,7 @@ StepResult RaEnvironment::step(const std::vector<double>& action) {
 
     Allocation alloc{};
     for (std::size_t k = 0; k < kResources; ++k) {
-      alloc[k] = std::clamp(action[i * kResources + k], 0.0, 1.0) * scale[k];
+      alloc[k] = std::clamp(action[i * kResources + k], 0.0, 1.0) * scale[k] * derate_[k];
     }
     const double tau = service_model_->service_time(profiles_[i], alloc);
     last_service_time_[i] = tau;

@@ -14,6 +14,7 @@
 // which also matches the state definition in Eq. 13 — we follow Eq. 7.)
 #pragma once
 
+#include <array>
 #include <memory>
 #include <vector>
 
@@ -83,6 +84,15 @@ class RaEnvironment {
   void set_coordination(const std::vector<double>& z_minus_y);
   const std::vector<double>& coordination() const { return coordination_; }
 
+  /// Fault hook: per-resource service derate in [0, 1] (1 = healthy). The
+  /// effective allocation seen by the service model is action * derate —
+  /// a radio blackout is derate[0] = 0, a transport link failure
+  /// derate[1] = 0, a compute slowdown by factor f derate[2] = 1/f. The
+  /// agent's action, state, and reward shaping are untouched: faults
+  /// degrade the substrate, not the controller's view of its own decision.
+  void set_resource_derate(const std::array<double, kResources>& derate);
+  const std::array<double, kResources>& resource_derate() const { return derate_; }
+
   /// Override per-slice Poisson arrival rates (traffic diversity; traces).
   void set_arrival_rates(const std::vector<double>& rates);
 
@@ -119,6 +129,7 @@ class RaEnvironment {
   std::shared_ptr<const PerformanceFunction> perf_;
   Rng rng_;
   std::vector<SliceQueue> queues_;
+  std::array<double, kResources> derate_{1.0, 1.0, 1.0};
   std::vector<double> coordination_;
   std::vector<double> arrival_rates_;
   std::vector<std::vector<double>> arrival_profiles_;

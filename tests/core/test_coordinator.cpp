@@ -1,5 +1,8 @@
 #include "core/coordinator.h"
 
+#include <cmath>
+#include <limits>
+
 #include <gtest/gtest.h>
 
 namespace edgeslice::core {
@@ -99,6 +102,73 @@ TEST(Coordinator, MalformedReportsThrow) {
   reports[0].ra = 0;
   reports[0].performance_sums = {-1.0, -2.0};
   EXPECT_THROW(coordinator.update(reports), std::invalid_argument);
+}
+
+TEST(Coordinator, RejectsNonFinitePerformanceSums) {
+  PerformanceCoordinator coordinator(make_config());
+  nn::Matrix with_nan{{-1.0, std::nan("")}, {-2.0, -3.0}};
+  EXPECT_THROW(coordinator.update(with_nan), std::invalid_argument);
+  nn::Matrix with_inf{{-1.0, -2.0},
+                      {-3.0, -std::numeric_limits<double>::infinity()}};
+  EXPECT_THROW(coordinator.update(with_inf), std::invalid_argument);
+  // A rejected update must not have poisoned z/y.
+  EXPECT_DOUBLE_EQ(coordinator.z(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(coordinator.y(1, 1), 0.0);
+}
+
+TEST(Coordinator, RejectsDuplicateAndNonFiniteReports) {
+  PerformanceCoordinator coordinator(make_config());
+  std::vector<RcMonitoringMessage> duplicate(2);
+  duplicate[0].ra = 0;
+  duplicate[0].performance_sums = {-1.0, -2.0};
+  duplicate[1].ra = 0;  // RA 1 missing, RA 0 reported twice
+  duplicate[1].performance_sums = {-3.0, -4.0};
+  EXPECT_THROW(coordinator.update(duplicate), std::invalid_argument);
+
+  std::vector<RcMonitoringMessage> poisoned(2);
+  poisoned[0].ra = 0;
+  poisoned[0].performance_sums = {-1.0, std::nan("")};
+  poisoned[1].ra = 1;
+  poisoned[1].performance_sums = {-2.0, -3.0};
+  EXPECT_THROW(coordinator.update(poisoned), std::invalid_argument);
+}
+
+TEST(Coordinator, RejectsNonFiniteSliceRequest) {
+  PerformanceCoordinator coordinator(make_config());
+  EXPECT_THROW(
+      coordinator.apply_slice_request(SliceRequest{0, std::nan(""), "bad"}),
+      std::invalid_argument);
+  EXPECT_THROW(coordinator.apply_slice_request(SliceRequest{
+                   0, std::numeric_limits<double>::infinity(), "bad"}),
+               std::invalid_argument);
+  EXPECT_DOUBLE_EQ(coordinator.config().u_min[0], -50.0);  // unchanged
+}
+
+TEST(Coordinator, MaskedUpdateFreezesInactiveColumns) {
+  PerformanceCoordinator coordinator(make_config());
+  nn::Matrix u{{-40.0, -40.0}, {-10.0, -10.0}};
+  coordinator.update(u);
+  const double z_frozen = coordinator.z(0, 1);
+  const double y_frozen = coordinator.y(0, 1);
+  nn::Matrix u2{{-30.0, 0.0}, {-5.0, 0.0}};  // column 1 is stale garbage
+  coordinator.update(u2, {true, false});
+  EXPECT_DOUBLE_EQ(coordinator.z(0, 1), z_frozen);
+  EXPECT_DOUBLE_EQ(coordinator.y(0, 1), y_frozen);
+  EXPECT_THROW(coordinator.update(u2, {true}), std::invalid_argument);  // bad mask size
+}
+
+TEST(Coordinator, MaskedUpdateWithAllActiveMatchesUnmasked) {
+  PerformanceCoordinator masked(make_config());
+  PerformanceCoordinator plain(make_config());
+  nn::Matrix u{{-40.0, -40.0}, {-10.0, -10.0}};
+  masked.update(u, {true, true});
+  plain.update(u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      EXPECT_EQ(masked.z(i, j), plain.z(i, j));
+      EXPECT_EQ(masked.y(i, j), plain.y(i, j));
+    }
+  }
 }
 
 TEST(Coordinator, ConvergesWhenPerformanceStabilizesFeasibly) {

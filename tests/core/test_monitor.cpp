@@ -40,6 +40,33 @@ TEST(Monitor, RcmReportSumsPeriodPerformance) {
   EXPECT_DOUBLE_EQ(report.performance_sums[1], -6.0);
 }
 
+TEST(Monitor, ReportForSkippedPeriodIsZero) {
+  // A monitor that recorded nothing for a period (e.g. its RA was down)
+  // reports zero sums rather than stale or garbage data.
+  SystemMonitor monitor(2, 2);
+  monitor.record(0, 0, 0, make_step({-1, -2}, {}), {});
+  monitor.record(0, 2, 20, make_step({-7, -8}, {}), {});  // period 1 skipped
+  const auto report = monitor.report(0, 1);
+  ASSERT_EQ(report.performance_sums.size(), 2u);
+  EXPECT_DOUBLE_EQ(report.performance_sums[0], 0.0);
+  EXPECT_DOUBLE_EQ(report.performance_sums[1], 0.0);
+}
+
+TEST(Monitor, OutOfOrderRecordsStillSumPerPeriod) {
+  // Records arriving out of interval/period order (delayed telemetry)
+  // must not change a period's report.
+  SystemMonitor monitor(2, 1);
+  monitor.record(0, 1, 12, make_step({-5, -6}, {}), {});
+  monitor.record(0, 0, 3, make_step({-1, -2}, {}), {});  // older period, later arrival
+  monitor.record(0, 0, 1, make_step({-3, -4}, {}), {});  // earlier interval, last
+  const auto period0 = monitor.report(0, 0);
+  EXPECT_DOUBLE_EQ(period0.performance_sums[0], -4.0);
+  EXPECT_DOUBLE_EQ(period0.performance_sums[1], -6.0);
+  const auto period1 = monitor.report(0, 1);
+  EXPECT_DOUBLE_EQ(period1.performance_sums[0], -5.0);
+  EXPECT_DOUBLE_EQ(period1.performance_sums[1], -6.0);
+}
+
 TEST(Monitor, SystemPerformanceSeriesSumsAcrossRas) {
   SystemMonitor monitor(2, 2);
   monitor.record(0, 0, 0, make_step({-1, -2}, {}), {});

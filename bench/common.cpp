@@ -217,6 +217,28 @@ std::shared_ptr<rl::Agent> train_agent_for(const Setup& setup, rl::Algorithm alg
   return deployed;
 }
 
+std::vector<std::shared_ptr<rl::Agent>> train_agents_for(
+    const std::vector<TrainingSpec>& specs, Rng& rng, ThreadPool* pool) {
+  // Spawn every job's stream up front, in spec order, so the streams do
+  // not depend on scheduling (and the sequential path consumes the master
+  // Rng identically).
+  std::vector<Rng> streams;
+  streams.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) streams.push_back(rng.spawn());
+
+  std::vector<std::shared_ptr<rl::Agent>> agents(specs.size());
+  const auto run_job = [&](std::size_t i) {
+    agents[i] = train_agent_for(specs[i].setup, specs[i].algorithm,
+                                specs[i].traffic_in_state, streams[i]);
+  };
+  if (pool != nullptr && pool->thread_count() > 1 && specs.size() > 1) {
+    pool->parallel_for(specs.size(), run_job);
+  } else {
+    for (std::size_t i = 0; i < specs.size(); ++i) run_job(i);
+  }
+  return agents;
+}
+
 const char* contender_name(Contender contender) {
   switch (contender) {
     case Contender::EdgeSlice: return "EdgeSlice";
@@ -257,6 +279,10 @@ RunResult run_contender(const Setup& setup, Contender contender, Rng& rng,
   coordinator.ras = setup.ras;
   core::SystemConfig system_config;
   system_config.use_coordinator = contender != Contender::Taro;
+  // Deployment policies (frozen actors, TARO) share no mutable state, so
+  // the period loop may fan out across the setup's pool; results are
+  // bit-identical to a sequential run.
+  system_config.pool = setup.pool;
 
   std::vector<env::RaEnvironment*> env_ptrs;
   std::vector<core::RaPolicy*> policy_ptrs;
@@ -280,7 +306,7 @@ RunResult run_contender(const Setup& setup, Contender contender, Rng& rng,
 
 Setup parse_common_flags(int argc, char** argv, Setup setup,
                          const std::vector<std::string>& extra_flags) {
-  std::vector<std::string> known{"steps", "seed", "periods"};
+  std::vector<std::string> known{"steps", "seed", "periods", "threads"};
   known.insert(known.end(), extra_flags.begin(), extra_flags.end());
   const CliArgs args(argc, argv, known);
   setup.train_steps = static_cast<std::size_t>(args.get_int_env(
@@ -289,6 +315,8 @@ Setup parse_common_flags(int argc, char** argv, Setup setup,
       args.get_int("seed", static_cast<std::int64_t>(setup.seed)));
   setup.eval_periods = static_cast<std::size_t>(
       args.get_int("periods", static_cast<std::int64_t>(setup.eval_periods)));
+  setup.threads = static_cast<std::size_t>(args.get_int_env(
+      "threads", "EDGESLICE_THREADS", static_cast<std::int64_t>(setup.threads)));
   return setup;
 }
 

@@ -16,6 +16,7 @@
 #include "common/cli.h"
 #include "common/rng.h"
 #include "common/stats.h"
+#include "common/thread_pool.h"
 #include "core/system.h"
 #include "core/training.h"
 #include "env/service_model.h"
@@ -39,6 +40,12 @@ struct Setup {
   std::uint64_t seed = 1;
   std::size_t train_steps = 12000;    // scaled stand-in for the paper's 1e6
   std::size_t eval_periods = 10;
+  /// Worker budget for train_agents_for and run_contender (--threads).
+  /// Results are bit-identical at any thread count (see DESIGN.md Sec. 7).
+  std::size_t threads = 1;
+  /// Non-owning pool the bench main() constructs from `threads`; null runs
+  /// everything sequentially.
+  ThreadPool* pool = nullptr;
 };
 
 /// The simulation setup of Sec. VII-D: 5 slices, 10 RAs, 24-interval
@@ -98,6 +105,22 @@ void apply_trace_traffic(const Setup& setup,
 std::shared_ptr<rl::Agent> train_agent_for(const Setup& setup, rl::Algorithm algorithm,
                                            bool traffic_in_state, Rng& rng);
 
+/// One offline training request for train_agents_for.
+struct TrainingSpec {
+  Setup setup;
+  rl::Algorithm algorithm = rl::Algorithm::Ddpg;
+  bool traffic_in_state = true;
+};
+
+/// Train every spec — concurrently when `pool` has workers, sequentially
+/// otherwise — and return the deployed agents indexed like `specs`. One
+/// Rng stream is spawned from `rng` per spec, in spec order, before any
+/// training starts, so the returned agents are bit-identical at any
+/// thread count. Specs in one batch must not share a policy-cache path
+/// (i.e. no two identical (setup, algorithm, state) triples).
+std::vector<std::shared_ptr<rl::Agent>> train_agents_for(
+    const std::vector<TrainingSpec>& specs, Rng& rng, ThreadPool* pool = nullptr);
+
 /// Results of an evaluated system run.
 struct RunResult {
   double total_performance = 0.0;              // sum U over everything
@@ -116,7 +139,8 @@ RunResult run_contender(const Setup& setup, Contender contender, Rng& rng,
                         std::shared_ptr<rl::Agent> trained = nullptr,
                         core::SystemMonitor* monitor_out = nullptr);
 
-/// Parse the standard bench flags (--steps, --seed, --periods) into `setup`.
+/// Parse the standard bench flags (--steps, --seed, --periods, --threads)
+/// into `setup`.
 Setup parse_common_flags(int argc, char** argv, Setup setup,
                          const std::vector<std::string>& extra_flags = {});
 

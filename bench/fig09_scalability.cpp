@@ -12,15 +12,21 @@ using namespace edgeslice::bench;
 
 int main(int argc, char** argv) {
   Setup base = parse_common_flags(argc, argv, simulation_setup());
+  ThreadPool pool(base.threads);
+  base.pool = base.threads > 1 ? &pool : nullptr;
   Rng rng(base.seed);
 
   print_header("Fig. 9: scalability", "Fig. 9");
 
   // ---- (a): sweep RA count at 5 slices -----------------------------------
   // Agents depend on the slice count only, so one training per contender
-  // covers the whole RA sweep.
-  const auto es_agent5 = train_agent_for(base, rl::Algorithm::Ddpg, true, rng);
-  const auto nt_agent5 = train_agent_for(base, rl::Algorithm::Ddpg, false, rng);
+  // covers the whole RA sweep. The full/NT pair trains concurrently when
+  // --threads > 1 (bit-identical to a sequential run either way).
+  const auto agents5 = train_agents_for(
+      {{base, rl::Algorithm::Ddpg, true}, {base, rl::Algorithm::Ddpg, false}}, rng,
+      base.pool);
+  const auto es_agent5 = agents5[0];
+  const auto nt_agent5 = agents5[1];
 
   std::printf("\n# Fig. 9(a): performance per RA vs number of RAs (5 slices)\n");
   print_series_header({"ras", "EdgeSlice", "EdgeSlice-NT", "TARO"});
@@ -47,8 +53,11 @@ int main(int argc, char** argv) {
       es_agent = es_agent5;  // reuse the (a) training
       nt_agent = nt_agent5;
     } else {
-      es_agent = train_agent_for(setup, rl::Algorithm::Ddpg, true, rng);
-      nt_agent = train_agent_for(setup, rl::Algorithm::Ddpg, false, rng);
+      const auto agents = train_agents_for(
+          {{setup, rl::Algorithm::Ddpg, true}, {setup, rl::Algorithm::Ddpg, false}},
+          rng, base.pool);
+      es_agent = agents[0];
+      nt_agent = agents[1];
     }
     const auto es = run_contender(setup, Contender::EdgeSlice, rng, es_agent);
     const auto nt = run_contender(setup, Contender::EdgeSliceNt, rng, nt_agent);

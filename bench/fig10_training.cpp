@@ -7,29 +7,184 @@
 //     training monotonically helps.
 // (b) System performance for the five training techniques (DDPG, SAC, PPO,
 //     TRPO, VPG) at equal step budget. The paper: DDPG best.
+//
+// With --threads N (or EDGESLICE_THREADS) the independent trainings of
+// each part fan out across a deterministic thread pool; results are
+// bit-identical to --threads 1. The run also times a small
+// sequential-vs-parallel training batch and writes the measurements to
+// BENCH_training.json (wall-clock, speedup, matmul GFLOP/s).
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
 #include "common.h"
+#include "env/service_model.h"
 
 using namespace edgeslice;
 using namespace edgeslice::bench;
 
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct TimingJob {
+  std::unique_ptr<env::RaEnvironment> environment;
+  std::unique_ptr<rl::Ddpg> agent;
+};
+
+/// A fresh fleet of small training jobs (no disk cache involved), built
+/// identically per call so sequential and pooled runs are comparable.
+std::vector<TimingJob> make_timing_fleet(std::size_t jobs, std::uint64_t seed) {
+  const auto model =
+      std::make_shared<env::DirectServiceModel>(env::prototype_capacity());
+  const Rng parent(seed);
+  std::vector<TimingJob> fleet(jobs);
+  for (std::size_t i = 0; i < jobs; ++i) {
+    env::RaEnvironmentConfig config;  // 2 slices, T = 10
+    fleet[i].environment = std::make_unique<env::RaEnvironment>(
+        config,
+        std::vector<env::AppProfile>{env::slice1_profile(), env::slice2_profile()},
+        model, env::make_queue_power_perf(), parent.spawn(10 + i));
+    rl::DdpgConfig ddpg;
+    ddpg.base.state_dim = fleet[i].environment->state_dim();
+    ddpg.base.action_dim = fleet[i].environment->action_dim();
+    ddpg.base.hidden = 64;
+    ddpg.batch_size = 64;
+    ddpg.warmup = 128;
+    Rng agent_rng = parent.spawn(20 + i);
+    fleet[i].agent = std::make_unique<rl::Ddpg>(ddpg, agent_rng);
+  }
+  return fleet;
+}
+
+struct TimedBatch {
+  double seconds = 0.0;
+  std::vector<core::TrainingResult> results;
+};
+
+TimedBatch time_training_batch(std::size_t jobs, std::size_t steps,
+                               std::uint64_t seed, ThreadPool* pool) {
+  auto fleet = make_timing_fleet(jobs, seed);
+  const Rng parent(seed);
+  std::vector<core::TrainingJob> batch(jobs);
+  for (std::size_t i = 0; i < jobs; ++i) {
+    batch[i].agent = fleet[i].agent.get();
+    batch[i].environment = fleet[i].environment.get();
+    batch[i].config.steps = steps;
+    batch[i].rng = parent.spawn(30 + i);
+  }
+  TimedBatch out;
+  const auto start = Clock::now();
+  out.results = core::train_agents(batch, pool);
+  out.seconds = seconds_since(start);
+  return out;
+}
+
+/// Sustained matmul throughput of the nn substrate (the training hot path).
+double measure_matmul_gflops() {
+  Rng rng(1);
+  nn::Matrix a(256, 256);
+  nn::Matrix b(256, 256);
+  for (auto& v : a.data()) v = rng.normal();
+  for (auto& v : b.data()) v = rng.normal();
+  constexpr int kReps = 40;
+  double sink = 0.0;
+  const auto start = Clock::now();
+  for (int r = 0; r < kReps; ++r) {
+    sink += a.matmul(b)(0, 0);
+  }
+  const double elapsed = seconds_since(start);
+  const double flops = 2.0 * 256.0 * 256.0 * 256.0 * kReps;
+  // Keep the accumulator observable so the loop cannot be elided.
+  std::fprintf(stderr, "[bench] matmul sink %.3e\n", sink);
+  return flops / elapsed / 1e9;
+}
+
+void write_bench_json(const Setup& base, const TimedBatch& sequential,
+                      const TimedBatch& parallel, bool bit_identical,
+                      std::size_t timing_jobs, std::size_t timing_steps,
+                      double gflops) {
+  std::ofstream out("BENCH_training.json");
+  out << "{\n";
+  out << "  \"threads\": " << base.threads << ",\n";
+  out << "  \"hardware_threads\": " << ThreadPool::hardware_threads() << ",\n";
+  out << "  \"timing_jobs\": " << timing_jobs << ",\n";
+  out << "  \"timing_steps_per_job\": " << timing_steps << ",\n";
+  out << "  \"sequential_seconds\": " << sequential.seconds << ",\n";
+  out << "  \"parallel_seconds\": " << parallel.seconds << ",\n";
+  out << "  \"speedup\": "
+      << (parallel.seconds > 0.0 ? sequential.seconds / parallel.seconds : 0.0)
+      << ",\n";
+  out << "  \"bit_identical\": " << (bit_identical ? "true" : "false") << ",\n";
+  out << "  \"matmul_gflops\": " << gflops << "\n";
+  out << "}\n";
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   Setup base = parse_common_flags(argc, argv, simulation_setup());
+  ThreadPool pool(base.threads);
+  base.pool = base.threads > 1 ? &pool : nullptr;
   Rng rng(base.seed);
 
   print_header("Fig. 10: training techniques", "Fig. 10");
+
+  // ---- training-throughput measurement (BENCH_training.json) --------------
+  // A small fresh fleet (no disk cache) trained twice: sequentially, then
+  // on the pool. The two runs must agree bit for bit; the wall-clock ratio
+  // is the training speedup on this machine.
+  {
+    const std::size_t timing_jobs = 4;
+    const std::size_t timing_steps = std::min<std::size_t>(base.train_steps, 2000);
+    std::fprintf(stderr, "[bench] timing %zu training jobs x %zu steps ...\n",
+                 timing_jobs, timing_steps);
+    const TimedBatch sequential =
+        time_training_batch(timing_jobs, timing_steps, base.seed, nullptr);
+    const TimedBatch parallel = time_training_batch(
+        timing_jobs, timing_steps, base.seed, base.pool);
+    bool bit_identical = sequential.results.size() == parallel.results.size();
+    for (std::size_t i = 0; bit_identical && i < sequential.results.size(); ++i) {
+      bit_identical = sequential.results[i].reward_history ==
+                          parallel.results[i].reward_history &&
+                      sequential.results[i].final_mean_reward ==
+                          parallel.results[i].final_mean_reward;
+    }
+    const double gflops = measure_matmul_gflops();
+    write_bench_json(base, sequential, parallel, bit_identical, timing_jobs,
+                     timing_steps, gflops);
+    std::fprintf(stderr,
+                 "[bench] sequential %.2fs, parallel %.2fs (x%.2f, %s), "
+                 "matmul %.2f GFLOP/s -> BENCH_training.json\n",
+                 sequential.seconds, parallel.seconds,
+                 parallel.seconds > 0.0 ? sequential.seconds / parallel.seconds : 0.0,
+                 bit_identical ? "bit-identical" : "MISMATCH", gflops);
+  }
 
   // ---- (a): training-step sweep -------------------------------------------
   std::printf("\n# Fig. 10(a): system performance vs training steps\n");
   print_series_header({"steps", "EdgeSlice", "EdgeSlice-NT", "TARO"});
   const auto taro = run_contender(base, Contender::Taro, rng);
-  for (double fraction : {0.125, 0.25, 0.5, 1.0}) {
+  const double fractions[] = {0.125, 0.25, 0.5, 1.0};
+  std::vector<TrainingSpec> sweep_specs;
+  for (double fraction : fractions) {
     Setup setup = base;
     setup.train_steps =
         static_cast<std::size_t>(fraction * static_cast<double>(base.train_steps));
-    const auto es_agent = train_agent_for(setup, rl::Algorithm::Ddpg, true, rng);
-    const auto nt_agent = train_agent_for(setup, rl::Algorithm::Ddpg, false, rng);
-    const auto es = run_contender(setup, Contender::EdgeSlice, rng, es_agent);
-    const auto nt = run_contender(setup, Contender::EdgeSliceNt, rng, nt_agent);
+    sweep_specs.push_back({setup, rl::Algorithm::Ddpg, true});
+    sweep_specs.push_back({setup, rl::Algorithm::Ddpg, false});
+  }
+  const auto sweep_agents = train_agents_for(sweep_specs, rng, base.pool);
+  for (std::size_t f = 0; f < std::size(fractions); ++f) {
+    const Setup& setup = sweep_specs[2 * f].setup;
+    const auto es =
+        run_contender(setup, Contender::EdgeSlice, rng, sweep_agents[2 * f]);
+    const auto nt =
+        run_contender(setup, Contender::EdgeSliceNt, rng, sweep_agents[2 * f + 1]);
     print_row({static_cast<double>(setup.train_steps), es.total_performance,
                nt.total_performance, taro.total_performance});
   }
@@ -40,10 +195,15 @@ int main(int argc, char** argv) {
   const rl::Algorithm algorithms[] = {rl::Algorithm::Ddpg, rl::Algorithm::Sac,
                                       rl::Algorithm::Ppo, rl::Algorithm::Trpo,
                                       rl::Algorithm::Vpg};
+  std::vector<TrainingSpec> technique_specs;
   for (const auto algorithm : algorithms) {
-    const auto agent = train_agent_for(base, algorithm, true, rng);
-    const auto result = run_contender(base, Contender::EdgeSlice, rng, agent);
-    std::printf("  %14s %14.3f\n", rl::algorithm_name(algorithm),
+    technique_specs.push_back({base, algorithm, true});
+  }
+  const auto technique_agents = train_agents_for(technique_specs, rng, base.pool);
+  for (std::size_t k = 0; k < std::size(algorithms); ++k) {
+    const auto result =
+        run_contender(base, Contender::EdgeSlice, rng, technique_agents[k]);
+    std::printf("  %14s %14.3f\n", rl::algorithm_name(algorithms[k]),
                 result.total_performance);
   }
   return 0;

@@ -24,8 +24,27 @@ void BM_MatrixMatmul128(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(a.matmul(b));
   }
+  // 2mnk FLOPs per product; the rate counter reports sustained FLOP/s.
+  state.counters["FLOPS"] = benchmark::Counter(
+      2.0 * 64 * 128 * 128 * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_MatrixMatmul128);
+
+void BM_MatrixMatmul256(benchmark::State& state) {
+  Rng rng(1);
+  nn::Matrix a(256, 256);
+  nn::Matrix b(256, 256);
+  for (auto& v : a.data()) v = rng.normal();
+  for (auto& v : b.data()) v = rng.normal();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.matmul(b));
+  }
+  state.counters["FLOPS"] = benchmark::Counter(
+      2.0 * 256 * 256 * 256 * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MatrixMatmul256);
 
 void BM_DdpgInference(benchmark::State& state) {
   Rng rng(1);

@@ -1,0 +1,97 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace edgeslice {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t workers = threads > 1 ? threads - 1 : 0;
+  workers_.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+std::size_t ThreadPool::hardware_threads() {
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  // Inline fallback: no workers, a single task, or a nested call from
+  // inside a running batch (body_ already set).
+  if (workers_.empty() || n == 1 || body_ != nullptr) {
+    lock.unlock();
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  body_ = &body;
+  next_ = 0;
+  total_ = n;
+  in_flight_ = 0;
+  error_ = nullptr;
+  work_cv_.notify_all();
+
+  // The caller participates in its own batch.
+  while (next_ < total_) {
+    const std::size_t i = next_++;
+    ++in_flight_;
+    lock.unlock();
+    std::exception_ptr thrown;
+    try {
+      body(i);
+    } catch (...) {
+      thrown = std::current_exception();
+    }
+    lock.lock();
+    if (thrown && !error_) error_ = thrown;
+    --in_flight_;
+  }
+  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  body_ = nullptr;
+  if (error_) {
+    std::exception_ptr rethrown = error_;
+    error_ = nullptr;
+    std::rethrow_exception(rethrown);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock,
+                  [this] { return stop_ || (body_ != nullptr && next_ < total_); });
+    if (stop_) return;
+    while (body_ != nullptr && next_ < total_) {
+      const std::size_t i = next_++;
+      ++in_flight_;
+      const auto* body = body_;
+      lock.unlock();
+      std::exception_ptr thrown;
+      try {
+        (*body)(i);
+      } catch (...) {
+        thrown = std::current_exception();
+      }
+      lock.lock();
+      if (thrown && !error_) error_ = thrown;
+      --in_flight_;
+      if (in_flight_ == 0 && next_ >= total_) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace edgeslice

@@ -1,0 +1,69 @@
+// A deterministic fixed-size thread pool (no work stealing).
+//
+// The pool exists to parallelize embarrassingly-parallel per-RA work:
+// agent training jobs and the per-RA interval loop of the orchestration
+// system. Determinism is a hard requirement there (DESIGN.md decision 4:
+// one seed reproduces an experiment bit-for-bit), so the pool makes a
+// deliberately weak scheduling promise — tasks are handed out in index
+// order from a single mutex-protected counter, nothing is stolen or
+// reordered — and the *callers* guarantee that tasks share no mutable
+// state. Reductions over task results are then performed by the caller
+// in a fixed index order, which makes the combined result independent of
+// how tasks were interleaved across workers.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace edgeslice {
+
+/// Fixed set of worker threads executing indexed task batches.
+///
+/// `threads` is the total concurrency including the calling thread:
+/// ThreadPool(1) spawns no workers and runs every batch inline; for
+/// threads = N the pool spawns N - 1 workers and the caller participates
+/// in each batch. parallel_for() is not reentrant — a body that calls
+/// parallel_for() on the same pool runs the nested batch inline.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total concurrency (workers + the calling thread), >= 1.
+  std::size_t thread_count() const { return workers_.size() + 1; }
+
+  /// Run body(0) .. body(n-1), distributing indices over the pool, and
+  /// block until all have finished. The first exception thrown by any
+  /// task is rethrown here after the batch drains; the remaining tasks
+  /// still run. With no workers (threads <= 1) the batch runs inline in
+  /// index order.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  /// std::thread::hardware_concurrency() with a floor of 1.
+  static std::size_t hardware_threads();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;   // workers wait for a batch
+  std::condition_variable done_cv_;   // caller waits for the batch to drain
+  const std::function<void(std::size_t)>* body_ = nullptr;  // active batch
+  std::size_t next_ = 0;       // next index to hand out
+  std::size_t total_ = 0;      // batch size
+  std::size_t in_flight_ = 0;  // indices handed out but not finished
+  std::exception_ptr error_;
+  bool stop_ = false;
+};
+
+}  // namespace edgeslice

@@ -18,7 +18,7 @@ class RaPolicy {
   virtual ~RaPolicy() = default;
   virtual std::vector<double> decide(const env::RaEnvironment& environment) = 0;
   /// Learning hook, called after the environment advanced.
-  virtual void feedback(const env::StepResult& result) {}
+  virtual void feedback(const env::StepResult& /*result*/) {}
   virtual std::string name() const = 0;
 };
 

@@ -61,21 +61,63 @@ PeriodResult EdgeSliceSystem::run_period() {
     }
   }
 
-  for (std::size_t t = 0; t < intervals; ++t) {
-    for (std::size_t j = 0; j < ras; ++j) {
-      if (crashed[j]) continue;
+  ThreadPool* pool = config_.pool;
+  if (pool != nullptr && pool->thread_count() > 1 && ras > 1) {
+    // Decentralized execution: each RA's whole period runs on the worker
+    // that owns it (its environment and policy are touched by no other
+    // thread), with the per-interval results buffered per RA.
+    struct RaTrace {
+      std::vector<env::StepResult> steps;
+      std::vector<std::vector<double>> actions;
+    };
+    std::vector<RaTrace> traces(ras);
+    pool->parallel_for(ras, [&](std::size_t j) {
+      if (crashed[j]) return;
       auto& environment = *environments_[j];
-      const std::vector<double> action = policies_[j]->decide(environment);
-      const env::StepResult step = environment.step(action);
-      policies_[j]->feedback(step);
-      monitor_->record(j, period_, interval_, step, action);
-      for (std::size_t i = 0; i < slices; ++i) {
-        result.performance_sums(i, j) += step.performance[i];
-        result.slice_performance[i] += step.performance[i];
-        result.system_performance += step.performance[i];
+      auto& trace = traces[j];
+      trace.steps.reserve(intervals);
+      trace.actions.reserve(intervals);
+      for (std::size_t t = 0; t < intervals; ++t) {
+        std::vector<double> action = policies_[j]->decide(environment);
+        env::StepResult step = environment.step(action);
+        policies_[j]->feedback(step);
+        trace.steps.push_back(std::move(step));
+        trace.actions.push_back(std::move(action));
       }
+    });
+    // parallel_for is the barrier; reduce in the sequential (t, j) order
+    // so monitoring rows and floating-point accumulation are bit-identical
+    // to a sequential run regardless of worker interleaving.
+    for (std::size_t t = 0; t < intervals; ++t) {
+      for (std::size_t j = 0; j < ras; ++j) {
+        if (crashed[j]) continue;
+        const env::StepResult& step = traces[j].steps[t];
+        monitor_->record(j, period_, interval_, step, traces[j].actions[t]);
+        for (std::size_t i = 0; i < slices; ++i) {
+          result.performance_sums(i, j) += step.performance[i];
+          result.slice_performance[i] += step.performance[i];
+          result.system_performance += step.performance[i];
+        }
+      }
+      ++interval_;
     }
-    ++interval_;
+  } else {
+    for (std::size_t t = 0; t < intervals; ++t) {
+      for (std::size_t j = 0; j < ras; ++j) {
+        if (crashed[j]) continue;
+        auto& environment = *environments_[j];
+        const std::vector<double> action = policies_[j]->decide(environment);
+        const env::StepResult step = environment.step(action);
+        policies_[j]->feedback(step);
+        monitor_->record(j, period_, interval_, step, action);
+        for (std::size_t i = 0; i < slices; ++i) {
+          result.performance_sums(i, j) += step.performance[i];
+          result.slice_performance[i] += step.performance[i];
+          result.system_performance += step.performance[i];
+        }
+      }
+      ++interval_;
+    }
   }
 
   if (config_.use_coordinator) {

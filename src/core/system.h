@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/fault.h"
+#include "common/thread_pool.h"
 #include "core/coordinator.h"
 #include "core/message_bus.h"
 #include "core/monitor.h"
@@ -59,6 +60,16 @@ struct SystemConfig {
   /// to this many periods of silence; beyond it the RA's z/y columns are
   /// frozen until a report arrives.
   std::size_t max_report_staleness = 3;
+  /// Non-owning thread pool; null (or a 1-thread pool) runs the period
+  /// loop sequentially. With workers, each RA's T intervals run on the
+  /// worker that owns that RA — environments and policies are touched by
+  /// exactly one thread — and the collected trajectories are reduced at
+  /// the pre-existing message-bus barrier in the sequential (interval,
+  /// RA) order, so results are bit-identical to a sequential run.
+  /// Requirement: per-RA policies must not share *mutable* state across
+  /// RAs (deployment policies — frozen actors with learn = false, TARO —
+  /// qualify; a shared learning agent does not).
+  ThreadPool* pool = nullptr;
 };
 
 class EdgeSliceSystem {

@@ -6,20 +6,52 @@
 
 namespace edgeslice::core {
 
+namespace {
+
+// Tag for the dedicated validation Rng stream. Rng::spawn(tag) derives
+// from the construction seed only, so every validation call on the same
+// environment replays the identical arrival sequence regardless of how
+// much randomness training has consumed in between.
+constexpr std::uint64_t kValidationStreamTag = 0x76a11da7e;
+
+}  // namespace
+
 double validate_policy(rl::Agent& agent, env::RaEnvironment& environment,
-                       double coordination, std::size_t intervals) {
+                       double coordination, std::size_t intervals,
+                       double arrival_rate) {
+  // Save everything validation perturbs — coordination, arrival rates and
+  // the random stream — so training resumes exactly where it left off,
+  // and pin all three so scores from different checkpoints are computed
+  // under identical traffic and are therefore comparable. (Cyclic arrival
+  // profiles, when set, restart from bin 0 on reset and stay comparable
+  // without pinning.)
   const std::vector<double> saved_coordination = environment.coordination();
+  std::vector<double> saved_rates(environment.slice_count());
+  for (std::size_t i = 0; i < saved_rates.size(); ++i) {
+    saved_rates[i] = environment.arrival_rate(i);
+  }
+  const Rng saved_rng = environment.rng();
+
+  const double pinned_rate =
+      arrival_rate > 0.0 ? arrival_rate : environment.config().arrival_rate;
   environment.reset();
   environment.set_coordination(
       std::vector<double>(environment.slice_count(), coordination));
+  environment.set_arrival_rates(
+      std::vector<double>(environment.slice_count(), pinned_rate));
+  environment.rng() = saved_rng.spawn(kValidationStreamTag);
+
   double score = 0.0;
   for (std::size_t t = 0; t < intervals; ++t) {
     const auto action = agent.act(environment.state(), /*explore=*/false);
     const auto result = environment.step(action);
     for (double u : result.performance) score += u;
   }
+
   environment.reset();
   environment.set_coordination(saved_coordination);
+  environment.set_arrival_rates(saved_rates);
+  environment.rng() = saved_rng;
   return score;
 }
 
@@ -73,7 +105,8 @@ TrainingResult train_agent(rl::Agent& agent, env::RaEnvironment& environment,
         step + 1 >= config.steps / 5 && agent.policy_network() != nullptr) {
       const double score = validate_policy(agent, environment,
                                            config.validation_coordination,
-                                           config.validation_intervals);
+                                           config.validation_intervals,
+                                           config.validation_arrival_rate);
       result.validation_history.push_back(score);
       if (!result.best_policy.has_value() || score > result.best_validation_score) {
         result.best_validation_score = score;
@@ -85,6 +118,30 @@ TrainingResult train_agent(rl::Agent& agent, env::RaEnvironment& environment,
       result.reward_history.empty() ? overall.mean() : result.reward_history.back();
   result.steps = config.steps;
   return result;
+}
+
+std::vector<TrainingResult> train_agents(std::vector<TrainingJob>& jobs,
+                                         ThreadPool* pool) {
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (jobs[i].agent == nullptr || jobs[i].environment == nullptr)
+      throw std::invalid_argument("train_agents: null agent or environment");
+    for (std::size_t k = 0; k < i; ++k) {
+      if (jobs[k].agent == jobs[i].agent || jobs[k].environment == jobs[i].environment)
+        throw std::invalid_argument(
+            "train_agents: jobs must not share an agent or environment");
+    }
+  }
+  std::vector<TrainingResult> results(jobs.size());
+  const auto run_one = [&](std::size_t i) {
+    results[i] = train_agent(*jobs[i].agent, *jobs[i].environment, jobs[i].config,
+                             jobs[i].rng);
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(jobs.size(), run_one);
+  } else {
+    for (std::size_t i = 0; i < jobs.size(); ++i) run_one(i);
+  }
+  return results;
 }
 
 }  // namespace edgeslice::core

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "env/environment.h"
 #include "nn/mlp.h"
 #include "rl/agent.h"
@@ -59,6 +60,12 @@ struct TrainingConfig {
   std::size_t validation_every = 0;
   std::size_t validation_intervals = 100;
   double validation_coordination = -25.0;
+  /// Arrival rate pinned during validation rollouts; <= 0 uses the
+  /// environment's configured base rate. Without pinning, whatever rates
+  /// the last traffic resample set would leak into validation, and
+  /// best-policy selection would compare checkpoint scores measured
+  /// under different traffic (incomparable when randomize_traffic is on).
+  double validation_arrival_rate = 0.0;
 };
 
 struct TrainingResult {
@@ -77,10 +84,35 @@ struct TrainingResult {
 TrainingResult train_agent(rl::Agent& agent, env::RaEnvironment& environment,
                            const TrainingConfig& config, Rng& rng);
 
+/// One independent training job. The caller owns the agent and the
+/// environment; the job owns its Rng stream (spawn one child per job from
+/// a single parent, in job order). Jobs share no mutable state, so
+/// results are bit-identical whether the batch runs sequentially or on a
+/// thread pool of any size.
+struct TrainingJob {
+  rl::Agent* agent = nullptr;
+  env::RaEnvironment* environment = nullptr;
+  TrainingConfig config;
+  Rng rng{0};
+};
+
+/// Train every job — in parallel when `pool` is non-null and has workers,
+/// sequentially otherwise — and return results indexed like `jobs`.
+/// Each job must reference a distinct agent and environment (enforced);
+/// determinism follows from the per-job Rng streams plus index-ordered
+/// result collection (see DESIGN.md Sec. 7).
+std::vector<TrainingResult> train_agents(std::vector<TrainingJob>& jobs,
+                                         ThreadPool* pool = nullptr);
+
 /// Greedy rollout score of the agent's current policy: the sum of raw
-/// slice performance over `intervals` steps under fixed `coordination`.
-/// Resets the environment before and after.
+/// slice performance over `intervals` steps under fixed `coordination`
+/// and a pinned arrival rate (`arrival_rate` <= 0 pins the environment's
+/// configured base rate), driven by a fixed validation Rng stream so
+/// scores from different checkpoints are directly comparable. Saves and
+/// restores the environment's coordination, arrival rates, and random
+/// stream; resets the queues before and after.
 double validate_policy(rl::Agent& agent, env::RaEnvironment& environment,
-                       double coordination, std::size_t intervals);
+                       double coordination, std::size_t intervals,
+                       double arrival_rate = 0.0);
 
 }  // namespace edgeslice::core

@@ -116,6 +116,12 @@ class RaEnvironment {
 
   void reset();
 
+  /// The environment's private random stream. Exposed so evaluation code
+  /// that must be reproducible across calls (core::validate_policy) can
+  /// save the stream, swap in a fixed one, and restore it afterwards.
+  Rng& rng() { return rng_; }
+  const Rng& rng() const { return rng_; }
+
   const RaEnvironmentConfig& config() const { return config_; }
   std::size_t slice_count() const { return config_.slices; }
   const SliceQueue& queue(std::size_t slice) const { return queues_.at(slice); }

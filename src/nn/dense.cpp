@@ -18,20 +18,24 @@ Dense::Dense(std::size_t in, std::size_t out, Activation activation, Rng& rng)
 
 Matrix Dense::forward(const Matrix& x) {
   cached_input_ = x;
-  cached_pre_activation_ = x.matmul(weights_).add_row_broadcast(bias_);
+  cached_pre_activation_ = x.matmul(weights_);
+  cached_pre_activation_.add_row_broadcast_assign(bias_);
   return activate(cached_pre_activation_, activation_);
 }
 
 Matrix Dense::infer(const Matrix& x) const {
-  return activate(x.matmul(weights_).add_row_broadcast(bias_), activation_);
+  Matrix z = x.matmul(weights_);
+  z.add_row_broadcast_assign(bias_);
+  return activate(z, activation_);
 }
 
 Matrix Dense::backward(const Matrix& grad_out) {
   // dL/dZ = dL/dY ⊙ act'(Z)
-  const Matrix grad_z = grad_out.hadamard(activate_grad(cached_pre_activation_, activation_));
-  weight_grad_ += cached_input_.transpose().matmul(grad_z);
+  Matrix grad_z = activate_grad(cached_pre_activation_, activation_);
+  grad_z.hadamard_assign(grad_out);
+  weight_grad_.add_transposed_matmul(cached_input_, grad_z);
   bias_grad_ += grad_z.column_sums();
-  return grad_z.matmul(weights_.transpose());
+  return grad_z.matmul_transposed(weights_);
 }
 
 void Dense::zero_grad() {

@@ -1,9 +1,12 @@
 // Dense row-major matrix of doubles.
 //
-// This is the numeric substrate of the neural network library. It favors
-// clarity and determinism over peak throughput: the paper's actor/critic
-// networks are 2x128 fully connected layers, so naive O(n^3) matmul is
-// ample on the batch sizes involved.
+// This is the numeric substrate of the neural network library. The
+// paper's actor/critic networks are 2x128 fully connected layers, so the
+// products are small-to-medium GEMMs; matmul iterates in the row-major
+// cache-friendly i-k-j order with k-blocking, and the transposed-operand
+// variants avoid materializing transposes in backprop. All products
+// accumulate contributions in ascending-k order, so results are
+// deterministic and independent of blocking.
 #pragma once
 
 #include <cstddef>
@@ -50,6 +53,19 @@ class Matrix {
   /// Matrix product this * other. Dimension mismatch throws.
   Matrix matmul(const Matrix& other) const;
 
+  /// this^T * other without materializing the transpose (the backprop
+  /// weight-gradient product X^T * dZ). Contributions accumulate in
+  /// ascending-k order, matching transpose().matmul(other) bit-for-bit.
+  Matrix transposed_matmul(const Matrix& other) const;
+
+  /// this * other^T without materializing the transpose (the backprop
+  /// input-gradient product dZ * W^T).
+  Matrix matmul_transposed(const Matrix& other) const;
+
+  /// Accumulate a.transposed_matmul(b) into this (dimension mismatch
+  /// throws). Saves the temporary in gradient accumulation.
+  Matrix& add_transposed_matmul(const Matrix& a, const Matrix& b);
+
   /// Elementwise operations (dimension mismatch throws).
   Matrix operator+(const Matrix& other) const;
   Matrix operator-(const Matrix& other) const;
@@ -60,8 +76,19 @@ class Matrix {
   Matrix& operator-=(const Matrix& other);
   Matrix& operator*=(double s);
 
+  /// In-place Hadamard product: this ⊙= other.
+  Matrix& hadamard_assign(const Matrix& other);
+
   /// Add a 1xC row vector to every row (broadcast bias add).
   Matrix add_row_broadcast(const Matrix& bias) const;
+
+  /// In-place broadcast bias add.
+  Matrix& add_row_broadcast_assign(const Matrix& bias);
+
+  /// Overwrite columns [c0, c0 + src.cols()) with src (row counts must
+  /// match). The in-place complement of hconcat for reusing a [A | B]
+  /// buffer when only the B block changes.
+  void paste_columns(std::size_t c0, const Matrix& src);
 
   /// Column sums as a 1xC matrix.
   Matrix column_sums() const;

@@ -62,18 +62,19 @@ void Ddpg::observe(const std::vector<double>& state, const std::vector<double>& 
 
 void Ddpg::train_batch() {
   const std::size_t batch = std::min(config_.batch_size, replay_.size());
-  Batch b = replay_.sample(batch, rng_);
+  Batch minibatch = replay_.sample(batch, rng_);
 
   // --- Critic update: minimize MSBE (Eq. 16) against target value (Eq. 17).
-  const nn::Matrix next_actions = actor_target_.infer(b.next_states);
-  const nn::Matrix q_next = critic_target_.infer(nn::hconcat(b.next_states, next_actions));
+  const nn::Matrix next_actions = actor_target_.infer(minibatch.next_states);
+  const nn::Matrix q_next =
+      critic_target_.infer(nn::hconcat(minibatch.next_states, next_actions));
   std::vector<double> targets(batch);
   for (std::size_t i = 0; i < batch; ++i) {
-    const double bootstrap = b.done[i] ? 0.0 : config_.base.gamma * q_next(i, 0);
-    targets[i] = b.rewards[i] + bootstrap;
+    const double bootstrap = minibatch.done[i] ? 0.0 : config_.base.gamma * q_next(i, 0);
+    targets[i] = minibatch.rewards[i] + bootstrap;
   }
 
-  const nn::Matrix sa = nn::hconcat(b.states, b.actions);
+  nn::Matrix sa = nn::hconcat(minibatch.states, minibatch.actions);
   const nn::Matrix q = critic_.forward(sa);
   nn::Matrix critic_grad(batch, 1);
   double loss = 0.0;
@@ -87,8 +88,12 @@ void Ddpg::train_batch() {
   critic_optimizer_.step();
 
   // --- Actor update: ascend E[Q(s, mu(s))] via the chain rule (Eq. 18).
-  const nn::Matrix actions = actor_.forward(b.states);
-  const nn::Matrix q_of_mu = critic_.forward(nn::hconcat(b.states, actions));
+  const nn::Matrix actions = actor_.forward(minibatch.states);
+  // The state block of `sa` is unchanged; only the action columns differ
+  // between the critic regression input and Q(s, mu(s)), so the batch
+  // buffer is reused instead of concatenated afresh.
+  sa.paste_columns(config_.base.state_dim, actions);
+  const nn::Matrix q_of_mu = critic_.forward(sa);
   last_actor_objective_ = q_of_mu.total() / static_cast<double>(batch);
   // d(-J)/dQ = -1/B for each sample (gradient *descent* on -J).
   nn::Matrix minus_one(batch, 1, -1.0 / static_cast<double>(batch));
@@ -102,10 +107,10 @@ void Ddpg::train_batch() {
     // action_grad is d(-J)/da: negative entries push the action up. Scale
     // upward pushes by the headroom to 1 and downward pushes by the
     // headroom to 0, keeping the policy off the saturated boundary.
-    for (std::size_t b = 0; b < action_grad.rows(); ++b) {
+    for (std::size_t r = 0; r < action_grad.rows(); ++r) {
       for (std::size_t k = 0; k < action_grad.cols(); ++k) {
-        const double a = actions(b, k);
-        action_grad(b, k) *= action_grad(b, k) < 0.0 ? (1.0 - a) : a;
+        const double a = actions(r, k);
+        action_grad(r, k) *= action_grad(r, k) < 0.0 ? (1.0 - a) : a;
       }
     }
   }

@@ -19,17 +19,35 @@ void ReplayBuffer::push(Transition transition) {
 }
 
 Batch ReplayBuffer::sample(std::size_t batch_size, Rng& rng) const {
+  if (batch_size == 0)
+    throw std::invalid_argument("ReplayBuffer::sample: batch_size must be > 0");
   if (storage_.empty()) throw std::logic_error("ReplayBuffer::sample: buffer empty");
+  // Clamp instead of silently padding a short buffer with duplicates:
+  // requesting at least the whole buffer returns each transition exactly
+  // once (in a seeded random order), never a with-replacement resample.
+  const std::size_t rows = std::min(batch_size, storage_.size());
+  const bool without_replacement = rows == storage_.size();
+  std::vector<std::size_t> picks(rows);
+  if (without_replacement) {
+    for (std::size_t i = 0; i < rows; ++i) picks[i] = i;
+    // Fisher-Yates with the caller's stream keeps the order seeded.
+    for (std::size_t i = rows - 1; i > 0; --i) {
+      std::swap(picks[i], picks[rng.index(i + 1)]);
+    }
+  } else {
+    for (auto& p : picks) p = rng.index(storage_.size());
+  }
+
   const std::size_t state_dim = storage_.front().state.size();
   const std::size_t action_dim = storage_.front().action.size();
   Batch batch;
-  batch.states = nn::Matrix(batch_size, state_dim);
-  batch.actions = nn::Matrix(batch_size, action_dim);
-  batch.next_states = nn::Matrix(batch_size, state_dim);
-  batch.rewards.resize(batch_size);
-  batch.done.resize(batch_size);
-  for (std::size_t b = 0; b < batch_size; ++b) {
-    const Transition& t = storage_[rng.index(storage_.size())];
+  batch.states = nn::Matrix(rows, state_dim);
+  batch.actions = nn::Matrix(rows, action_dim);
+  batch.next_states = nn::Matrix(rows, state_dim);
+  batch.rewards.resize(rows);
+  batch.done.resize(rows);
+  for (std::size_t b = 0; b < rows; ++b) {
+    const Transition& t = storage_[picks[b]];
     batch.states.set_row(b, t.state);
     batch.actions.set_row(b, t.action);
     batch.next_states.set_row(b, t.next_state);

@@ -37,7 +37,15 @@ class ReplayBuffer {
   std::size_t capacity() const { return capacity_; }
   bool empty() const { return storage_.empty(); }
 
-  /// Sample `batch_size` transitions uniformly with replacement.
+  /// Sample a minibatch of min(batch_size, size()) transitions.
+  ///
+  /// - batch_size == 0 throws std::invalid_argument; an empty buffer
+  ///   throws std::logic_error.
+  /// - batch_size < size(): uniform sampling *with* replacement.
+  /// - batch_size >= size(): the request is clamped to size() and every
+  ///   stored transition is returned exactly once, in a random order
+  ///   drawn from `rng` (without replacement — a short buffer is never
+  ///   padded with silent duplicates).
   Batch sample(std::size_t batch_size, Rng& rng) const;
 
   const Transition& at(std::size_t i) const { return storage_[i]; }

@@ -1,0 +1,86 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+namespace edgeslice {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  constexpr std::size_t kTasks = 200;
+  std::vector<std::atomic<int>> hits(kTasks);
+  pool.parallel_for(kTasks, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kTasks; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, SingleThreadRunsInlineInOrder) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  std::vector<std::size_t> order;
+  pool.parallel_for(5, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, ZeroTasksIsANoOp) {
+  ThreadPool pool(3);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  std::atomic<int> count{0};
+  pool.parallel_for(7, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 7);
+}
+
+TEST(ThreadPool, ExceptionPropagatesAndBatchDrains) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  const auto body = [&](std::size_t i) {
+    if (i == 3) throw std::runtime_error("task 3 failed");
+    completed.fetch_add(1);
+  };
+  EXPECT_THROW(pool.parallel_for(16, body), std::runtime_error);
+  EXPECT_EQ(completed.load(), 15);  // the other tasks still ran
+  // The pool stays usable after a failed batch.
+  std::atomic<int> second{0};
+  pool.parallel_for(8, [&](std::size_t) { second.fetch_add(1); });
+  EXPECT_EQ(second.load(), 8);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(12);
+  pool.parallel_for(3, [&](std::size_t outer) {
+    pool.parallel_for(4, [&](std::size_t inner) {
+      hits[outer * 4 + inner].fetch_add(1);
+    });
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(4);
+  std::atomic<long> sum{0};
+  for (int round = 0; round < 20; ++round) {
+    pool.parallel_for(32, [&](std::size_t i) {
+      sum.fetch_add(static_cast<long>(i));
+    });
+  }
+  EXPECT_EQ(sum.load(), 20L * (31L * 32L / 2));
+}
+
+TEST(ThreadPool, HardwareThreadsIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::hardware_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace edgeslice

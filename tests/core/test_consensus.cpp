@@ -60,10 +60,10 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(std::make_tuple(2, 2, -50.0), std::make_tuple(2, 2, -10.0),
                       std::make_tuple(5, 10, -50.0), std::make_tuple(3, 7, -25.0),
                       std::make_tuple(1, 1, -50.0), std::make_tuple(7, 3, -100.0)),
-    [](const auto& info) {
-      return "s" + std::to_string(std::get<0>(info.param)) + "r" +
-             std::to_string(std::get<1>(info.param)) + "u" +
-             std::to_string(static_cast<int>(-std::get<2>(info.param)));
+    [](const auto& param_info) {
+      return "s" + std::to_string(std::get<0>(param_info.param)) + "r" +
+             std::to_string(std::get<1>(param_info.param)) + "u" +
+             std::to_string(static_cast<int>(-std::get<2>(param_info.param)));
     });
 
 }  // namespace

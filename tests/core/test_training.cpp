@@ -169,6 +169,47 @@ TEST(Training, EpisodicModeResetsQueues) {
   EXPECT_LT(environment.queue(0).total_arrivals(), 150u);
 }
 
+TEST(Training, ValidationScoreInvariantToCurrentTrafficRates) {
+  // Regression: validate_policy must pin the arrival rate. Before the fix,
+  // whatever rates the last traffic resample happened to set leaked into
+  // the rollout, so checkpoint scores taken under randomize_traffic were
+  // measured under different (incomparable) traffic.
+  auto environment_a = make_env(21);
+  auto environment_b = make_env(21);
+  environment_a.set_arrival_rates({3.0, 4.0});
+  environment_b.set_arrival_rates({18.0, 9.0});
+  Rng rng(22);
+  nn::Mlp actor({environment_a.state_dim(), 24, environment_a.action_dim()},
+                nn::Activation::LeakyRelu, nn::Activation::Sigmoid, rng);
+  rl::FrozenActor agent(actor);
+  const double score_a = validate_policy(agent, environment_a, -25.0, 30);
+  const double score_b = validate_policy(agent, environment_b, -25.0, 30);
+  EXPECT_DOUBLE_EQ(score_a, score_b);
+}
+
+TEST(Training, ValidationScoresComparableAcrossCheckpoints) {
+  // Same environment, validated twice with arbitrary training activity in
+  // between (rate perturbation + consumed randomness): a frozen policy
+  // must score identically at both "checkpoints", otherwise best-policy
+  // selection compares noise.
+  auto environment = make_env(23);
+  Rng rng(24);
+  nn::Mlp actor({environment.state_dim(), 24, environment.action_dim()},
+                nn::Activation::LeakyRelu, nn::Activation::Sigmoid, rng);
+  rl::FrozenActor agent(actor);
+  const double first = validate_policy(agent, environment, -25.0, 25, 7.0);
+
+  environment.set_arrival_rates({29.0, 2.5});
+  const std::vector<double> action(environment.action_dim(), 0.5);
+  for (int t = 0; t < 57; ++t) environment.step(action);
+
+  const double second = validate_policy(agent, environment, -25.0, 25, 7.0);
+  EXPECT_DOUBLE_EQ(first, second);
+  // The perturbed training state survives validation untouched.
+  EXPECT_DOUBLE_EQ(environment.arrival_rate(0), 29.0);
+  EXPECT_DOUBLE_EQ(environment.arrival_rate(1), 2.5);
+}
+
 TEST(Training, TrafficRandomizationChangesArrivals) {
   auto environment = make_env();
   Rng rng(5);

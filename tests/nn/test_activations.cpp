@@ -23,7 +23,9 @@ INSTANTIATE_TEST_SUITE_P(AllActivations, ActivationGradientTest,
                          ::testing::Values(Activation::Identity, Activation::Relu,
                                            Activation::LeakyRelu, Activation::Tanh,
                                            Activation::Sigmoid, Activation::Softplus),
-                         [](const auto& info) { return activation_name(info.param); });
+                         [](const auto& param_info) {
+                           return activation_name(param_info.param);
+                         });
 
 TEST(Activations, ReluClampsNegative) {
   EXPECT_DOUBLE_EQ(activate(-3.0, Activation::Relu), 0.0);

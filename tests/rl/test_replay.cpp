@@ -39,23 +39,63 @@ TEST(ReplayBuffer, SampleEmptyThrows) {
   EXPECT_THROW(buffer.sample(2, rng), std::logic_error);
 }
 
+TEST(ReplayBuffer, SampleZeroBatchThrows) {
+  ReplayBuffer buffer(4);
+  buffer.push(make_transition(1));
+  Rng rng(1);
+  EXPECT_THROW(buffer.sample(0, rng), std::invalid_argument);
+}
+
 TEST(ReplayBuffer, SampleShapes) {
   ReplayBuffer buffer(10);
   for (int i = 0; i < 5; ++i) buffer.push(make_transition(i));
   Rng rng(2);
-  const Batch batch = buffer.sample(8, rng);
-  EXPECT_EQ(batch.size(), 8u);
-  EXPECT_EQ(batch.states.rows(), 8u);
+  const Batch batch = buffer.sample(4, rng);
+  EXPECT_EQ(batch.size(), 4u);
+  EXPECT_EQ(batch.states.rows(), 4u);
   EXPECT_EQ(batch.states.cols(), 2u);
   EXPECT_EQ(batch.actions.cols(), 1u);
   EXPECT_EQ(batch.next_states.cols(), 2u);
 }
 
+TEST(ReplayBuffer, OversizedRequestClampsWithoutDuplicates) {
+  ReplayBuffer buffer(10);
+  for (int i = 0; i < 5; ++i) buffer.push(make_transition(i));
+  Rng rng(2);
+  // Requesting more than stored clamps to the buffer size and yields each
+  // transition exactly once (no silent with-replacement duplicates).
+  const Batch batch = buffer.sample(8, rng);
+  ASSERT_EQ(batch.size(), 5u);
+  std::vector<int> counts(5, 0);
+  for (std::size_t b = 0; b < batch.size(); ++b) {
+    ++counts[static_cast<int>(batch.rewards[b])];
+  }
+  for (int c : counts) EXPECT_EQ(c, 1);
+}
+
+TEST(ReplayBuffer, FullBufferBatchIsAPermutation) {
+  ReplayBuffer buffer(6);
+  for (int i = 0; i < 6; ++i) buffer.push(make_transition(i));
+  Rng rng(7);
+  const Batch batch = buffer.sample(6, rng);
+  ASSERT_EQ(batch.size(), 6u);
+  std::vector<int> counts(6, 0);
+  for (std::size_t b = 0; b < batch.size(); ++b) {
+    ++counts[static_cast<int>(batch.rewards[b])];
+  }
+  for (int c : counts) EXPECT_EQ(c, 1);
+  // The order is seeded: the same stream reproduces the same permutation.
+  Rng rng_again(7);
+  const Batch again = buffer.sample(6, rng_again);
+  EXPECT_EQ(batch.rewards, again.rewards);
+}
+
 TEST(ReplayBuffer, SampleRowsAreStoredTransitions) {
   ReplayBuffer buffer(4);
   buffer.push(make_transition(7));
+  buffer.push(make_transition(7));
   Rng rng(3);
-  const Batch batch = buffer.sample(3, rng);
+  const Batch batch = buffer.sample(1, rng);
   for (std::size_t b = 0; b < batch.size(); ++b) {
     EXPECT_DOUBLE_EQ(batch.rewards[b], 7.0);
     EXPECT_DOUBLE_EQ(batch.states(b, 0), 7.0);
@@ -69,8 +109,18 @@ TEST(ReplayBuffer, DoneFlagRoundTrips) {
   t.done = true;
   buffer.push(t);
   Rng rng(4);
-  const Batch batch = buffer.sample(2, rng);
+  const Batch batch = buffer.sample(1, rng);
   EXPECT_TRUE(batch.done[0]);
+}
+
+TEST(ReplayBuffer, SingleTransitionFullBatch) {
+  ReplayBuffer buffer(2);
+  buffer.push(make_transition(3));
+  Rng rng(5);
+  // batch == size == 1: the degenerate without-replacement path.
+  const Batch batch = buffer.sample(1, rng);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_DOUBLE_EQ(batch.rewards[0], 3.0);
 }
 
 }  // namespace

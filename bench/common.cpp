@@ -1,10 +1,13 @@
 #include "common.h"
 
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 
+#include "common/metrics.h"
+#include "common/trace_span.h"
 #include "core/policies.h"
 #include "rl/frozen.h"
 #include "rl/sac.h"
@@ -304,9 +307,36 @@ RunResult run_contender(const Setup& setup, Contender contender, Rng& rng,
   return result;
 }
 
+namespace {
+
+/// Destination of the end-of-run observability dump; empty disables it.
+std::string g_metrics_out_path;
+
+/// Registered with atexit by parse_common_flags so every bench binary
+/// exports its metrics without touching each main(): one JSON document
+/// combining the registry (counters/gauges/histograms) and the tracer
+/// (per-span, per-period timings).
+void dump_metrics_at_exit() {
+  if (g_metrics_out_path.empty()) return;
+  std::ofstream out(g_metrics_out_path);
+  if (!out) {
+    std::fprintf(stderr, "[bench] cannot write metrics to %s\n",
+                 g_metrics_out_path.c_str());
+    return;
+  }
+  out << "{\n\"metrics\": ";
+  global_metrics().write_json(out);
+  out << ",\n\"spans\": ";
+  global_tracer().write_json(out);
+  out << "\n}\n";
+  std::fprintf(stderr, "[bench] wrote metrics to %s\n", g_metrics_out_path.c_str());
+}
+
+}  // namespace
+
 Setup parse_common_flags(int argc, char** argv, Setup setup,
                          const std::vector<std::string>& extra_flags) {
-  std::vector<std::string> known{"steps", "seed", "periods", "threads"};
+  std::vector<std::string> known{"steps", "seed", "periods", "threads", "metrics-out"};
   known.insert(known.end(), extra_flags.begin(), extra_flags.end());
   const CliArgs args(argc, argv, known);
   setup.train_steps = static_cast<std::size_t>(args.get_int_env(
@@ -317,6 +347,21 @@ Setup parse_common_flags(int argc, char** argv, Setup setup,
       args.get_int("periods", static_cast<std::int64_t>(setup.eval_periods)));
   setup.threads = static_cast<std::size_t>(args.get_int_env(
       "threads", "EDGESLICE_THREADS", static_cast<std::int64_t>(setup.threads)));
+
+  // --metrics-out <path> (or EDGESLICE_METRICS_OUT) dumps the metrics
+  // registry + span timings as JSON when the binary exits.
+  const char* env_path = std::getenv("EDGESLICE_METRICS_OUT");
+  const std::string metrics_out =
+      args.get("metrics-out", env_path != nullptr ? env_path : "");
+  if (!metrics_out.empty() && g_metrics_out_path.empty()) {
+    g_metrics_out_path = metrics_out;
+    // Touch the singletons before registering the handler: function-local
+    // statics are destroyed in reverse construction order, so constructing
+    // them first guarantees they outlive the atexit dump.
+    global_metrics();
+    global_tracer();
+    std::atexit(dump_metrics_at_exit);
+  }
   return setup;
 }
 

@@ -139,8 +139,11 @@ RunResult run_contender(const Setup& setup, Contender contender, Rng& rng,
                         std::shared_ptr<rl::Agent> trained = nullptr,
                         core::SystemMonitor* monitor_out = nullptr);
 
-/// Parse the standard bench flags (--steps, --seed, --periods, --threads)
-/// into `setup`.
+/// Parse the standard bench flags (--steps, --seed, --periods, --threads,
+/// --metrics-out) into `setup`. A non-empty --metrics-out path (or the
+/// EDGESLICE_METRICS_OUT environment variable) registers an exit hook that
+/// writes the global metrics registry and span timings as one JSON
+/// document — observation only, results are unchanged by it.
 Setup parse_common_flags(int argc, char** argv, Setup setup,
                          const std::vector<std::string>& extra_flags = {});
 

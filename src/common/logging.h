@@ -17,7 +17,7 @@ LogLevel log_level();
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& message);
-}
+}  // namespace detail
 
 /// Stream-style log statement: LOG(Info) << "trained " << n << " steps";
 class LogLine {
@@ -38,6 +38,27 @@ class LogLine {
   std::ostringstream stream_;
 };
 
+namespace detail {
+
+/// Swallows a LogLine in the enabled branch of ES_LOG. operator& binds
+/// looser than operator<<, so the whole stream chain is evaluated first;
+/// the ?: keeps ES_LOG a single expression (no dangling-else hazard).
+struct LogVoidify {
+  // const ref: binds both a bare temporary (no << at all) and the
+  // LogLine& returned by a stream chain.
+  void operator&(const LogLine&) {}
+};
+
+}  // namespace detail
+
 }  // namespace edgeslice
 
-#define ES_LOG(level) ::edgeslice::LogLine(::edgeslice::LogLevel::level)
+/// Stream-style leveled log. Suppressed statements are short-circuited
+/// before the LogLine exists: none of the streamed argument expressions
+/// are evaluated and no ostringstream is constructed, so Debug logs in
+/// hot loops cost one atomic load when the level is off.
+#define ES_LOG(level)                                                      \
+  (::edgeslice::LogLevel::level < ::edgeslice::log_level())                \
+      ? (void)0                                                            \
+      : ::edgeslice::detail::LogVoidify() &                                \
+            ::edgeslice::LogLine(::edgeslice::LogLevel::level)

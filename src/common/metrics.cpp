@@ -1,0 +1,254 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+namespace edgeslice {
+
+namespace {
+
+std::atomic<bool> g_metrics_enabled{true};
+
+/// Geometric bucket index for a magnitude m >= 0 (m > 0 expected).
+std::size_t bucket_for(double m) {
+  if (m <= Histogram::kMinAbs) return 0;
+  const double idx = std::log(m / Histogram::kMinAbs) / std::log(Histogram::kGrowth);
+  return std::min(Histogram::kBuckets - 1, static_cast<std::size_t>(idx));
+}
+
+/// Representative value of bucket b: geometric midpoint of its bounds.
+double bucket_mid(std::size_t b) {
+  const double lo = Histogram::kMinAbs * std::pow(Histogram::kGrowth, static_cast<double>(b));
+  return lo * std::sqrt(Histogram::kGrowth);
+}
+
+void write_json_escaped(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+  out << '"';
+}
+
+}  // namespace
+
+void set_metrics_enabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool metrics_enabled() { return g_metrics_enabled.load(std::memory_order_relaxed); }
+
+void Counter::add(std::uint64_t n) {
+  if (!metrics_enabled()) return;
+  value_.fetch_add(n, std::memory_order_relaxed);
+}
+
+void Gauge::set(double v) {
+  if (!metrics_enabled()) return;
+  value_.store(v, std::memory_order_relaxed);
+  written_.store(true, std::memory_order_release);
+}
+
+void Gauge::add(double delta) {
+  if (!metrics_enabled()) return;
+  double expected = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(expected, expected + delta,
+                                       std::memory_order_relaxed)) {
+  }
+  written_.store(true, std::memory_order_release);
+}
+
+double Gauge::value() const { return value_.load(std::memory_order_relaxed); }
+
+void Histogram::observe(double x) {
+  if (!metrics_enabled() || !std::isfinite(x)) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  stat_.add(x);
+  total_ += x;
+  if (x == 0.0) {
+    ++zero_count_;
+  } else if (x > 0.0) {
+    ++positive_[bucket_for(x)];
+  } else {
+    ++negative_[bucket_for(-x)];
+  }
+}
+
+std::size_t Histogram::count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stat_.count();
+}
+
+double Histogram::mean() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stat_.mean();
+}
+
+double Histogram::min() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stat_.count() ? stat_.min() : 0.0;
+}
+
+double Histogram::max() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stat_.count() ? stat_.max() : 0.0;
+}
+
+double Histogram::total() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+double Histogram::quantile(double q) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t n = stat_.count();
+  if (n == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the requested quantile (1-based, nearest-rank method).
+  const std::uint64_t rank =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(n))));
+  std::uint64_t seen = 0;
+  double value = stat_.max();
+  bool found = false;
+  // Walk buckets in ascending value order: negatives from large magnitude
+  // down, then zero, then positives up.
+  for (auto it = negative_.rbegin(); it != negative_.rend() && !found; ++it) {
+    seen += it->second;
+    if (seen >= rank) {
+      value = -bucket_mid(it->first);
+      found = true;
+    }
+  }
+  if (!found) {
+    seen += zero_count_;
+    if (seen >= rank) {
+      value = 0.0;
+      found = true;
+    }
+  }
+  for (auto it = positive_.begin(); it != positive_.end() && !found; ++it) {
+    seen += it->second;
+    if (seen >= rank) {
+      value = bucket_mid(it->first);
+      found = true;
+    }
+  }
+  // Bucket midpoints can overshoot the true extremes; the exact observed
+  // range is known, so clamp to it.
+  return std::clamp(value, stat_.min(), stat_.max());
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::vector<std::string> MetricsRegistry::counter_names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(counters_.size());
+  for (const auto& [name, metric] : counters_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> MetricsRegistry::gauge_names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(gauges_.size());
+  for (const auto& [name, metric] : gauges_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> MetricsRegistry::histogram_names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(histograms_.size());
+  for (const auto& [name, metric] : histograms_) names.push_back(name);
+  return names;
+}
+
+void MetricsRegistry::write_json(std::ostream& out) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, metric] : counters_) {
+    out << (first ? "\n    " : ",\n    ");
+    write_json_escaped(out, name);
+    out << ": " << metric->value();
+    first = false;
+  }
+  out << (first ? "}" : "\n  }") << ",\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, metric] : gauges_) {
+    out << (first ? "\n    " : ",\n    ");
+    write_json_escaped(out, name);
+    out << ": " << metric->value();
+    first = false;
+  }
+  out << (first ? "}" : "\n  }") << ",\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, metric] : histograms_) {
+    out << (first ? "\n    " : ",\n    ");
+    write_json_escaped(out, name);
+    out << ": {\"count\": " << metric->count() << ", \"mean\": " << metric->mean()
+        << ", \"min\": " << metric->min() << ", \"max\": " << metric->max()
+        << ", \"total\": " << metric->total() << ", \"p50\": " << metric->quantile(0.5)
+        << ", \"p90\": " << metric->quantile(0.9)
+        << ", \"p99\": " << metric->quantile(0.99) << "}";
+    first = false;
+  }
+  out << (first ? "}" : "\n  }") << "\n}";
+}
+
+void MetricsRegistry::write_csv(std::ostream& out) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  out << "kind,name,field,value\n";
+  for (const auto& [name, metric] : counters_) {
+    out << "counter," << name << ",value," << metric->value() << "\n";
+  }
+  for (const auto& [name, metric] : gauges_) {
+    out << "gauge," << name << ",value," << metric->value() << "\n";
+  }
+  for (const auto& [name, metric] : histograms_) {
+    out << "histogram," << name << ",count," << metric->count() << "\n";
+    out << "histogram," << name << ",mean," << metric->mean() << "\n";
+    out << "histogram," << name << ",min," << metric->min() << "\n";
+    out << "histogram," << name << ",max," << metric->max() << "\n";
+    out << "histogram," << name << ",total," << metric->total() << "\n";
+    out << "histogram," << name << ",p50," << metric->quantile(0.5) << "\n";
+    out << "histogram," << name << ",p90," << metric->quantile(0.9) << "\n";
+    out << "histogram," << name << ",p99," << metric->quantile(0.99) << "\n";
+  }
+}
+
+void MetricsRegistry::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+MetricsRegistry& global_metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace edgeslice

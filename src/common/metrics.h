@@ -1,0 +1,130 @@
+// Thread-safe metrics registry: counters, gauges, and bounded-memory
+// streaming histograms.
+//
+// The observability substrate for the control plane (DESIGN.md Sec. 8).
+// Every component records into the process-global registry under a
+// hierarchical dotted name ("bus.rcm_dropped", "coordinator.solve_s");
+// the bench harness exports the registry as JSON/CSV next to its
+// figures. Recording is observation-only — nothing in the orchestration
+// path reads a metric back — so results are bit-identical whether
+// metrics are enabled or not.
+//
+// Memory is bounded by construction: counters and gauges are single
+// words, and histograms keep a fixed set of logarithmic buckets plus a
+// RunningStat (no sample reservoir), so arbitrarily long runs never grow
+// the registry beyond the number of distinct metric names.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace edgeslice {
+
+/// Process-global switch. When disabled, every record operation is a
+/// no-op (a single relaxed atomic load) and spans do not read the clock.
+/// Exporters still work on whatever was recorded while enabled.
+void set_metrics_enabled(bool enabled);
+bool metrics_enabled();
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1);
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written instantaneous value (utilization, loss, occupancy).
+class Gauge {
+ public:
+  void set(double v);
+  void add(double delta);
+  double value() const;
+  bool written() const { return written_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<double> value_{0.0};
+  std::atomic<bool> written_{false};
+};
+
+/// Streaming histogram over logarithmic buckets.
+///
+/// Observations land in geometric buckets spanning [kMinAbs, kMinAbs *
+/// kGrowth^kBuckets) by absolute value, with a dedicated zero bucket and
+/// a mirrored negative range, alongside a RunningStat for exact count /
+/// mean / min / max. Quantiles are estimated from the bucket boundaries
+/// (geometric midpoint), clamped to the observed range — a deliberate
+/// accuracy-for-memory trade: resolution is ~13% of the value, memory is
+/// O(kBuckets) forever.
+class Histogram {
+ public:
+  static constexpr double kMinAbs = 1e-9;
+  static constexpr double kGrowth = 1.3;
+  static constexpr std::size_t kBuckets = 220;  // reaches ~2.6e16 * kMinAbs
+
+  void observe(double x);
+
+  std::size_t count() const;
+  double mean() const;
+  double min() const;
+  double max() const;
+  double total() const;
+  /// Estimated q-quantile, q in [0, 1]. Returns 0 when empty.
+  double quantile(double q) const;
+
+ private:
+  mutable std::mutex mutex_;
+  RunningStat stat_;
+  double total_ = 0.0;
+  std::uint64_t zero_count_ = 0;
+  // Sparse bucket maps keep an all-but-unused histogram tiny; the map can
+  // never exceed kBuckets entries per sign.
+  std::map<std::size_t, std::uint64_t> positive_;
+  std::map<std::size_t, std::uint64_t> negative_;
+};
+
+/// Named metric store. Lookup creates on first use; returned references
+/// stay valid for the registry's lifetime (metrics are never removed,
+/// clear() only zeroes them).
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  std::vector<std::string> counter_names() const;
+  std::vector<std::string> gauge_names() const;
+  std::vector<std::string> histogram_names() const;
+
+  /// JSON object {"counters": {...}, "gauges": {...}, "histograms":
+  /// {name: {count, mean, min, max, total, p50, p90, p99}}}.
+  void write_json(std::ostream& out) const;
+  /// Flat CSV: kind,name,field,value (one row per exported scalar).
+  void write_csv(std::ostream& out) const;
+
+  /// Drop every metric (names included). Intended for tests.
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// The process-global registry the control plane records into.
+MetricsRegistry& global_metrics();
+
+}  // namespace edgeslice

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/metrics.h"
 #include "compute/kernel_split.h"
 
 namespace edgeslice::compute {
@@ -23,6 +24,12 @@ void ComputingManager::set_slice_share(std::size_t slice, double fraction) {
     throw std::invalid_argument("ComputingManager: share must be in [0,1]");
   slice_share_[slice] = fraction;
   gpu_.set_thread_cap(slice_app_[slice], slice_threads(slice));
+  // Fraction of the GPU's thread budget currently capped out to slices.
+  std::size_t granted = 0;
+  for (std::size_t i = 0; i < slice_share_.size(); ++i) granted += slice_threads(i);
+  global_metrics().gauge("compute.thread_utilization")
+      .set(static_cast<double>(granted) /
+           static_cast<double>(std::max<std::size_t>(1, config_.gpu.total_threads)));
 }
 
 std::size_t ComputingManager::slice_threads(std::size_t slice) const {

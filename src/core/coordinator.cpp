@@ -5,9 +5,23 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/metrics.h"
+#include "common/trace_span.h"
 #include "opt/projection.h"
 
 namespace edgeslice::core {
+
+namespace {
+
+/// Count the rejection under "coordinator.reject.<cause>" and throw. The
+/// counters answer "why is the coordinator ignoring updates" without a
+/// debugger attached — exactly the signal a chaos run needs.
+[[noreturn]] void reject(const char* cause, const std::string& what) {
+  global_metrics().counter(std::string("coordinator.reject.") + cause).add();
+  throw std::invalid_argument(what);
+}
+
+}  // namespace
 
 PerformanceCoordinator::PerformanceCoordinator(const CoordinatorConfig& config)
     : config_(config), monitor_(config.stopping) {
@@ -31,12 +45,14 @@ std::size_t PerformanceCoordinator::index(std::size_t slice, std::size_t ra) con
 void PerformanceCoordinator::update(const nn::Matrix& performance_sums) {
   if (performance_sums.rows() != config_.slices ||
       performance_sums.cols() != config_.ras) {
-    throw std::invalid_argument("PerformanceCoordinator: U matrix shape mismatch");
+    reject("shape", "PerformanceCoordinator: U matrix shape mismatch");
   }
   for (double v : performance_sums.data()) {
     if (!std::isfinite(v))
-      throw std::invalid_argument("PerformanceCoordinator: non-finite performance sum");
+      reject("nonfinite", "PerformanceCoordinator: non-finite performance sum");
   }
+  const auto solve_span = global_tracer().span("coordinator.solve");
+  global_metrics().counter("coordinator.updates").add();
   const std::vector<double> z_old = z_;
 
   // z-update (Eq. 9 / P2): per slice, project (U_i + y_i) onto
@@ -78,20 +94,23 @@ void PerformanceCoordinator::update(const nn::Matrix& performance_sums) {
 void PerformanceCoordinator::update(const nn::Matrix& performance_sums,
                                     const std::vector<bool>& active) {
   if (active.size() != config_.ras)
-    throw std::invalid_argument("PerformanceCoordinator: active mask size mismatch");
+    reject("mask_size", "PerformanceCoordinator: active mask size mismatch");
   const bool all_active = std::all_of(active.begin(), active.end(), [](bool a) { return a; });
+  global_metrics().gauge("coordinator.frozen_columns")
+      .set(static_cast<double>(static_cast<std::size_t>(
+          std::count(active.begin(), active.end(), false))));
   if (all_active) {
     update(performance_sums);
     return;
   }
   if (performance_sums.rows() != config_.slices ||
       performance_sums.cols() != config_.ras) {
-    throw std::invalid_argument("PerformanceCoordinator: U matrix shape mismatch");
+    reject("shape", "PerformanceCoordinator: U matrix shape mismatch");
   }
   for (std::size_t i = 0; i < config_.slices; ++i) {
     for (std::size_t j = 0; j < config_.ras; ++j) {
       if (active[j] && !std::isfinite(performance_sums(i, j)))
-        throw std::invalid_argument("PerformanceCoordinator: non-finite performance sum");
+        reject("nonfinite", "PerformanceCoordinator: non-finite performance sum");
     }
   }
 
@@ -101,6 +120,8 @@ void PerformanceCoordinator::update(const nn::Matrix& performance_sums,
   }
   if (live.empty()) return;  // everything frozen: no information, no update
 
+  const auto solve_span = global_tracer().span("coordinator.solve");
+  global_metrics().counter("coordinator.updates").add();
   const std::vector<double> z_old = z_;
 
   // z-update restricted to live columns; the frozen columns contribute
@@ -158,18 +179,19 @@ void PerformanceCoordinator::update(const nn::Matrix& performance_sums,
 void PerformanceCoordinator::update(const std::vector<RcMonitoringMessage>& reports) {
   nn::Matrix u(config_.slices, config_.ras);
   if (reports.size() != config_.ras)
-    throw std::invalid_argument("PerformanceCoordinator: need one report per RA");
+    reject("report_count", "PerformanceCoordinator: need one report per RA");
   std::vector<bool> seen(config_.ras, false);
   for (const auto& report : reports) {
     if (report.ra >= config_.ras || report.performance_sums.size() != config_.slices)
-      throw std::invalid_argument("PerformanceCoordinator: malformed RC-M report");
+      reject("malformed_report", "PerformanceCoordinator: malformed RC-M report");
     if (seen[report.ra])
-      throw std::invalid_argument("PerformanceCoordinator: duplicate RC-M report for RA " +
-                                  std::to_string(report.ra));
+      reject("duplicate_report",
+             "PerformanceCoordinator: duplicate RC-M report for RA " +
+                 std::to_string(report.ra));
     seen[report.ra] = true;
     for (std::size_t i = 0; i < config_.slices; ++i) {
       if (!std::isfinite(report.performance_sums[i]))
-        throw std::invalid_argument("PerformanceCoordinator: non-finite RC-M report");
+        reject("nonfinite", "PerformanceCoordinator: non-finite RC-M report");
       u(i, report.ra) = report.performance_sums[i];
     }
   }

@@ -2,15 +2,22 @@
 
 #include <algorithm>
 
+#include "common/logging.h"
+#include "common/metrics.h"
+
 namespace edgeslice::core {
 
 MessageBus::MessageBus(const FaultInjector* faults) : faults_(faults) {}
 
 void MessageBus::post_report(std::size_t period, RcMonitoringMessage message) {
   ++stats_.rcm_sent;
+  global_metrics().counter("bus.rcm_sent").add();
   const std::size_t ra = message.ra;
   if (faults_ && faults_->drop_rcm(period, ra)) {
     ++stats_.rcm_dropped;
+    global_metrics().counter("bus.rcm_dropped").add();
+    ES_LOG(Debug) << "bus: RC-M report from RA " << ra << " dropped in period "
+                  << period;
     return;
   }
   RcmEnvelope envelope;
@@ -22,6 +29,7 @@ void MessageBus::post_report(std::size_t period, RcMonitoringMessage message) {
     if (delay > 0) {
       envelope.deliver_period = period + delay;
       ++stats_.rcm_delayed;
+      global_metrics().counter("bus.rcm_delayed").add();
     }
   }
   envelope.message = std::move(message);
@@ -44,13 +52,25 @@ std::vector<RcmEnvelope> MessageBus::collect_reports(std::size_t period) {
     return a.seq < b.seq;
   });
   stats_.rcm_delivered += due.size();
+  global_metrics().counter("bus.rcm_delivered").add(due.size());
+  // Envelope latency in periods (0 for same-period delivery): the delay
+  // distribution the coordinator actually experienced.
+  auto& latency = global_metrics().histogram("bus.rcm_latency_periods");
+  for (const auto& envelope : due) {
+    latency.observe(static_cast<double>(period - envelope.sent_period));
+  }
+  global_metrics().gauge("bus.in_flight").set(static_cast<double>(pending_.size()));
   return due;
 }
 
 bool MessageBus::deliver_coordination(std::size_t period, const RcLearningMessage& message) {
   ++stats_.rcl_sent;
+  global_metrics().counter("bus.rcl_sent").add();
   if (faults_ && faults_->drop_rcl(period, message.ra)) {
     ++stats_.rcl_dropped;
+    global_metrics().counter("bus.rcl_dropped").add();
+    ES_LOG(Debug) << "bus: RC-L push to RA " << message.ra << " lost in period "
+                  << period;
     return false;
   }
   return true;

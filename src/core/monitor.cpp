@@ -4,6 +4,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "common/metrics.h"
+
 namespace edgeslice::core {
 
 SystemMonitor::SystemMonitor(std::size_t slices, std::size_t ras)
@@ -23,19 +25,46 @@ void SystemMonitor::record(std::size_t ra, std::size_t period, std::size_t inter
   row.performance = result.performance;
   row.action = action;
   row.reward = result.reward;
+
+  // Fold the row into the (ra, period) running sums in arrival order —
+  // exactly the accumulation a full-history rescan would perform, so
+  // report() stays bit-identical to the O(rows) implementation.
+  auto& sums = period_sums_[{ra, period}];
+  if (sums.empty()) sums.assign(slices_, 0.0);
+  for (std::size_t i = 0; i < slices_ && i < row.performance.size(); ++i) {
+    sums[i] += row.performance[i];
+  }
+
   records_.push_back(std::move(row));
+  global_metrics().counter("monitor.rows_recorded").add();
+
+  // Retention: evict the oldest rows in chunks (a quarter of the cap at a
+  // time) so a long run pays amortized O(1) per record instead of an
+  // O(cap) front-erase on every append.
+  if (retention_cap_ > 0 && records_.size() > retention_cap_ + retention_cap_ / 4) {
+    const std::size_t excess = records_.size() - retention_cap_;
+    records_.erase(records_.begin(),
+                   records_.begin() + static_cast<std::ptrdiff_t>(excess));
+    evicted_rows_ += excess;
+    global_metrics().counter("monitor.rows_evicted").add(excess);
+  }
+}
+
+void SystemMonitor::clear_records() {
+  records_.clear();
+  period_sums_.clear();
+  evicted_rows_ = 0;
 }
 
 RcMonitoringMessage SystemMonitor::report(std::size_t ra, std::size_t period) const {
   if (ra >= ras_) throw std::out_of_range("SystemMonitor::report: bad RA");
   RcMonitoringMessage msg;
   msg.ra = ra;
-  msg.performance_sums.assign(slices_, 0.0);
-  for (const auto& row : records_) {
-    if (row.ra != ra || row.period != period) continue;
-    for (std::size_t i = 0; i < slices_ && i < row.performance.size(); ++i) {
-      msg.performance_sums[i] += row.performance[i];
-    }
+  const auto it = period_sums_.find({ra, period});
+  if (it != period_sums_.end()) {
+    msg.performance_sums = it->second;
+  } else {
+    msg.performance_sums.assign(slices_, 0.0);
   }
   return msg;
 }

@@ -10,6 +10,7 @@
 #include <iosfwd>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/interfaces.h"
@@ -43,7 +44,18 @@ class SystemMonitor {
   void record(std::size_t ra, std::size_t period, std::size_t interval,
               const env::StepResult& result, const std::vector<double>& action);
   const std::vector<IntervalRecord>& records() const { return records_; }
-  void clear_records() { records_.clear(); }
+  void clear_records();
+
+  /// Bound the row log: once more than `max_rows` rows are held, the
+  /// oldest rows are evicted (in recording order). 0 — the default —
+  /// retains everything. Eviction only trims the raw rows behind
+  /// records()/write_csv and the interval series; the per-(ra, period)
+  /// running sums feeding report() are kept for the full history, so
+  /// RC-M reports stay exact on arbitrarily long runs.
+  void set_retention_cap(std::size_t max_rows) { retention_cap_ = max_rows; }
+  std::size_t retention_cap() const { return retention_cap_; }
+  /// Rows evicted by the retention cap so far.
+  std::size_t evicted_rows() const { return evicted_rows_; }
 
   /// Export the dataset as CSV (one row per slice per record) for external
   /// analysis/plotting: period,interval,ra,slice,queue,performance,
@@ -51,6 +63,8 @@ class SystemMonitor {
   void write_csv(std::ostream& out) const;
 
   /// RC-M report: per-slice performance sums of one RA over one period.
+  /// O(slices) — served from running sums maintained at record() time,
+  /// never by rescanning the row log.
   RcMonitoringMessage report(std::size_t ra, std::size_t period) const;
 
   /// System performance (sum of U over slices and RAs) per global interval.
@@ -77,6 +91,12 @@ class SystemMonitor {
   std::size_t slices_;
   std::size_t ras_;
   std::vector<IntervalRecord> records_;
+  std::size_t retention_cap_ = 0;
+  std::size_t evicted_rows_ = 0;
+  /// Incremental per-(ra, period) performance sums, updated by record()
+  /// in arrival order — the same accumulation order a full-history scan
+  /// would use, so report() results are bit-identical to the old scan.
+  std::map<std::pair<std::size_t, std::size_t>, std::vector<double>> period_sums_;
   std::vector<UserAssociation> users_;
   std::map<std::string, std::size_t> imsi_index_;
   std::map<std::string, std::size_t> ip_index_;

@@ -1,9 +1,23 @@
 #include "core/system.h"
 
 #include <array>
+#include <chrono>
 #include <stdexcept>
 
+#include "common/metrics.h"
+#include "common/trace_span.h"
+
 namespace edgeslice::core {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double seconds_since(SteadyClock::time_point start) {
+  return std::chrono::duration<double>(SteadyClock::now() - start).count();
+}
+
+}  // namespace
 
 EdgeSliceSystem::EdgeSliceSystem(std::vector<env::RaEnvironment*> environments,
                                  std::vector<RaPolicy*> policies,
@@ -38,6 +52,9 @@ PeriodResult EdgeSliceSystem::run_period() {
   const std::size_t intervals = environments_.front()->config().intervals_per_period;
   const FaultInjector* faults = config_.faults;
 
+  global_tracer().set_period(period_);
+  const auto period_span = global_tracer().span("system.period");
+
   PeriodResult result;
   result.performance_sums = nn::Matrix(slices, ras);
   result.slice_performance.assign(slices, 0.0);
@@ -71,8 +88,16 @@ PeriodResult EdgeSliceSystem::run_period() {
       std::vector<std::vector<double>> actions;
     };
     std::vector<RaTrace> traces(ras);
+    const bool timed = metrics_enabled();
+    const auto dispatch_time = SteadyClock::now();
     pool->parallel_for(ras, [&](std::size_t j) {
       if (crashed[j]) return;
+      // Time from batch dispatch to this RA's body starting: how long the
+      // RA sat in the pool's queue behind other work.
+      if (timed) {
+        global_tracer().record("system.pool_queue_wait", seconds_since(dispatch_time));
+      }
+      const auto ra_start = SteadyClock::now();
       auto& environment = *environments_[j];
       auto& trace = traces[j];
       trace.steps.reserve(intervals);
@@ -84,6 +109,7 @@ PeriodResult EdgeSliceSystem::run_period() {
         trace.steps.push_back(std::move(step));
         trace.actions.push_back(std::move(action));
       }
+      if (timed) global_tracer().record("system.ra_intervals", seconds_since(ra_start));
     });
     // parallel_for is the barrier; reduce in the sequential (t, j) order
     // so monitoring rows and floating-point accumulation are bit-identical
@@ -102,9 +128,15 @@ PeriodResult EdgeSliceSystem::run_period() {
       ++interval_;
     }
   } else {
+    // Sequential path: the (t, j) loops interleave RAs per interval, so
+    // per-RA time is accumulated across intervals and recorded once per
+    // RA — the same span granularity the parallel path reports.
+    const bool timed = metrics_enabled();
+    std::vector<double> ra_seconds(ras, 0.0);
     for (std::size_t t = 0; t < intervals; ++t) {
       for (std::size_t j = 0; j < ras; ++j) {
         if (crashed[j]) continue;
+        const auto ra_start = timed ? SteadyClock::now() : SteadyClock::time_point{};
         auto& environment = *environments_[j];
         const std::vector<double> action = policies_[j]->decide(environment);
         const env::StepResult step = environment.step(action);
@@ -115,12 +147,19 @@ PeriodResult EdgeSliceSystem::run_period() {
           result.slice_performance[i] += step.performance[i];
           result.system_performance += step.performance[i];
         }
+        if (timed) ra_seconds[j] += seconds_since(ra_start);
       }
       ++interval_;
+    }
+    if (timed) {
+      for (std::size_t j = 0; j < ras; ++j) {
+        if (!crashed[j]) global_tracer().record("system.ra_intervals", ra_seconds[j]);
+      }
     }
   }
 
   if (config_.use_coordinator) {
+    const auto coordinate_span = global_tracer().span("coordinate");
     // Live RAs post their RC-M reports onto the message plane; the bus may
     // drop or delay them per the fault plan.
     for (std::size_t j = 0; j < ras; ++j) {
@@ -182,6 +221,14 @@ PeriodResult EdgeSliceSystem::run_period() {
     }
     result.coordinator_converged = coordinator_.converged();
   }
+  // Degraded-mode signals of the period just run, readable while the
+  // system is live (the chaos benches and operators poll these).
+  auto& metrics = global_metrics();
+  metrics.gauge("system.crashed_ras").set(static_cast<double>(result.crashed_ras));
+  metrics.gauge("system.columns_frozen").set(static_cast<double>(result.columns_frozen));
+  metrics.gauge("system.reports_carried").set(static_cast<double>(result.reports_carried));
+  metrics.counter("system.rcl_losses").add(result.rcl_losses);
+  metrics.counter("system.periods").add();
   ++period_;
   return result;
 }

@@ -2,7 +2,9 @@
 
 #include <stdexcept>
 
+#include "common/metrics.h"
 #include "common/stats.h"
+#include "common/trace_span.h"
 
 namespace edgeslice::core {
 
@@ -67,6 +69,7 @@ TrainingResult train_agent(rl::Agent& agent, env::RaEnvironment& environment,
   const std::size_t resample = config.resample_every > 0
                                    ? config.resample_every
                                    : environment.config().intervals_per_period;
+  const auto train_span = global_tracer().span("train.agent");
   TrainingResult result;
   RunningStat window;
   RunningStat overall;
@@ -108,6 +111,7 @@ TrainingResult train_agent(rl::Agent& agent, env::RaEnvironment& environment,
                                            config.validation_intervals,
                                            config.validation_arrival_rate);
       result.validation_history.push_back(score);
+      global_metrics().gauge("train.validation_score").set(score);
       if (!result.best_policy.has_value() || score > result.best_validation_score) {
         result.best_validation_score = score;
         result.best_policy = *agent.policy_network();
@@ -117,6 +121,12 @@ TrainingResult train_agent(rl::Agent& agent, env::RaEnvironment& environment,
   result.final_mean_reward =
       result.reward_history.empty() ? overall.mean() : result.reward_history.back();
   result.steps = config.steps;
+  auto& metrics = global_metrics();
+  metrics.counter("train.steps").add(config.steps);
+  metrics.gauge("train.final_mean_reward").set(result.final_mean_reward);
+  if (result.best_policy.has_value()) {
+    metrics.gauge("train.best_validation_score").set(result.best_validation_score);
+  }
   return result;
 }
 

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <stdexcept>
 
+#include "common/metrics.h"
 #include "radio/lte.h"
 
 namespace edgeslice::radio {
@@ -36,7 +38,14 @@ void RadioManager::set_slice_share(std::size_t slice, double fraction) {
   if (fraction < 0.0 || fraction > 1.0)
     throw std::invalid_argument("RadioManager: share must be in [0,1]");
   slice_share_[slice] = fraction;
-  scheduler_.set_quotas(quotas_from_shares(slice_share_, scheduler_.total_prbs()));
+  const auto quotas = quotas_from_shares(slice_share_, scheduler_.total_prbs());
+  scheduler_.set_quotas(quotas);
+  // Fraction of the cell's PRBs currently granted to slices (RAs share
+  // the gauge: it tracks the most recent reconfiguration system-wide).
+  const auto granted = std::accumulate(quotas.begin(), quotas.end(), std::size_t{0});
+  global_metrics().gauge("radio.prb_utilization")
+      .set(static_cast<double>(granted) /
+           static_cast<double>(std::max<std::size_t>(1, scheduler_.total_prbs())));
 }
 
 std::size_t RadioManager::slice_prbs(std::size_t slice) const {

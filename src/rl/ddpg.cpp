@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/metrics.h"
+#include "common/trace_span.h"
+
 namespace edgeslice::rl {
 
 namespace {
@@ -61,6 +64,7 @@ void Ddpg::observe(const std::vector<double>& state, const std::vector<double>& 
 }
 
 void Ddpg::train_batch() {
+  const auto train_span = global_tracer().span("ddpg.train_batch");
   const std::size_t batch = std::min(config_.batch_size, replay_.size());
   Batch minibatch = replay_.sample(batch, rng_);
 
@@ -121,6 +125,15 @@ void Ddpg::train_batch() {
   actor_target_.soft_update_from(actor_, config_.tau);
   critic_target_.soft_update_from(critic_, config_.tau);
   ++updates_;
+
+  auto& metrics = global_metrics();
+  metrics.counter("ddpg.train_batches").add();
+  metrics.gauge("ddpg.critic_loss").set(last_critic_loss_);
+  metrics.gauge("ddpg.actor_objective").set(last_actor_objective_);
+  metrics.gauge("ddpg.replay_occupancy")
+      .set(static_cast<double>(replay_.size()) /
+           static_cast<double>(std::max<std::size_t>(1, config_.replay_capacity)));
+  metrics.gauge("ddpg.exploration_sigma").set(noise_.sigma());
 }
 
 }  // namespace edgeslice::rl

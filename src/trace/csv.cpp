@@ -20,6 +20,16 @@ std::vector<std::string> split_csv_row(const std::string& line) {
   return fields;
 }
 
+/// Normalize one raw line: drop the trailing '\r' a CRLF-encoded file
+/// leaves behind std::getline, and (first line only) a UTF-8 BOM.
+void strip_line_ending(std::string& line, bool first_line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  if (first_line && line.size() >= 3 && line[0] == '\xEF' && line[1] == '\xBB' &&
+      line[2] == '\xBF') {
+    line.erase(0, 3);
+  }
+}
+
 double parse_number(const std::string& field, std::size_t line_number) {
   try {
     std::size_t consumed = 0;
@@ -44,7 +54,9 @@ void write_trace_csv(std::ostream& out, const std::vector<TraceEntry>& entries) 
 
 std::vector<TraceEntry> read_trace_csv(std::istream& in) {
   std::string line;
-  if (!std::getline(in, line) || line != kHeader) {
+  const bool have_header = static_cast<bool>(std::getline(in, line));
+  if (have_header) strip_line_ending(line, /*first_line=*/true);
+  if (!have_header || line != kHeader) {
     throw std::runtime_error("read_trace_csv: expected header '" + std::string(kHeader) +
                              "'");
   }
@@ -52,6 +64,7 @@ std::vector<TraceEntry> read_trace_csv(std::istream& in) {
   std::size_t line_number = 1;
   while (std::getline(in, line)) {
     ++line_number;
+    strip_line_ending(line, /*first_line=*/false);
     if (line.empty()) continue;
     const auto fields = split_csv_row(line);
     if (fields.size() != 5) {

@@ -1,7 +1,10 @@
 #include "transport/transport_manager.h"
 
 #include <algorithm>
+#include <numeric>
 #include <stdexcept>
+
+#include "common/metrics.h"
 
 namespace edgeslice::transport {
 
@@ -59,6 +62,13 @@ ReconfigReport TransportManager::set_slice_share(std::size_t slice, double fract
   program.rate_mbps = fraction * config_.link_capacity_mbps;
   const ReconfigReport report = controller_.apply(program, config_.strategy);
   pending_outage_s_[slice] += report.outage_seconds;
+  // Fraction of the RAN <-> edge link currently metered out to slices.
+  global_metrics().gauge("transport.rate_utilization")
+      .set(std::accumulate(shares_.begin(), shares_.end(), 0.0));
+  global_metrics().counter("transport.reconfigurations").add();
+  if (report.outage_seconds > 0.0) {
+    global_metrics().histogram("transport.reconfig_outage_s").observe(report.outage_seconds);
+  }
   return report;
 }
 

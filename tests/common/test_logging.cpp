@@ -1,0 +1,64 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace edgeslice {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_log_level(LogLevel::Warn); }
+};
+
+int evaluations = 0;
+
+int expensive_arg() {
+  ++evaluations;
+  return 42;
+}
+
+TEST_F(LoggingTest, SuppressedStatementDoesNotEvaluateArguments) {
+  // The original macro built the LogLine (and evaluated every streamed
+  // expression) unconditionally, deferring the level check to emit time.
+  // A suppressed ES_LOG must short-circuit before any argument runs.
+  set_log_level(LogLevel::Warn);
+  evaluations = 0;
+  ES_LOG(Debug) << "value " << expensive_arg();
+  ES_LOG(Info) << expensive_arg();
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST_F(LoggingTest, EnabledStatementEvaluatesAndEmits) {
+  set_log_level(LogLevel::Debug);
+  evaluations = 0;
+  testing::internal::CaptureStderr();
+  ES_LOG(Debug) << "value " << expensive_arg();
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_EQ(err, "[DEBUG] value 42\n");
+}
+
+TEST_F(LoggingTest, OffSuppressesEverything) {
+  set_log_level(LogLevel::Off);
+  evaluations = 0;
+  testing::internal::CaptureStderr();
+  ES_LOG(Error) << expensive_arg();
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST_F(LoggingTest, MacroIsASingleStatement) {
+  // ES_LOG must behave as one expression: usable bare, and safe as an
+  // un-braced if/else branch (no dangling-else ambiguity).
+  set_log_level(LogLevel::Off);
+  ES_LOG(Info);
+  bool reached_else = false;
+  if (false)
+    ES_LOG(Info) << "then";
+  else
+    reached_else = true;
+  EXPECT_TRUE(reached_else);
+}
+
+}  // namespace
+}  // namespace edgeslice

@@ -1,0 +1,194 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace edgeslice {
+namespace {
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  // Tests share the process-global enable switch; restore defaults so
+  // ordering between tests (and other suites) does not matter.
+  void TearDown() override { set_metrics_enabled(true); }
+};
+
+TEST_F(MetricsTest, CounterAddsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(MetricsTest, CounterDisabledIsNoOp) {
+  Counter c;
+  set_metrics_enabled(false);
+  c.add(7);
+  EXPECT_EQ(c.value(), 0u);
+  set_metrics_enabled(true);
+  c.add(7);
+  EXPECT_EQ(c.value(), 7u);
+}
+
+TEST_F(MetricsTest, GaugeSetAddAndWrittenFlag) {
+  Gauge g;
+  EXPECT_FALSE(g.written());
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.set(2.5);
+  EXPECT_TRUE(g.written());
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(-0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+}
+
+TEST_F(MetricsTest, GaugeDisabledIsNoOp) {
+  Gauge g;
+  set_metrics_enabled(false);
+  g.set(3.0);
+  g.add(1.0);
+  EXPECT_FALSE(g.written());
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST_F(MetricsTest, HistogramExactMoments) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  for (double x : {3.0, -1.0, 7.0, 0.0}) h.observe(x);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.25);
+  EXPECT_DOUBLE_EQ(h.min(), -1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 7.0);
+  EXPECT_DOUBLE_EQ(h.total(), 9.0);
+}
+
+TEST_F(MetricsTest, HistogramQuantileWithinBucketResolution) {
+  // Log buckets grow by kGrowth = 1.3, so any quantile estimate must sit
+  // within a factor of 1.3 of the exact order statistic.
+  Rng rng(7);
+  Histogram h;
+  std::vector<double> xs;
+  for (int i = 0; i < 2000; ++i) {
+    const double x = std::exp(rng.uniform(-3.0, 3.0));
+    xs.push_back(x);
+    h.observe(x);
+  }
+  std::sort(xs.begin(), xs.end());
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    const double exact = xs[static_cast<std::size_t>(q * (xs.size() - 1))];
+    const double est = h.quantile(q);
+    EXPECT_GT(est, exact / Histogram::kGrowth) << "q=" << q;
+    EXPECT_LT(est, exact * Histogram::kGrowth) << "q=" << q;
+  }
+}
+
+TEST_F(MetricsTest, HistogramQuantileClampedToObservedRange) {
+  Histogram h;
+  h.observe(5.0);
+  h.observe(5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+}
+
+TEST_F(MetricsTest, HistogramHandlesNegativesAndZeros) {
+  Histogram h;
+  for (double x : {-10.0, -10.0, -10.0, 0.0, 10.0}) h.observe(x);
+  // Quantile walk goes negatives (descending magnitude), zero, positives.
+  EXPECT_LT(h.quantile(0.2), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.7), 0.0);
+  EXPECT_GT(h.quantile(0.95), 0.0);
+}
+
+TEST_F(MetricsTest, RegistryReturnsStableHandles) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("x");
+  Counter& b = registry.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(registry.counter("x").value(), 3u);
+  registry.gauge("g").set(1.5);
+  registry.histogram("h").observe(2.0);
+  EXPECT_EQ(registry.counter_names(), std::vector<std::string>{"x"});
+  EXPECT_EQ(registry.gauge_names(), std::vector<std::string>{"g"});
+  EXPECT_EQ(registry.histogram_names(), std::vector<std::string>{"h"});
+}
+
+TEST_F(MetricsTest, RegistryClearDropsEverything) {
+  MetricsRegistry registry;
+  registry.counter("x").add();
+  registry.clear();
+  EXPECT_TRUE(registry.counter_names().empty());
+}
+
+TEST_F(MetricsTest, JsonExportContainsAllKinds) {
+  MetricsRegistry registry;
+  registry.counter("bus.sent").add(5);
+  registry.gauge("sys.util").set(0.75);
+  auto& h = registry.histogram("lat");
+  h.observe(1.0);
+  h.observe(2.0);
+  std::stringstream out;
+  registry.write_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"bus.sent\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"sys.util\": 0.75"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST_F(MetricsTest, CsvExportOneRowPerScalar) {
+  MetricsRegistry registry;
+  registry.counter("c").add(2);
+  registry.gauge("g").set(4.0);
+  std::stringstream out;
+  registry.write_csv(out);
+  std::string line;
+  std::getline(out, line);
+  EXPECT_EQ(line, "kind,name,field,value");
+  std::getline(out, line);
+  EXPECT_EQ(line, "counter,c,value,2");
+  std::getline(out, line);
+  EXPECT_EQ(line, "gauge,g,value,4");
+}
+
+TEST_F(MetricsTest, ConcurrentRecordingIsExact) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&registry] {
+      for (int i = 0; i < kPerThread; ++i) {
+        registry.counter("n").add();
+        registry.histogram("h").observe(1.0);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(registry.counter("n").value(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(registry.histogram("h").count(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+}
+
+TEST_F(MetricsTest, GlobalRegistryIsSingleton) {
+  EXPECT_EQ(&global_metrics(), &global_metrics());
+}
+
+}  // namespace
+}  // namespace edgeslice

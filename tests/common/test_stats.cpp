@@ -35,6 +35,21 @@ TEST(Stats, PercentileValidation) {
   EXPECT_THROW(percentile({1.0}, 101), std::invalid_argument);
 }
 
+TEST(Stats, PercentileSingleElement) {
+  // Interpolation endpoints degenerate to the lone sample for every p.
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 50), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 100), 7.0);
+}
+
+TEST(Stats, PercentileBoundsExactOnUnsortedInput) {
+  // p = 0 / p = 100 must hit the exact min/max regardless of input order.
+  const std::vector<double> xs{4.0, -2.0, 9.0, 0.5};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), -2.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 9.0);
+  EXPECT_THROW(percentile(xs, -0.5), std::invalid_argument);
+}
+
 TEST(Stats, EcdfAtThreshold) {
   std::vector<double> xs{1, 2, 3, 4};
   EXPECT_DOUBLE_EQ(ecdf_at(xs, 2.0), 0.5);
@@ -52,6 +67,28 @@ TEST(Stats, EcdfPointsMonotone) {
     EXPECT_LT(pts[i - 1].second, pts[i].second);
   }
   EXPECT_DOUBLE_EQ(pts.back().second, 1.0);
+}
+
+TEST(Stats, EcdfPointsWithMorePointsThanSamples) {
+  // Requesting more points than samples must still return `points` pairs,
+  // monotone, repeating sample values rather than reading out of range.
+  const auto pts = ecdf_points({1.0, 2.0}, 5);
+  ASSERT_EQ(pts.size(), 5u);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_LE(pts[i - 1].first, pts[i].first);
+    EXPECT_LT(pts[i - 1].second, pts[i].second);
+  }
+  EXPECT_DOUBLE_EQ(pts.front().first, 1.0);
+  EXPECT_DOUBLE_EQ(pts.back().first, 2.0);
+  EXPECT_DOUBLE_EQ(pts.back().second, 1.0);
+}
+
+TEST(Stats, EcdfPointsDegenerateInputs) {
+  EXPECT_TRUE(ecdf_points({}, 10).empty());
+  EXPECT_TRUE(ecdf_points({1.0, 2.0}, 0).empty());
+  const auto single = ecdf_points({3.0}, 3);
+  ASSERT_EQ(single.size(), 3u);
+  for (const auto& [value, prob] : single) EXPECT_DOUBLE_EQ(value, 3.0);
 }
 
 TEST(RunningStat, MatchesBatchStats) {
@@ -77,6 +114,33 @@ TEST(RunningStat, EmptyIsZero) {
   RunningStat rs;
   EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
   EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  // Documented before-first-add behavior: min/max read as 0 until primed.
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.min(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 0.0);
+}
+
+TEST(RunningStat, FirstAddPrimesMinMax) {
+  // The first sample must overwrite the zero-initialized extremes — an
+  // all-positive (or all-negative) stream must not report min/max 0.
+  RunningStat rs;
+  rs.add(5.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 5.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 5.0);
+  RunningStat negative;
+  negative.add(-3.0);
+  negative.add(-8.0);
+  EXPECT_DOUBLE_EQ(negative.max(), -3.0);
+  EXPECT_DOUBLE_EQ(negative.min(), -8.0);
+}
+
+TEST(Ema, ValueBeforePrimingIsZero) {
+  Ema ema(0.9);
+  EXPECT_TRUE(ema.empty());
+  EXPECT_DOUBLE_EQ(ema.value(), 0.0);
+  // Priming takes the first sample verbatim, ignoring alpha.
+  EXPECT_DOUBLE_EQ(ema.add(-7.0), -7.0);
+  EXPECT_FALSE(ema.empty());
 }
 
 TEST(Ema, FirstSamplePrimes) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <sstream>
 
 namespace edgeslice::core {
@@ -137,6 +138,106 @@ TEST(Monitor, CsvExportHasRowPerSlice) {
   EXPECT_EQ(line, "0,0,0,0,3,-1,0.1,0.2,0.3,-1");
   std::getline(out, line);
   EXPECT_EQ(line, "0,0,0,1,4,-2,0.4,0.5,0.6,-1");
+}
+
+// Brute-force reference for report(): rescan the full row log, in the
+// exact order the pre-rework implementation used.
+std::vector<double> scan_report(const SystemMonitor& monitor, std::size_t ra,
+                                std::size_t period) {
+  std::vector<double> sums(monitor.slices(), 0.0);
+  for (const auto& row : monitor.records()) {
+    if (row.ra != ra || row.period != period) continue;
+    for (std::size_t i = 0; i < sums.size() && i < row.performance.size(); ++i) {
+      sums[i] += row.performance[i];
+    }
+  }
+  return sums;
+}
+
+TEST(Monitor, ReportMatchesFullScanOnLongLog) {
+  // 1000 periods x 2 RAs x 5 intervals. The incremental sums behind
+  // report() must be bit-identical to a full-history rescan.
+  SystemMonitor monitor(2, 2);
+  for (std::size_t period = 0; period < 1000; ++period) {
+    for (std::size_t ra = 0; ra < 2; ++ra) {
+      for (std::size_t t = 0; t < 5; ++t) {
+        const double base = -0.001 * static_cast<double>(period * 10 + ra * 5 + t);
+        monitor.record(ra, period, period * 5 + t,
+                       make_step({base, base * 0.7}, {}), {});
+      }
+    }
+  }
+  for (std::size_t period : {0u, 1u, 499u, 998u, 999u}) {
+    for (std::size_t ra = 0; ra < 2; ++ra) {
+      const auto report = monitor.report(ra, period);
+      const auto expected = scan_report(monitor, ra, period);
+      ASSERT_EQ(report.performance_sums.size(), expected.size());
+      for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(report.performance_sums[i], expected[i])
+            << "ra " << ra << " period " << period << " slice " << i;
+      }
+    }
+  }
+}
+
+TEST(Monitor, ReportDoesNotRescanHistory) {
+  // 100k report() calls against a 10k-row log. The old implementation
+  // rescanned every row per call (~1e9 row visits, tens of seconds); the
+  // O(slices) lookup finishes orders of magnitude inside this bound.
+  SystemMonitor monitor(2, 1);
+  for (std::size_t period = 0; period < 1000; ++period) {
+    for (std::size_t t = 0; t < 10; ++t) {
+      monitor.record(0, period, period * 10 + t, make_step({-1.0, -2.0}, {}), {});
+    }
+  }
+  const auto start = std::chrono::steady_clock::now();
+  double checksum = 0.0;
+  for (std::size_t call = 0; call < 100000; ++call) {
+    checksum += monitor.report(0, call % 1000).performance_sums[0];
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  EXPECT_DOUBLE_EQ(checksum, -1.0 * 10 * 100000);
+  EXPECT_LT(elapsed, 2.0) << "report() appears to rescan the row log";
+}
+
+TEST(Monitor, RetentionCapEvictsOldestRows) {
+  SystemMonitor monitor(2, 1);
+  monitor.set_retention_cap(100);
+  EXPECT_EQ(monitor.retention_cap(), 100u);
+  for (std::size_t t = 0; t < 500; ++t) {
+    monitor.record(0, t / 10, t, make_step({-1.0, -2.0}, {}), {});
+  }
+  // Eviction is chunked (amortized O(1)), so the log may briefly exceed
+  // the cap by the chunk slack but never by more.
+  EXPECT_LE(monitor.records().size(), 125u);
+  EXPECT_EQ(monitor.records().size() + monitor.evicted_rows(), 500u);
+  // The retained tail is the newest rows, in recording order.
+  EXPECT_EQ(monitor.records().back().interval, 499u);
+  EXPECT_GT(monitor.records().front().interval, 300u);
+}
+
+TEST(Monitor, ReportsSurviveEviction) {
+  // Period sums must keep the full history even after their raw rows
+  // have been evicted, so RC-M reports stay exact on long runs.
+  SystemMonitor monitor(2, 1);
+  monitor.set_retention_cap(10);
+  for (std::size_t period = 0; period < 100; ++period) {
+    monitor.record(0, period, period, make_step({-3.0, -4.0}, {}), {});
+  }
+  const auto oldest = monitor.report(0, 0);
+  EXPECT_DOUBLE_EQ(oldest.performance_sums[0], -3.0);
+  EXPECT_DOUBLE_EQ(oldest.performance_sums[1], -4.0);
+  EXPECT_GT(monitor.evicted_rows(), 0u);
+}
+
+TEST(Monitor, ZeroCapRetainsEverything) {
+  SystemMonitor monitor(2, 1);
+  for (std::size_t t = 0; t < 300; ++t) {
+    monitor.record(0, 0, t, make_step({-1.0, -1.0}, {}), {});
+  }
+  EXPECT_EQ(monitor.records().size(), 300u);
+  EXPECT_EQ(monitor.evicted_rows(), 0u);
 }
 
 TEST(Monitor, ClearRecordsKeepsAssociations) {

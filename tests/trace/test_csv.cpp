@@ -40,6 +40,74 @@ TEST(TraceCsv, GeneratedDatasetRoundTrips) {
   EXPECT_DOUBLE_EQ(loaded[7].calls, dataset.entries()[7].calls);
 }
 
+TEST(TraceCsv, ReadsCrlfLineEndings) {
+  // Files exported on Windows (or via some spreadsheet tools) terminate
+  // rows with \r\n; the trailing \r must not corrupt the last field or
+  // the header comparison.
+  std::stringstream stream(
+      "cell_id,interval,calls,sms,internet\r\n"
+      "0,0,10,4,30\r\n"
+      "1,2,3,1,9\r\n");
+  const auto loaded = read_trace_csv(stream);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_DOUBLE_EQ(loaded[0].internet, 30.0);
+  EXPECT_DOUBLE_EQ(loaded[1].internet, 9.0);
+  EXPECT_EQ(loaded[1].cell_id, 1u);
+}
+
+TEST(TraceCsv, ReadsUtf8BomHeader) {
+  std::stringstream stream(
+      "\xEF\xBB\xBF"
+      "cell_id,interval,calls,sms,internet\n"
+      "0,0,10,4,30\n");
+  const auto loaded = read_trace_csv(stream);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_DOUBLE_EQ(loaded[0].calls, 10.0);
+}
+
+TEST(TraceCsv, ReadsBomWithCrlf) {
+  std::stringstream stream(
+      "\xEF\xBB\xBF"
+      "cell_id,interval,calls,sms,internet\r\n"
+      "7,3,1,2,3\r\n"
+      "\r\n");  // blank CRLF line is still skipped
+  const auto loaded = read_trace_csv(stream);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].cell_id, 7u);
+  EXPECT_EQ(loaded[0].interval, 3u);
+}
+
+TEST(TraceCsv, RoundTripSurvivesCrlfRewrite) {
+  // write -> convert to CRLF -> read must reproduce the original data.
+  std::stringstream clean;
+  write_trace_csv(clean, sample_entries());
+  std::string text = clean.str();
+  std::string crlf;
+  for (char c : text) {
+    if (c == '\n') crlf += '\r';
+    crlf += c;
+  }
+  std::stringstream dirty("\xEF\xBB\xBF" + crlf);
+  const auto loaded = read_trace_csv(dirty);
+  const auto expected = sample_entries();
+  ASSERT_EQ(loaded.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(loaded[i].cell_id, expected[i].cell_id);
+    EXPECT_DOUBLE_EQ(loaded[i].calls, expected[i].calls);
+    EXPECT_DOUBLE_EQ(loaded[i].internet, expected[i].internet);
+  }
+}
+
+TEST(TraceCsv, BomOnlyStrippedFromFirstLine) {
+  // A BOM sequence inside a data row is not whitespace; it must still be
+  // rejected as a malformed number rather than silently stripped.
+  std::stringstream stream(
+      "cell_id,interval,calls,sms,internet\n"
+      "\xEF\xBB\xBF"
+      "1,2,3,4,5\n");
+  EXPECT_THROW(read_trace_csv(stream), std::runtime_error);
+}
+
 TEST(TraceCsv, RejectsBadHeader) {
   std::stringstream stream("wrong,header\n1,2,3,4,5\n");
   EXPECT_THROW(read_trace_csv(stream), std::runtime_error);

@@ -14,9 +14,11 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/fault.h"
 #include "core/policies.h"
+#include "obs/sla_watchdog.h"
 
 using namespace edgeslice;
 using namespace edgeslice::bench;
@@ -30,20 +32,24 @@ struct ScenarioResult {
   std::size_t frozen = 0;
   std::size_t crashed = 0;
   std::size_t rcl_losses = 0;
+  std::size_t sla_violations = 0;  // SLA watchdog's count, cross-checked
   core::MessageBusStats bus;
 
   bool operator==(const ScenarioResult& other) const {
     return total_performance == other.total_performance &&
            sla_fraction == other.sla_fraction && carried == other.carried &&
            frozen == other.frozen && crashed == other.crashed &&
-           rcl_losses == other.rcl_losses && bus.rcm_dropped == other.bus.rcm_dropped &&
+           rcl_losses == other.rcl_losses && sla_violations == other.sla_violations &&
+           bus.rcm_dropped == other.bus.rcm_dropped &&
            bus.rcm_delayed == other.bus.rcm_delayed &&
            bus.rcl_dropped == other.bus.rcl_dropped;
   }
 };
 
+constexpr std::size_t kNoCrash = static_cast<std::size_t>(-1);
+
 ScenarioResult run_scenario(const Setup& setup, const FaultPlan& plan,
-                            std::size_t periods) {
+                            std::size_t periods, std::size_t crash_at = kNoCrash) {
   Rng profile_rng(setup.seed);
   const auto profiles = make_profiles(setup.slices, profile_rng);
   const auto model = make_service_model(profiles);
@@ -62,8 +68,15 @@ ScenarioResult run_scenario(const Setup& setup, const FaultPlan& plan,
   coordinator.ras = setup.ras;
 
   FaultInjector injector{plan};
+  // SLA watchdog on the same contract the coordinator enforces (the
+  // constructor's -50/slice default when u_min is unset). Observation
+  // only: attaching it does not change results.
+  obs::SlaWatchdog watchdog = obs::SlaWatchdog::from_u_min(
+      coordinator.u_min.empty() ? std::vector<double>(setup.slices, -50.0)
+                                : coordinator.u_min);
   core::SystemConfig system_config;
   system_config.faults = &injector;
+  system_config.watchdog = &watchdog;
 
   std::vector<env::RaEnvironment*> env_ptrs;
   std::vector<core::RaPolicy*> policy_ptrs;
@@ -71,7 +84,17 @@ ScenarioResult run_scenario(const Setup& setup, const FaultPlan& plan,
   for (auto& p : policies) policy_ptrs.push_back(p.get());
   core::EdgeSliceSystem system(env_ptrs, policy_ptrs, coordinator, system_config);
 
-  const auto results = system.run(periods);
+  std::vector<core::PeriodResult> results;
+  results.reserve(periods);
+  for (std::size_t p = 0; p < periods; ++p) {
+    // --crash-at-period: die mid-run so the crash handlers (installed by
+    // --events-out) must salvage the flight-recorder window.
+    if (p == crash_at) {
+      std::fprintf(stderr, "[chaos] forced abort at period %zu\n", p);
+      std::abort();
+    }
+    results.push_back(system.run_period());
+  }
 
   ScenarioResult out;
   const auto& u_min = system.coordinator().config().u_min;
@@ -90,6 +113,14 @@ ScenarioResult run_scenario(const Setup& setup, const FaultPlan& plan,
   }
   out.sla_fraction =
       static_cast<double>(met) / static_cast<double>(periods * setup.slices);
+  out.sla_violations = watchdog.total_violations();
+  // The watchdog evaluates the same sums with the same tolerance, so its
+  // violation count must be the exact complement of `met`.
+  if (out.sla_violations + met != periods * setup.slices) {
+    std::fprintf(stderr, "[chaos] WATCHDOG MISMATCH: %zu violations + %zu met != %zu\n",
+                 out.sla_violations, met, periods * setup.slices);
+    std::exit(2);
+  }
   out.bus = system.bus().stats();
   return out;
 }
@@ -97,7 +128,12 @@ ScenarioResult run_scenario(const Setup& setup, const FaultPlan& plan,
 }  // namespace
 
 int main(int argc, char** argv) {
-  Setup setup = parse_common_flags(argc, argv, Setup{});
+  Setup setup = parse_common_flags(argc, argv, Setup{}, {"crash-at-period"});
+  const CliArgs args(argc, argv,
+                     {"steps", "seed", "periods", "threads", "metrics-out",
+                      "telemetry-port", "metrics-interval", "events-out",
+                      "crash-at-period"});
+  const std::int64_t crash_at = args.get_int("crash-at-period", -1);
   const std::size_t periods = setup.eval_periods * 4;  // longer horizon for rates
   print_header("Ablation: control-plane fault tolerance",
                "degradation under RC-M/RC-L loss and RA crashes");
@@ -161,8 +197,19 @@ int main(int argc, char** argv) {
     scenarios.push_back({"combined-chaos", plan});
   }
 
-  print_series_header({"perf-total", "perf-vs-clean", "sla-frac", "carried", "frozen",
-                       "crashed", "rcl-lost", "reproducible"});
+  // --crash-at-period N: run only combined-chaos and abort at period N.
+  // With --events-out set, the installed crash handlers must produce a
+  // complete JSONL flight-recorder dump (the acceptance test's subject).
+  if (crash_at >= 0) {
+    std::printf("# crash-at-period %lld under combined-chaos\n",
+                static_cast<long long>(crash_at));
+    run_scenario(setup, scenarios.back().plan, periods,
+                 static_cast<std::size_t>(crash_at));
+    return 0;  // reached only when crash_at >= periods
+  }
+
+  print_series_header({"perf-total", "perf-vs-clean", "sla-frac", "sla-viol", "carried",
+                       "frozen", "crashed", "rcl-lost", "reproducible"});
   double clean_performance = 0.0;
   for (const auto& scenario : scenarios) {
     const ScenarioResult first = run_scenario(setup, scenario.plan, periods);
@@ -174,6 +221,7 @@ int main(int argc, char** argv) {
                                 : 1.0;
     std::printf("# %s\n", scenario.name.c_str());
     print_row({first.total_performance, relative, first.sla_fraction,
+               static_cast<double>(first.sla_violations),
                static_cast<double>(first.carried), static_cast<double>(first.frozen),
                static_cast<double>(first.crashed),
                static_cast<double>(first.rcl_losses), reproducible ? 1.0 : 0.0});

@@ -1,14 +1,18 @@
 #include "common.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 
 #include "common/metrics.h"
 #include "common/trace_span.h"
 #include "core/policies.h"
+#include "obs/event_log.h"
+#include "obs/telemetry_server.h"
 #include "rl/frozen.h"
 #include "rl/sac.h"
 
@@ -312,31 +316,63 @@ namespace {
 /// Destination of the end-of-run observability dump; empty disables it.
 std::string g_metrics_out_path;
 
+/// Destination of the end-of-run flight-recorder JSONL dump; empty
+/// disables it. The same path doubles as the crash-dump destination.
+std::string g_events_out_path;
+
+/// Live exposition, enabled by --telemetry-port / --metrics-interval.
+std::unique_ptr<obs::TelemetryServer> g_telemetry_server;
+std::unique_ptr<obs::RollingSnapshotWriter> g_snapshot_writer;
+
 /// Registered with atexit by parse_common_flags so every bench binary
 /// exports its metrics without touching each main(): one JSON document
-/// combining the registry (counters/gauges/histograms) and the tracer
-/// (per-span, per-period timings).
+/// combining the registry (counters/gauges/histograms), the tracer
+/// (per-span, per-period timings) and the flight-recorder window.
+/// Written via <path>.tmp + rename, so an exit racing a reader (or a
+/// crash inside the dump itself) never leaves a truncated file.
 void dump_metrics_at_exit() {
   if (g_metrics_out_path.empty()) return;
-  std::ofstream out(g_metrics_out_path);
-  if (!out) {
+  if (!obs::write_observability_snapshot(g_metrics_out_path)) {
     std::fprintf(stderr, "[bench] cannot write metrics to %s\n",
                  g_metrics_out_path.c_str());
     return;
   }
-  out << "{\n\"metrics\": ";
-  global_metrics().write_json(out);
-  out << ",\n\"spans\": ";
-  global_tracer().write_json(out);
-  out << "\n}\n";
   std::fprintf(stderr, "[bench] wrote metrics to %s\n", g_metrics_out_path.c_str());
+}
+
+/// End-of-run flight-recorder dump (also via tmp + rename). On a crash
+/// the signal/terminate handlers installed by set_crash_dump_path write
+/// the same path directly instead.
+void dump_events_at_exit() {
+  if (g_events_out_path.empty()) return;
+  const std::string tmp = g_events_out_path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out) {
+      std::fprintf(stderr, "[bench] cannot write events to %s\n", tmp.c_str());
+      return;
+    }
+    obs::global_event_log().write_jsonl(out);
+  }
+  std::rename(tmp.c_str(), g_events_out_path.c_str());
+  std::fprintf(stderr, "[bench] wrote events to %s\n", g_events_out_path.c_str());
+}
+
+/// Stop the live exposition threads before the registries they read are
+/// torn down. Registered with atexit AFTER the singletons are touched, so
+/// it runs before their destructors.
+void stop_telemetry_at_exit() {
+  if (g_snapshot_writer) g_snapshot_writer->stop();
+  if (g_telemetry_server) g_telemetry_server->stop();
 }
 
 }  // namespace
 
 Setup parse_common_flags(int argc, char** argv, Setup setup,
                          const std::vector<std::string>& extra_flags) {
-  std::vector<std::string> known{"steps", "seed", "periods", "threads", "metrics-out"};
+  std::vector<std::string> known{"steps",       "seed",           "periods",
+                                 "threads",     "metrics-out",    "telemetry-port",
+                                 "metrics-interval", "events-out"};
   known.insert(known.end(), extra_flags.begin(), extra_flags.end());
   const CliArgs args(argc, argv, known);
   setup.train_steps = static_cast<std::size_t>(args.get_int_env(
@@ -360,7 +396,54 @@ Setup parse_common_flags(int argc, char** argv, Setup setup,
     // them first guarantees they outlive the atexit dump.
     global_metrics();
     global_tracer();
+    obs::global_event_log();
     std::atexit(dump_metrics_at_exit);
+  }
+
+  // --events-out <path> (or EDGESLICE_EVENTS_OUT) dumps the flight
+  // recorder as JSONL at exit, and — via the crash handlers — on
+  // std::terminate or a fatal signal.
+  const char* env_events = std::getenv("EDGESLICE_EVENTS_OUT");
+  const std::string events_out =
+      args.get("events-out", env_events != nullptr ? env_events : "");
+  if (!events_out.empty() && g_events_out_path.empty()) {
+    g_events_out_path = events_out;
+    obs::global_event_log();
+    obs::set_crash_dump_path(events_out);
+    std::atexit(dump_events_at_exit);
+  }
+
+  // --telemetry-port <port> (or EDGESLICE_TELEMETRY_PORT) serves live
+  // /metrics, /events.json, /spans.json and /healthz on localhost while
+  // the bench runs; port 0 picks an ephemeral one (printed to stderr).
+  const std::int64_t telemetry_port =
+      args.get_int_env("telemetry-port", "EDGESLICE_TELEMETRY_PORT", -1);
+  if (telemetry_port >= 0 && !g_telemetry_server) {
+    global_metrics();
+    global_tracer();
+    obs::global_event_log();
+    obs::TelemetryServerConfig server_config;
+    server_config.port = static_cast<std::uint16_t>(telemetry_port);
+    g_telemetry_server = std::make_unique<obs::TelemetryServer>(server_config);
+    if (g_telemetry_server->start()) {
+      std::fprintf(stderr, "[bench] telemetry on http://127.0.0.1:%u/metrics\n",
+                   static_cast<unsigned>(g_telemetry_server->port()));
+    }
+    std::atexit(stop_telemetry_at_exit);
+  }
+
+  // --metrics-interval <periods> rewrites the observability snapshot
+  // (atomically) every N orchestration periods during the run, not only
+  // at exit; uses --metrics-out's path or edgeslice_metrics.json.
+  const std::int64_t metrics_interval = args.get_int("metrics-interval", 0);
+  if (metrics_interval > 0 && !g_snapshot_writer) {
+    if (g_metrics_out_path.empty()) g_metrics_out_path = "edgeslice_metrics.json";
+    global_metrics();
+    global_tracer();
+    obs::global_event_log();
+    g_snapshot_writer = std::make_unique<obs::RollingSnapshotWriter>(
+        g_metrics_out_path, static_cast<std::uint64_t>(metrics_interval));
+    if (!g_telemetry_server) std::atexit(stop_telemetry_at_exit);
   }
   return setup;
 }

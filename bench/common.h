@@ -140,10 +140,20 @@ RunResult run_contender(const Setup& setup, Contender contender, Rng& rng,
                         core::SystemMonitor* monitor_out = nullptr);
 
 /// Parse the standard bench flags (--steps, --seed, --periods, --threads,
-/// --metrics-out) into `setup`. A non-empty --metrics-out path (or the
-/// EDGESLICE_METRICS_OUT environment variable) registers an exit hook that
-/// writes the global metrics registry and span timings as one JSON
-/// document — observation only, results are unchanged by it.
+/// --metrics-out, --telemetry-port, --metrics-interval, --events-out)
+/// into `setup`. All telemetry is observation only — results are
+/// unchanged by it:
+///   --metrics-out <path>      (EDGESLICE_METRICS_OUT) exit hook writing
+///       metrics + spans + events as one JSON document, atomically
+///       (<path>.tmp then rename).
+///   --telemetry-port <port>   (EDGESLICE_TELEMETRY_PORT) localhost HTTP
+///       server with /metrics (Prometheus), /events.json, /spans.json,
+///       /healthz; port 0 picks an ephemeral port (printed to stderr).
+///   --metrics-interval <n>    rewrite the --metrics-out snapshot every n
+///       orchestration periods during the run, atomically.
+///   --events-out <path>       (EDGESLICE_EVENTS_OUT) flight-recorder
+///       JSONL at exit, and on std::terminate / fatal signals via the
+///       crash handlers.
 Setup parse_common_flags(int argc, char** argv, Setup setup,
                          const std::vector<std::string>& extra_flags = {});
 

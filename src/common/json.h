@@ -1,0 +1,16 @@
+// Minimal JSON string escaping shared by every exporter (metrics, span
+// tracer, flight recorder). RFC 8259: quote, backslash, and every control
+// character below 0x20 must be escaped — a metric name containing a tab
+// or newline must never produce an unparseable document.
+#pragma once
+
+#include <iosfwd>
+#include <string_view>
+
+namespace edgeslice {
+
+/// Write `s` as a double-quoted JSON string, escaping `"`, `\`, and all
+/// control characters (short forms \n \t \r \b \f, \u00XX otherwise).
+void write_json_escaped(std::ostream& out, std::string_view s);
+
+}  // namespace edgeslice

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <ostream>
 
+#include "common/json.h"
+
 namespace edgeslice {
 
 namespace {
@@ -23,13 +25,18 @@ double bucket_mid(std::size_t b) {
   return lo * std::sqrt(Histogram::kGrowth);
 }
 
-void write_json_escaped(std::ostream& out, const std::string& s) {
-  out << '"';
-  for (char c : s) {
-    if (c == '"' || c == '\\') out << '\\';
-    out << c;
+/// A legal Prometheus metric name: [a-zA-Z_:][a-zA-Z0-9_:]*. Every other
+/// character (the registry's dots, most notably) becomes '_'.
+std::string prometheus_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
   }
-  out << '"';
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(out.begin(), '_');
+  return out;
 }
 
 }  // namespace
@@ -236,6 +243,29 @@ void MetricsRegistry::write_csv(std::ostream& out) const {
     out << "histogram," << name << ",p50," << metric->quantile(0.5) << "\n";
     out << "histogram," << name << ",p90," << metric->quantile(0.9) << "\n";
     out << "histogram," << name << ",p99," << metric->quantile(0.99) << "\n";
+  }
+}
+
+void MetricsRegistry::write_prometheus(std::ostream& out) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, metric] : counters_) {
+    const std::string p = prometheus_name(name);
+    out << "# TYPE " << p << " counter\n";
+    out << p << " " << metric->value() << "\n";
+  }
+  for (const auto& [name, metric] : gauges_) {
+    const std::string p = prometheus_name(name);
+    out << "# TYPE " << p << " gauge\n";
+    out << p << " " << metric->value() << "\n";
+  }
+  for (const auto& [name, metric] : histograms_) {
+    const std::string p = prometheus_name(name);
+    out << "# TYPE " << p << " summary\n";
+    out << p << "{quantile=\"0.5\"} " << metric->quantile(0.5) << "\n";
+    out << p << "{quantile=\"0.9\"} " << metric->quantile(0.9) << "\n";
+    out << p << "{quantile=\"0.99\"} " << metric->quantile(0.99) << "\n";
+    out << p << "_sum " << metric->total() << "\n";
+    out << p << "_count " << metric->count() << "\n";
   }
 }
 

@@ -113,6 +113,11 @@ class MetricsRegistry {
   void write_json(std::ostream& out) const;
   /// Flat CSV: kind,name,field,value (one row per exported scalar).
   void write_csv(std::ostream& out) const;
+  /// Prometheus text exposition format (the /metrics HTTP payload).
+  /// Dotted names are sanitized to legal Prometheus names ('.' and every
+  /// other illegal character become '_'); histograms export as summaries:
+  /// <name>{quantile="0.5|0.9|0.99"}, <name>_sum, <name>_count.
+  void write_prometheus(std::ostream& out) const;
 
   /// Drop every metric (names included). Intended for tests.
   void clear();

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <ostream>
 
+#include "common/json.h"
 #include "common/metrics.h"
 
 namespace edgeslice {
@@ -135,7 +136,9 @@ void Tracer::write_json(std::ostream& out) const {
   out << "{";
   bool first = true;
   for (const auto& [name, series] : series_) {
-    out << (first ? "\n  " : ",\n  ") << '"' << name << "\": ";
+    out << (first ? "\n  " : ",\n  ");
+    write_json_escaped(out, name);
+    out << ": ";
     write_stats_json(out, series.overall);
     out << ", \"periods\": {";
     bool first_period = true;

@@ -7,17 +7,24 @@
 
 #include "common/metrics.h"
 #include "common/trace_span.h"
+#include "obs/event_log.h"
 #include "opt/projection.h"
 
 namespace edgeslice::core {
 
 namespace {
 
-/// Count the rejection under "coordinator.reject.<cause>" and throw. The
-/// counters answer "why is the coordinator ignoring updates" without a
-/// debugger attached — exactly the signal a chaos run needs.
-[[noreturn]] void reject(const char* cause, const std::string& what) {
+/// Count the rejection under "coordinator.reject.<cause>", log it to the
+/// flight recorder, and throw. The counters answer "why is the
+/// coordinator ignoring updates" without a debugger attached — exactly
+/// the signal a chaos run needs.
+[[noreturn]] void reject(const char* cause, obs::RejectCause code,
+                         const std::string& what) {
   global_metrics().counter(std::string("coordinator.reject.") + cause).add();
+  obs::Event event;
+  event.kind = obs::EventKind::CoordinatorReject;
+  event.value = static_cast<double>(code);
+  obs::global_event_log().record(event);
   throw std::invalid_argument(what);
 }
 
@@ -45,11 +52,11 @@ std::size_t PerformanceCoordinator::index(std::size_t slice, std::size_t ra) con
 void PerformanceCoordinator::update(const nn::Matrix& performance_sums) {
   if (performance_sums.rows() != config_.slices ||
       performance_sums.cols() != config_.ras) {
-    reject("shape", "PerformanceCoordinator: U matrix shape mismatch");
+    reject("shape", obs::RejectCause::Shape, "PerformanceCoordinator: U matrix shape mismatch");
   }
   for (double v : performance_sums.data()) {
     if (!std::isfinite(v))
-      reject("nonfinite", "PerformanceCoordinator: non-finite performance sum");
+      reject("nonfinite", obs::RejectCause::NonFinite, "PerformanceCoordinator: non-finite performance sum");
   }
   const auto solve_span = global_tracer().span("coordinator.solve");
   global_metrics().counter("coordinator.updates").add();
@@ -94,23 +101,30 @@ void PerformanceCoordinator::update(const nn::Matrix& performance_sums) {
 void PerformanceCoordinator::update(const nn::Matrix& performance_sums,
                                     const std::vector<bool>& active) {
   if (active.size() != config_.ras)
-    reject("mask_size", "PerformanceCoordinator: active mask size mismatch");
+    reject("mask_size", obs::RejectCause::MaskSize, "PerformanceCoordinator: active mask size mismatch");
   const bool all_active = std::all_of(active.begin(), active.end(), [](bool a) { return a; });
+  const std::size_t frozen =
+      static_cast<std::size_t>(std::count(active.begin(), active.end(), false));
   global_metrics().gauge("coordinator.frozen_columns")
-      .set(static_cast<double>(static_cast<std::size_t>(
-          std::count(active.begin(), active.end(), false))));
+      .set(static_cast<double>(frozen));
+  if (!all_active) {
+    obs::Event event;
+    event.kind = obs::EventKind::ColumnsFrozen;
+    event.value = static_cast<double>(frozen);
+    obs::global_event_log().record(event);
+  }
   if (all_active) {
     update(performance_sums);
     return;
   }
   if (performance_sums.rows() != config_.slices ||
       performance_sums.cols() != config_.ras) {
-    reject("shape", "PerformanceCoordinator: U matrix shape mismatch");
+    reject("shape", obs::RejectCause::Shape, "PerformanceCoordinator: U matrix shape mismatch");
   }
   for (std::size_t i = 0; i < config_.slices; ++i) {
     for (std::size_t j = 0; j < config_.ras; ++j) {
       if (active[j] && !std::isfinite(performance_sums(i, j)))
-        reject("nonfinite", "PerformanceCoordinator: non-finite performance sum");
+        reject("nonfinite", obs::RejectCause::NonFinite, "PerformanceCoordinator: non-finite performance sum");
     }
   }
 
@@ -179,19 +193,19 @@ void PerformanceCoordinator::update(const nn::Matrix& performance_sums,
 void PerformanceCoordinator::update(const std::vector<RcMonitoringMessage>& reports) {
   nn::Matrix u(config_.slices, config_.ras);
   if (reports.size() != config_.ras)
-    reject("report_count", "PerformanceCoordinator: need one report per RA");
+    reject("report_count", obs::RejectCause::ReportCount, "PerformanceCoordinator: need one report per RA");
   std::vector<bool> seen(config_.ras, false);
   for (const auto& report : reports) {
     if (report.ra >= config_.ras || report.performance_sums.size() != config_.slices)
-      reject("malformed_report", "PerformanceCoordinator: malformed RC-M report");
+      reject("malformed_report", obs::RejectCause::MalformedReport, "PerformanceCoordinator: malformed RC-M report");
     if (seen[report.ra])
-      reject("duplicate_report",
+      reject("duplicate_report", obs::RejectCause::DuplicateReport,
              "PerformanceCoordinator: duplicate RC-M report for RA " +
                  std::to_string(report.ra));
     seen[report.ra] = true;
     for (std::size_t i = 0; i < config_.slices; ++i) {
       if (!std::isfinite(report.performance_sums[i]))
-        reject("nonfinite", "PerformanceCoordinator: non-finite RC-M report");
+        reject("nonfinite", obs::RejectCause::NonFinite, "PerformanceCoordinator: non-finite RC-M report");
       u(i, report.ra) = report.performance_sums[i];
     }
   }

@@ -4,8 +4,24 @@
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "obs/event_log.h"
 
 namespace edgeslice::core {
+
+namespace {
+
+/// Flight-recorder entry for one message-plane happening.
+void log_bus_event(obs::EventKind kind, std::size_t period, std::size_t ra,
+                   double value = 0.0) {
+  obs::Event event;
+  event.kind = kind;
+  event.period = period;
+  event.ra = ra;
+  event.value = value;
+  obs::global_event_log().record(event);
+}
+
+}  // namespace
 
 MessageBus::MessageBus(const FaultInjector* faults) : faults_(faults) {}
 
@@ -16,6 +32,7 @@ void MessageBus::post_report(std::size_t period, RcMonitoringMessage message) {
   if (faults_ && faults_->drop_rcm(period, ra)) {
     ++stats_.rcm_dropped;
     global_metrics().counter("bus.rcm_dropped").add();
+    log_bus_event(obs::EventKind::RcmDropped, period, ra);
     ES_LOG(Debug) << "bus: RC-M report from RA " << ra << " dropped in period "
                   << period;
     return;
@@ -30,6 +47,8 @@ void MessageBus::post_report(std::size_t period, RcMonitoringMessage message) {
       envelope.deliver_period = period + delay;
       ++stats_.rcm_delayed;
       global_metrics().counter("bus.rcm_delayed").add();
+      log_bus_event(obs::EventKind::RcmDelayed, period, ra,
+                    static_cast<double>(delay));
     }
   }
   envelope.message = std::move(message);
@@ -58,6 +77,8 @@ std::vector<RcmEnvelope> MessageBus::collect_reports(std::size_t period) {
   auto& latency = global_metrics().histogram("bus.rcm_latency_periods");
   for (const auto& envelope : due) {
     latency.observe(static_cast<double>(period - envelope.sent_period));
+    log_bus_event(obs::EventKind::RcmDelivered, period, envelope.message.ra,
+                  static_cast<double>(period - envelope.sent_period));
   }
   global_metrics().gauge("bus.in_flight").set(static_cast<double>(pending_.size()));
   return due;
@@ -69,6 +90,7 @@ bool MessageBus::deliver_coordination(std::size_t period, const RcLearningMessag
   if (faults_ && faults_->drop_rcl(period, message.ra)) {
     ++stats_.rcl_dropped;
     global_metrics().counter("bus.rcl_dropped").add();
+    log_bus_event(obs::EventKind::RclDropped, period, message.ra);
     ES_LOG(Debug) << "bus: RC-L push to RA " << message.ra << " lost in period "
                   << period;
     return false;

@@ -6,6 +6,8 @@
 
 #include "common/metrics.h"
 #include "common/trace_span.h"
+#include "obs/event_log.h"
+#include "obs/sla_watchdog.h"
 
 namespace edgeslice::core {
 
@@ -15,6 +17,17 @@ using SteadyClock = std::chrono::steady_clock;
 
 double seconds_since(SteadyClock::time_point start) {
   return std::chrono::duration<double>(SteadyClock::now() - start).count();
+}
+
+/// Flight-recorder entry for one fault applied to the substrate.
+void log_fault_event(obs::EventKind kind, std::size_t period, std::size_t ra,
+                     double value = 0.0) {
+  obs::Event event;
+  event.kind = kind;
+  event.period = period;
+  event.ra = ra;
+  event.value = value;
+  obs::global_event_log().record(event);
 }
 
 }  // namespace
@@ -53,6 +66,7 @@ PeriodResult EdgeSliceSystem::run_period() {
   const FaultInjector* faults = config_.faults;
 
   global_tracer().set_period(period_);
+  obs::global_event_log().set_period(period_);
   const auto period_span = global_tracer().span("system.period");
 
   PeriodResult result;
@@ -68,12 +82,23 @@ PeriodResult EdgeSliceSystem::run_period() {
       crashed[j] = faults->ra_crashed(period_, j);
       if (crashed[j]) {
         ++result.crashed_ras;
+        log_fault_event(obs::EventKind::FaultRaCrash, period_, j);
         continue;
       }
       std::array<double, env::kResources> derate{1.0, 1.0, 1.0};
-      if (faults->cqi_blackout(period_, j)) derate[env::kRadio] = 0.0;
-      if (faults->link_failure(period_, j)) derate[env::kTransport] = 0.0;
-      derate[env::kCompute] = 1.0 / faults->compute_slowdown(period_, j);
+      if (faults->cqi_blackout(period_, j)) {
+        derate[env::kRadio] = 0.0;
+        log_fault_event(obs::EventKind::FaultCqiBlackout, period_, j);
+      }
+      if (faults->link_failure(period_, j)) {
+        derate[env::kTransport] = 0.0;
+        log_fault_event(obs::EventKind::FaultLinkFailure, period_, j);
+      }
+      const double slowdown = faults->compute_slowdown(period_, j);
+      derate[env::kCompute] = 1.0 / slowdown;
+      if (slowdown > 1.0) {
+        log_fault_event(obs::EventKind::FaultComputeSlowdown, period_, j, slowdown);
+      }
       environments_[j]->set_resource_derate(derate);
     }
   }
@@ -229,6 +254,20 @@ PeriodResult EdgeSliceSystem::run_period() {
   metrics.gauge("system.reports_carried").set(static_cast<double>(result.reports_carried));
   metrics.counter("system.rcl_losses").add(result.rcl_losses);
   metrics.counter("system.periods").add();
+  // SLO evaluation against the monitor's incremental per-(ra, period)
+  // sums: the network-wide per-slice performance of the period just run.
+  // Observation-only — the watchdog's verdicts never steer orchestration.
+  if (config_.watchdog != nullptr) {
+    std::vector<double> slice_sums(slices, 0.0);
+    for (std::size_t j = 0; j < ras; ++j) {
+      if (crashed[j]) continue;
+      const RcMonitoringMessage report = monitor_->report(j, period_);
+      for (std::size_t i = 0; i < slices; ++i) {
+        slice_sums[i] += report.performance_sums[i];
+      }
+    }
+    config_.watchdog->evaluate(period_, slice_sums);
+  }
   ++period_;
   return result;
 }

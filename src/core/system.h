@@ -35,6 +35,10 @@
 #include "core/policies.h"
 #include "env/environment.h"
 
+namespace edgeslice::obs {
+class SlaWatchdog;
+}  // namespace edgeslice::obs
+
 namespace edgeslice::core {
 
 /// Outcome of one period (T intervals in every RA + coordinator update).
@@ -70,6 +74,11 @@ struct SystemConfig {
   /// RAs (deployment policies — frozen actors with learn = false, TARO —
   /// qualify; a shared learning agent does not).
   ThreadPool* pool = nullptr;
+  /// Non-owning SLA watchdog; null disables SLO evaluation. When set, the
+  /// system feeds it the network-wide per-slice performance sums (from the
+  /// monitor's incremental per-(ra, period) sums) at the end of each
+  /// period. Observation-only: never feeds back into orchestration.
+  obs::SlaWatchdog* watchdog = nullptr;
 };
 
 class EdgeSliceSystem {

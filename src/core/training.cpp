@@ -5,6 +5,7 @@
 #include "common/metrics.h"
 #include "common/stats.h"
 #include "common/trace_span.h"
+#include "obs/event_log.h"
 
 namespace edgeslice::core {
 
@@ -112,6 +113,11 @@ TrainingResult train_agent(rl::Agent& agent, env::RaEnvironment& environment,
                                            config.validation_arrival_rate);
       result.validation_history.push_back(score);
       global_metrics().gauge("train.validation_score").set(score);
+      obs::Event event;
+      event.kind = obs::EventKind::ValidationCheckpoint;
+      event.interval = step + 1;
+      event.value = score;
+      obs::global_event_log().record(event);
       if (!result.best_policy.has_value() || score > result.best_validation_score) {
         result.best_validation_score = score;
         result.best_policy = *agent.policy_network();

@@ -1,0 +1,223 @@
+#include "obs/telemetry_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/trace_span.h"
+#include "obs/event_log.h"
+
+namespace edgeslice::obs {
+
+TelemetryServer::TelemetryServer(TelemetryServerConfig config)
+    : config_(std::move(config)) {}
+
+TelemetryServer::~TelemetryServer() { stop(); }
+
+bool TelemetryServer::start() {
+  if (running()) return true;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    ES_LOG(Warn) << "telemetry: socket() failed: " << std::strerror(errno);
+    return false;
+  }
+  int reuse = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    ES_LOG(Warn) << "telemetry: bad bind address " << config_.bind_address;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listen_fd_, 8) < 0) {
+    ES_LOG(Warn) << "telemetry: cannot listen on " << config_.bind_address << ":"
+                 << config_.port << ": " << std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = config_.port;
+  }
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { serve_loop(); });
+  ES_LOG(Info) << "telemetry: serving /metrics /events.json /spans.json /healthz on "
+               << config_.bind_address << ":" << port_;
+  return true;
+}
+
+void TelemetryServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void TelemetryServer::serve_loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;  // timeout (stop-flag check) or transient error
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    handle_client(client);
+    ::close(client);
+  }
+}
+
+namespace {
+
+/// First request line up to CRLF: "GET /path HTTP/1.x". Reads at most 4
+/// KiB; telemetry requests carry no interesting headers or body.
+std::string read_request_path(int fd) {
+  char buf[4096];
+  std::size_t used = 0;
+  while (used < sizeof(buf) - 1) {
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, /*timeout_ms=*/1000) <= 0) break;
+    const ssize_t n = ::recv(fd, buf + used, sizeof(buf) - 1 - used, 0);
+    if (n <= 0) break;
+    used += static_cast<std::size_t>(n);
+    buf[used] = '\0';
+    if (std::strstr(buf, "\r\n") != nullptr || std::strchr(buf, '\n') != nullptr) break;
+  }
+  buf[used] = '\0';
+  // Parse "METHOD SP path SP ..." — anything malformed yields "".
+  const char* sp1 = std::strchr(buf, ' ');
+  if (sp1 == nullptr) return "";
+  const char* sp2 = std::strchr(sp1 + 1, ' ');
+  if (sp2 == nullptr) return "";
+  if (std::strncmp(buf, "GET ", 4) != 0) return "";
+  return std::string(sp1 + 1, sp2);
+}
+
+void send_response(int fd, int status, const char* reason, const char* content_type,
+                   const std::string& body) {
+  std::ostringstream head;
+  head << "HTTP/1.0 " << status << " " << reason << "\r\n"
+       << "Content-Type: " << content_type << "\r\n"
+       << "Content-Length: " << body.size() << "\r\n"
+       << "Connection: close\r\n\r\n";
+  const std::string header = head.str();
+  const auto send_all = [fd](const char* data, std::size_t size) {
+    std::size_t sent = 0;
+    while (sent < size) {
+      const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+      if (n <= 0) return;
+      sent += static_cast<std::size_t>(n);
+    }
+  };
+  send_all(header.data(), header.size());
+  send_all(body.data(), body.size());
+}
+
+}  // namespace
+
+void TelemetryServer::handle_client(int client_fd) {
+  const std::string path = read_request_path(client_fd);
+  global_metrics().counter("telemetry.requests").add();
+  if (path == "/metrics") {
+    std::ostringstream body;
+    global_metrics().write_prometheus(body);
+    send_response(client_fd, 200, "OK", "text/plain; version=0.0.4", body.str());
+  } else if (path == "/events.json") {
+    std::ostringstream body;
+    global_event_log().write_json_array(body);
+    body << "\n";
+    send_response(client_fd, 200, "OK", "application/json", body.str());
+  } else if (path == "/spans.json") {
+    std::ostringstream body;
+    global_tracer().write_json(body);
+    body << "\n";
+    send_response(client_fd, 200, "OK", "application/json", body.str());
+  } else if (path == "/healthz") {
+    send_response(client_fd, 200, "OK", "text/plain", "ok\n");
+  } else if (path.empty()) {
+    send_response(client_fd, 400, "Bad Request", "text/plain", "bad request\n");
+  } else {
+    send_response(client_fd, 404, "Not Found", "text/plain", "not found\n");
+  }
+}
+
+bool write_observability_snapshot(const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out) return false;
+    out << "{\n\"metrics\": ";
+    global_metrics().write_json(out);
+    out << ",\n\"spans\": ";
+    global_tracer().write_json(out);
+    out << ",\n\"events\": ";
+    global_event_log().write_json_array(out);
+    out << "\n}\n";
+    out.flush();
+    if (!out) return false;
+  }
+  // Atomic replace: a reader (or a crash between these lines) sees either
+  // the previous complete snapshot or the new one, never a truncation.
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+RollingSnapshotWriter::RollingSnapshotWriter(std::string path,
+                                             std::uint64_t interval_periods,
+                                             unsigned poll_ms)
+    : path_(std::move(path)),
+      interval_(interval_periods == 0 ? 1 : interval_periods),
+      poll_ms_(poll_ms == 0 ? 1 : poll_ms) {
+  thread_ = std::thread([this] { loop(); });
+}
+
+RollingSnapshotWriter::~RollingSnapshotWriter() { stop(); }
+
+void RollingSnapshotWriter::stop() {
+  if (stop_.exchange(true, std::memory_order_acq_rel)) return;
+  if (thread_.joinable()) thread_.join();
+  // Final snapshot so the file reflects the end of the run even when the
+  // last interval boundary was never crossed.
+  if (write_observability_snapshot(path_)) {
+    writes_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void RollingSnapshotWriter::loop() {
+  std::uint64_t last_dumped = global_metrics().counter("system.periods").value();
+  while (!stop_.load(std::memory_order_acquire)) {
+    struct timespec ts{static_cast<time_t>(poll_ms_ / 1000),
+                       static_cast<long>(poll_ms_ % 1000) * 1000000L};
+    ::nanosleep(&ts, nullptr);
+    const std::uint64_t periods = global_metrics().counter("system.periods").value();
+    if (periods >= last_dumped + interval_) {
+      if (write_observability_snapshot(path_)) {
+        writes_.fetch_add(1, std::memory_order_relaxed);
+      }
+      last_dumped = periods;
+    }
+  }
+}
+
+}  // namespace edgeslice::obs

@@ -1,0 +1,100 @@
+// Live telemetry exposition for long-running benches and deployments.
+//
+// Two pieces, both strictly observation-only (they read the process-global
+// registry / tracer / flight recorder and never write back):
+//
+//  * TelemetryServer — a deliberately tiny single-threaded POSIX-socket
+//    HTTP/1.0 server bound to localhost, serving
+//        /metrics      Prometheus text format (MetricsRegistry::write_prometheus)
+//        /events.json  flight-recorder window as a JSON array
+//        /spans.json   span tracer aggregates (Tracer::write_json)
+//        /healthz      200 "ok" liveness probe
+//    One background thread accepts and answers one connection at a time;
+//    responses are built under the exporters' own locks, so a scrape can
+//    run while the orchestrator is mid-period. Off by default; benches
+//    enable it with --telemetry-port / EDGESLICE_TELEMETRY_PORT.
+//
+//  * RollingSnapshotWriter — rewrites a JSON observability snapshot
+//    (metrics + spans + events) every N orchestration periods during a
+//    long run, atomically (write <path>.tmp, then rename), so a crash
+//    mid-run leaves the previous complete snapshot instead of nothing —
+//    and never a truncated file. Benches enable it with
+//    --metrics-interval.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+namespace edgeslice::obs {
+
+struct TelemetryServerConfig {
+  /// TCP port to listen on; 0 picks an ephemeral port (see port()).
+  std::uint16_t port = 0;
+  /// Loopback only by default: telemetry is unauthenticated.
+  std::string bind_address = "127.0.0.1";
+};
+
+class TelemetryServer {
+ public:
+  explicit TelemetryServer(TelemetryServerConfig config = {});
+  ~TelemetryServer();
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  /// Bind + listen + spawn the serving thread. Returns false (with a log
+  /// line) when the socket cannot be bound; the process carries on
+  /// without telemetry rather than dying.
+  bool start();
+  /// Stop the serving thread and close the socket (idempotent).
+  void stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The actually bound port (resolves config port 0).
+  std::uint16_t port() const { return port_; }
+
+ private:
+  void serve_loop();
+  void handle_client(int client_fd);
+
+  TelemetryServerConfig config_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+/// Write one combined observability snapshot — {"metrics": ..., "spans":
+/// ..., "events": [...]} — to `path` atomically: the document is written
+/// to "<path>.tmp" and renamed over `path` only once complete. Returns
+/// false when the file cannot be written.
+bool write_observability_snapshot(const std::string& path);
+
+class RollingSnapshotWriter {
+ public:
+  /// Rewrite `path` (atomically) whenever the global "system.periods"
+  /// counter has advanced by at least `interval_periods` since the last
+  /// write, polling every `poll_ms`. Starts its thread immediately.
+  RollingSnapshotWriter(std::string path, std::uint64_t interval_periods,
+                        unsigned poll_ms = 200);
+  ~RollingSnapshotWriter();
+  RollingSnapshotWriter(const RollingSnapshotWriter&) = delete;
+  RollingSnapshotWriter& operator=(const RollingSnapshotWriter&) = delete;
+
+  /// Stop the thread; writes one final snapshot if anything advanced.
+  void stop();
+  std::uint64_t snapshots_written() const { return writes_.load(std::memory_order_relaxed); }
+
+ private:
+  void loop();
+
+  std::string path_;
+  std::uint64_t interval_;
+  unsigned poll_ms_;
+  std::atomic<std::uint64_t> writes_{0};
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace edgeslice::obs

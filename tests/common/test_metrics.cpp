@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/json.h"
 #include "common/rng.h"
 
 namespace edgeslice {
@@ -188,6 +189,108 @@ TEST_F(MetricsTest, ConcurrentRecordingIsExact) {
 
 TEST_F(MetricsTest, GlobalRegistryIsSingleton) {
   EXPECT_EQ(&global_metrics(), &global_metrics());
+}
+
+TEST_F(MetricsTest, WriteJsonEscapesHostileMetricNames) {
+  // Regression: names with control characters used to be emitted raw,
+  // producing invalid JSON (RFC 8259 forbids unescaped bytes < 0x20).
+  MetricsRegistry registry;
+  const std::string hostile = std::string("bad\nname\t") + '\x01' + "\"q\" \\end";
+  registry.counter(hostile).add(7);
+  std::ostringstream out;
+  registry.write_json(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"bad\\nname\\t\\u0001\\\"q\\\" \\\\end\": 7"),
+            std::string::npos)
+      << text;
+  // No raw control characters anywhere in the document (newlines from the
+  // pretty-printer are the only ones allowed).
+  for (char c : text) {
+    if (c == '\n') continue;
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  }
+}
+
+TEST_F(MetricsTest, WriteJsonEscapedCoversEveryControlByte) {
+  std::string all;
+  for (int c = 1; c < 0x20; ++c) all.push_back(static_cast<char>(c));
+  std::ostringstream out;
+  write_json_escaped(out, all);
+  const std::string text = out.str();
+  for (char c : text) EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  EXPECT_NE(text.find("\\b\\t\\n"), std::string::npos);      // 0x08, 0x09, 0x0a
+  EXPECT_NE(text.find("\\u0001"), std::string::npos);        // generic escape
+  EXPECT_NE(text.find("\\u001f"), std::string::npos);        // last control byte
+}
+
+TEST_F(MetricsTest, QuantileAllNegativeObservations) {
+  Histogram h;
+  for (double x : {-10.0, -5.0, -1.0}) h.observe(x);
+  // Ascending order is most-negative first; every estimate must stay
+  // within the observed range and within bucket resolution (x1.3) of the
+  // exact order statistic.
+  const double p0 = h.quantile(0.0);
+  const double p50 = h.quantile(0.5);
+  const double p100 = h.quantile(1.0);
+  EXPECT_GE(p0, -10.0);
+  EXPECT_LE(p0, -10.0 / 1.3);
+  EXPECT_LE(p50, -5.0 / 1.3);
+  EXPECT_GE(p50, -5.0 * 1.3);
+  EXPECT_LE(p100, -1.0 / 1.3);
+  EXPECT_GE(p100, -1.3);
+  EXPECT_LE(p0, p50);
+  EXPECT_LE(p50, p100);
+}
+
+TEST_F(MetricsTest, QuantileMixedSignObservations) {
+  Histogram h;
+  for (double x : {-4.0, -2.0, 2.0, 4.0}) h.observe(x);
+  // Rank 2 of 4 is -2, rank 3 is +2: the estimates must carry the sign.
+  EXPECT_LT(h.quantile(0.5), 0.0);
+  EXPECT_GT(h.quantile(0.75), 0.0);
+  EXPECT_NEAR(h.quantile(0.5), -2.0, 2.0 * 0.3);
+  EXPECT_NEAR(h.quantile(0.75), 2.0, 2.0 * 0.3);
+  // Extremes stay inside the observed range, within bucket resolution.
+  EXPECT_LE(h.quantile(1.0), 4.0);
+  EXPECT_GE(h.quantile(1.0), 4.0 / 1.3);
+  EXPECT_GE(h.quantile(0.0), -4.0);
+  EXPECT_LE(h.quantile(0.0), -4.0 / 1.3);
+}
+
+TEST_F(MetricsTest, QuantileStraddlingTheZeroBucket) {
+  Histogram h;
+  for (double x : {-1.0, 0.0, 0.0, 1.0}) h.observe(x);
+  // Ranks 2 and 3 both land in the exact zero bucket.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.75), 0.0);
+  EXPECT_LT(h.quantile(0.1), 0.0);
+  EXPECT_GT(h.quantile(1.0), 0.0);
+}
+
+TEST_F(MetricsTest, WritePrometheusGoldenAndNameSanitization) {
+  MetricsRegistry registry;
+  registry.counter("bus.rcm_sent").add(3);
+  registry.counter("99 bottles!").add(1);  // digit prefix + illegal chars
+  registry.gauge("sla.margin.slice0").set(-2.5);
+  auto& h = registry.histogram("coordinator.solve_s");
+  h.observe(0.0);
+  h.observe(0.0);
+  std::ostringstream out;
+  registry.write_prometheus(out);
+  const std::string expected =
+      "# TYPE _99_bottles_ counter\n"
+      "_99_bottles_ 1\n"
+      "# TYPE bus_rcm_sent counter\n"
+      "bus_rcm_sent 3\n"
+      "# TYPE sla_margin_slice0 gauge\n"
+      "sla_margin_slice0 -2.5\n"
+      "# TYPE coordinator_solve_s summary\n"
+      "coordinator_solve_s{quantile=\"0.5\"} 0\n"
+      "coordinator_solve_s{quantile=\"0.9\"} 0\n"
+      "coordinator_solve_s{quantile=\"0.99\"} 0\n"
+      "coordinator_solve_s_sum 0\n"
+      "coordinator_solve_s_count 2\n";
+  EXPECT_EQ(out.str(), expected);
 }
 
 }  // namespace

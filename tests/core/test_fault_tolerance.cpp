@@ -1,8 +1,15 @@
 // Chaos tests for the control plane: FaultInjector determinism, MessageBus
 // drop/delay/sequencing, and EdgeSliceSystem degraded-mode orchestration
 // (carry-forward, staleness freeze, crash/rejoin, RC-L fallback).
+#include <sys/wait.h>
+
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -475,6 +482,92 @@ TEST_F(FaultSystemTest, ChaosRunIsBitReproducible) {
     EXPECT_EQ(first[p].rcl_losses, second[p].rcl_losses);
   }
 }
+
+// ---------------------------------------------------------------------------
+// Chaos harness + flight recorder (subprocess tests against the real
+// ablation_fault_tolerance binary; EDGESLICE_CHAOS_BENCH_PATH is injected
+// by the build).
+// ---------------------------------------------------------------------------
+#ifdef EDGESLICE_CHAOS_BENCH_PATH
+
+/// Read `path` and assert every line is a complete flight-recorder JSON
+/// object; returns the parsed-ish lines for further checks.
+std::vector<std::string> require_valid_jsonl(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing dump " << path;
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    EXPECT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{') << line;
+    EXPECT_EQ(line.back(), '}') << line;
+    EXPECT_NE(line.find("\"seq\": "), std::string::npos) << line;
+    EXPECT_NE(line.find("\"kind\": \""), std::string::npos) << line;
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+bool line_is_fault_event(const std::string& line) {
+  for (const char* kind :
+       {"\"kind\": \"rcm.dropped\"", "\"kind\": \"rcm.delayed\"",
+        "\"kind\": \"rcl.dropped\"", "\"kind\": \"fault.ra_crash\"",
+        "\"kind\": \"fault.cqi_blackout\"", "\"kind\": \"fault.link_failure\"",
+        "\"kind\": \"fault.compute_slowdown\""}) {
+    if (line.find(kind) != std::string::npos) return true;
+  }
+  return false;
+}
+
+TEST(ChaosHarness, CleanRunDumpsFlightRecorderJsonl) {
+  const std::string dump = ::testing::TempDir() + "chaos_events.jsonl";
+  std::remove(dump.c_str());
+  const std::string command = std::string(EDGESLICE_CHAOS_BENCH_PATH) +
+                              " --periods 2 --events-out " + dump +
+                              " > /dev/null 2>&1";
+  const int status = std::system(command.c_str());
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  const auto lines = require_valid_jsonl(dump);
+  ASSERT_FALSE(lines.empty());
+  // The scenario table schedules RA crashes and message loss, so the
+  // window must contain injected-fault events.
+  std::size_t faults = 0;
+  for (const auto& line : lines) {
+    if (line_is_fault_event(line)) ++faults;
+  }
+  EXPECT_GT(faults, 0u);
+  std::remove(dump.c_str());
+}
+
+TEST(ChaosHarness, ForcedAbortDumpsFaultEventWithPrecedingWindow) {
+  // Acceptance: a forced abort mid-chaos must leave a JSONL dump holding
+  // an injected-fault event preceded by >= 64 events of context.
+  const std::string dump = ::testing::TempDir() + "chaos_crash.jsonl";
+  std::remove(dump.c_str());
+  const std::string command = std::string(EDGESLICE_CHAOS_BENCH_PATH) +
+                              " --periods 15 --events-out " + dump +
+                              " --crash-at-period 45 > /dev/null 2>&1";
+  const int status = std::system(command.c_str());
+  // Dies by SIGABRT; system() reports it as a signaled child.
+  ASSERT_TRUE(WIFSIGNALED(status) ||
+              (WIFEXITED(status) && WEXITSTATUS(status) != 0));
+  const auto lines = require_valid_jsonl(dump);
+  ASSERT_GE(lines.size(), 65u);
+  std::size_t last_fault = 0;
+  bool any_fault = false;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (line_is_fault_event(lines[i])) {
+      last_fault = i;
+      any_fault = true;
+    }
+  }
+  ASSERT_TRUE(any_fault);
+  EXPECT_GE(last_fault, 64u);
+  std::remove(dump.c_str());
+}
+
+#endif  // EDGESLICE_CHAOS_BENCH_PATH
 
 }  // namespace
 }  // namespace edgeslice::core

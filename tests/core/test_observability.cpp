@@ -13,6 +13,9 @@
 #include "core/system.h"
 #include "core/training.h"
 #include "env/service_model.h"
+#include "obs/event_log.h"
+#include "obs/sla_watchdog.h"
+#include "obs/telemetry_server.h"
 #include "radio/radio_manager.h"
 #include "rl/ddpg.h"
 #include "transport/transport_manager.h"
@@ -25,12 +28,14 @@ class ObservabilityTest : public ::testing::Test {
   void SetUp() override {
     global_metrics().clear();
     global_tracer().clear();
+    obs::global_event_log().clear();
     set_metrics_enabled(true);
   }
   void TearDown() override {
     set_metrics_enabled(true);
     global_metrics().clear();
     global_tracer().clear();
+    obs::global_event_log().clear();
   }
 };
 
@@ -207,6 +212,117 @@ TEST_F(ObservabilityTest, TrainingPopulatesLearningMetrics) {
   EXPECT_EQ(global_tracer().overall("train.agent").count, 1u);
   const auto batches = global_tracer().overall("train.agent/ddpg.train_batch");
   EXPECT_EQ(batches.count, metrics.counter("ddpg.train_batches").value());
+}
+
+std::vector<double> run_periods_full_telemetry(std::size_t periods, ThreadPool* pool) {
+  Stack stack = make_stack(2);
+  obs::SlaWatchdog watchdog = obs::SlaWatchdog::from_u_min({-50.0, -50.0});
+  SystemConfig system_config;
+  system_config.pool = pool;
+  system_config.watchdog = &watchdog;
+  EdgeSliceSystem system(stack.env_ptrs(), stack.policy_ptrs(),
+                         coordinator_config(2), system_config);
+  std::vector<double> out;
+  for (const auto& result : system.run(periods)) {
+    out.push_back(result.system_performance);
+  }
+  return out;
+}
+
+TEST_F(ObservabilityTest, ResultsBitIdenticalWithFullTelemetryPlane) {
+  // The whole plane at once — SLA watchdog attached, flight recorder
+  // live, HTTP server scraping concurrently — against a metrics-disabled
+  // run, at 1/2/4 threads. Orchestration must be bit-identical.
+  obs::TelemetryServer server;  // ephemeral port
+  ASSERT_TRUE(server.start());
+  const auto reference = run_periods(3, nullptr);
+
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    ThreadPool pool(threads);
+    ThreadPool* pool_ptr = threads == 1 ? nullptr : &pool;
+    const auto with_telemetry = run_periods_full_telemetry(3, pool_ptr);
+    set_metrics_enabled(false);
+    const auto without = run_periods_full_telemetry(3, pool_ptr);
+    set_metrics_enabled(true);
+    ASSERT_EQ(with_telemetry.size(), reference.size());
+    for (std::size_t p = 0; p < reference.size(); ++p) {
+      EXPECT_EQ(with_telemetry[p], reference[p])
+          << "threads=" << threads << " period " << p;
+      EXPECT_EQ(without[p], reference[p])
+          << "threads=" << threads << " period " << p << " (telemetry off)";
+    }
+  }
+  server.stop();
+  // The plane did observe the runs: periods counted, watchdog published.
+  EXPECT_GT(global_metrics().counter("system.periods").value(), 0u);
+  EXPECT_TRUE(global_metrics().gauge("sla.margin.slice0").written());
+}
+
+TEST_F(ObservabilityTest, TrainingBitIdenticalWithTelemetryDisabled) {
+  // train_agents must not be steered by the recorder/registry either:
+  // identical reward and validation histories with telemetry on and off.
+  const auto train_once = [] {
+    const auto model =
+        std::make_shared<env::DirectServiceModel>(env::prototype_capacity());
+    env::RaEnvironmentConfig env_cfg;
+    env_cfg.intervals_per_period = 10;
+    env::RaEnvironment environment(
+        env_cfg, {env::slice1_profile(), env::slice2_profile()}, model,
+        env::make_queue_power_perf(), Rng(1));
+    Rng rng(2);
+    rl::DdpgConfig agent_cfg;
+    agent_cfg.base.state_dim = environment.state_dim();
+    agent_cfg.base.action_dim = environment.action_dim();
+    agent_cfg.base.hidden = 16;
+    agent_cfg.batch_size = 16;
+    agent_cfg.warmup = 32;
+    rl::Ddpg agent(agent_cfg, rng);
+    TrainingConfig training;
+    training.steps = 120;
+    training.validation_every = 40;  // exercises the checkpoint event path
+    return train_agent(agent, environment, training, rng);
+  };
+  const TrainingResult on = train_once();
+  const std::uint64_t recorded_on = obs::global_event_log().recorded();
+  set_metrics_enabled(false);
+  const TrainingResult off = train_once();
+  set_metrics_enabled(true);
+  ASSERT_EQ(on.reward_history.size(), off.reward_history.size());
+  for (std::size_t i = 0; i < on.reward_history.size(); ++i) {
+    EXPECT_EQ(on.reward_history[i], off.reward_history[i]) << "step " << i;
+  }
+  ASSERT_EQ(on.validation_history.size(), off.validation_history.size());
+  for (std::size_t i = 0; i < on.validation_history.size(); ++i) {
+    EXPECT_EQ(on.validation_history[i], off.validation_history[i]);
+  }
+  EXPECT_EQ(on.best_validation_score, off.best_validation_score);
+  // The enabled run recorded validation checkpoints; the disabled one
+  // recorded nothing further.
+  EXPECT_GT(recorded_on, 0u);
+  EXPECT_EQ(obs::global_event_log().recorded(), recorded_on);
+}
+
+TEST_F(ObservabilityTest, SystemRunFeedsTheFlightRecorderAndWatchdog) {
+  Stack stack = make_stack(2);
+  obs::SlaWatchdog watchdog = obs::SlaWatchdog::from_u_min({-50.0, -50.0});
+  SystemConfig system_config;
+  system_config.watchdog = &watchdog;
+  EdgeSliceSystem system(stack.env_ptrs(), stack.policy_ptrs(),
+                         coordinator_config(2), system_config);
+  system.run(3);
+  EXPECT_EQ(watchdog.periods_evaluated(), 3u);
+  // Fault-free run: every delivered RC-M report becomes an event, with
+  // the running period stamped by the system.
+  const auto events = obs::global_event_log().snapshot();
+  std::size_t delivered = 0;
+  for (const auto& e : events) {
+    if (e.kind == obs::EventKind::RcmDelivered) {
+      ++delivered;
+      EXPECT_LT(e.period, 3u);
+      EXPECT_LT(e.ra, 2u);
+    }
+  }
+  EXPECT_EQ(delivered, 6u);  // 2 RAs x 3 periods
 }
 
 TEST_F(ObservabilityTest, PoolRunRecordsQueueWaitSpans) {

@@ -15,6 +15,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 
 #include "common/fault.h"
 #include "core/policies.h"
@@ -84,16 +85,41 @@ ScenarioResult run_scenario(const Setup& setup, const FaultPlan& plan,
   for (auto& p : policies) policy_ptrs.push_back(p.get());
   core::EdgeSliceSystem system(env_ptrs, policy_ptrs, coordinator, system_config);
 
+  // --resume: restore the system (loop counters, coordinator, message bus
+  // — in-flight envelopes included — and every environment) and continue
+  // from the checkpointed period. The FaultPlan re-applies losslessly: the
+  // injector is a pure function of (plan seed, period, RA), so the resumed
+  // run sees exactly the faults the uninterrupted run would have.
+  std::size_t start = 0;
+  if (!setup.resume_path.empty() && std::filesystem::exists(setup.resume_path)) {
+    system.load_checkpoint(setup.resume_path);
+    start = system.period_count();
+    std::fprintf(stderr, "[chaos] resumed from %s at period %zu\n",
+                 setup.resume_path.c_str(), start);
+  }
+  const std::string ckpt_path = !setup.checkpoint_out.empty() ? setup.checkpoint_out
+                                                              : setup.resume_path;
+
   std::vector<core::PeriodResult> results;
-  results.reserve(periods);
-  for (std::size_t p = 0; p < periods; ++p) {
+  results.reserve(periods - start);
+  for (std::size_t p = start; p < periods; ++p) {
     // --crash-at-period: die mid-run so the crash handlers (installed by
-    // --events-out) must salvage the flight-recorder window.
+    // --events-out) must salvage the flight-recorder window, and — when
+    // --checkpoint-every is set — a rerun with --resume picks up from the
+    // last period boundary.
     if (p == crash_at) {
       std::fprintf(stderr, "[chaos] forced abort at period %zu\n", p);
       std::abort();
     }
     results.push_back(system.run_period());
+    if (setup.checkpoint_every > 0 && !ckpt_path.empty() &&
+        (p + 1) % setup.checkpoint_every == 0 && p + 1 < periods) {
+      if (!system.save_checkpoint(ckpt_path)) {
+        std::fprintf(stderr, "[chaos] cannot write checkpoint to %s\n",
+                     ckpt_path.c_str());
+        std::exit(2);
+      }
+    }
   }
 
   ScenarioResult out;
@@ -111,14 +137,19 @@ ScenarioResult run_scenario(const Setup& setup, const FaultPlan& plan,
       if (total >= u_min[i] - 1e-9) ++met;
     }
   }
+  // Accounting covers the periods evaluated in THIS process: after a
+  // resume, the pre-crash periods belong to the previous process (the
+  // watchdog is observation-only state and is deliberately not part of the
+  // checkpoint, so its counters also start at the resume point).
+  const std::size_t evaluated = periods - start;
   out.sla_fraction =
-      static_cast<double>(met) / static_cast<double>(periods * setup.slices);
+      static_cast<double>(met) / static_cast<double>(evaluated * setup.slices);
   out.sla_violations = watchdog.total_violations();
   // The watchdog evaluates the same sums with the same tolerance, so its
   // violation count must be the exact complement of `met`.
-  if (out.sla_violations + met != periods * setup.slices) {
+  if (out.sla_violations + met != evaluated * setup.slices) {
     std::fprintf(stderr, "[chaos] WATCHDOG MISMATCH: %zu violations + %zu met != %zu\n",
-                 out.sla_violations, met, periods * setup.slices);
+                 out.sla_violations, met, evaluated * setup.slices);
     std::exit(2);
   }
   out.bus = system.bus().stats();
@@ -132,6 +163,7 @@ int main(int argc, char** argv) {
   const CliArgs args(argc, argv,
                      {"steps", "seed", "periods", "threads", "metrics-out",
                       "telemetry-port", "metrics-interval", "events-out",
+                      "checkpoint-every", "checkpoint-out", "resume",
                       "crash-at-period"});
   const std::int64_t crash_at = args.get_int("crash-at-period", -1);
   const std::size_t periods = setup.eval_periods * 4;  // longer horizon for rates
@@ -200,12 +232,28 @@ int main(int argc, char** argv) {
   // --crash-at-period N: run only combined-chaos and abort at period N.
   // With --events-out set, the installed crash handlers must produce a
   // complete JSONL flight-recorder dump (the acceptance test's subject).
-  if (crash_at >= 0) {
-    std::printf("# crash-at-period %lld under combined-chaos\n",
-                static_cast<long long>(crash_at));
-    run_scenario(setup, scenarios.back().plan, periods,
-                 static_cast<std::size_t>(crash_at));
-    return 0;  // reached only when crash_at >= periods
+  // With --checkpoint-every M (periods), checkpoints land at every M-th
+  // period boundary, and a rerun with --resume <path> continues the SAME
+  // combined-chaos run from the last boundary before the crash — the
+  // fault-tolerance story closed end to end.
+  if (crash_at >= 0 || !setup.resume_path.empty()) {
+    if (crash_at >= 0) {
+      std::printf("# crash-at-period %lld under combined-chaos\n",
+                  static_cast<long long>(crash_at));
+    } else {
+      std::printf("# resuming combined-chaos from %s\n", setup.resume_path.c_str());
+    }
+    const ScenarioResult r =
+        run_scenario(setup, scenarios.back().plan, periods,
+                     crash_at >= 0 ? static_cast<std::size_t>(crash_at) : kNoCrash);
+    // Reached on resume, or when crash_at >= periods.
+    print_series_header({"perf-total", "sla-frac", "sla-viol", "carried", "frozen",
+                         "crashed", "rcl-lost"});
+    print_row({r.total_performance, r.sla_fraction,
+               static_cast<double>(r.sla_violations), static_cast<double>(r.carried),
+               static_cast<double>(r.frozen), static_cast<double>(r.crashed),
+               static_cast<double>(r.rcl_losses)});
+    return 0;
   }
 
   print_series_header({"perf-total", "perf-vs-clean", "sla-frac", "sla-viol", "carried",

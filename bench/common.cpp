@@ -5,9 +5,11 @@
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 
+#include "ckpt/agent_cache.h"
 #include "common/metrics.h"
 #include "common/trace_span.h"
 #include "core/policies.h"
@@ -101,30 +103,91 @@ namespace {
 /// Trained policies are cached on disk so that bench binaries sharing a
 /// configuration do not retrain. Delete the cache directory (or set
 /// EDGESLICE_AGENT_CACHE=off) to force retraining.
-std::filesystem::path cache_path_for(const Setup& setup, rl::Algorithm algorithm,
-                                     bool traffic_in_state) {
+std::filesystem::path agent_cache_dir() {
   const char* base = std::getenv("EDGESLICE_AGENT_CACHE");
   if (base != nullptr && std::string(base) == "off") return {};
+  return std::filesystem::path(base != nullptr ? base : "edgeslice_agent_cache");
+}
+
+/// Canonical configuration text addressing a cache entry: every knob that
+/// changes the trained policy, one "key = value" line each. Stored inside
+/// the entry and verified byte-for-byte on load, so two configurations can
+/// never silently alias (FORMATS.md Sec. 3).
+std::string agent_fingerprint(const Setup& setup, rl::Algorithm algorithm,
+                              bool traffic_in_state) {
+  const auto canonical = [](double v) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+    return std::string(buffer);
+  };
+  std::ostringstream out;
+  out << "artifact = agent\n";
+  out << "algorithm = " << rl::algorithm_name(algorithm) << "\n";
+  out << "slices = " << setup.slices << "\n";
+  out << "intervals_per_period = " << setup.intervals_per_period << "\n";
+  out << "arrival_rate = " << canonical(setup.arrival_rate) << "\n";
+  out << "alpha = " << canonical(setup.alpha) << "\n";
+  out << "performance = " << (setup.service_time_perf ? "st" : "qp") << "\n";
+  out << "state = " << (traffic_in_state ? "full" : "nt") << "\n";
+  out << "train_steps = " << setup.train_steps << "\n";
+  out << "seed = " << setup.seed << "\n";
+  return out.str();
+}
+
+/// Pre-content-addressed cache filename (name-mangled .mlp text files).
+/// Still read as a fallback; hits are migrated to content-addressed
+/// entries so the legacy file is consulted at most once per config.
+std::filesystem::path legacy_cache_path_for(const Setup& setup, rl::Algorithm algorithm,
+                                            bool traffic_in_state) {
   std::ostringstream name;
   name << rl::algorithm_name(algorithm) << "_s" << setup.slices << "_T"
        << setup.intervals_per_period << "_a" << setup.alpha << "_"
        << (setup.service_time_perf ? "st" : "qp") << "_"
        << (traffic_in_state ? "full" : "nt") << "_n" << setup.train_steps << "_seed"
        << setup.seed << ".mlp";
-  return std::filesystem::path(base != nullptr ? base : "edgeslice_agent_cache") /
-         name.str();
+  return agent_cache_dir() / name.str();
+}
+
+/// Cache lookup: content-addressed entry first, then the legacy v0 name
+/// (migrated forward on hit). Corrupt entries are reported and ignored —
+/// the bench retrains rather than aborts.
+std::optional<nn::Mlp> load_cached_policy(const Setup& setup, rl::Algorithm algorithm,
+                                          bool traffic_in_state) {
+  const auto dir = agent_cache_dir();
+  if (dir.empty()) return std::nullopt;
+  const std::string fingerprint = agent_fingerprint(setup, algorithm, traffic_in_state);
+  try {
+    if (auto policy = ckpt::load_policy(dir.string(), fingerprint)) {
+      std::fprintf(stderr, "[bench] loading cached policy %s\n",
+                   ckpt::cache_entry_path(dir.string(), fingerprint).c_str());
+      return policy;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[bench] ignoring corrupt cache entry: %s\n", e.what());
+  }
+  const auto legacy = legacy_cache_path_for(setup, algorithm, traffic_in_state);
+  if (std::filesystem::exists(legacy)) {
+    try {
+      std::ifstream in(legacy);
+      nn::Mlp policy = nn::Mlp::load(in);
+      std::fprintf(stderr, "[bench] migrating legacy cached policy %s\n",
+                   legacy.c_str());
+      ckpt::store_policy(dir.string(), fingerprint, policy);
+      return policy;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "[bench] ignoring unreadable legacy cache entry %s: %s\n",
+                   legacy.c_str(), e.what());
+    }
+  }
+  return std::nullopt;
 }
 
 }  // namespace
 
 std::shared_ptr<rl::Agent> train_agent_for(const Setup& setup, rl::Algorithm algorithm,
                                            bool traffic_in_state, Rng& rng) {
-  const auto cache_path = cache_path_for(setup, algorithm, traffic_in_state);
-  if (!cache_path.empty() && std::filesystem::exists(cache_path)) {
-    std::ifstream in(cache_path);
-    std::fprintf(stderr, "[bench] loading cached policy %s\n", cache_path.c_str());
-    return std::make_shared<rl::FrozenActor>(nn::Mlp::load(in),
-                                             rl::algorithm_name(algorithm));
+  if (auto cached = load_cached_policy(setup, algorithm, traffic_in_state)) {
+    return std::make_shared<rl::FrozenActor>(*cached, rl::algorithm_name(algorithm));
   }
 
   Rng profile_rng(setup.seed);
@@ -173,6 +236,33 @@ std::shared_ptr<rl::Agent> train_agent_for(const Setup& setup, rl::Algorithm alg
   // Validate at the clamp boundary: a loaded system operates there.
   training.validation_coordination = -50.0;
 
+  // --checkpoint-every / --checkpoint-out / --resume map straight onto the
+  // training loop's mid-run checkpointing (DDPG only: the other agents do
+  // not serialize their training state). --resume without --checkpoint-out
+  // saves back to the resume path, so a crash-and-rerun loop needs one flag.
+  // Benches that train several agents in one process (full + NT state)
+  // would clobber a single user-supplied path — and the resumed run would
+  // refuse the foreign fingerprint — so each training gets its own file,
+  // "<path>.<fingerprint digest>".
+  if (setup.checkpoint_every > 0 || !setup.resume_path.empty()) {
+    if (algorithm == rl::Algorithm::Ddpg) {
+      std::string ckpt_base = !setup.checkpoint_out.empty() ? setup.checkpoint_out
+                                                            : setup.resume_path;
+      if (ckpt_base.empty()) ckpt_base = "edgeslice_train.ckpt";
+      training.checkpoint_every = setup.checkpoint_every;
+      training.checkpoint_path =
+          ckpt_base + "." +
+          ckpt::fingerprint_digest(agent_fingerprint(setup, algorithm, traffic_in_state));
+      training.resume = !setup.resume_path.empty();
+      std::fprintf(stderr, "[bench] training checkpoints: %s\n",
+                   training.checkpoint_path.c_str());
+    } else {
+      std::fprintf(stderr,
+                   "[bench] checkpoint/resume flags ignored for %s (DDPG only)\n",
+                   rl::algorithm_name(algorithm));
+    }
+  }
+
   // DDPG at reduced budgets is seed-sensitive (especially for the
   // queue-blind NT state): when the best validated snapshot is still
   // catastrophic (a slice starves and its queue saturates), retrain with a
@@ -195,6 +285,11 @@ std::shared_ptr<rl::Agent> train_agent_for(const Setup& setup, rl::Algorithm alg
         trained.best_validation_score >= kAcceptableScore) {
       break;
     }
+    // Retries start from fresh networks — resuming (or overwriting) the
+    // first attempt's checkpoint would just replay the same bad trajectory.
+    training.checkpoint_every = 0;
+    training.checkpoint_path.clear();
+    training.resume = false;
     // Fresh networks for the retry; the environment keeps its dynamics.
     if (algorithm == rl::Algorithm::Ddpg) {
       rl::DdpgConfig config;
@@ -216,10 +311,11 @@ std::shared_ptr<rl::Agent> train_agent_for(const Setup& setup, rl::Algorithm alg
     std::fprintf(stderr, "[bench] deployed snapshot with validation score %.1f\n",
                  trained.best_validation_score);
   }
-  if (!cache_path.empty() && deployed->policy_network() != nullptr) {
-    std::filesystem::create_directories(cache_path.parent_path());
-    std::ofstream out(cache_path);
-    deployed->policy_network()->save(out);
+  const auto cache_dir = agent_cache_dir();
+  if (!cache_dir.empty() && deployed->policy_network() != nullptr) {
+    ckpt::store_policy(cache_dir.string(),
+                       agent_fingerprint(setup, algorithm, traffic_in_state),
+                       *deployed->policy_network());
   }
   return deployed;
 }
@@ -372,7 +468,8 @@ Setup parse_common_flags(int argc, char** argv, Setup setup,
                          const std::vector<std::string>& extra_flags) {
   std::vector<std::string> known{"steps",       "seed",           "periods",
                                  "threads",     "metrics-out",    "telemetry-port",
-                                 "metrics-interval", "events-out"};
+                                 "metrics-interval", "events-out", "checkpoint-every",
+                                 "checkpoint-out",   "resume"};
   known.insert(known.end(), extra_flags.begin(), extra_flags.end());
   const CliArgs args(argc, argv, known);
   setup.train_steps = static_cast<std::size_t>(args.get_int_env(
@@ -383,6 +480,10 @@ Setup parse_common_flags(int argc, char** argv, Setup setup,
       args.get_int("periods", static_cast<std::int64_t>(setup.eval_periods)));
   setup.threads = static_cast<std::size_t>(args.get_int_env(
       "threads", "EDGESLICE_THREADS", static_cast<std::int64_t>(setup.threads)));
+  setup.checkpoint_every = static_cast<std::size_t>(args.get_int(
+      "checkpoint-every", static_cast<std::int64_t>(setup.checkpoint_every)));
+  setup.checkpoint_out = args.get("checkpoint-out", setup.checkpoint_out);
+  setup.resume_path = args.get("resume", setup.resume_path);
 
   // --metrics-out <path> (or EDGESLICE_METRICS_OUT) dumps the metrics
   // registry + span timings as JSON when the binary exits.

@@ -46,6 +46,12 @@ struct Setup {
   /// Non-owning pool the bench main() constructs from `threads`; null runs
   /// everything sequentially.
   ThreadPool* pool = nullptr;
+  /// Mid-run checkpointing (--checkpoint-every / --checkpoint-out /
+  /// --resume). For training benches the cadence is in steps; for the
+  /// fault-tolerance ablation it is in periods. Empty/0 disables.
+  std::size_t checkpoint_every = 0;
+  std::string checkpoint_out;
+  std::string resume_path;
 };
 
 /// The simulation setup of Sec. VII-D: 5 slices, 10 RAs, 24-interval
@@ -154,6 +160,15 @@ RunResult run_contender(const Setup& setup, Contender contender, Rng& rng,
 ///   --events-out <path>       (EDGESLICE_EVENTS_OUT) flight-recorder
 ///       JSONL at exit, and on std::terminate / fatal signals via the
 ///       crash handlers.
+///   --checkpoint-every <n>    write an ESCK checkpoint of the complete
+///       training state every n steps (periods for the fault-tolerance
+///       ablation). Observation-only: results are unchanged.
+///   --checkpoint-out <path>   checkpoint destination (default
+///       edgeslice_train.ckpt, or the --resume path when given).
+///   --resume <path>           resume from a checkpoint before the first
+///       step; a missing file starts fresh, so crash-and-rerun loops need
+///       no existence check. The remaining steps are bit-identical to an
+///       uninterrupted run (see FORMATS.md / DESIGN.md Sec. 9).
 Setup parse_common_flags(int argc, char** argv, Setup setup,
                          const std::vector<std::string>& extra_flags = {});
 

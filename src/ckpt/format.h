@@ -1,0 +1,41 @@
+// Constants of the EdgeSlice checkpoint container ("ESCK" format).
+//
+// The container is the single on-disk envelope for every checkpointable
+// artifact in the repository: full training-resume checkpoints, system
+// (Alg. 1 run-loop) checkpoints, and content-addressed agent-cache
+// entries. FORMATS.md Sec. 2 is the normative byte-level specification;
+// this header is the single source of truth for the version number the
+// docs-check test ties that spec to.
+#pragma once
+
+#include <cstdint>
+
+namespace edgeslice::ckpt {
+
+/// File magic: the literal bytes 'E' 'S' 'C' 'K' at offset 0.
+inline constexpr char kCkptMagic[4] = {'E', 'S', 'C', 'K'};
+
+/// Container format version. Bump on ANY byte-level change to the
+/// container layout or a section payload, and update FORMATS.md in the
+/// same commit (the docs-check test cross-checks the two).
+inline constexpr std::uint32_t kCkptFormatVersion = 1;
+
+/// What a section's payload holds. Codes are part of the on-disk format:
+/// never renumber, only append. Readers preserve sections with unknown
+/// codes (forward compatibility); writers only emit the codes below.
+enum class SectionKind : std::uint32_t {
+  Meta = 1,         // reserved for future structured metadata
+  DdpgAgent = 2,    // rl::Ddpg::save_checkpoint blob (index = agent slot)
+  TrainLoop = 3,    // core::train_agent loop state (index = agent slot)
+  Environment = 4,  // env::RaEnvironment::save_state blob (index = RA)
+  Coordinator = 5,  // core::PerformanceCoordinator state
+  MessageBus = 6,   // core::MessageBus state
+  SystemLoop = 7,   // core::EdgeSliceSystem run-loop counters
+  Policy = 8,       // binary nn::Mlp (agent-cache entries)
+};
+
+/// Human-readable section name for error messages and tooling; unknown
+/// codes map to "unknown".
+const char* section_kind_name(SectionKind kind);
+
+}  // namespace edgeslice::ckpt

@@ -1,0 +1,67 @@
+// Endian-explicit binary serialization primitives for on-disk state.
+//
+// Every multi-byte value is written little-endian regardless of host
+// byte order, so a checkpoint taken on one machine restores on any
+// other (FORMATS.md "Conventions"). Doubles are serialized as their
+// IEEE-754 bit pattern — round-trips are exact, which is what the
+// bit-identical-resume contract of the checkpoint subsystem rests on.
+//
+// Readers validate as they go: a truncated stream or an absurd length
+// prefix throws std::runtime_error before any allocation larger than
+// the declared budget, never UB (the corrupted-checkpoint tests drive
+// these paths under ASan/UBSan).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace edgeslice {
+
+// --- Writers ---------------------------------------------------------------
+
+void write_u8(std::ostream& out, std::uint8_t v);
+void write_u32(std::ostream& out, std::uint32_t v);
+void write_u64(std::ostream& out, std::uint64_t v);
+/// IEEE-754 bit pattern, little-endian (exact round-trip).
+void write_f64(std::ostream& out, double v);
+/// u64 length prefix + raw bytes.
+void write_string(std::ostream& out, const std::string& s);
+/// u64 element count + packed f64s.
+void write_f64_vector(std::ostream& out, const std::vector<double>& v);
+
+// --- Readers ---------------------------------------------------------------
+//
+// All readers throw std::runtime_error("<context>: truncated ...") on a
+// short stream. `context` names the caller in the message so a corrupt
+// file reports *where* it broke.
+
+std::uint8_t read_u8(std::istream& in, const char* context);
+std::uint32_t read_u32(std::istream& in, const char* context);
+std::uint64_t read_u64(std::istream& in, const char* context);
+double read_f64(std::istream& in, const char* context);
+/// Rejects length prefixes above `max_bytes` before allocating.
+std::string read_string(std::istream& in, const char* context,
+                        std::uint64_t max_bytes = 1ull << 30);
+/// Rejects element counts above `max_elements` before allocating.
+std::vector<double> read_f64_vector(std::istream& in, const char* context,
+                                    std::uint64_t max_elements = 1ull << 27);
+
+// --- Integrity -------------------------------------------------------------
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), as used by zip/png. The
+/// checkpoint container stores one per section payload and one over the
+/// file header.
+std::uint32_t crc32(const void* data, std::size_t size);
+std::uint32_t crc32(const std::string& bytes);
+
+// --- Atomic file replacement ----------------------------------------------
+
+/// Write `bytes` to "<path>.tmp" then rename over `path`, so a crash (or
+/// a reader racing the writer) never observes a truncated file — the same
+/// discipline as obs::write_observability_snapshot. Returns false when
+/// the file cannot be written (the tmp file is removed best-effort).
+bool atomic_write_file(const std::string& path, const std::string& bytes);
+
+}  // namespace edgeslice

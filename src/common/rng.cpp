@@ -1,5 +1,7 @@
 #include "common/rng.h"
 
+#include <sstream>
+
 namespace edgeslice {
 namespace {
 
@@ -20,6 +22,25 @@ Rng Rng::spawn() {
 
 Rng Rng::spawn(std::uint64_t tag) const {
   return Rng(mix(seed_ ^ mix(tag + 0x51aceu)));
+}
+
+std::string Rng::serialize() const {
+  std::ostringstream out;
+  out << seed_ << ' ' << spawn_count_ << ' ' << engine_;
+  return out.str();
+}
+
+Rng Rng::deserialize(const std::string& blob) {
+  std::istringstream in(blob);
+  std::uint64_t seed = 0;
+  std::uint64_t spawn_count = 0;
+  in >> seed >> spawn_count;
+  if (!in) throw std::runtime_error("Rng::deserialize: malformed state blob");
+  Rng rng(seed);
+  rng.spawn_count_ = spawn_count;
+  in >> rng.engine_;
+  if (!in) throw std::runtime_error("Rng::deserialize: malformed engine state");
+  return rng;
 }
 
 }  // namespace edgeslice

@@ -86,6 +86,15 @@ class Rng {
   /// much randomness the parent has consumed.
   Rng spawn(std::uint64_t tag) const;
 
+  /// Capture the complete stream state — construction seed, spawn
+  /// counter, and the mt19937_64 engine words — as a portable text blob
+  /// (the engine's standard stream representation). deserialize() of the
+  /// blob yields a stream that continues bit-identically to this one;
+  /// the checkpoint subsystem (FORMATS.md "RNG stream blob") embeds it.
+  std::string serialize() const;
+  /// Inverse of serialize(). Throws std::runtime_error on a malformed blob.
+  static Rng deserialize(const std::string& blob);
+
   std::uint64_t seed() const { return seed_; }
 
   std::mt19937_64& engine() { return engine_; }

@@ -37,6 +37,21 @@ class RunningStat {
   double stddev() const;
   double min() const { return min_; }
   double max() const { return max_; }
+  /// Welford's second central moment sum (exposed for checkpointing).
+  double m2() const { return m2_; }
+
+  /// Restore a previously captured accumulator state verbatim, so a
+  /// training run resumed from a checkpoint continues the same window
+  /// statistics bit-identically. The caller supplies the raw fields as
+  /// read back from count()/mean()/m2()/min()/max().
+  void restore(std::size_t n, double mean_value, double m2_value, double min_value,
+               double max_value) {
+    n_ = n;
+    mean_ = mean_value;
+    m2_ = m2_value;
+    min_ = min_value;
+    max_ = max_value;
+  }
 
  private:
   std::size_t n_ = 0;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/binio.h"
 #include "common/metrics.h"
 #include "common/trace_span.h"
 #include "obs/event_log.h"
@@ -234,6 +235,50 @@ bool PerformanceCoordinator::sla_satisfied(std::size_t slice) const {
   double total = 0.0;
   for (std::size_t j = 0; j < config_.ras; ++j) total += z_[index(slice, j)];
   return total >= config_.u_min[slice] - 1e-9;
+}
+
+void PerformanceCoordinator::save_state(std::ostream& out) const {
+  write_u64(out, config_.slices);
+  write_u64(out, config_.ras);
+  write_f64_vector(out, z_);
+  write_f64_vector(out, y_);
+  write_u64(out, monitor_.iterations());
+  write_u8(out, monitor_.converged() ? 1 : 0);
+  write_u64(out, monitor_.history().size());
+  for (const opt::AdmmResiduals& r : monitor_.history()) {
+    write_f64(out, r.primal);
+    write_f64(out, r.dual);
+  }
+}
+
+void PerformanceCoordinator::load_state(std::istream& in) {
+  constexpr const char* kContext = "PerformanceCoordinator::load_state";
+  const auto fail = [&](const std::string& what) {
+    throw std::runtime_error(std::string(kContext) + ": " + what);
+  };
+  if (read_u64(in, kContext) != config_.slices) fail("slice count mismatch");
+  if (read_u64(in, kContext) != config_.ras) fail("RA count mismatch");
+  std::vector<double> z = read_f64_vector(in, kContext);
+  std::vector<double> y = read_f64_vector(in, kContext);
+  if (z.size() != z_.size() || y.size() != y_.size()) fail("Z/Y size mismatch");
+  for (double v : z) {
+    if (!std::isfinite(v)) fail("non-finite Z entry");
+  }
+  for (double v : y) {
+    if (!std::isfinite(v)) fail("non-finite Y entry");
+  }
+  const std::uint64_t iterations = read_u64(in, kContext);
+  const bool converged = read_u8(in, kContext) != 0;
+  const std::uint64_t history_size = read_u64(in, kContext);
+  if (history_size > (1ull << 24)) fail("absurd residual history size");
+  std::vector<opt::AdmmResiduals> history(static_cast<std::size_t>(history_size));
+  for (auto& r : history) {
+    r.primal = read_f64(in, kContext);
+    r.dual = read_f64(in, kContext);
+  }
+  z_ = std::move(z);
+  y_ = std::move(y);
+  monitor_.restore(static_cast<std::size_t>(iterations), converged, std::move(history));
 }
 
 void PerformanceCoordinator::apply_slice_request(const SliceRequest& request) {

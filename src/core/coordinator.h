@@ -11,6 +11,7 @@
 // QP solver, replacing the paper's CVXPY).
 #pragma once
 
+#include <iosfwd>
 #include <vector>
 
 #include "nn/matrix.h"
@@ -64,6 +65,16 @@ class PerformanceCoordinator {
 
   /// Register / modify a tenant SLA at runtime (the SR interface).
   void apply_slice_request(const SliceRequest& request);
+
+  /// Serialize the ADMM iterate — Z, Y, and the monitor's iteration
+  /// count, sticky convergence flag, and residual history — as the
+  /// "coordinator blob" of FORMATS.md. Configuration (rho, u_min,
+  /// stopping criteria) is not serialized; it is re-derived from the
+  /// experiment config and the blob's shape is validated against it.
+  void save_state(std::ostream& out) const;
+  /// Restore into this coordinator. Throws std::runtime_error on a shape
+  /// mismatch or corruption without partially applying state.
+  void load_state(std::istream& in);
 
  private:
   std::size_t index(std::size_t slice, std::size_t ra) const;

@@ -1,7 +1,10 @@
 #include "core/message_bus.h"
 
 #include <algorithm>
+#include <stdexcept>
+#include <utility>
 
+#include "common/binio.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "obs/event_log.h"
@@ -82,6 +85,58 @@ std::vector<RcmEnvelope> MessageBus::collect_reports(std::size_t period) {
   }
   global_metrics().gauge("bus.in_flight").set(static_cast<double>(pending_.size()));
   return due;
+}
+
+void MessageBus::save_state(std::ostream& out) const {
+  write_u64(out, next_seq_);
+  write_u64(out, stats_.rcm_sent);
+  write_u64(out, stats_.rcm_dropped);
+  write_u64(out, stats_.rcm_delayed);
+  write_u64(out, stats_.rcm_delivered);
+  write_u64(out, stats_.rcl_sent);
+  write_u64(out, stats_.rcl_dropped);
+  write_u64(out, pending_.size());
+  for (const RcmEnvelope& envelope : pending_) {
+    write_u64(out, envelope.seq);
+    write_u64(out, envelope.sent_period);
+    write_u64(out, envelope.deliver_period);
+    write_u64(out, envelope.message.ra);
+    write_f64_vector(out, envelope.message.performance_sums);
+  }
+}
+
+void MessageBus::load_state(std::istream& in) {
+  constexpr const char* kContext = "MessageBus::load_state";
+  const std::uint64_t next_seq = read_u64(in, kContext);
+  MessageBusStats stats;
+  stats.rcm_sent = read_u64(in, kContext);
+  stats.rcm_dropped = read_u64(in, kContext);
+  stats.rcm_delayed = read_u64(in, kContext);
+  stats.rcm_delivered = read_u64(in, kContext);
+  stats.rcl_sent = read_u64(in, kContext);
+  stats.rcl_dropped = read_u64(in, kContext);
+  const std::uint64_t in_flight = read_u64(in, kContext);
+  if (in_flight > (1ull << 24))
+    throw std::runtime_error(std::string(kContext) + ": absurd in-flight count");
+  std::vector<RcmEnvelope> pending;
+  pending.reserve(static_cast<std::size_t>(in_flight));
+  for (std::uint64_t i = 0; i < in_flight; ++i) {
+    RcmEnvelope envelope;
+    envelope.seq = read_u64(in, kContext);
+    envelope.sent_period = static_cast<std::size_t>(read_u64(in, kContext));
+    envelope.deliver_period = static_cast<std::size_t>(read_u64(in, kContext));
+    envelope.message.ra = static_cast<std::size_t>(read_u64(in, kContext));
+    envelope.message.performance_sums = read_f64_vector(in, kContext);
+    if (envelope.seq >= next_seq)
+      throw std::runtime_error(std::string(kContext) +
+                               ": envelope seq beyond sequence counter");
+    if (envelope.deliver_period < envelope.sent_period)
+      throw std::runtime_error(std::string(kContext) + ": envelope delivered in the past");
+    pending.push_back(std::move(envelope));
+  }
+  next_seq_ = next_seq;
+  stats_ = stats;
+  pending_ = std::move(pending);
 }
 
 bool MessageBus::deliver_coordination(std::size_t period, const RcLearningMessage& message) {

@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 #include "common/fault.h"
@@ -60,6 +61,16 @@ class MessageBus {
 
   std::size_t in_flight() const { return pending_.size(); }
   const MessageBusStats& stats() const { return stats_; }
+
+  /// Serialize the in-flight envelopes, the sequence counter, and the
+  /// delivery stats as the "message bus blob" of FORMATS.md. The fault
+  /// injector is NOT serialized — it is stateless (decisions are pure
+  /// functions of plan seed, period, and RA), so a resumed run under the
+  /// same FaultPlan replays the identical loss/delay pattern.
+  void save_state(std::ostream& out) const;
+  /// Restore into this bus. Throws std::runtime_error on corruption
+  /// without partially applying state.
+  void load_state(std::istream& in);
 
  private:
   const FaultInjector* faults_;

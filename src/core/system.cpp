@@ -2,8 +2,12 @@
 
 #include <array>
 #include <chrono>
+#include <cstdio>
+#include <sstream>
 #include <stdexcept>
 
+#include "ckpt/container.h"
+#include "common/binio.h"
 #include "common/metrics.h"
 #include "common/trace_span.h"
 #include "obs/event_log.h"
@@ -277,6 +281,120 @@ std::vector<PeriodResult> EdgeSliceSystem::run(std::size_t periods) {
   results.reserve(periods);
   for (std::size_t p = 0; p < periods; ++p) results.push_back(run_period());
   return results;
+}
+
+namespace {
+
+/// Canonical double rendering for fingerprints: shortest exact form.
+std::string canonical(double v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  return buffer;
+}
+
+}  // namespace
+
+std::string EdgeSliceSystem::config_fingerprint() const {
+  const CoordinatorConfig& c = coordinator_.config();
+  std::ostringstream out;
+  out << "artifact = system\n";
+  out << "slices = " << c.slices << "\n";
+  out << "ras = " << environments_.size() << "\n";
+  out << "intervals_per_period = "
+      << environments_.front()->config().intervals_per_period << "\n";
+  out << "use_coordinator = " << (config_.use_coordinator ? 1 : 0) << "\n";
+  out << "max_report_staleness = " << config_.max_report_staleness << "\n";
+  out << "rho = " << canonical(c.rho) << "\n";
+  out << "u_min =";
+  for (double u : c.u_min) out << " " << canonical(u);
+  out << "\n";
+  out << "admm.abs_tol = " << canonical(c.stopping.absolute_tolerance) << "\n";
+  out << "admm.rel_tol = " << canonical(c.stopping.relative_tolerance) << "\n";
+  out << "admm.min_iterations = " << c.stopping.min_iterations << "\n";
+  out << "admm.max_iterations = " << c.stopping.max_iterations << "\n";
+  return out.str();
+}
+
+bool EdgeSliceSystem::save_checkpoint(const std::string& path) const {
+  ckpt::CheckpointWriter writer(config_fingerprint());
+
+  std::ostringstream loop;
+  write_u64(loop, period_);
+  write_u64(loop, interval_);
+  for (std::size_t j = 0; j < environments_.size(); ++j) {
+    write_u8(loop, has_report_[j] ? 1 : 0);
+    write_u64(loop, last_report_period_[j]);
+    write_f64_vector(loop, last_report_[j]);
+  }
+  writer.add_section(ckpt::SectionKind::SystemLoop, 0, loop.str());
+
+  std::ostringstream coordinator;
+  coordinator_.save_state(coordinator);
+  writer.add_section(ckpt::SectionKind::Coordinator, 0, coordinator.str());
+
+  std::ostringstream bus;
+  bus_.save_state(bus);
+  writer.add_section(ckpt::SectionKind::MessageBus, 0, bus.str());
+
+  for (std::size_t j = 0; j < environments_.size(); ++j) {
+    std::ostringstream environment;
+    environments_[j]->save_state(environment);
+    writer.add_section(ckpt::SectionKind::Environment,
+                       static_cast<std::uint32_t>(j), environment.str());
+  }
+  return writer.write_file(path);
+}
+
+void EdgeSliceSystem::load_checkpoint(const std::string& path) {
+  constexpr const char* kContext = "EdgeSliceSystem::load_checkpoint";
+  const ckpt::CheckpointReader reader = ckpt::CheckpointReader::from_file(path);
+  if (reader.fingerprint() != config_fingerprint()) {
+    throw std::runtime_error(std::string(kContext) +
+                             ": checkpoint was taken under a different system "
+                             "configuration (fingerprint mismatch)");
+  }
+  const std::size_t slices = coordinator_.config().slices;
+
+  // Decode the loop section into temporaries before touching anything, so
+  // a corrupt checkpoint leaves the system unchanged. The component
+  // load_state calls below share that contract individually; they run
+  // after all payloads are known present (require() throws first).
+  std::istringstream loop(reader.require(ckpt::SectionKind::SystemLoop));
+  const std::uint64_t period = read_u64(loop, kContext);
+  const std::uint64_t interval = read_u64(loop, kContext);
+  std::vector<std::vector<double>> last_report(environments_.size());
+  std::vector<std::size_t> last_report_period(environments_.size(), 0);
+  std::vector<bool> has_report(environments_.size(), false);
+  for (std::size_t j = 0; j < environments_.size(); ++j) {
+    has_report[j] = read_u8(loop, kContext) != 0;
+    last_report_period[j] = static_cast<std::size_t>(read_u64(loop, kContext));
+    last_report[j] = read_f64_vector(loop, kContext);
+    if (last_report[j].size() != slices) {
+      throw std::runtime_error(std::string(kContext) +
+                               ": carried report size mismatch (RA " +
+                               std::to_string(j) + ")");
+    }
+  }
+
+  std::istringstream coordinator(reader.require(ckpt::SectionKind::Coordinator));
+  std::istringstream bus(reader.require(ckpt::SectionKind::MessageBus));
+  std::vector<std::istringstream> environment_blobs;
+  environment_blobs.reserve(environments_.size());
+  for (std::size_t j = 0; j < environments_.size(); ++j) {
+    environment_blobs.emplace_back(reader.require(
+        ckpt::SectionKind::Environment, static_cast<std::uint32_t>(j)));
+  }
+
+  coordinator_.load_state(coordinator);
+  bus_.load_state(bus);
+  for (std::size_t j = 0; j < environments_.size(); ++j) {
+    environments_[j]->load_state(environment_blobs[j]);
+  }
+  period_ = static_cast<std::size_t>(period);
+  interval_ = static_cast<std::size_t>(interval);
+  last_report_ = std::move(last_report);
+  last_report_period_ = std::move(last_report_period);
+  has_report_ = std::move(has_report);
 }
 
 }  // namespace edgeslice::core

@@ -102,6 +102,30 @@ class EdgeSliceSystem {
   std::size_t ra_count() const { return environments_.size(); }
   std::size_t period_count() const { return period_; }
 
+  /// Canonical text rendering of the system's shape (slices, RAs, period
+  /// length, coordinator configuration) stored in checkpoint headers and
+  /// compared on load, so a checkpoint can never restore into a
+  /// differently-shaped system.
+  std::string config_fingerprint() const;
+
+  /// Write a full run-loop checkpoint — period/interval counters,
+  /// carry-forward report state, coordinator Z/Y + ADMM monitor, in-flight
+  /// bus envelopes, and every RA environment — as an ESCK container,
+  /// atomically (tmp + rename). Taken at a period boundary, a restored
+  /// system continues bit-identically to one that never stopped, including
+  /// under an active FaultPlan (the stateless injector re-derives the same
+  /// faults from the restored period counter). NOT serialized: the
+  /// SystemMonitor and SLA watchdog (observation-only — post-resume
+  /// accounting starts at the resume period) and the policies (deployment
+  /// policies — frozen actors, TARO — hold no cross-period state; a
+  /// learning policy's agent must be checkpointed separately).
+  /// Returns false on I/O failure.
+  bool save_checkpoint(const std::string& path) const;
+  /// Restore from `path`. The stored fingerprint must equal
+  /// config_fingerprint(); throws std::runtime_error on mismatch or
+  /// corruption.
+  void load_checkpoint(const std::string& path);
+
  private:
   std::vector<env::RaEnvironment*> environments_;
   std::vector<RaPolicy*> policies_;

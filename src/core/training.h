@@ -66,6 +66,23 @@ struct TrainingConfig {
   /// best-policy selection would compare checkpoint scores measured
   /// under different traffic (incomparable when randomize_traffic is on).
   double validation_arrival_rate = 0.0;
+
+  /// Mid-run checkpointing: every `checkpoint_every` completed steps the
+  /// COMPLETE training state — the DDPG agent (networks, targets, Adam
+  /// moments, replay buffer, sigma schedule, its Rng), the environment,
+  /// the loop counters/statistics, and the caller's Rng stream — is
+  /// written to `checkpoint_path` as an ESCK container, atomically.
+  /// Saving is observation-only: a run with checkpointing on is
+  /// bit-identical to one with it off. 0 (or an empty path) disables.
+  /// Requires the agent to be an rl::Ddpg (throws otherwise).
+  std::size_t checkpoint_every = 0;
+  std::string checkpoint_path;
+  /// Resume from `checkpoint_path` before the first step when the file
+  /// exists (a missing file starts fresh — so crash-and-rerun loops need
+  /// no existence check). The agent/environment/config must match what
+  /// the checkpoint was taken under; the resumed run's remaining steps
+  /// are bit-identical to the uninterrupted run's.
+  bool resume = false;
 };
 
 struct TrainingResult {

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
+
+#include "common/binio.h"
 
 namespace edgeslice::env {
 
@@ -163,6 +166,105 @@ StepResult RaEnvironment::step(const std::vector<double>& action) {
   result.next_state = state();
   ++step_count_;
   return result;
+}
+
+void RaEnvironment::save_state(std::ostream& out) const {
+  write_u64(out, config_.slices);
+  write_u64(out, config_.max_queue);
+  write_string(out, rng_.serialize());
+  write_u64(out, step_count_);
+  for (double d : derate_) write_f64(out, d);
+  write_f64_vector(out, coordination_);
+  write_f64_vector(out, arrival_rates_);
+  write_u64(out, arrival_profiles_.size());
+  for (const auto& profile : arrival_profiles_) write_f64_vector(out, profile);
+  write_f64_vector(out, last_service_time_);
+  for (const SliceQueue& q : queues_) {
+    write_u64(out, q.length());
+    write_f64(out, q.credit());
+    write_u64(out, q.dropped());
+    write_u64(out, q.total_arrivals());
+    write_u64(out, q.total_departures());
+  }
+}
+
+void RaEnvironment::load_state(std::istream& in) {
+  constexpr const char* kContext = "RaEnvironment::load_state";
+  const auto fail = [&](const std::string& what) {
+    throw std::runtime_error(std::string(kContext) + ": " + what);
+  };
+  const std::uint64_t slices = read_u64(in, kContext);
+  if (slices != config_.slices) {
+    fail("slice count mismatch (stored " + std::to_string(slices) + ", configured " +
+         std::to_string(config_.slices) + ")");
+  }
+  const std::uint64_t max_queue = read_u64(in, kContext);
+  if (max_queue != config_.max_queue) {
+    fail("max_queue mismatch (stored " + std::to_string(max_queue) + ", configured " +
+         std::to_string(config_.max_queue) + ")");
+  }
+
+  // Parse and validate everything into temporaries, then apply (a corrupt
+  // blob must not leave the environment half-restored).
+  const Rng rng = Rng::deserialize(read_string(in, kContext));
+  const std::uint64_t step_count = read_u64(in, kContext);
+  std::array<double, kResources> derate{};
+  for (auto& d : derate) {
+    d = read_f64(in, kContext);
+    if (!(d >= 0.0 && d <= 1.0)) fail("derate outside [0,1]");
+  }
+  const std::vector<double> coordination = read_f64_vector(in, kContext);
+  if (coordination.size() != config_.slices) fail("coordination size mismatch");
+  const std::vector<double> arrival_rates = read_f64_vector(in, kContext);
+  if (arrival_rates.size() != config_.slices) fail("arrival-rate size mismatch");
+  for (double r : arrival_rates) {
+    if (!(r >= 0.0)) fail("negative or non-finite arrival rate");
+  }
+  const std::uint64_t profile_count = read_u64(in, kContext);
+  if (profile_count != 0 && profile_count != config_.slices) {
+    fail("arrival-profile count mismatch");
+  }
+  std::vector<std::vector<double>> profiles;
+  profiles.reserve(static_cast<std::size_t>(profile_count));
+  for (std::uint64_t i = 0; i < profile_count; ++i) {
+    profiles.push_back(read_f64_vector(in, kContext));
+    if (profiles.back().empty()) fail("empty arrival profile");
+    for (double r : profiles.back()) {
+      if (!(r >= 0.0)) fail("negative or non-finite profile rate");
+    }
+  }
+  const std::vector<double> last_service_time = read_f64_vector(in, kContext);
+  if (last_service_time.size() != config_.slices) fail("service-time size mismatch");
+
+  struct QueueState {
+    std::size_t length, dropped, arrivals, departures;
+    double credit;
+  };
+  std::vector<QueueState> queue_states(config_.slices);
+  for (auto& qs : queue_states) {
+    qs.length = static_cast<std::size_t>(read_u64(in, kContext));
+    qs.credit = read_f64(in, kContext);
+    qs.dropped = static_cast<std::size_t>(read_u64(in, kContext));
+    qs.arrivals = static_cast<std::size_t>(read_u64(in, kContext));
+    qs.departures = static_cast<std::size_t>(read_u64(in, kContext));
+    // Pre-validate so the SliceQueue::restore calls below cannot throw
+    // after part of the environment has already been overwritten.
+    if (qs.length > config_.max_queue) fail("queue backlog exceeds max_queue");
+    if (!std::isfinite(qs.credit) || qs.credit < 0.0) fail("bad queue service credit");
+    if (qs.departures > qs.arrivals) fail("queue departures exceed arrivals");
+  }
+
+  rng_ = rng;
+  step_count_ = static_cast<std::size_t>(step_count);
+  derate_ = derate;
+  coordination_ = coordination;
+  arrival_rates_ = arrival_rates;
+  arrival_profiles_ = std::move(profiles);
+  last_service_time_ = last_service_time;
+  for (std::size_t i = 0; i < config_.slices; ++i) {
+    const QueueState& qs = queue_states[i];
+    queues_[i].restore(qs.length, qs.credit, qs.dropped, qs.arrivals, qs.departures);
+  }
 }
 
 void RaEnvironment::reset() {

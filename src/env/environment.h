@@ -15,6 +15,7 @@
 #pragma once
 
 #include <array>
+#include <iosfwd>
 #include <memory>
 #include <vector>
 
@@ -121,6 +122,19 @@ class RaEnvironment {
   /// save the stream, swap in a fixed one, and restore it afterwards.
   Rng& rng() { return rng_; }
   const Rng& rng() const { return rng_; }
+
+  /// Serialize the mutable simulation state — the private Rng stream,
+  /// step counter, per-resource derates, coordination targets, arrival
+  /// rates/profiles, last service times, and every queue (including its
+  /// fractional service credit) — as the "environment blob" of
+  /// FORMATS.md. Configuration and models are NOT serialized: they are
+  /// re-derived from the experiment config, and load_state() verifies the
+  /// blob was written by an environment of the same shape.
+  void save_state(std::ostream& out) const;
+  /// Restore into this environment. Slice count and queue bound must
+  /// match; throws std::runtime_error on mismatch or corruption without
+  /// partially applying state.
+  void load_state(std::istream& in);
 
   const RaEnvironmentConfig& config() const { return config_; }
   std::size_t slice_count() const { return config_.slices; }

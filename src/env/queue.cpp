@@ -34,6 +34,21 @@ std::size_t SliceQueue::serve(double rate) {
   return departures;
 }
 
+void SliceQueue::restore(std::size_t length, double credit, std::size_t dropped,
+                         std::size_t total_arrivals, std::size_t total_departures) {
+  if (length > max_length_)
+    throw std::runtime_error("SliceQueue::restore: backlog exceeds max_length");
+  if (!std::isfinite(credit) || credit < 0.0)
+    throw std::runtime_error("SliceQueue::restore: bad service credit");
+  if (total_departures > total_arrivals)
+    throw std::runtime_error("SliceQueue::restore: departures exceed arrivals");
+  length_ = length;
+  credit_ = credit;
+  dropped_ = dropped;
+  total_arrivals_ = total_arrivals;
+  total_departures_ = total_departures;
+}
+
 void SliceQueue::reset() {
   length_ = 0;
   credit_ = 0.0;

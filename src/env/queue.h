@@ -28,8 +28,17 @@ class SliceQueue {
   std::size_t total_arrivals() const { return total_arrivals_; }
   std::size_t total_departures() const { return total_departures_; }
   bool empty() const { return length_ == 0; }
+  std::size_t max_length() const { return max_length_; }
+  /// Fractional service carry-over (checkpointable queue state).
+  double credit() const { return credit_; }
 
   void reset();
+
+  /// Restore a checkpointed queue state. Throws std::runtime_error when
+  /// the state is inconsistent (backlog above max_length, departures
+  /// exceeding arrivals, negative/non-finite credit).
+  void restore(std::size_t length, double credit, std::size_t dropped,
+               std::size_t total_arrivals, std::size_t total_departures);
 
  private:
   std::size_t max_length_;

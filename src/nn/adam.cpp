@@ -1,5 +1,6 @@
 #include "nn/adam.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -33,6 +34,41 @@ void Adam::step(double scale) {
       p[i] -= config_.learning_rate * m_hat / (std::sqrt(v_hat) + config_.epsilon);
       g[i] = 0.0;
     }
+  }
+}
+
+AdamState Adam::export_state() const {
+  AdamState state;
+  state.step_count = t_;
+  std::size_t total = 0;
+  for (const auto& slot : slots_) total += slot.m.size();
+  state.m.reserve(total);
+  state.v.reserve(total);
+  for (const auto& slot : slots_) {
+    const auto& m = slot.m.data();
+    const auto& v = slot.v.data();
+    state.m.insert(state.m.end(), m.begin(), m.end());
+    state.v.insert(state.v.end(), v.begin(), v.end());
+  }
+  return state;
+}
+
+void Adam::restore_state(const AdamState& state) {
+  std::size_t total = 0;
+  for (const auto& slot : slots_) total += slot.m.size();
+  if (state.m.size() != total || state.v.size() != total) {
+    throw std::invalid_argument("Adam::restore_state: moment size mismatch");
+  }
+  t_ = state.step_count;
+  std::size_t offset = 0;
+  for (auto& slot : slots_) {
+    auto& m = slot.m.data();
+    auto& v = slot.v.data();
+    std::copy(state.m.begin() + static_cast<std::ptrdiff_t>(offset),
+              state.m.begin() + static_cast<std::ptrdiff_t>(offset + m.size()), m.begin());
+    std::copy(state.v.begin() + static_cast<std::ptrdiff_t>(offset),
+              state.v.begin() + static_cast<std::ptrdiff_t>(offset + v.size()), v.begin());
+    offset += m.size();
   }
 }
 

@@ -14,6 +14,17 @@ struct AdamConfig {
   double epsilon = 1e-8;
 };
 
+/// The optimizer's complete mutable state: the step counter and the
+/// first/second moment vectors flattened in slot-attachment order. What
+/// must round-trip through a checkpoint for an optimizer step after
+/// resume to be bit-identical to the uninterrupted run (the bias
+/// correction depends on t, the update on m and v).
+struct AdamState {
+  std::size_t step_count = 0;
+  std::vector<double> m;  // first moments, concatenated per attached tensor
+  std::vector<double> v;  // second moments, same layout
+};
+
 /// Maintains first/second moment estimates per parameter tensor. The caller
 /// registers (parameter, gradient) pairs once and then calls step() after
 /// each backward pass; gradients are consumed (zeroed) by step().
@@ -35,6 +46,13 @@ class Adam {
   std::size_t step_count() const { return t_; }
   const AdamConfig& config() const { return config_; }
   void set_learning_rate(double lr) { config_.learning_rate = lr; }
+
+  /// Capture / restore the mutable state (moments + step counter). The
+  /// restore target must have the same attached tensors in the same
+  /// order — total moment length is validated, a mismatch throws
+  /// std::invalid_argument.
+  AdamState export_state() const;
+  void restore_state(const AdamState& state);
 
  private:
   struct Slot {

@@ -1,12 +1,82 @@
 #include "nn/mlp.h"
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
 #include <string>
 
+#include "common/binio.h"
+
 namespace edgeslice::nn {
+
+namespace {
+
+/// Largest accepted single layer width and total parameter count. A
+/// hostile header declaring astronomically wide layers must fail the
+/// load cleanly instead of driving a multi-gigabyte allocation.
+constexpr std::size_t kMaxLayerWidth = 1u << 20;
+constexpr std::size_t kMaxParameters = 1u << 26;
+constexpr int kActivationCount = static_cast<int>(Activation::Softplus) + 1;
+
+/// Validate a deserialized architecture header; returns the total
+/// parameter count. `context` names the calling loader in errors.
+std::size_t validate_architecture(const std::vector<std::size_t>& sizes,
+                                  const std::vector<int>& activations,
+                                  const char* context) {
+  if (sizes.size() < 2 || sizes.size() > 64)
+    throw std::runtime_error(std::string(context) + ": bad layer count");
+  std::size_t parameters = 0;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    if (sizes[i] == 0 || sizes[i] > kMaxLayerWidth)
+      throw std::runtime_error(std::string(context) + ": bad layer size " +
+                               std::to_string(sizes[i]) + " (layer " +
+                               std::to_string(i) + ")");
+    if (i > 0) parameters += (sizes[i - 1] + 1) * sizes[i];
+  }
+  if (parameters > kMaxParameters)
+    throw std::runtime_error(std::string(context) + ": parameter count " +
+                             std::to_string(parameters) + " exceeds limit");
+  for (std::size_t i = 0; i < activations.size(); ++i) {
+    if (activations[i] < 0 || activations[i] >= kActivationCount)
+      throw std::runtime_error(std::string(context) + ": bad activation code " +
+                               std::to_string(activations[i]) + " (layer " +
+                               std::to_string(i) + ")");
+  }
+  return parameters;
+}
+
+/// Locate flat parameter index `idx` for error messages: which layer it
+/// falls in and the offset within that layer's (weights + bias) block.
+std::string describe_offset(const std::vector<std::size_t>& sizes, std::size_t idx) {
+  std::size_t start = 0;
+  for (std::size_t layer = 0; layer + 1 < sizes.size(); ++layer) {
+    const std::size_t span = (sizes[layer] + 1) * sizes[layer + 1];
+    if (idx < start + span) {
+      return "layer " + std::to_string(layer) + ", offset " +
+             std::to_string(idx - start) + " of " + std::to_string(span);
+    }
+    start += span;
+  }
+  return "offset " + std::to_string(idx);
+}
+
+/// Build an uninitialized net with the given architecture; parameters are
+/// overwritten by the caller (the throwaway seed never surfaces).
+Mlp build_for_load(const std::vector<std::size_t>& sizes,
+                   const std::vector<int>& activations) {
+  Rng rng(0);
+  Mlp net(sizes, Activation::Identity, Activation::Identity, rng);
+  for (std::size_t i = 0; i + 1 < sizes.size(); ++i) {
+    net.layers()[i] =
+        Dense(sizes[i], sizes[i + 1], static_cast<Activation>(activations[i]), rng);
+  }
+  return net;
+}
+
+}  // namespace
 
 Mlp::Mlp(const std::vector<std::size_t>& sizes, Activation hidden, Activation output,
          Rng& rng) {
@@ -130,30 +200,87 @@ Mlp Mlp::load(std::istream& in) {
     throw std::runtime_error("Mlp::load: bad header");
   std::size_t size_count = 0;
   in >> size_count;
-  if (size_count < 2 || size_count > 64) throw std::runtime_error("Mlp::load: bad sizes");
+  if (!in || size_count < 2 || size_count > 64)
+    throw std::runtime_error("Mlp::load: bad sizes");
   std::vector<std::size_t> sizes(size_count);
   for (auto& s : sizes) in >> s;
   std::vector<int> activations(size_count - 1);
   for (auto& a : activations) in >> a;
   if (!in) throw std::runtime_error("Mlp::load: truncated header");
+  validate_architecture(sizes, activations, "Mlp::load");
 
-  // Rebuild with a throwaway seed; parameters are overwritten below. The
-  // stored per-layer activations are re-applied directly.
-  Rng rng(0);
-  Mlp net(sizes, Activation::Identity, Activation::Identity, rng);
-  for (std::size_t i = 0; i < net.layers_.size(); ++i) {
-    net.layers_[i] = Dense(sizes[i], sizes[i + 1],
-                           static_cast<Activation>(activations[i]), rng);
-  }
+  Mlp net = build_for_load(sizes, activations);
   std::vector<double> theta(net.parameter_count());
   std::string token;
-  for (auto& v : theta) {
+  for (std::size_t i = 0; i < theta.size(); ++i) {
     in >> token;
-    if (!in) throw std::runtime_error("Mlp::load: truncated parameters");
-    v = std::strtod(token.c_str(), nullptr);
+    if (!in) {
+      throw std::runtime_error("Mlp::load: truncated parameters (" +
+                               describe_offset(sizes, i) + ")");
+    }
+    char* end = nullptr;
+    theta[i] = std::strtod(token.c_str(), &end);
+    if (end == token.c_str() || *end != '\0') {
+      throw std::runtime_error("Mlp::load: malformed parameter \"" + token + "\" (" +
+                               describe_offset(sizes, i) + ")");
+    }
+    if (!std::isfinite(theta[i])) {
+      throw std::runtime_error("Mlp::load: non-finite parameter (" +
+                               describe_offset(sizes, i) + ")");
+    }
   }
   net.set_flat_parameters(theta);
   return net;
+}
+
+void Mlp::save_binary(std::ostream& out) const {
+  const std::vector<std::size_t> sizes = layer_sizes();
+  write_u32(out, static_cast<std::uint32_t>(sizes.size()));
+  for (std::size_t s : sizes) write_u64(out, s);
+  for (const auto& layer : layers_) {
+    write_u8(out, static_cast<std::uint8_t>(layer.activation()));
+  }
+  for (const double v : flat_parameters()) write_f64(out, v);
+}
+
+Mlp Mlp::load_binary(std::istream& in) {
+  const std::uint32_t size_count = read_u32(in, "Mlp::load_binary");
+  if (size_count < 2 || size_count > 64)
+    throw std::runtime_error("Mlp::load_binary: bad layer count");
+  std::vector<std::size_t> sizes(size_count);
+  for (auto& s : sizes) {
+    s = static_cast<std::size_t>(read_u64(in, "Mlp::load_binary"));
+  }
+  std::vector<int> activations(size_count - 1);
+  for (auto& a : activations) {
+    a = static_cast<int>(read_u8(in, "Mlp::load_binary"));
+  }
+  validate_architecture(sizes, activations, "Mlp::load_binary");
+
+  Mlp net = build_for_load(sizes, activations);
+  std::vector<double> theta(net.parameter_count());
+  for (std::size_t i = 0; i < theta.size(); ++i) {
+    try {
+      theta[i] = read_f64(in, "Mlp::load_binary");
+    } catch (const std::runtime_error&) {
+      throw std::runtime_error("Mlp::load_binary: truncated parameters (" +
+                               describe_offset(sizes, i) + ")");
+    }
+    if (!std::isfinite(theta[i])) {
+      throw std::runtime_error("Mlp::load_binary: non-finite parameter (" +
+                               describe_offset(sizes, i) + ")");
+    }
+  }
+  net.set_flat_parameters(theta);
+  return net;
+}
+
+std::vector<std::size_t> Mlp::layer_sizes() const {
+  std::vector<std::size_t> sizes;
+  sizes.reserve(layers_.size() + 1);
+  sizes.push_back(layers_.front().in_dim());
+  for (const auto& layer : layers_) sizes.push_back(layer.out_dim());
+  return sizes;
 }
 
 std::size_t Mlp::parameter_count() const {

@@ -40,6 +40,8 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::FaultComputeSlowdown: return "fault.compute_slowdown";
     case EventKind::ValidationCheckpoint: return "train.validation";
     case EventKind::SlaViolation: return "sla.violation";
+    case EventKind::CheckpointSaved: return "ckpt.saved";
+    case EventKind::CheckpointLoaded: return "ckpt.loaded";
   }
   return "?";
 }

@@ -49,6 +49,8 @@ enum class EventKind : std::uint8_t {
   FaultComputeSlowdown,  // injector: GPU degraded (value = slowdown factor)
   ValidationCheckpoint,  // training: policy validated (interval = step, value = score)
   SlaViolation,      // watchdog: slice below its SLO (value = shortfall)
+  CheckpointSaved,   // ckpt: container written to disk (value = bytes)
+  CheckpointLoaded,  // ckpt: container restored from disk (value = bytes)
 };
 
 /// Stable numeric codes for CoordinatorReject's `value` field, mirroring

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 namespace edgeslice::opt {
@@ -52,6 +53,16 @@ class AdmmMonitor {
   bool exhausted() const { return iterations_ >= criteria_.max_iterations; }
   std::size_t iterations() const { return iterations_; }
   const std::vector<AdmmResiduals>& history() const { return history_; }
+
+  /// Checkpoint restore: overwrite the iteration count, the (sticky)
+  /// convergence flag, and the residual history verbatim. The stopping
+  /// criteria are construction-time configuration and are not touched.
+  void restore(std::size_t iterations, bool converged,
+               std::vector<AdmmResiduals> history) {
+    iterations_ = iterations;
+    converged_ = converged;
+    history_ = std::move(history);
+  }
 
  private:
   AdmmStopCriteria criteria_;

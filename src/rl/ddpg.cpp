@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
+#include "common/binio.h"
 #include "common/metrics.h"
 #include "common/trace_span.h"
 
@@ -16,6 +18,39 @@ std::vector<std::size_t> layer_sizes(std::size_t in, std::size_t hidden,
   sizes.insert(sizes.end(), hidden_layers, hidden);
   sizes.push_back(out);
   return sizes;
+}
+
+void write_adam_state(std::ostream& out, const nn::Adam& optimizer) {
+  const nn::AdamState state = optimizer.export_state();
+  write_u64(out, state.step_count);
+  write_f64_vector(out, state.m);
+  write_f64_vector(out, state.v);
+}
+
+nn::AdamState read_adam_state(std::istream& in) {
+  nn::AdamState state;
+  state.step_count = static_cast<std::size_t>(read_u64(in, "Ddpg::load_checkpoint"));
+  state.m = read_f64_vector(in, "Ddpg::load_checkpoint");
+  state.v = read_f64_vector(in, "Ddpg::load_checkpoint");
+  return state;
+}
+
+/// Deserialize one network blob and check it matches `target`'s
+/// architecture (sizes and activations); returns its flat parameters.
+std::vector<double> read_network_for(std::istream& in, const nn::Mlp& target,
+                                     const char* which) {
+  nn::Mlp loaded = nn::Mlp::load_binary(in);
+  if (loaded.layer_sizes() != target.layer_sizes()) {
+    throw std::runtime_error(std::string("Ddpg::load_checkpoint: ") + which +
+                             " architecture mismatch");
+  }
+  for (std::size_t i = 0; i < loaded.layers().size(); ++i) {
+    if (loaded.layers()[i].activation() != target.layers()[i].activation()) {
+      throw std::runtime_error(std::string("Ddpg::load_checkpoint: ") + which +
+                               " activation mismatch (layer " + std::to_string(i) + ")");
+    }
+  }
+  return loaded.flat_parameters();
 }
 
 }  // namespace
@@ -134,6 +169,114 @@ void Ddpg::train_batch() {
       .set(static_cast<double>(replay_.size()) /
            static_cast<double>(std::max<std::size_t>(1, config_.replay_capacity)));
   metrics.gauge("ddpg.exploration_sigma").set(noise_.sigma());
+}
+
+void Ddpg::save_checkpoint(std::ostream& out) const {
+  write_u64(out, config_.base.state_dim);
+  write_u64(out, config_.base.action_dim);
+  write_u64(out, config_.base.hidden);
+  write_u64(out, config_.base.hidden_layers);
+  // Hyperparameters that steer every post-resume gradient step. Stored so
+  // load_checkpoint can reject an agent configured differently — a silent
+  // mismatch would resume "successfully" onto a different trajectory.
+  write_f64(out, config_.base.gamma);
+  write_f64(out, config_.base.actor_lr);
+  write_f64(out, config_.base.critic_lr);
+  write_u64(out, config_.replay_capacity);
+  write_u64(out, config_.batch_size);
+  write_u64(out, config_.warmup);
+  write_u64(out, config_.train_every);
+  write_f64(out, config_.tau);
+  write_f64(out, config_.noise_decay);
+  write_f64(out, config_.noise_min);
+  write_u8(out, config_.inverting_gradients ? 1 : 0);
+  actor_.save_binary(out);
+  critic_.save_binary(out);
+  actor_target_.save_binary(out);
+  critic_target_.save_binary(out);
+  write_adam_state(out, actor_optimizer_);
+  write_adam_state(out, critic_optimizer_);
+  replay_.save_state(out);
+  write_f64(out, noise_.sigma());
+  write_string(out, rng_.serialize());
+  write_u64(out, observed_);
+  write_u64(out, updates_);
+  write_f64(out, last_critic_loss_);
+  write_f64(out, last_actor_objective_);
+}
+
+void Ddpg::load_checkpoint(std::istream& in) {
+  constexpr const char* kContext = "Ddpg::load_checkpoint";
+  const auto expect = [&](std::uint64_t stored, std::size_t configured,
+                          const char* field) {
+    if (stored != configured) {
+      throw std::runtime_error(std::string(kContext) + ": " + field +
+                               " mismatch (stored " + std::to_string(stored) +
+                               ", configured " + std::to_string(configured) + ")");
+    }
+  };
+  const auto expect_f64 = [&](double stored, double configured, const char* field) {
+    // Bitwise comparison: these are copied configuration constants, not
+    // computed values, so exact equality is the correct test.
+    if (stored != configured) {
+      throw std::runtime_error(std::string(kContext) + ": " + field +
+                               " mismatch (stored " + std::to_string(stored) +
+                               ", configured " + std::to_string(configured) + ")");
+    }
+  };
+  expect(read_u64(in, kContext), config_.base.state_dim, "state_dim");
+  expect(read_u64(in, kContext), config_.base.action_dim, "action_dim");
+  expect(read_u64(in, kContext), config_.base.hidden, "hidden");
+  expect(read_u64(in, kContext), config_.base.hidden_layers, "hidden_layers");
+  expect_f64(read_f64(in, kContext), config_.base.gamma, "gamma");
+  expect_f64(read_f64(in, kContext), config_.base.actor_lr, "actor_lr");
+  expect_f64(read_f64(in, kContext), config_.base.critic_lr, "critic_lr");
+  expect(read_u64(in, kContext), config_.replay_capacity, "replay_capacity");
+  expect(read_u64(in, kContext), config_.batch_size, "batch_size");
+  expect(read_u64(in, kContext), config_.warmup, "warmup");
+  expect(read_u64(in, kContext), config_.train_every, "train_every");
+  expect_f64(read_f64(in, kContext), config_.tau, "tau");
+  expect_f64(read_f64(in, kContext), config_.noise_decay, "noise_decay");
+  expect_f64(read_f64(in, kContext), config_.noise_min, "noise_min");
+  expect(read_u8(in, kContext), config_.inverting_gradients ? 1u : 0u,
+         "inverting_gradients");
+
+  // Parse and validate everything into temporaries first, so a corrupt
+  // stream leaves the agent untouched (no partially applied state).
+  const std::vector<double> actor_theta = read_network_for(in, actor_, "actor");
+  const std::vector<double> critic_theta = read_network_for(in, critic_, "critic");
+  const std::vector<double> actor_target_theta =
+      read_network_for(in, actor_target_, "actor_target");
+  const std::vector<double> critic_target_theta =
+      read_network_for(in, critic_target_, "critic_target");
+  const nn::AdamState actor_opt_state = read_adam_state(in);
+  const nn::AdamState critic_opt_state = read_adam_state(in);
+
+  ReplayBuffer replay(config_.replay_capacity);
+  replay.load_state(in);
+
+  const double sigma = read_f64(in, kContext);
+  const Rng rng = Rng::deserialize(read_string(in, kContext));
+  const std::uint64_t observed = read_u64(in, kContext);
+  const std::uint64_t updates = read_u64(in, kContext);
+  const double last_critic_loss = read_f64(in, kContext);
+  const double last_actor_objective = read_f64(in, kContext);
+
+  // All parsed — apply. Parameters are copied into the existing layer
+  // tensors (never reassigned) so the Adam slots' pointers stay valid.
+  actor_.set_flat_parameters(actor_theta);
+  critic_.set_flat_parameters(critic_theta);
+  actor_target_.set_flat_parameters(actor_target_theta);
+  critic_target_.set_flat_parameters(critic_target_theta);
+  actor_optimizer_.restore_state(actor_opt_state);
+  critic_optimizer_.restore_state(critic_opt_state);
+  replay_ = std::move(replay);
+  noise_.reset(sigma);
+  rng_ = rng;
+  observed_ = static_cast<std::size_t>(observed);
+  updates_ = static_cast<std::size_t>(updates);
+  last_critic_loss_ = last_critic_loss;
+  last_actor_objective_ = last_actor_objective;
 }
 
 }  // namespace edgeslice::rl

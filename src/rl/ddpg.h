@@ -56,6 +56,19 @@ class Ddpg final : public Agent {
   nn::Mlp& actor() { return actor_; }
   nn::Mlp& critic() { return critic_; }
 
+  /// Serialize the COMPLETE training state — actor/critic plus both
+  /// target networks, both Adam moment sets, the replay buffer, the
+  /// exploration-sigma schedule position, the agent's private Rng stream,
+  /// and the observe/update counters — as the "DDPG agent blob" of
+  /// FORMATS.md. An agent restored via load_checkpoint() continues
+  /// training bit-identically to one that never stopped.
+  void save_checkpoint(std::ostream& out) const;
+  /// Restore into this agent. The agent must have been constructed with
+  /// the same dimensions/architecture (parameters are restored in place
+  /// so the optimizers' tensor attachments stay valid); a mismatch or a
+  /// corrupt stream throws without partially applying state.
+  void load_checkpoint(std::istream& in);
+
  private:
   void train_batch();
 

@@ -1,6 +1,9 @@
 #include "rl/replay_buffer.h"
 
 #include <stdexcept>
+#include <string>
+
+#include "common/binio.h"
 
 namespace edgeslice::rl {
 
@@ -55,6 +58,60 @@ Batch ReplayBuffer::sample(std::size_t batch_size, Rng& rng) const {
     batch.done[b] = t.done;
   }
   return batch;
+}
+
+void ReplayBuffer::save_state(std::ostream& out) const {
+  write_u64(out, capacity_);
+  write_u64(out, storage_.size());
+  write_u64(out, next_);
+  for (const Transition& t : storage_) {
+    write_f64_vector(out, t.state);
+    write_f64_vector(out, t.action);
+    write_f64(out, t.reward);
+    write_f64_vector(out, t.next_state);
+    write_u8(out, t.done ? 1 : 0);
+  }
+}
+
+void ReplayBuffer::load_state(std::istream& in) {
+  constexpr const char* kContext = "ReplayBuffer::load_state";
+  const std::uint64_t capacity = read_u64(in, kContext);
+  if (capacity != capacity_) {
+    throw std::runtime_error(std::string(kContext) + ": capacity mismatch (stored " +
+                             std::to_string(capacity) + ", configured " +
+                             std::to_string(capacity_) + ")");
+  }
+  const std::uint64_t size = read_u64(in, kContext);
+  const std::uint64_t next = read_u64(in, kContext);
+  if (size > capacity_) {
+    throw std::runtime_error(std::string(kContext) + ": size exceeds capacity");
+  }
+  // push() keeps next_ == size until the ring wraps; a cursor that breaks
+  // that invariant marks a corrupt (or hand-edited) checkpoint.
+  if (next >= capacity_ || (size < capacity_ && next != size)) {
+    throw std::runtime_error(std::string(kContext) + ": corrupt write cursor");
+  }
+
+  std::vector<Transition> storage;
+  storage.reserve(capacity_);  // keep the constructor's no-realloc property
+  for (std::uint64_t i = 0; i < size; ++i) {
+    Transition t;
+    t.state = read_f64_vector(in, kContext);
+    t.action = read_f64_vector(in, kContext);
+    t.reward = read_f64(in, kContext);
+    t.next_state = read_f64_vector(in, kContext);
+    t.done = read_u8(in, kContext) != 0;
+    if (i > 0 && (t.state.size() != storage.front().state.size() ||
+                  t.action.size() != storage.front().action.size() ||
+                  t.next_state.size() != storage.front().next_state.size())) {
+      throw std::runtime_error(std::string(kContext) +
+                               ": inconsistent transition dimensions at index " +
+                               std::to_string(i));
+    }
+    storage.push_back(std::move(t));
+  }
+  storage_ = std::move(storage);
+  next_ = static_cast<std::size_t>(next);
 }
 
 }  // namespace edgeslice::rl

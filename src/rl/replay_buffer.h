@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <vector>
 
 #include "common/rng.h"
@@ -49,6 +50,19 @@ class ReplayBuffer {
   Batch sample(std::size_t batch_size, Rng& rng) const;
 
   const Transition& at(std::size_t i) const { return storage_[i]; }
+
+  /// Ring write cursor (the slot the next push overwrites once full).
+  std::size_t next_index() const { return next_; }
+
+  /// Serialize the complete buffer — capacity, write cursor, and every
+  /// stored transition in storage order — via common/binio (the "replay
+  /// buffer blob" of FORMATS.md). Round-trips the wrap-around position
+  /// exactly, so post-resume evictions hit the same slots.
+  void save_state(std::ostream& out) const;
+  /// Restore into this buffer. The stored capacity must equal this
+  /// buffer's; dims of every transition must match the first. Throws
+  /// std::runtime_error on mismatch, truncation, or a corrupt cursor.
+  void load_state(std::istream& in);
 
  private:
   std::size_t capacity_;

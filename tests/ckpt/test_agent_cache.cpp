@@ -1,0 +1,92 @@
+// The content-addressed agent cache: fingerprint-addressed entries,
+// byte-for-byte fingerprint verification (digest collisions and renamed
+// files must not load), and corruption safety.
+#include "ckpt/agent_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "common/rng.h"
+
+namespace edgeslice::ckpt {
+namespace {
+
+class AgentCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("esck_agent_cache_" +
+             std::to_string(::testing::UnitTest::GetInstance()->random_seed())))
+               .string();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+nn::Mlp make_policy(std::uint64_t seed) {
+  Rng rng(seed);
+  return nn::Mlp({3, 8, 2}, nn::Activation::LeakyRelu, nn::Activation::Sigmoid, rng);
+}
+
+TEST_F(AgentCacheTest, DigestIsStableAndHex) {
+  const std::string digest = fingerprint_digest("algorithm = DDPG\nseed = 1\n");
+  EXPECT_EQ(digest.size(), 16u);
+  EXPECT_EQ(digest, fingerprint_digest("algorithm = DDPG\nseed = 1\n"));
+  EXPECT_NE(digest, fingerprint_digest("algorithm = DDPG\nseed = 2\n"));
+}
+
+TEST_F(AgentCacheTest, StoreThenLoadRoundTrips) {
+  const std::string fingerprint = "algorithm = DDPG\nseed = 1\n";
+  const nn::Mlp policy = make_policy(5);
+  ASSERT_TRUE(store_policy(dir_, fingerprint, policy));
+  EXPECT_TRUE(std::filesystem::exists(cache_entry_path(dir_, fingerprint)));
+
+  const auto loaded = load_policy(dir_, fingerprint);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->layer_sizes(), policy.layer_sizes());
+  EXPECT_EQ(loaded->flat_parameters(), policy.flat_parameters());
+}
+
+TEST_F(AgentCacheTest, MissingEntryIsNullopt) {
+  EXPECT_FALSE(load_policy(dir_, "algorithm = DDPG\nseed = 9\n").has_value());
+}
+
+TEST_F(AgentCacheTest, RenamedEntryIsRejectedNotMisloaded) {
+  // Store under one fingerprint, then move the file onto another
+  // fingerprint's address: the stored fingerprint no longer matches the
+  // requested one, which is exactly what a digest collision would look
+  // like — it must throw, never silently return the wrong policy.
+  const std::string fp_a = "algorithm = DDPG\nseed = 1\n";
+  const std::string fp_b = "algorithm = DDPG\nseed = 2\n";
+  ASSERT_TRUE(store_policy(dir_, fp_a, make_policy(5)));
+  std::filesystem::rename(cache_entry_path(dir_, fp_a), cache_entry_path(dir_, fp_b));
+  EXPECT_THROW(load_policy(dir_, fp_b), std::runtime_error);
+}
+
+TEST_F(AgentCacheTest, CorruptedEntryThrowsCleanly) {
+  const std::string fingerprint = "algorithm = DDPG\nseed = 3\n";
+  ASSERT_TRUE(store_policy(dir_, fingerprint, make_policy(7)));
+  const std::string path = cache_entry_path(dir_, fingerprint);
+  std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+  file.seekp(-4, std::ios::end);  // corrupt the policy payload tail
+  file.put('\x5a');
+  file.close();
+  EXPECT_THROW(load_policy(dir_, fingerprint), std::runtime_error);
+}
+
+TEST_F(AgentCacheTest, GarbageFileThrowsCleanly) {
+  const std::string fingerprint = "algorithm = DDPG\nseed = 4\n";
+  std::filesystem::create_directories(dir_);
+  std::ofstream out(cache_entry_path(dir_, fingerprint), std::ios::binary);
+  out << "this is not an ESCK container";
+  out.close();
+  EXPECT_THROW(load_policy(dir_, fingerprint), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace edgeslice::ckpt

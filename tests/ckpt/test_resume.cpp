@@ -1,0 +1,381 @@
+// The headline contract of the checkpoint subsystem: resuming from a
+// mid-run checkpoint is BIT-IDENTICAL to the uninterrupted run — for
+// offline training (at 1/2/4 threads) and for the online system loop
+// under an active FaultPlan.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/thread_pool.h"
+#include "core/policies.h"
+#include "core/system.h"
+#include "core/training.h"
+#include "env/service_model.h"
+#include "rl/ddpg.h"
+#include "rl/sac.h"
+
+namespace edgeslice {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// --- Training resume -------------------------------------------------------
+
+std::unique_ptr<env::RaEnvironment> make_env(std::uint64_t seed) {
+  const auto model =
+      std::make_shared<env::DirectServiceModel>(env::prototype_capacity());
+  env::RaEnvironmentConfig config;
+  config.intervals_per_period = 10;
+  return std::make_unique<env::RaEnvironment>(
+      config, std::vector<env::AppProfile>{env::slice1_profile(), env::slice2_profile()},
+      model, env::make_queue_power_perf(), Rng(seed));
+}
+
+std::unique_ptr<rl::Ddpg> make_ddpg(const env::RaEnvironment& environment,
+                                    std::uint64_t seed) {
+  rl::DdpgConfig config;
+  config.base.state_dim = environment.state_dim();
+  config.base.action_dim = environment.action_dim();
+  config.base.hidden = 16;
+  config.replay_capacity = 2048;
+  config.batch_size = 16;
+  config.warmup = 32;
+  config.noise_decay = 0.999;
+  config.noise_min = 0.08;
+  Rng rng(seed);
+  return std::make_unique<rl::Ddpg>(config, rng);
+}
+
+/// Everything one train_agents batch needs, reconstructible from scratch
+/// so run A (uninterrupted), run B (checkpointing), and run C (resumed)
+/// start from identical state.
+struct JobSet {
+  std::vector<std::unique_ptr<env::RaEnvironment>> environments;
+  std::vector<std::unique_ptr<rl::Ddpg>> agents;
+  std::vector<core::TrainingJob> jobs;
+};
+
+JobSet make_jobs(const core::TrainingConfig& base,
+                 const std::vector<std::string>& paths) {
+  JobSet set;
+  Rng parent(77);
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    set.environments.push_back(make_env(100 + i));
+    set.agents.push_back(make_ddpg(*set.environments[i], 500 + i));
+  }
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    core::TrainingJob job;
+    job.agent = set.agents[i].get();
+    job.environment = set.environments[i].get();
+    job.config = base;
+    job.config.checkpoint_path = paths[i];
+    job.rng = parent.spawn();
+    set.jobs.push_back(std::move(job));
+  }
+  return set;
+}
+
+std::vector<std::string> final_agent_blobs(const JobSet& set) {
+  std::vector<std::string> blobs;
+  for (const auto& agent : set.agents) {
+    std::stringstream out;
+    agent->save_checkpoint(out);
+    blobs.push_back(out.str());
+  }
+  return blobs;
+}
+
+class TrainingResume : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TrainingResume, BitIdenticalToUninterruptedRun) {
+  const std::size_t threads = GetParam();
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+
+  const std::vector<std::string> paths{
+      temp_path("esck_resume_t" + std::to_string(threads) + "_a.ckpt"),
+      temp_path("esck_resume_t" + std::to_string(threads) + "_b.ckpt")};
+  for (const auto& p : paths) std::filesystem::remove(p);
+
+  core::TrainingConfig base;
+  base.steps = 600;
+
+  // Run A: uninterrupted, no checkpointing.
+  JobSet run_a = make_jobs(base, paths);
+  for (auto& job : run_a.jobs) job.config.checkpoint_path.clear();
+  const auto results_a = core::train_agents(run_a.jobs, pool.get());
+  const auto blobs_a = final_agent_blobs(run_a);
+
+  // Run B: same run with mid-run checkpointing on. Saving is
+  // observation-only, so the final state must match run A exactly.
+  core::TrainingConfig with_ckpt = base;
+  with_ckpt.checkpoint_every = 300;
+  JobSet run_b = make_jobs(with_ckpt, paths);
+  const auto results_b = core::train_agents(run_b.jobs, pool.get());
+  EXPECT_EQ(final_agent_blobs(run_b), blobs_a);
+  for (const auto& p : paths) ASSERT_TRUE(std::filesystem::exists(p));
+
+  // Run C: freshly constructed jobs resume from the step-300 checkpoints
+  // and run the remaining 300 steps — the crash-and-restart scenario.
+  core::TrainingConfig resumed = with_ckpt;
+  resumed.resume = true;
+  JobSet run_c = make_jobs(resumed, paths);
+  const auto results_c = core::train_agents(run_c.jobs, pool.get());
+  EXPECT_EQ(final_agent_blobs(run_c), blobs_a);
+
+  ASSERT_EQ(results_c.size(), results_a.size());
+  for (std::size_t i = 0; i < results_a.size(); ++i) {
+    EXPECT_EQ(results_c[i].reward_history, results_a[i].reward_history) << "job " << i;
+    EXPECT_EQ(results_c[i].final_mean_reward, results_a[i].final_mean_reward);
+    EXPECT_EQ(results_b[i].reward_history, results_a[i].reward_history);
+  }
+  for (const auto& p : paths) std::filesystem::remove(p);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, TrainingResume, ::testing::Values(1u, 2u, 4u),
+                         [](const auto& suite_info) {
+                           return "threads" + std::to_string(suite_info.param);
+                         });
+
+TEST(TrainingResumeEdge, MissingCheckpointStartsFresh) {
+  const std::string path = temp_path("esck_resume_missing.ckpt");
+  std::filesystem::remove(path);
+
+  auto env_a = make_env(1);
+  auto agent_a = make_ddpg(*env_a, 2);
+  Rng rng_a(3);
+  core::TrainingConfig plain;
+  plain.steps = 200;
+  core::train_agent(*agent_a, *env_a, plain, rng_a);
+
+  auto env_b = make_env(1);
+  auto agent_b = make_ddpg(*env_b, 2);
+  Rng rng_b(3);
+  core::TrainingConfig resume = plain;
+  resume.resume = true;
+  resume.checkpoint_path = path;  // does not exist: crash-and-rerun ergonomics
+  core::train_agent(*agent_b, *env_b, resume, rng_b);
+
+  std::stringstream blob_a;
+  std::stringstream blob_b;
+  agent_a->save_checkpoint(blob_a);
+  agent_b->save_checkpoint(blob_b);
+  EXPECT_EQ(blob_a.str(), blob_b.str());
+}
+
+TEST(TrainingResumeEdge, ResumeBeyondRequestedStepsThrows) {
+  const std::string path = temp_path("esck_resume_beyond.ckpt");
+  std::filesystem::remove(path);
+  auto environment = make_env(4);
+  auto agent = make_ddpg(*environment, 5);
+  Rng rng(6);
+  core::TrainingConfig config;
+  config.steps = 400;
+  config.checkpoint_every = 300;
+  config.checkpoint_path = path;
+  core::train_agent(*agent, *environment, config, rng);
+  ASSERT_TRUE(std::filesystem::exists(path));
+
+  auto env_b = make_env(4);
+  auto agent_b = make_ddpg(*env_b, 5);
+  Rng rng_b(6);
+  core::TrainingConfig shorter = config;
+  shorter.resume = true;
+  shorter.steps = 200;  // checkpoint is at step 300
+  EXPECT_THROW(core::train_agent(*agent_b, *env_b, shorter, rng_b),
+               std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(TrainingResumeEdge, NonDdpgAgentRejectsCheckpointing) {
+  auto environment = make_env(7);
+  rl::SacConfig config;
+  config.base.state_dim = environment->state_dim();
+  config.base.action_dim = environment->action_dim();
+  config.base.hidden = 16;
+  Rng ctor(8);
+  rl::Sac agent(config, ctor);
+  Rng rng(9);
+  core::TrainingConfig training;
+  training.steps = 50;
+  training.checkpoint_every = 10;
+  training.checkpoint_path = temp_path("esck_sac.ckpt");
+  EXPECT_THROW(core::train_agent(agent, *environment, training, rng),
+               std::invalid_argument);
+}
+
+TEST(TrainingResumeEdge, SharedCheckpointPathAcrossJobsThrows) {
+  const std::string shared = temp_path("esck_shared.ckpt");
+  core::TrainingConfig config;
+  config.steps = 50;
+  config.checkpoint_every = 10;
+  JobSet set = make_jobs(config, {shared, shared});
+  EXPECT_THROW(core::train_agents(set.jobs, nullptr), std::invalid_argument);
+}
+
+TEST(TrainingResumeEdge, FingerprintMismatchRejectsForeignCheckpoint) {
+  const std::string path = temp_path("esck_foreign.ckpt");
+  std::filesystem::remove(path);
+  auto environment = make_env(10);
+  auto agent = make_ddpg(*environment, 11);
+  Rng rng(12);
+  core::TrainingConfig config;
+  config.steps = 400;
+  config.checkpoint_every = 300;
+  config.checkpoint_path = path;
+  core::train_agent(*agent, *environment, config, rng);
+
+  auto env_b = make_env(10);
+  auto agent_b = make_ddpg(*env_b, 11);
+  Rng rng_b(12);
+  core::TrainingConfig different = config;
+  different.resume = true;
+  different.coordination_low = -40.0;  // different training distribution
+  EXPECT_THROW(core::train_agent(*agent_b, *env_b, different, rng_b),
+               std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+// --- System resume under an active FaultPlan -------------------------------
+
+FaultPlan chaos_plan() {
+  FaultPlan plan;
+  plan.seed = 13;
+  plan.rates.rcm_drop = 0.15;
+  plan.rates.rcl_drop = 0.10;
+  plan.rates.ra_crash = 0.05;
+  plan.rates.ra_crash_periods = 2;
+  return plan;
+}
+
+/// Owns everything an EdgeSliceSystem references; heap members keep every
+/// pointer stable regardless of how the rig itself moves.
+struct SystemRig {
+  std::vector<std::unique_ptr<env::RaEnvironment>> environments;
+  std::vector<std::unique_ptr<core::RaPolicy>> policies;
+  std::unique_ptr<FaultInjector> injector;
+  std::unique_ptr<core::EdgeSliceSystem> system;
+};
+
+SystemRig make_system(std::size_t ras, ThreadPool* pool) {
+  SystemRig rig;
+  const auto model =
+      std::make_shared<env::DirectServiceModel>(env::prototype_capacity());
+  env::RaEnvironmentConfig config;
+  config.intervals_per_period = 10;
+  const std::vector<env::AppProfile> profiles{env::slice1_profile(),
+                                              env::slice2_profile()};
+  for (std::size_t j = 0; j < ras; ++j) {
+    rig.environments.push_back(std::make_unique<env::RaEnvironment>(
+        config, profiles, model, env::make_queue_power_perf(), Rng(900 + j)));
+    rig.policies.push_back(std::make_unique<core::TaroPolicy>());
+  }
+  rig.injector = std::make_unique<FaultInjector>(FaultInjector{chaos_plan()});
+
+  core::CoordinatorConfig coordinator;
+  coordinator.slices = 2;
+  coordinator.ras = ras;
+  core::SystemConfig system_config;
+  system_config.faults = rig.injector.get();
+  system_config.pool = pool;
+
+  std::vector<env::RaEnvironment*> env_ptrs;
+  std::vector<core::RaPolicy*> policy_ptrs;
+  for (auto& e : rig.environments) env_ptrs.push_back(e.get());
+  for (auto& p : rig.policies) policy_ptrs.push_back(p.get());
+  rig.system = std::make_unique<core::EdgeSliceSystem>(env_ptrs, policy_ptrs,
+                                                       coordinator, system_config);
+  return rig;
+}
+
+void expect_periods_equal(const core::PeriodResult& a, const core::PeriodResult& b,
+                          std::size_t period) {
+  EXPECT_EQ(a.system_performance, b.system_performance) << "period " << period;
+  EXPECT_EQ(a.performance_sums.data(), b.performance_sums.data())
+      << "period " << period;
+  EXPECT_EQ(a.reports_carried, b.reports_carried) << "period " << period;
+  EXPECT_EQ(a.columns_frozen, b.columns_frozen) << "period " << period;
+  EXPECT_EQ(a.crashed_ras, b.crashed_ras) << "period " << period;
+  EXPECT_EQ(a.rcl_losses, b.rcl_losses) << "period " << period;
+}
+
+class SystemResume : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SystemResume, BitIdenticalUnderFaultPlan) {
+  const std::size_t threads = GetParam();
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+
+  const std::size_t ras = 3;
+  const std::size_t periods = 8;
+  const std::size_t cut = 4;
+  const std::string path =
+      temp_path("esck_system_resume_t" + std::to_string(threads) + ".ckpt");
+  std::filesystem::remove(path);
+
+  // Run A: uninterrupted.
+  SystemRig run_a = make_system(ras, pool.get());
+  std::vector<core::PeriodResult> results_a;
+  for (std::size_t p = 0; p < periods; ++p) {
+    results_a.push_back(run_a.system->run_period());
+  }
+
+  // Run B: identical start, checkpoint at the period-`cut` boundary.
+  SystemRig run_b = make_system(ras, pool.get());
+  for (std::size_t p = 0; p < cut; ++p) {
+    expect_periods_equal(run_b.system->run_period(), results_a[p], p);
+  }
+  ASSERT_TRUE(run_b.system->save_checkpoint(path));
+
+  // Run C: a FRESH process image restores the checkpoint and continues.
+  // The fault injector is a pure function of (plan seed, period, RA), so
+  // the restored period counter alone re-aligns the fault sequence.
+  SystemRig run_c = make_system(ras, pool.get());
+  run_c.system->load_checkpoint(path);
+  EXPECT_EQ(run_c.system->period_count(), cut);
+  for (std::size_t p = cut; p < periods; ++p) {
+    expect_periods_equal(run_c.system->run_period(), results_a[p], p);
+  }
+
+  // And the end states are byte-identical checkpoints.
+  const std::string path_a = path + ".final_a";
+  const std::string path_c = path + ".final_c";
+  ASSERT_TRUE(run_a.system->save_checkpoint(path_a));
+  ASSERT_TRUE(run_c.system->save_checkpoint(path_c));
+  std::ifstream file_a(path_a, std::ios::binary);
+  std::ifstream file_c(path_c, std::ios::binary);
+  std::stringstream bytes_a;
+  std::stringstream bytes_c;
+  bytes_a << file_a.rdbuf();
+  bytes_c << file_c.rdbuf();
+  EXPECT_EQ(bytes_a.str(), bytes_c.str());
+  for (const auto& p : {path, path_a, path_c}) std::filesystem::remove(p);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, SystemResume, ::testing::Values(1u, 2u, 4u),
+                         [](const auto& suite_info) {
+                           return "threads" + std::to_string(suite_info.param);
+                         });
+
+TEST(SystemResumeEdge, RejectsCheckpointFromDifferentShape) {
+  const std::string path = temp_path("esck_system_shape.ckpt");
+  std::filesystem::remove(path);
+  SystemRig two = make_system(2, nullptr);
+  two.system->run_period();
+  ASSERT_TRUE(two.system->save_checkpoint(path));
+
+  SystemRig three = make_system(3, nullptr);
+  EXPECT_THROW(three.system->load_checkpoint(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace edgeslice

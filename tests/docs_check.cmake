@@ -1,0 +1,56 @@
+# docs-check: keep FORMATS.md (the normative on-disk format spec) in sync
+# with the checkpoint format version the code implements.
+#
+# Run as: cmake -DREPO_ROOT=<repo> -P docs_check.cmake
+# Fails when src/ckpt/format.h bumps kCkptFormatVersion without FORMATS.md
+# documenting the same version, or when FORMATS.md stops covering one of
+# the artifact families it claims to spec.
+
+if(NOT DEFINED REPO_ROOT)
+  message(FATAL_ERROR "docs_check: pass -DREPO_ROOT=<repository root>")
+endif()
+
+set(format_header "${REPO_ROOT}/src/ckpt/format.h")
+set(formats_doc "${REPO_ROOT}/FORMATS.md")
+
+if(NOT EXISTS "${format_header}")
+  message(FATAL_ERROR "docs_check: ${format_header} not found")
+endif()
+if(NOT EXISTS "${formats_doc}")
+  message(FATAL_ERROR "docs_check: ${formats_doc} not found — FORMATS.md is the "
+                      "normative spec of every on-disk artifact and must exist")
+endif()
+
+# Extract the version constant from the header.
+file(READ "${format_header}" header_text)
+if(NOT header_text MATCHES "kCkptFormatVersion = ([0-9]+)")
+  message(FATAL_ERROR "docs_check: kCkptFormatVersion not found in ${format_header}")
+endif()
+set(code_version "${CMAKE_MATCH_1}")
+
+# FORMATS.md must state the same version, in the exact phrase the spec
+# uses ("checkpoint format version N").
+file(READ "${formats_doc}" doc_text)
+if(NOT doc_text MATCHES "checkpoint format version ${code_version}")
+  message(FATAL_ERROR
+      "docs_check: src/ckpt/format.h implements checkpoint format version "
+      "${code_version}, but FORMATS.md does not say \"checkpoint format version "
+      "${code_version}\" — update the spec alongside the code")
+endif()
+
+# Every artifact family the repo writes must have a section in the spec.
+foreach(family
+    "ESCK"               # checkpoint container
+    "mlp v1"             # legacy agent-cache text format
+    "JSON"               # observability snapshot (metrics + spans + events)
+    "JSONL"              # flight-recorder event stream
+    "CSV")               # trace datasets
+  if(NOT doc_text MATCHES "${family}")
+    message(FATAL_ERROR
+        "docs_check: FORMATS.md no longer mentions \"${family}\" — every on-disk "
+        "artifact family must stay specified")
+  endif()
+endforeach()
+
+message(STATUS "docs_check: FORMATS.md documents checkpoint format version "
+               "${code_version} and all artifact families")

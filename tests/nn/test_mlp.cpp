@@ -155,6 +155,80 @@ TEST(Mlp, LoadRejectsGarbage) {
   EXPECT_THROW(Mlp::load(truncated), std::runtime_error);
 }
 
+// Regression: Mlp::load once parsed parameters with `in >> double`, so a
+// token like "banana" silently read as 0.0 and NaN/inf weights loaded
+// "successfully" — the deployed policy then produced NaN allocations with
+// no hint of why. The loader now rejects both, naming the layer and
+// offset that broke.
+TEST(Mlp, LoadRejectsNonFiniteParameterNamingLayer) {
+  Rng rng(31);
+  Mlp net({2, 3, 1}, Activation::Relu, Activation::Identity, rng);
+  std::stringstream stream;
+  net.save(stream);
+  std::string text = stream.str();
+  // Replace the final parameter line (the output layer's bias) with inf.
+  const std::size_t last_line = text.rfind("0x", text.size() - 2);
+  ASSERT_NE(last_line, std::string::npos);
+  text.replace(last_line, text.size() - 1 - last_line, "inf");
+  std::stringstream bad(text);
+  try {
+    Mlp::load(bad);
+    FAIL() << "non-finite parameter accepted";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("non-finite parameter"), std::string::npos) << what;
+    EXPECT_NE(what.find("layer"), std::string::npos) << what;
+  }
+}
+
+TEST(Mlp, LoadRejectsMalformedParameterToken) {
+  Rng rng(32);
+  Mlp net({2, 3, 1}, Activation::Relu, Activation::Identity, rng);
+  std::stringstream stream;
+  net.save(stream);
+  std::string text = stream.str();
+  const std::size_t last_line = text.rfind("0x", text.size() - 2);
+  ASSERT_NE(last_line, std::string::npos);
+  text.replace(last_line, text.size() - 1 - last_line, "banana");
+  std::stringstream bad(text);
+  try {
+    Mlp::load(bad);
+    FAIL() << "malformed parameter accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("malformed parameter"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Mlp, LoadRejectsTruncationNamingOffset) {
+  Rng rng(33);
+  Mlp net({2, 3, 1}, Activation::Relu, Activation::Identity, rng);
+  std::stringstream stream;
+  net.save(stream);
+  std::string text = stream.str();
+  const std::size_t last_line = text.rfind("0x", text.size() - 2);
+  const std::size_t line_start = text.rfind('\n', last_line);
+  ASSERT_NE(line_start, std::string::npos);
+  text.resize(line_start + 1);  // drop the final parameter line entirely
+  std::stringstream bad(text);
+  try {
+    Mlp::load(bad);
+    FAIL() << "truncated parameters accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated parameters"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Mlp, LoadRejectsHostileHeaderBeforeAllocating) {
+  // 64 layers of width 2^20 would be a ~4 TiB allocation if the caps did
+  // not fire first.
+  std::stringstream huge("mlp v1\n3\n1048577 2 1\n2 4\n");
+  EXPECT_THROW(Mlp::load(huge), std::runtime_error);
+  std::stringstream many("mlp v1\n65\n");
+  EXPECT_THROW(Mlp::load(many), std::runtime_error);
+}
+
 TEST(Mlp, CopyConstructorClones) {
   Rng rng(11);
   Mlp a = make_net(rng);

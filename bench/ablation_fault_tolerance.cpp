@@ -16,9 +16,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <optional>
 
+#include "ckpt/rotation.h"
 #include "common/fault.h"
 #include "core/policies.h"
+#include "ipc/supervisor.h"
 #include "obs/sla_watchdog.h"
 
 using namespace edgeslice;
@@ -83,6 +86,21 @@ ScenarioResult run_scenario(const Setup& setup, const FaultPlan& plan,
   std::vector<core::RaPolicy*> policy_ptrs;
   for (auto& e : environments) env_ptrs.push_back(e.get());
   for (auto& p : policies) policy_ptrs.push_back(p.get());
+
+  // --workers: host the RAs in supervised worker processes. The FaultPlan
+  // is applied identically (the injector lives in the coordinator
+  // process), and its WorkerKill/SocketDrop events become real SIGKILLs /
+  // half-closed sockets instead of bookkeeping — same trajectories either
+  // way (DESIGN.md "Process model & supervision").
+  std::unique_ptr<ipc::WorkerSupervisor> supervisor;
+  if (setup.workers > 0) {
+    ipc::SupervisorConfig sup_config;
+    sup_config.workers = setup.workers;
+    supervisor = std::make_unique<ipc::WorkerSupervisor>(env_ptrs, policy_ptrs,
+                                                         sup_config);
+    supervisor->start();
+    system_config.transport = supervisor.get();
+  }
   core::EdgeSliceSystem system(env_ptrs, policy_ptrs, coordinator, system_config);
 
   // --resume: restore the system (loop counters, coordinator, message bus
@@ -90,15 +108,32 @@ ScenarioResult run_scenario(const Setup& setup, const FaultPlan& plan,
   // from the checkpointed period. The FaultPlan re-applies losslessly: the
   // injector is a pure function of (plan seed, period, RA), so the resumed
   // run sees exactly the faults the uninterrupted run would have.
+  // With --checkpoint-keep the checkpoint path is a rotation BASE: each
+  // boundary publishes "<base>.p<period>" and prunes older siblings, and
+  // a resume loads the newest sibling that validates (a torn newest file
+  // falls back to the one before it).
   std::size_t start = 0;
-  if (!setup.resume_path.empty() && std::filesystem::exists(setup.resume_path)) {
-    system.load_checkpoint(setup.resume_path);
-    start = system.period_count();
-    std::fprintf(stderr, "[chaos] resumed from %s at period %zu\n",
-                 setup.resume_path.c_str(), start);
+  if (!setup.resume_path.empty()) {
+    std::optional<std::string> source;
+    if (setup.checkpoint_keep > 0) {
+      source = ckpt::CheckpointRotation(setup.resume_path, setup.checkpoint_keep)
+                   .latest();
+    } else if (std::filesystem::exists(setup.resume_path)) {
+      source = setup.resume_path;
+    }
+    if (source.has_value()) {
+      system.load_checkpoint(*source);
+      start = system.period_count();
+      std::fprintf(stderr, "[chaos] resumed from %s at period %zu\n",
+                   source->c_str(), start);
+    }
   }
   const std::string ckpt_path = !setup.checkpoint_out.empty() ? setup.checkpoint_out
                                                               : setup.resume_path;
+  std::optional<ckpt::CheckpointRotation> rotation;
+  if (setup.checkpoint_keep > 0 && !ckpt_path.empty()) {
+    rotation.emplace(ckpt_path, setup.checkpoint_keep);
+  }
 
   std::vector<core::PeriodResult> results;
   results.reserve(periods - start);
@@ -114,11 +149,16 @@ ScenarioResult run_scenario(const Setup& setup, const FaultPlan& plan,
     results.push_back(system.run_period());
     if (setup.checkpoint_every > 0 && !ckpt_path.empty() &&
         (p + 1) % setup.checkpoint_every == 0 && p + 1 < periods) {
-      if (!system.save_checkpoint(ckpt_path)) {
+      const std::string dest =
+          rotation.has_value() ? rotation->path_for(p + 1) : ckpt_path;
+      if (!system.save_checkpoint(dest)) {
         std::fprintf(stderr, "[chaos] cannot write checkpoint to %s\n",
-                     ckpt_path.c_str());
+                     dest.c_str());
         std::exit(2);
       }
+      // Prune only after the new checkpoint is durably published: a crash
+      // anywhere in this loop leaves at least one valid file behind.
+      if (rotation.has_value()) rotation->prune(p + 1);
     }
   }
 
@@ -164,14 +204,15 @@ int main(int argc, char** argv) {
                      {"steps", "seed", "periods", "threads", "metrics-out",
                       "telemetry-port", "metrics-interval", "events-out",
                       "checkpoint-every", "checkpoint-out", "resume",
-                      "crash-at-period"});
+                      "checkpoint-keep", "workers", "crash-at-period"});
   const std::int64_t crash_at = args.get_int("crash-at-period", -1);
   const std::size_t periods = setup.eval_periods * 4;  // longer horizon for rates
   print_header("Ablation: control-plane fault tolerance",
                "degradation under RC-M/RC-L loss and RA crashes");
-  std::printf("# %zu slices, %zu RAs, %zu periods, TARO agents, plan seed %llu\n",
+  std::printf("# %zu slices, %zu RAs, %zu periods, TARO agents, plan seed %llu, "
+              "%zu worker processes\n",
               setup.slices, setup.ras, periods,
-              static_cast<unsigned long long>(setup.seed));
+              static_cast<unsigned long long>(setup.seed), setup.workers);
 
   struct Scenario {
     std::string name;
@@ -214,6 +255,19 @@ int main(int argc, char** argv) {
     plan.events.push_back(
         FaultEvent{FaultType::RaCrash, periods / 3, setup.ras - 1, 4, 1.0});
     scenarios.push_back({"acceptance: 10%drop+crash", plan});
+  }
+  {
+    // Process-real chaos: with --workers these are a real SIGKILL and a
+    // real half-closed socket, restored by the supervisor; without
+    // workers the plan folds into the same ra_crashed() windows — the
+    // row must be byte-identical either way.
+    FaultPlan plan;
+    plan.seed = setup.seed;
+    plan.events.push_back(
+        FaultEvent{FaultType::WorkerKill, periods / 2, 0, 3, 1.0});
+    plan.events.push_back(FaultEvent{FaultType::SocketDrop, 2 * periods / 3,
+                                     setup.ras - 1, 2, 1.0});
+    scenarios.push_back({"worker-kill+socket-drop", plan});
   }
   {
     FaultPlan plan;

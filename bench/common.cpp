@@ -13,6 +13,7 @@
 #include "common/metrics.h"
 #include "common/trace_span.h"
 #include "core/policies.h"
+#include "ipc/supervisor.h"
 #include "obs/event_log.h"
 #include "obs/telemetry_server.h"
 #include "rl/frozen.h"
@@ -391,6 +392,24 @@ RunResult run_contender(const Setup& setup, Contender contender, Rng& rng,
   std::vector<core::RaPolicy*> policy_ptrs;
   for (auto& e : environments) env_ptrs.push_back(e.get());
   for (auto& p : policies) policy_ptrs.push_back(p.get());
+
+  // --workers: fork the RAs into supervised worker processes and drive
+  // them over the wire instead of stepping them here. Trajectories are
+  // bit-identical to the in-process run at any worker count, so this is a
+  // deployment-shape knob, not a results knob. The supervisor supersedes
+  // the thread pool for the period loop.
+  std::unique_ptr<ipc::WorkerSupervisor> supervisor;
+  if (setup.workers > 0) {
+    ipc::SupervisorConfig sup_config;
+    sup_config.workers = setup.workers;
+    supervisor = std::make_unique<ipc::WorkerSupervisor>(env_ptrs, policy_ptrs,
+                                                         sup_config);
+    supervisor->start();
+    system_config.transport = supervisor.get();
+    system_config.pool = nullptr;
+    std::fprintf(stderr, "[bench] %zu RAs across %zu worker processes\n",
+                 setup.ras, supervisor->worker_count());
+  }
   core::EdgeSliceSystem system(env_ptrs, policy_ptrs, coordinator, system_config);
 
   RunResult result;
@@ -469,7 +488,8 @@ Setup parse_common_flags(int argc, char** argv, Setup setup,
   std::vector<std::string> known{"steps",       "seed",           "periods",
                                  "threads",     "metrics-out",    "telemetry-port",
                                  "metrics-interval", "events-out", "checkpoint-every",
-                                 "checkpoint-out",   "resume"};
+                                 "checkpoint-out",   "resume",     "checkpoint-keep",
+                                 "workers"};
   known.insert(known.end(), extra_flags.begin(), extra_flags.end());
   const CliArgs args(argc, argv, known);
   setup.train_steps = static_cast<std::size_t>(args.get_int_env(
@@ -484,6 +504,10 @@ Setup parse_common_flags(int argc, char** argv, Setup setup,
       "checkpoint-every", static_cast<std::int64_t>(setup.checkpoint_every)));
   setup.checkpoint_out = args.get("checkpoint-out", setup.checkpoint_out);
   setup.resume_path = args.get("resume", setup.resume_path);
+  setup.checkpoint_keep = static_cast<std::size_t>(args.get_int(
+      "checkpoint-keep", static_cast<std::int64_t>(setup.checkpoint_keep)));
+  setup.workers = static_cast<std::size_t>(args.get_int_env(
+      "workers", "EDGESLICE_WORKERS", static_cast<std::int64_t>(setup.workers)));
 
   // --metrics-out <path> (or EDGESLICE_METRICS_OUT) dumps the metrics
   // registry + span timings as JSON when the binary exits.

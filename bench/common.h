@@ -46,12 +46,24 @@ struct Setup {
   /// Non-owning pool the bench main() constructs from `threads`; null runs
   /// everything sequentially.
   ThreadPool* pool = nullptr;
+  /// Worker processes for the evaluation runs (--workers). 0 keeps every
+  /// RA in this process; N > 0 forks N supervised workers and drives them
+  /// over the ESFR wire protocol. Results are bit-identical at any worker
+  /// count (see DESIGN.md "Process model & supervision"); when set, the
+  /// evaluation ignores `pool` (the transport supersedes it).
+  std::size_t workers = 0;
   /// Mid-run checkpointing (--checkpoint-every / --checkpoint-out /
   /// --resume). For training benches the cadence is in steps; for the
   /// fault-tolerance ablation it is in periods. Empty/0 disables.
   std::size_t checkpoint_every = 0;
   std::string checkpoint_out;
   std::string resume_path;
+  /// Keep-last-N rotation for period-cadence checkpoints
+  /// (--checkpoint-keep). 0 rewrites one file in place (historic
+  /// behaviour); N >= 1 writes "<out>.p<period>" per boundary and prunes
+  /// older siblings only after the new file is durably published, so a
+  /// crash never leaves zero valid checkpoints (see src/ckpt/rotation.h).
+  std::size_t checkpoint_keep = 0;
 };
 
 /// The simulation setup of Sec. VII-D: 5 slices, 10 RAs, 24-interval
@@ -169,6 +181,15 @@ RunResult run_contender(const Setup& setup, Contender contender, Rng& rng,
 ///       step; a missing file starts fresh, so crash-and-rerun loops need
 ///       no existence check. The remaining steps are bit-identical to an
 ///       uninterrupted run (see FORMATS.md / DESIGN.md Sec. 9).
+///   --checkpoint-keep <n>     rotate period-cadence checkpoints instead
+///       of rewriting one file: each boundary writes "<out>.p<period>"
+///       and the oldest siblings beyond n are pruned only after the new
+///       one is published. --resume then names the rotation BASE and the
+///       newest sibling that validates is loaded.
+///   --workers <n>             (EDGESLICE_WORKERS) run the evaluation's
+///       RAs in n supervised worker processes over the ESFR wire
+///       protocol; 0 (default) keeps everything in-process. Bit-identical
+///       at any n, including under worker-kill chaos plans.
 Setup parse_common_flags(int argc, char** argv, Setup setup,
                          const std::vector<std::string>& extra_flags = {});
 

@@ -17,6 +17,12 @@ int main(int argc, char** argv) {
   Rng rng(base.seed);
 
   print_header("Fig. 9: scalability", "Fig. 9");
+  if (base.workers > 0) {
+    // Evaluation runs fork --workers supervised RA processes; training is
+    // unaffected (it stays in this process, fanned over --threads). The
+    // printed figures are bit-identical at any worker count.
+    std::printf("# evaluation in %zu worker processes\n", base.workers);
+  }
 
   // ---- (a): sweep RA count at 5 slices -----------------------------------
   // Agents depend on the slice count only, so one training per contender

@@ -1,0 +1,83 @@
+#include "ckpt/rotation.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+#include "ckpt/container.h"
+#include "common/logging.h"
+
+namespace edgeslice::ckpt {
+
+namespace fs = std::filesystem;
+
+CheckpointRotation::CheckpointRotation(std::string base_path, std::size_t keep)
+    : base_path_(std::move(base_path)), keep_(keep) {
+  if (base_path_.empty())
+    throw std::invalid_argument("CheckpointRotation: empty base path");
+  if (keep_ == 0)
+    throw std::invalid_argument("CheckpointRotation: keep must be >= 1");
+}
+
+std::string CheckpointRotation::path_for(std::size_t period) const {
+  return base_path_ + ".p" + std::to_string(period);
+}
+
+std::vector<std::pair<std::size_t, std::string>> CheckpointRotation::list() const {
+  const fs::path base(base_path_);
+  fs::path dir = base.parent_path();
+  if (dir.empty()) dir = ".";
+  const std::string prefix = base.filename().string() + ".p";
+
+  std::vector<std::pair<std::size_t, std::string>> found;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() <= prefix.size() || name.compare(0, prefix.size(), prefix) != 0)
+      continue;
+    const std::string suffix = name.substr(prefix.size());
+    if (suffix.empty() ||
+        suffix.find_first_not_of("0123456789") != std::string::npos) {
+      continue;  // ".p12.tmp" and friends are not rotation siblings
+    }
+    found.emplace_back(static_cast<std::size_t>(std::stoull(suffix)),
+                       entry.path().string());
+  }
+  std::sort(found.begin(), found.end());
+  return found;
+}
+
+std::size_t CheckpointRotation::prune(std::size_t period) const {
+  auto siblings = list();
+  if (siblings.size() <= keep_) return 0;
+  std::size_t removed = 0;
+  // Delete oldest-first and never the just-published file: even an
+  // inconsistent directory state (extra files from a crashed previous
+  // prune) converges to the newest `keep`.
+  for (std::size_t i = 0; i + keep_ < siblings.size(); ++i) {
+    if (siblings[i].first == period) continue;
+    if (std::remove(siblings[i].second.c_str()) == 0) {
+      ++removed;
+    } else {
+      ES_LOG(Warn) << "ckpt rotation: could not remove " << siblings[i].second;
+    }
+  }
+  return removed;
+}
+
+std::optional<std::string> CheckpointRotation::latest() const {
+  auto siblings = list();
+  for (auto it = siblings.rbegin(); it != siblings.rend(); ++it) {
+    try {
+      (void)CheckpointReader::from_file(it->second);  // full validation
+      return it->second;
+    } catch (const std::exception& e) {
+      ES_LOG(Warn) << "ckpt rotation: skipping invalid checkpoint " << it->second
+                   << ": " << e.what();
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace edgeslice::ckpt

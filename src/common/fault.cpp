@@ -47,6 +47,8 @@ FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)), base_(pla
       throw std::invalid_argument("FaultPlan: slowdown magnitude must be >= 1");
     if (event.type == FaultType::RcmDelay && event.magnitude < 1.0)
       throw std::invalid_argument("FaultPlan: delay magnitude must be >= 1 period");
+    if (event.type == FaultType::WorkerStall && event.magnitude < 1.0)
+      throw std::invalid_argument("FaultPlan: stall magnitude must be >= 1 ms");
   }
 }
 
@@ -82,6 +84,16 @@ bool FaultInjector::rate_window_active(FaultType type, std::size_t period, std::
 
 bool FaultInjector::ra_crashed(std::size_t period, std::size_t ra) const {
   if (scheduled(FaultType::RaCrash, period, ra)) return true;
+  // Process-real faults take the RA down for their whole window. In a
+  // single process this IS the fault (pure bookkeeping); with workers the
+  // supervisor applies the physical action at the window start
+  // (process_fault) and restores the worker from its last period-boundary
+  // state blob, which reproduces exactly this degradation pattern.
+  if (scheduled(FaultType::WorkerKill, period, ra) ||
+      scheduled(FaultType::WorkerStall, period, ra) ||
+      scheduled(FaultType::SocketDrop, period, ra)) {
+    return true;
+  }
   return rate_window_active(FaultType::RaCrash, period, ra, plan_.rates.ra_crash,
                             plan_.rates.ra_crash_periods);
 }
@@ -116,6 +128,34 @@ bool FaultInjector::link_failure(std::size_t period, std::size_t ra) const {
   if (scheduled(FaultType::LinkFailure, period, ra)) return true;
   return rate_window_active(FaultType::LinkFailure, period, ra,
                             plan_.rates.link_failure, plan_.rates.link_failure_periods);
+}
+
+ProcessFaultKind FaultInjector::process_fault(std::size_t period, std::size_t ra) const {
+  // The physical action fires once, at the window start. scheduled()
+  // returns a match for any period inside the window, so compare the
+  // event's own start period against the query.
+  if (const FaultEvent* e = scheduled(FaultType::WorkerKill, period, ra);
+      e != nullptr && e->period == period) {
+    return ProcessFaultKind::Kill;
+  }
+  if (const FaultEvent* e = scheduled(FaultType::WorkerStall, period, ra);
+      e != nullptr && e->period == period) {
+    return ProcessFaultKind::Stall;
+  }
+  if (const FaultEvent* e = scheduled(FaultType::SocketDrop, period, ra);
+      e != nullptr && e->period == period) {
+    return ProcessFaultKind::HalfClose;
+  }
+  return ProcessFaultKind::None;
+}
+
+std::size_t FaultInjector::process_fault_stall_ms(std::size_t period,
+                                                  std::size_t ra) const {
+  if (const FaultEvent* e = scheduled(FaultType::WorkerStall, period, ra);
+      e != nullptr && e->period == period) {
+    return static_cast<std::size_t>(std::llround(e->magnitude));
+  }
+  return 0;
 }
 
 double FaultInjector::compute_slowdown(std::size_t period, std::size_t ra) const {

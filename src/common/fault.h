@@ -21,6 +21,23 @@
 //   LinkFailure      the RAN <-> edge-server transport path is down
 //   ComputeSlowdown  the edge GPU is degraded by a factor (thermal
 //                    throttling, co-tenant interference)
+//
+// Process-real fault kinds (multi-process control plane, DESIGN.md
+// "Process model & supervision"): when the RAs live in worker processes
+// behind a WorkerSupervisor, these map onto *physical* failures — a real
+// SIGKILL, a half-closed socket, a stalled read that trips the heartbeat
+// deadline. Run in a single process they fold into the RaCrash
+// bookkeeping (ra_crashed() is true for their whole window), so one plan
+// produces bit-identical trajectories with and without workers:
+//   WorkerKill       SIGKILL the worker process hosting the RA at the
+//                    window start; the RA is down for `duration` periods
+//                    and is restored from its last period-boundary state
+//                    blob by the supervisor
+//   WorkerStall      the worker hangs (stalled read) mid-exchange for
+//                    `magnitude` milliseconds; the supervisor's heartbeat
+//                    deadline declares it hung, kills and restores it
+//   SocketDrop       the supervisor half-closes the worker's socket at
+//                    the window start; the worker sees EOF and exits
 #pragma once
 
 #include <cstddef>
@@ -39,6 +56,18 @@ enum class FaultType {
   CqiBlackout,
   LinkFailure,
   ComputeSlowdown,
+  WorkerKill,
+  WorkerStall,
+  SocketDrop,
+};
+
+/// The physical action a process-real fault demands of the supervisor at
+/// the first period of its window (None everywhere else).
+enum class ProcessFaultKind {
+  None,
+  Kill,       // SIGKILL the hosting worker
+  Stall,      // command the worker to stall its read loop (magnitude = ms)
+  HalfClose,  // shut down the supervisor side of the worker's socket
 };
 
 /// A scheduled fault: `type` afflicts RA `ra` for periods
@@ -102,6 +131,19 @@ class FaultInjector {
 
   /// Service-time multiplier for the RA's compute substrate (1 = healthy).
   double compute_slowdown(std::size_t period, std::size_t ra) const;
+
+  /// The physical fault the supervisor must apply to RA `ra`'s worker at
+  /// `period`, or None. Only the FIRST period of a scheduled
+  /// WorkerKill/WorkerStall/SocketDrop window answers non-None (the
+  /// physical action happens once; the remaining window periods are plain
+  /// ra_crashed() bookkeeping while the supervisor restores the worker).
+  /// Process faults are scheduled-events only — no probabilistic rates —
+  /// so the physical action schedule is readable from the plan.
+  ProcessFaultKind process_fault(std::size_t period, std::size_t ra) const;
+
+  /// WorkerStall only: how long the worker is commanded to stall, in
+  /// milliseconds (the event's magnitude; 0 for other kinds).
+  std::size_t process_fault_stall_ms(std::size_t period, std::size_t ra) const;
 
   bool any_faults() const { return !plan_.empty(); }
   const FaultPlan& plan() const { return plan_; }

@@ -150,6 +150,14 @@ bool MessageBus::deliver_coordination(std::size_t period, const RcLearningMessag
                   << period;
     return false;
   }
+  if (transport_ != nullptr && !transport_->send_coordination(period, message)) {
+    ++stats_.rcl_dropped;
+    global_metrics().counter("bus.rcl_dropped").add();
+    log_bus_event(obs::EventKind::RclDropped, period, message.ra);
+    ES_LOG(Debug) << "bus: RC-L push to RA " << message.ra
+                  << " undeliverable (worker down) in period " << period;
+    return false;
+  }
   return true;
 }
 

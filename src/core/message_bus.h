@@ -18,6 +18,7 @@
 
 #include "common/fault.h"
 #include "core/interfaces.h"
+#include "core/ra_transport.h"
 
 namespace edgeslice::core {
 
@@ -56,8 +57,17 @@ class MessageBus {
 
   /// Coordinator -> RA: push an RC-L message after `period`'s update.
   /// Returns false when delivery failed (the agent must fall back to its
-  /// last-known coordination vector).
+  /// last-known coordination vector). With a transport attached, a push
+  /// that survives the fault check is additionally shipped over the wire
+  /// to the RA's worker; a send failure (worker down, deadline) reports
+  /// as undelivered exactly like a fault-dropped push.
   bool deliver_coordination(std::size_t period, const RcLearningMessage& message);
+
+  /// Route the RC-L leg through a remote execution plane (non-owning; null
+  /// restores in-process delivery). The RC-M leg needs no counterpart
+  /// here: reports enter the bus coordinator-side after the transport's
+  /// trace collection, so drop/delay bookkeeping is identical either way.
+  void set_transport(RaTransport* transport) { transport_ = transport; }
 
   std::size_t in_flight() const { return pending_.size(); }
   const MessageBusStats& stats() const { return stats_; }
@@ -74,6 +84,7 @@ class MessageBus {
 
  private:
   const FaultInjector* faults_;
+  RaTransport* transport_ = nullptr;
   std::vector<RcmEnvelope> pending_;
   std::uint64_t next_seq_ = 0;
   MessageBusStats stats_;

@@ -55,6 +55,10 @@ EdgeSliceSystem::EdgeSliceSystem(std::vector<env::RaEnvironment*> environments,
     if (environments_[j]->slice_count() != coordinator_config.slices)
       throw std::invalid_argument("EdgeSliceSystem: slice count mismatch");
   }
+  if (config_.transport != nullptr &&
+      config_.transport->ra_count() != environments_.size())
+    throw std::invalid_argument("EdgeSliceSystem: transport RA count mismatch");
+  bus_.set_transport(config_.transport);
   monitor_ = std::make_unique<SystemMonitor>(coordinator_config.slices,
                                              environments_.size());
   last_report_.assign(environments_.size(),
@@ -80,10 +84,21 @@ PeriodResult EdgeSliceSystem::run_period() {
   // Which RAs are down this period, and how degraded the live substrates
   // are. Crashed RAs run no intervals: the agent is gone, so no actions
   // are taken, no traffic is served, and no monitoring rows are recorded.
+  // With a transport, derates travel in the directives instead of being
+  // applied to the (never-stepped) local environments, and process-real
+  // fault actions ride along for the supervisor to execute.
+  RaTransport* transport = config_.transport;
+  std::vector<RaPeriodDirective> directives(transport != nullptr ? ras : 0);
   std::vector<bool> crashed(ras, false);
   if (faults) {
     for (std::size_t j = 0; j < ras; ++j) {
       crashed[j] = faults->ra_crashed(period_, j);
+      if (transport != nullptr) {
+        directives[j].run = !crashed[j];
+        directives[j].fault = faults->process_fault(period_, j);
+        directives[j].stall_ms =
+            static_cast<std::uint32_t>(faults->process_fault_stall_ms(period_, j));
+      }
       if (crashed[j]) {
         ++result.crashed_ras;
         log_fault_event(obs::EventKind::FaultRaCrash, period_, j);
@@ -103,12 +118,48 @@ PeriodResult EdgeSliceSystem::run_period() {
       if (slowdown > 1.0) {
         log_fault_event(obs::EventKind::FaultComputeSlowdown, period_, j, slowdown);
       }
-      environments_[j]->set_resource_derate(derate);
+      if (transport != nullptr) {
+        directives[j].has_derate = true;
+        directives[j].derate = derate;
+      } else {
+        environments_[j]->set_resource_derate(derate);
+      }
     }
   }
 
   ThreadPool* pool = config_.pool;
-  if (pool != nullptr && pool->thread_count() > 1 && ras > 1) {
+  if (transport != nullptr) {
+    // Remote execution: one directive per RA out, one trace per RA back,
+    // reduced in the same sequential (t, j) order as every other path.
+    const auto intervals_span = global_tracer().span("system.transport_intervals");
+    std::vector<RaPeriodTrace> traces = transport->run_intervals(period_, directives);
+    if (traces.size() != ras)
+      throw std::runtime_error("EdgeSliceSystem: transport trace count mismatch");
+    for (std::size_t j = 0; j < ras; ++j) {
+      // An RA the transport could not run (worker died or hung mid-period)
+      // degrades exactly like a crash: no monitoring rows, no RC-M report;
+      // carry-forward and column-freeze take over below.
+      if (!crashed[j] && (!traces[j].ran || traces[j].steps.size() != intervals ||
+                          traces[j].actions.size() != intervals)) {
+        crashed[j] = true;
+        ++result.crashed_ras;
+        log_fault_event(obs::EventKind::FaultRaCrash, period_, j);
+      }
+    }
+    for (std::size_t t = 0; t < intervals; ++t) {
+      for (std::size_t j = 0; j < ras; ++j) {
+        if (crashed[j]) continue;
+        const env::StepResult& step = traces[j].steps[t];
+        monitor_->record(j, period_, interval_, step, traces[j].actions[t]);
+        for (std::size_t i = 0; i < slices; ++i) {
+          result.performance_sums(i, j) += step.performance[i];
+          result.slice_performance[i] += step.performance[i];
+          result.system_performance += step.performance[i];
+        }
+      }
+      ++interval_;
+    }
+  } else if (pool != nullptr && pool->thread_count() > 1 && ras > 1) {
     // Decentralized execution: each RA's whole period runs on the worker
     // that owns it (its environment and policy are touched by no other
     // thread), with the per-interval results buffered per RA.
@@ -239,17 +290,20 @@ PeriodResult EdgeSliceSystem::run_period() {
     // RC-L push through the bus; an RA that misses it keeps acting on its
     // last-known coordination vector, and a crashed RA receives nothing
     // (it picks up the current vector after its first post-restart period).
+    // With a transport the bus ships the vector to the RA's worker itself;
+    // in-process the delivery is this set_coordination call.
     for (std::size_t j = 0; j < ras; ++j) {
       if (crashed[j]) continue;
       const RcLearningMessage message = coordinator_.coordination_for(j);
       if (bus_.deliver_coordination(period_, message)) {
-        environments_[j]->set_coordination(message.z_minus_y);
+        if (transport == nullptr) environments_[j]->set_coordination(message.z_minus_y);
       } else {
         ++result.rcl_losses;
       }
     }
     result.coordinator_converged = coordinator_.converged();
   }
+  if (transport != nullptr) transport->end_period(period_);
   // Degraded-mode signals of the period just run, readable while the
   // system is live (the chaos benches and operators poll these).
   auto& metrics = global_metrics();
@@ -336,11 +390,22 @@ bool EdgeSliceSystem::save_checkpoint(const std::string& path) const {
   bus_.save_state(bus);
   writer.add_section(ckpt::SectionKind::MessageBus, 0, bus.str());
 
+  // Environment sections come from wherever the environments actually
+  // live. Transport snapshots are requested after the period's
+  // coordination frames (socket ordering guarantees the worker applied
+  // them first), so the blobs are byte-identical to an in-process
+  // save_state at the same boundary.
   for (std::size_t j = 0; j < environments_.size(); ++j) {
-    std::ostringstream environment;
-    environments_[j]->save_state(environment);
+    std::string blob;
+    if (config_.transport != nullptr) {
+      blob = config_.transport->environment_state(j);
+    } else {
+      std::ostringstream environment;
+      environments_[j]->save_state(environment);
+      blob = environment.str();
+    }
     writer.add_section(ckpt::SectionKind::Environment,
-                       static_cast<std::uint32_t>(j), environment.str());
+                       static_cast<std::uint32_t>(j), std::move(blob));
   }
   return writer.write_file(path);
 }
@@ -378,17 +443,27 @@ void EdgeSliceSystem::load_checkpoint(const std::string& path) {
 
   std::istringstream coordinator(reader.require(ckpt::SectionKind::Coordinator));
   std::istringstream bus(reader.require(ckpt::SectionKind::MessageBus));
-  std::vector<std::istringstream> environment_blobs;
+  std::vector<std::string> environment_blobs;
   environment_blobs.reserve(environments_.size());
   for (std::size_t j = 0; j < environments_.size(); ++j) {
-    environment_blobs.emplace_back(reader.require(
+    environment_blobs.push_back(reader.require(
         ckpt::SectionKind::Environment, static_cast<std::uint32_t>(j)));
   }
 
   coordinator_.load_state(coordinator);
   bus_.load_state(bus);
+  // Always validate the blobs into the local environments first (a corrupt
+  // section throws before any remote state is touched); with a transport,
+  // the blobs are then pushed to the workers, which are the authoritative
+  // copies.
   for (std::size_t j = 0; j < environments_.size(); ++j) {
-    environments_[j]->load_state(environment_blobs[j]);
+    std::istringstream blob(environment_blobs[j]);
+    environments_[j]->load_state(blob);
+  }
+  if (config_.transport != nullptr) {
+    for (std::size_t j = 0; j < environments_.size(); ++j) {
+      config_.transport->restore_environment(j, environment_blobs[j]);
+    }
   }
   period_ = static_cast<std::size_t>(period);
   interval_ = static_cast<std::size_t>(interval);

@@ -33,6 +33,7 @@
 #include "core/message_bus.h"
 #include "core/monitor.h"
 #include "core/policies.h"
+#include "core/ra_transport.h"
 #include "env/environment.h"
 
 namespace edgeslice::obs {
@@ -79,6 +80,16 @@ struct SystemConfig {
   /// monitor's incremental per-(ra, period) sums) at the end of each
   /// period. Observation-only: never feeds back into orchestration.
   obs::SlaWatchdog* watchdog = nullptr;
+  /// Non-owning remote execution plane (ipc::WorkerSupervisor); null runs
+  /// the RAs in-process. With a transport, the system's environment and
+  /// policy pointers are never stepped locally — periods are dispatched as
+  /// directives, traces come back over the wire and are reduced in the
+  /// same sequential (interval, RA) order, the RC-L leg rides the bus's
+  /// transport routing, and checkpoints snapshot the remote environments.
+  /// Trajectories are bit-identical to an in-process run for any worker
+  /// count (see src/core/ra_transport.h for the contract). `pool` is
+  /// ignored when a transport is set — parallelism is process-level.
+  RaTransport* transport = nullptr;
 };
 
 class EdgeSliceSystem {

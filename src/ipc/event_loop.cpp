@@ -1,0 +1,153 @@
+#include "ipc/event_loop.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <stdexcept>
+
+namespace edgeslice::ipc {
+
+namespace {
+
+std::uint32_t stored_payload_crc(const char* header) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i)
+    v = (v << 8) | static_cast<std::uint8_t>(header[32 + i]);
+  return v;
+}
+
+}  // namespace
+
+std::vector<Frame> FrameAssembler::feed(const char* data, std::size_t size) {
+  buffer_.append(data, size);
+  std::vector<Frame> frames;
+  for (;;) {
+    if (buffer_.size() < kFrameHeaderSize) break;
+    Frame frame;
+    std::uint64_t payload_len = 0;
+    decode_frame_header(buffer_.data(), frame, payload_len);  // throws
+    if (buffer_.size() < kFrameHeaderSize + payload_len) break;
+    frame.payload = buffer_.substr(kFrameHeaderSize,
+                                   static_cast<std::size_t>(payload_len));
+    verify_frame_payload(stored_payload_crc(buffer_.data()), frame.payload);
+    if (frame.seq != next_seq_) {
+      throw std::runtime_error("ipc frame: seq break (expected " +
+                               std::to_string(next_seq_) + ", got " +
+                               std::to_string(frame.seq) + ")");
+    }
+    ++next_seq_;
+    buffer_.erase(0, kFrameHeaderSize + static_cast<std::size_t>(payload_len));
+    frames.push_back(std::move(frame));
+  }
+  return frames;
+}
+
+void PollLoop::add(int fd, FrameHandler on_frame, CloseHandler on_close) {
+  if (find(fd) != nullptr)
+    throw std::invalid_argument("PollLoop: fd already registered");
+  Connection connection;
+  connection.fd = fd;
+  connection.on_frame = std::move(on_frame);
+  connection.on_close = std::move(on_close);
+  connections_.push_back(std::move(connection));
+}
+
+void PollLoop::remove(int fd) {
+  connections_.erase(
+      std::remove_if(connections_.begin(), connections_.end(),
+                     [fd](const Connection& c) { return c.fd == fd; }),
+      connections_.end());
+}
+
+bool PollLoop::has(int fd) const {
+  for (const Connection& c : connections_) {
+    if (c.fd == fd) return true;
+  }
+  return false;
+}
+
+PollLoop::Connection* PollLoop::find(int fd) {
+  for (Connection& c : connections_) {
+    if (c.fd == fd) return &c;
+  }
+  return nullptr;
+}
+
+bool PollLoop::run_until(const std::function<bool()>& done, int deadline_ms) {
+  const std::int64_t deadline = now_ms() + deadline_ms;
+  char chunk[65536];
+  while (!done()) {
+    const std::int64_t remaining = deadline - now_ms();
+    if (remaining <= 0) return false;
+    if (connections_.empty()) return false;  // nothing can satisfy done()
+
+    std::vector<pollfd> pfds;
+    pfds.reserve(connections_.size());
+    for (const Connection& c : connections_) pfds.push_back({c.fd, POLLIN, 0});
+    const int slice = static_cast<int>(remaining > 100 ? 100 : remaining);
+    const int ready = ::poll(pfds.data(), pfds.size(), slice);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("PollLoop: poll failed");
+    }
+    if (ready == 0) continue;
+
+    // Service by fd, re-looking each one up: a handler may remove any
+    // connection (even the one being serviced) while we iterate.
+    for (const pollfd& pfd : pfds) {
+      if (pfd.revents == 0) continue;
+      Connection* connection = find(pfd.fd);
+      if (connection == nullptr) continue;
+      bool closed = false;
+      IoResult reason = IoResult::Closed;
+      std::vector<Frame> frames;
+      if ((pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        // Drain everything available now; EOF/error after data still
+        // delivers the data first.
+        for (;;) {
+          const ssize_t n = ::read(pfd.fd, chunk, sizeof(chunk));
+          if (n > 0) {
+            try {
+              std::vector<Frame> batch =
+                  connection->assembler.feed(chunk, static_cast<std::size_t>(n));
+              frames.insert(frames.end(),
+                            std::make_move_iterator(batch.begin()),
+                            std::make_move_iterator(batch.end()));
+            } catch (const std::exception&) {
+              closed = true;
+              reason = IoResult::Error;  // protocol violation: corrupt channel
+              break;
+            }
+            continue;
+          }
+          if (n == 0) {
+            closed = true;
+            reason = IoResult::Closed;
+            break;
+          }
+          if (errno == EINTR) continue;
+          if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+          closed = true;
+          reason = errno == ECONNRESET ? IoResult::Closed : IoResult::Error;
+          break;
+        }
+      }
+      const FrameHandler on_frame = connection->on_frame;
+      const CloseHandler on_close = connection->on_close;
+      const int fd = pfd.fd;
+      for (Frame& frame : frames) {
+        if (!has(fd)) break;  // a handler removed this connection
+        on_frame(fd, std::move(frame));
+      }
+      if (closed && has(fd)) {
+        remove(fd);
+        on_close(fd, reason);
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace edgeslice::ipc

@@ -1,0 +1,74 @@
+// A small poll(2)-based event loop multiplexing the supervisor's worker
+// sockets.
+//
+// Each registered fd gets a FrameAssembler that turns the fd's byte
+// stream back into validated frames (partial reads are buffered across
+// poll rounds; both CRCs and strict seq monotonicity are enforced before
+// a frame is surfaced). The loop is deliberately single-threaded and
+// deadline-driven: run_until() pumps all fds until the caller's
+// predicate is satisfied or the deadline passes, which is exactly the
+// "collect traces from every worker, declare stragglers hung" shape the
+// supervisor needs — a stalled worker costs the deadline, never a
+// blocked control plane.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ipc/frame.h"
+
+namespace edgeslice::ipc {
+
+/// Incremental frame reassembly for one connection's byte stream.
+/// feed() throws std::runtime_error on any protocol violation (bad
+/// magic/CRC/version, absurd length, seq break) — the connection is
+/// corrupt and must be torn down.
+class FrameAssembler {
+ public:
+  /// Append raw bytes; returns every frame completed by them, in order.
+  std::vector<Frame> feed(const char* data, std::size_t size);
+
+  /// Bytes buffered waiting for the rest of a frame.
+  std::size_t pending_bytes() const { return buffer_.size(); }
+
+ private:
+  std::string buffer_;
+  std::uint64_t next_seq_ = 0;
+};
+
+class PollLoop {
+ public:
+  using FrameHandler = std::function<void(int fd, Frame&& frame)>;
+  /// Invoked once when the connection ends: Closed on EOF, Error on a
+  /// read error or protocol violation. The fd is already removed from
+  /// the loop when the handler runs (the caller owns closing it).
+  using CloseHandler = std::function<void(int fd, IoResult reason)>;
+
+  void add(int fd, FrameHandler on_frame, CloseHandler on_close);
+  void remove(int fd);
+  bool has(int fd) const;
+  std::size_t size() const { return connections_.size(); }
+
+  /// Pump all registered fds until `done()` returns true or `deadline_ms`
+  /// elapses. Returns true when the predicate was satisfied, false on
+  /// deadline. Handlers run inline and may call remove() (including for
+  /// the fd currently being serviced).
+  bool run_until(const std::function<bool()>& done, int deadline_ms);
+
+ private:
+  struct Connection {
+    int fd = -1;
+    FrameAssembler assembler;
+    FrameHandler on_frame;
+    CloseHandler on_close;
+  };
+
+  Connection* find(int fd);
+
+  std::vector<Connection> connections_;
+};
+
+}  // namespace edgeslice::ipc

@@ -1,0 +1,150 @@
+#include "ipc/wire.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "common/binio.h"
+
+namespace edgeslice::ipc {
+
+namespace {
+
+void write_step(std::ostream& out, const env::StepResult& step) {
+  write_f64_vector(out, step.state);
+  write_f64_vector(out, step.next_state);
+  write_f64(out, step.reward);
+  write_f64_vector(out, step.performance);
+  write_f64_vector(out, step.queue_lengths);
+  write_f64_vector(out, step.service_rates);
+  write_f64(out, step.constraint_violation);
+}
+
+env::StepResult read_step(std::istream& in) {
+  env::StepResult step;
+  step.state = read_f64_vector(in, "trace step state");
+  step.next_state = read_f64_vector(in, "trace step next_state");
+  step.reward = read_f64(in, "trace step reward");
+  step.performance = read_f64_vector(in, "trace step performance");
+  step.queue_lengths = read_f64_vector(in, "trace step queue_lengths");
+  step.service_rates = read_f64_vector(in, "trace step service_rates");
+  step.constraint_violation = read_f64(in, "trace step constraint_violation");
+  return step;
+}
+
+}  // namespace
+
+std::string encode_hello(const HelloPayload& payload) {
+  std::ostringstream out;
+  write_u64(out, payload.worker_index);
+  write_u64(out, payload.hosted_ras.size());
+  for (std::uint32_t ra : payload.hosted_ras) write_u32(out, ra);
+  return out.str();
+}
+
+HelloPayload decode_hello(const std::string& bytes) {
+  std::istringstream in(bytes);
+  HelloPayload payload;
+  payload.worker_index = read_u64(in, "hello worker_index");
+  const std::uint64_t count = read_u64(in, "hello hosted count");
+  payload.hosted_ras.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i)
+    payload.hosted_ras.push_back(read_u32(in, "hello hosted ra"));
+  return payload;
+}
+
+std::string encode_run_period(const RunPeriodPayload& payload) {
+  if (payload.ras.size() != payload.directives.size())
+    throw std::invalid_argument("run_period payload: ras/directives mismatch");
+  std::ostringstream out;
+  write_u64(out, payload.period);
+  write_u64(out, payload.ras.size());
+  for (std::size_t i = 0; i < payload.ras.size(); ++i) {
+    const core::RaPeriodDirective& d = payload.directives[i];
+    write_u32(out, payload.ras[i]);
+    write_u8(out, d.run ? 1 : 0);
+    write_u8(out, d.has_derate ? 1 : 0);
+    for (double v : d.derate) write_f64(out, v);
+    write_u32(out, d.stall_ms);
+    // d.fault is supervisor-side (physical kill/half-close) and never
+    // crosses the wire; abort_run does — it is the worker's own chaos
+    // action.
+    write_u8(out, d.abort_run ? 1 : 0);
+  }
+  return out.str();
+}
+
+RunPeriodPayload decode_run_period(const std::string& bytes) {
+  std::istringstream in(bytes);
+  RunPeriodPayload payload;
+  payload.period = read_u64(in, "run_period period");
+  const std::uint64_t count = read_u64(in, "run_period entry count");
+  payload.ras.reserve(count);
+  payload.directives.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    payload.ras.push_back(read_u32(in, "run_period ra"));
+    core::RaPeriodDirective d;
+    d.run = read_u8(in, "run_period run flag") != 0;
+    d.has_derate = read_u8(in, "run_period derate flag") != 0;
+    for (double& v : d.derate) v = read_f64(in, "run_period derate");
+    d.stall_ms = read_u32(in, "run_period stall_ms");
+    d.abort_run = read_u8(in, "run_period abort flag") != 0;
+    payload.directives.push_back(d);
+  }
+  return payload;
+}
+
+std::string encode_trace(const TracePayload& payload) {
+  std::ostringstream out;
+  write_u64(out, payload.period);
+  write_u8(out, payload.trace.ran ? 1 : 0);
+  write_u64(out, payload.trace.steps.size());
+  for (const env::StepResult& step : payload.trace.steps) write_step(out, step);
+  write_u64(out, payload.trace.actions.size());
+  for (const std::vector<double>& action : payload.trace.actions)
+    write_f64_vector(out, action);
+  return out.str();
+}
+
+TracePayload decode_trace(const std::string& bytes) {
+  std::istringstream in(bytes);
+  TracePayload payload;
+  payload.period = read_u64(in, "trace period");
+  payload.trace.ran = read_u8(in, "trace ran flag") != 0;
+  const std::uint64_t steps = read_u64(in, "trace step count");
+  payload.trace.steps.reserve(steps);
+  for (std::uint64_t i = 0; i < steps; ++i)
+    payload.trace.steps.push_back(read_step(in));
+  const std::uint64_t actions = read_u64(in, "trace action count");
+  payload.trace.actions.reserve(actions);
+  for (std::uint64_t i = 0; i < actions; ++i)
+    payload.trace.actions.push_back(read_f64_vector(in, "trace action"));
+  return payload;
+}
+
+std::string encode_coordination(const CoordinationPayload& payload) {
+  std::ostringstream out;
+  write_u64(out, payload.period);
+  write_f64_vector(out, payload.z_minus_y);
+  return out.str();
+}
+
+CoordinationPayload decode_coordination(const std::string& bytes) {
+  std::istringstream in(bytes);
+  CoordinationPayload payload;
+  payload.period = read_u64(in, "coordination period");
+  payload.z_minus_y = read_f64_vector(in, "coordination vector");
+  return payload;
+}
+
+std::string encode_u64(std::uint64_t value) {
+  std::ostringstream out;
+  write_u64(out, value);
+  return out.str();
+}
+
+std::uint64_t decode_u64(const std::string& bytes, const char* context) {
+  std::istringstream in(bytes);
+  return read_u64(in, context);
+}
+
+}  // namespace edgeslice::ipc

@@ -1,0 +1,61 @@
+// Frame payload codecs (FORMATS.md "ESFR wire frame", payload tables).
+//
+// Every payload is binio-serialized (little-endian, doubles as IEEE-754
+// bit patterns) so a trace that crosses the wire is byte-for-byte the
+// data an in-process run would have produced. EnvState / Snapshot /
+// Restore payloads are NOT defined here: their bodies are existing ESCK
+// Environment section payloads carried verbatim (or empty, for the
+// Snapshot request) — see src/ckpt/format.h.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/ra_transport.h"
+
+namespace edgeslice::ipc {
+
+/// Hello (worker -> supervisor): who am I, whom do I host.
+struct HelloPayload {
+  std::uint64_t worker_index = 0;
+  std::vector<std::uint32_t> hosted_ras;
+};
+
+/// RunPeriod (supervisor -> worker): directives for the worker's hosted
+/// RAs, in ascending RA order. RAs absent from the list are not run.
+struct RunPeriodPayload {
+  std::uint64_t period = 0;
+  std::vector<std::uint32_t> ras;
+  std::vector<core::RaPeriodDirective> directives;  // parallel to `ras`
+};
+
+/// Trace (worker -> supervisor): one RA's completed period.
+struct TracePayload {
+  std::uint64_t period = 0;
+  core::RaPeriodTrace trace;
+};
+
+/// Coordination (supervisor -> worker): RC-L vector for one RA.
+struct CoordinationPayload {
+  std::uint64_t period = 0;
+  std::vector<double> z_minus_y;
+};
+
+std::string encode_hello(const HelloPayload& payload);
+HelloPayload decode_hello(const std::string& bytes);
+
+std::string encode_run_period(const RunPeriodPayload& payload);
+RunPeriodPayload decode_run_period(const std::string& bytes);
+
+std::string encode_trace(const TracePayload& payload);
+TracePayload decode_trace(const std::string& bytes);
+
+std::string encode_coordination(const CoordinationPayload& payload);
+CoordinationPayload decode_coordination(const std::string& bytes);
+
+/// Ack / Ping / Pong payloads: a single u64.
+std::string encode_u64(std::uint64_t value);
+std::uint64_t decode_u64(const std::string& bytes, const char* context);
+
+}  // namespace edgeslice::ipc

@@ -1,0 +1,152 @@
+#include "ipc/worker.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "common/metrics.h"
+#include "ipc/frame.h"
+#include "ipc/wire.h"
+
+namespace edgeslice::ipc {
+
+namespace {
+
+/// Stateful frame sender: per-connection monotonic seq.
+class FrameSender {
+ public:
+  explicit FrameSender(int fd) : fd_(fd) {}
+
+  bool send(FrameType type, std::uint32_t ra, std::string payload) {
+    Frame frame;
+    frame.type = type;
+    frame.ra = ra;
+    frame.seq = seq_++;
+    frame.payload = std::move(payload);
+    return write_frame(fd_, frame) == IoResult::Ok;
+  }
+
+ private:
+  int fd_;
+  std::uint64_t seq_ = 0;
+};
+
+std::string environment_blob(env::RaEnvironment& environment) {
+  std::ostringstream out;
+  environment.save_state(out);
+  return out.str();
+}
+
+}  // namespace
+
+int worker_main(int fd, const WorkerContext& context) {
+  try {
+    // The metrics registry mutex (and any observer thread holding it at
+    // fork time) is not inherited in a usable state; the worker records
+    // nothing — all accounting is supervisor-side.
+    set_metrics_enabled(false);
+    FrameSender sender(fd);
+    std::uint64_t expected_seq = 0;
+
+    // RA index -> slot in context.hosted (environments/policies share it).
+    auto slot_of = [&context](std::uint32_t ra) -> std::size_t {
+      for (std::size_t s = 0; s < context.hosted.size(); ++s) {
+        if (context.hosted[s] == ra) return s;
+      }
+      throw std::runtime_error("worker: directive for RA " + std::to_string(ra) +
+                               " this worker does not host");
+    };
+
+    HelloPayload hello;
+    hello.worker_index = context.index;
+    hello.hosted_ras = context.hosted;
+    if (!sender.send(FrameType::Hello, kConnectionScope, encode_hello(hello)))
+      return 1;
+
+    for (;;) {
+      Frame frame;
+      const IoResult io = read_frame(fd, frame, /*deadline_ms=*/60000);
+      if (io == IoResult::Deadline) continue;  // idle between periods
+      if (io == IoResult::Closed) return 0;    // supervisor is gone
+      if (io != IoResult::Ok) return 1;
+      if (frame.seq != expected_seq) return 1;  // corrupt channel
+      ++expected_seq;
+
+      switch (frame.type) {
+        case FrameType::RunPeriod: {
+          const RunPeriodPayload run = decode_run_period(frame.payload);
+          for (std::size_t entry = 0; entry < run.ras.size(); ++entry) {
+            const std::uint32_t ra = run.ras[entry];
+            const core::RaPeriodDirective& d = run.directives[entry];
+            if (d.stall_ms > 0) {
+              std::this_thread::sleep_for(std::chrono::milliseconds(d.stall_ms));
+            }
+            if (d.abort_run) _exit(1);  // chaos: die mid-exchange, no trace
+            if (!d.run) continue;
+            const std::size_t slot = slot_of(ra);
+            env::RaEnvironment& environment = *context.environments[slot];
+            core::RaPolicy& policy = *context.policies[slot];
+            if (d.has_derate) environment.set_resource_derate(d.derate);
+            TracePayload trace;
+            trace.period = run.period;
+            trace.trace.ran = true;
+            const std::size_t intervals = environment.config().intervals_per_period;
+            trace.trace.steps.reserve(intervals);
+            trace.trace.actions.reserve(intervals);
+            for (std::size_t t = 0; t < intervals; ++t) {
+              std::vector<double> action = policy.decide(environment);
+              env::StepResult step = environment.step(action);
+              policy.feedback(step);
+              trace.trace.steps.push_back(std::move(step));
+              trace.trace.actions.push_back(std::move(action));
+            }
+            if (!sender.send(FrameType::Trace, ra, encode_trace(trace))) return 1;
+            // The post-intervals blob rides along immediately: it is the
+            // supervisor's crash-restore point for this RA.
+            if (!sender.send(FrameType::EnvState, ra, environment_blob(environment)))
+              return 1;
+          }
+          break;
+        }
+        case FrameType::Coordination: {
+          const CoordinationPayload coordination = decode_coordination(frame.payload);
+          context.environments[slot_of(frame.ra)]->set_coordination(
+              coordination.z_minus_y);
+          break;
+        }
+        case FrameType::Snapshot: {
+          env::RaEnvironment& environment = *context.environments[slot_of(frame.ra)];
+          if (!sender.send(FrameType::EnvState, frame.ra,
+                           environment_blob(environment))) {
+            return 1;
+          }
+          break;
+        }
+        case FrameType::Restore: {
+          std::istringstream blob(frame.payload);
+          context.environments[slot_of(frame.ra)]->load_state(blob);
+          if (!sender.send(FrameType::Ack, frame.ra, encode_u64(0))) return 1;
+          break;
+        }
+        case FrameType::Ping: {
+          if (!sender.send(FrameType::Pong, kConnectionScope,
+                           std::string(frame.payload))) {
+            return 1;
+          }
+          break;
+        }
+        case FrameType::Shutdown:
+          return 0;
+        default:
+          return 1;  // supervisor never sends the other types
+      }
+    }
+  } catch (const std::exception&) {
+    return 1;
+  }
+}
+
+}  // namespace edgeslice::ipc

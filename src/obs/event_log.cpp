@@ -42,6 +42,11 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::SlaViolation: return "sla.violation";
     case EventKind::CheckpointSaved: return "ckpt.saved";
     case EventKind::CheckpointLoaded: return "ckpt.loaded";
+    case EventKind::WorkerSpawn: return "worker.spawn";
+    case EventKind::WorkerExit: return "worker.exit";
+    case EventKind::WorkerKill: return "worker.kill";
+    case EventKind::WorkerHung: return "worker.hung";
+    case EventKind::WorkerRestore: return "worker.restore";
   }
   return "?";
 }

@@ -51,6 +51,11 @@ enum class EventKind : std::uint8_t {
   SlaViolation,      // watchdog: slice below its SLO (value = shortfall)
   CheckpointSaved,   // ckpt: container written to disk (value = bytes)
   CheckpointLoaded,  // ckpt: container restored from disk (value = bytes)
+  WorkerSpawn,       // supervisor: worker process forked (ra = worker index, value = pid)
+  WorkerExit,        // supervisor: worker died unexpectedly (ra = worker index)
+  WorkerKill,        // supervisor: worker SIGKILLed (ra = worker index)
+  WorkerHung,        // supervisor: worker missed a trace/io deadline (ra = worker index)
+  WorkerRestore,     // supervisor: RA state restored into a fresh worker (ra = RA index)
 };
 
 /// Stable numeric codes for CoordinatorReject's `value` field, mirroring

@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <poll.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -20,6 +21,30 @@
 
 namespace edgeslice::obs {
 
+namespace {
+
+// Worker-process liveness published by the supervisor; /healthz degrades
+// when workers are down. total == 0 means "no worker plane" (single
+// process) and reads as healthy.
+std::atomic<std::size_t> g_workers_alive{0};
+std::atomic<std::size_t> g_workers_total{0};
+
+}  // namespace
+
+void set_worker_liveness(std::size_t alive, std::size_t total) {
+  g_workers_alive.store(alive, std::memory_order_relaxed);
+  g_workers_total.store(total, std::memory_order_relaxed);
+}
+
+WorkerLiveness worker_liveness() {
+  // Read total first: a concurrent shrink to 0/0 (supervisor stop) can
+  // then only surface as healthy, never as a phantom degradation.
+  WorkerLiveness liveness;
+  liveness.total = g_workers_total.load(std::memory_order_relaxed);
+  liveness.alive = g_workers_alive.load(std::memory_order_relaxed);
+  return liveness;
+}
+
 TelemetryServer::TelemetryServer(TelemetryServerConfig config)
     : config_(std::move(config)) {}
 
@@ -27,6 +52,10 @@ TelemetryServer::~TelemetryServer() { stop(); }
 
 bool TelemetryServer::start() {
   if (running()) return true;
+  // A peer that disconnects mid-response must surface as EPIPE from
+  // send(2), never kill the process. send() already passes MSG_NOSIGNAL;
+  // this covers any future write path too.
+  ::signal(SIGPIPE, SIG_IGN);
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
     ES_LOG(Warn) << "telemetry: socket() failed: " << std::strerror(errno);
@@ -98,8 +127,11 @@ std::string read_request_path(int fd) {
   std::size_t used = 0;
   while (used < sizeof(buf) - 1) {
     pollfd pfd{fd, POLLIN, 0};
-    if (::poll(&pfd, 1, /*timeout_ms=*/1000) <= 0) break;
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/1000);
+    if (ready < 0 && errno == EINTR) continue;
+    if (ready <= 0) break;
     const ssize_t n = ::recv(fd, buf + used, sizeof(buf) - 1 - used, 0);
+    if (n < 0 && errno == EINTR) continue;
     if (n <= 0) break;
     used += static_cast<std::size_t>(n);
     buf[used] = '\0';
@@ -123,16 +155,31 @@ void send_response(int fd, int status, const char* reason, const char* content_t
        << "Content-Length: " << body.size() << "\r\n"
        << "Connection: close\r\n\r\n";
   const std::string header = head.str();
-  const auto send_all = [fd](const char* data, std::size_t size) {
+  // Returns false when the client is gone; EINTR and short writes are
+  // retried (large /metrics bodies routinely exceed one send on a
+  // loopback socket with a small buffer), with a bounded wait for the
+  // peer to drain.
+  const auto send_all = [fd](const char* data, std::size_t size) -> bool {
     std::size_t sent = 0;
     while (sent < size) {
       const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
-      if (n <= 0) return;
-      sent += static_cast<std::size_t>(n);
+      if (n > 0) {
+        sent += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        pollfd pfd{fd, POLLOUT, 0};
+        const int ready = ::poll(&pfd, 1, /*timeout_ms=*/1000);
+        if (ready < 0 && errno == EINTR) continue;
+        if (ready <= 0) return false;  // stalled client: drop it
+        continue;
+      }
+      return false;  // EPIPE / ECONNRESET / anything else: client is gone
     }
+    return true;
   };
-  send_all(header.data(), header.size());
-  send_all(body.data(), body.size());
+  if (send_all(header.data(), header.size())) send_all(body.data(), body.size());
 }
 
 }  // namespace
@@ -155,7 +202,15 @@ void TelemetryServer::handle_client(int client_fd) {
     body << "\n";
     send_response(client_fd, 200, "OK", "application/json", body.str());
   } else if (path == "/healthz") {
-    send_response(client_fd, 200, "OK", "text/plain", "ok\n");
+    const WorkerLiveness liveness = worker_liveness();
+    if (liveness.total > 0 && liveness.alive < liveness.total) {
+      std::ostringstream body;
+      body << "degraded: " << liveness.alive << "/" << liveness.total
+           << " workers alive\n";
+      send_response(client_fd, 503, "Service Unavailable", "text/plain", body.str());
+    } else {
+      send_response(client_fd, 200, "OK", "text/plain", "ok\n");
+    }
   } else if (path.empty()) {
     send_response(client_fd, 400, "Bad Request", "text/plain", "bad request\n");
   } else {

@@ -23,11 +23,26 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <thread>
 
 namespace edgeslice::obs {
+
+/// Worker-process liveness as published by the multi-process control
+/// plane's supervisor. total == 0 means the run has no worker plane
+/// (single-process) and /healthz reads healthy.
+struct WorkerLiveness {
+  std::size_t alive = 0;
+  std::size_t total = 0;
+};
+
+/// Publish worker liveness (ipc::WorkerSupervisor calls this after every
+/// spawn/death/period). Thread-safe; /healthz answers 503 "degraded"
+/// while alive < total.
+void set_worker_liveness(std::size_t alive, std::size_t total);
+WorkerLiveness worker_liveness();
 
 struct TelemetryServerConfig {
   /// TCP port to listen on; 0 picks an ephemeral port (see port()).

@@ -1,10 +1,11 @@
 # docs-check: keep FORMATS.md (the normative on-disk format spec) in sync
-# with the checkpoint format version the code implements.
+# with the format versions the code implements.
 #
 # Run as: cmake -DREPO_ROOT=<repo> -P docs_check.cmake
-# Fails when src/ckpt/format.h bumps kCkptFormatVersion without FORMATS.md
-# documenting the same version, or when FORMATS.md stops covering one of
-# the artifact families it claims to spec.
+# Fails when src/ckpt/format.h bumps kCkptFormatVersion (or src/ipc/frame.h
+# bumps kFrameFormatVersion) without FORMATS.md documenting the same
+# version, or when FORMATS.md stops covering one of the artifact families
+# it claims to spec.
 
 if(NOT DEFINED REPO_ROOT)
   message(FATAL_ERROR "docs_check: pass -DREPO_ROOT=<repository root>")
@@ -38,9 +39,29 @@ if(NOT doc_text MATCHES "checkpoint format version ${code_version}")
       "${code_version}\" — update the spec alongside the code")
 endif()
 
+# Same coupling for the coordinator <-> worker wire protocol: the frame
+# header lives in src/ipc/frame.h and FORMATS.md must state the version
+# it implements ("wire frame format version N").
+set(frame_header "${REPO_ROOT}/src/ipc/frame.h")
+if(NOT EXISTS "${frame_header}")
+  message(FATAL_ERROR "docs_check: ${frame_header} not found")
+endif()
+file(READ "${frame_header}" frame_text)
+if(NOT frame_text MATCHES "kFrameFormatVersion = ([0-9]+)")
+  message(FATAL_ERROR "docs_check: kFrameFormatVersion not found in ${frame_header}")
+endif()
+set(frame_version "${CMAKE_MATCH_1}")
+if(NOT doc_text MATCHES "wire frame format version ${frame_version}")
+  message(FATAL_ERROR
+      "docs_check: src/ipc/frame.h implements wire frame format version "
+      "${frame_version}, but FORMATS.md does not say \"wire frame format "
+      "version ${frame_version}\" — update the spec alongside the code")
+endif()
+
 # Every artifact family the repo writes must have a section in the spec.
 foreach(family
     "ESCK"               # checkpoint container
+    "ESFR"               # coordinator <-> worker wire frame
     "mlp v1"             # legacy agent-cache text format
     "JSON"               # observability snapshot (metrics + spans + events)
     "JSONL"              # flight-recorder event stream
@@ -53,4 +74,5 @@ foreach(family
 endforeach()
 
 message(STATUS "docs_check: FORMATS.md documents checkpoint format version "
-               "${code_version} and all artifact families")
+               "${code_version}, wire frame format version ${frame_version}, "
+               "and all artifact families")

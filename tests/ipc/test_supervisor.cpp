@@ -1,0 +1,239 @@
+// WorkerSupervisor failure policy (ctest label: ipc).
+//
+// Edge cases of the supervised control plane, each with a real forked
+// worker process on the other side of the socketpair: a worker dying
+// mid-exchange (abrupt _exit while its RunPeriod is outstanding), a
+// worker hanging past the trace deadline, a restart storm capped by the
+// backoff budget (a permanently failing worker stays down instead of
+// fork-bombing), and a double-restart of the same worker within one
+// period (planned kill at the boundary + crash mid-period).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/policies.h"
+#include "env/environment.h"
+#include "env/service_model.h"
+#include "ipc/supervisor.h"
+
+namespace edgeslice::ipc {
+namespace {
+
+std::unique_ptr<env::RaEnvironment> make_env(Rng rng) {
+  env::RaEnvironmentConfig config;  // 2 slices, T = 10
+  return std::make_unique<env::RaEnvironment>(
+      config,
+      std::vector<env::AppProfile>{env::slice1_profile(), env::slice2_profile()},
+      std::make_shared<env::DirectServiceModel>(env::prototype_capacity()),
+      env::make_queue_power_perf(), rng);
+}
+
+/// A small supervised fleet: `ras` environments with TARO policies across
+/// `workers` worker processes, torn down with the fixture.
+struct Fleet {
+  std::vector<std::unique_ptr<env::RaEnvironment>> environments;
+  std::vector<std::unique_ptr<core::RaPolicy>> policies;
+  std::unique_ptr<WorkerSupervisor> supervisor;
+
+  explicit Fleet(std::size_t ras, SupervisorConfig config = {}) {
+    std::vector<env::RaEnvironment*> env_ptrs;
+    std::vector<core::RaPolicy*> policy_ptrs;
+    const Rng parent(99);
+    for (std::size_t j = 0; j < ras; ++j) {
+      environments.push_back(make_env(parent.spawn(j)));
+      policies.push_back(std::make_unique<core::TaroPolicy>());
+      env_ptrs.push_back(environments.back().get());
+      policy_ptrs.push_back(policies.back().get());
+    }
+    supervisor = std::make_unique<WorkerSupervisor>(env_ptrs, policy_ptrs, config);
+    supervisor->start();
+  }
+
+  std::vector<core::RaPeriodDirective> directives() const {
+    return std::vector<core::RaPeriodDirective>(environments.size());
+  }
+};
+
+std::size_t ran_count(const std::vector<core::RaPeriodTrace>& traces) {
+  std::size_t ran = 0;
+  for (const auto& trace : traces) {
+    if (trace.ran) ++ran;
+  }
+  return ran;
+}
+
+TEST(WorkerSupervisor, StartsOneWorkerPerSlotAndRefusesDoubleStart) {
+  SupervisorConfig config;
+  config.workers = 2;
+  Fleet fleet(4, config);
+  EXPECT_EQ(fleet.supervisor->worker_count(), 2u);
+  EXPECT_TRUE(fleet.supervisor->worker_alive(0));
+  EXPECT_TRUE(fleet.supervisor->worker_alive(1));
+  EXPECT_EQ(fleet.supervisor->worker_of(0), 0u);
+  EXPECT_EQ(fleet.supervisor->worker_of(3), 1u);
+  EXPECT_THROW(fleet.supervisor->start(), std::logic_error);
+
+  const auto traces = fleet.supervisor->run_intervals(0, fleet.directives());
+  EXPECT_EQ(ran_count(traces), 4u);
+  for (const auto& trace : traces) {
+    EXPECT_EQ(trace.steps.size(), 10u);
+    EXPECT_EQ(trace.actions.size(), 10u);
+  }
+  fleet.supervisor->end_period(0);
+}
+
+TEST(WorkerSupervisor, WorkerDeathMidExchangeDegradesOnlyItsRas) {
+  SupervisorConfig config;
+  config.workers = 2;
+  Fleet fleet(2, config);
+
+  // RA 0's worker aborts abruptly while its RunPeriod is outstanding —
+  // the supervisor sees EOF mid-collection, not an error reply.
+  auto directives = fleet.directives();
+  directives[0].abort_run = true;
+  const auto traces = fleet.supervisor->run_intervals(0, directives);
+  EXPECT_FALSE(traces[0].ran);
+  EXPECT_TRUE(traces[1].ran);
+  EXPECT_FALSE(fleet.supervisor->worker_alive(0));
+  EXPECT_TRUE(fleet.supervisor->worker_alive(1));
+
+  // RC-L to the dead worker's RA reports the loss; the healthy one works.
+  core::RcLearningMessage message;
+  message.ra = 0;
+  message.z_minus_y = {0.1, 0.2};
+  EXPECT_FALSE(fleet.supervisor->send_coordination(0, message));
+  message.ra = 1;
+  EXPECT_TRUE(fleet.supervisor->send_coordination(0, message));
+
+  // end_period restores the worker from its cached state; the next period
+  // is whole again.
+  fleet.supervisor->end_period(0);
+  EXPECT_TRUE(fleet.supervisor->worker_alive(0));
+  EXPECT_EQ(fleet.supervisor->restart_count(0), 1u);
+  const auto healed = fleet.supervisor->run_intervals(1, fleet.directives());
+  EXPECT_EQ(ran_count(healed), 2u);
+}
+
+TEST(WorkerSupervisor, HungWorkerIsDeclaredDeadAtTheTraceDeadline) {
+  SupervisorConfig config;
+  config.workers = 2;
+  config.trace_deadline_ms = 300;  // the test's whole wait, not 30 s
+  Fleet fleet(2, config);
+
+  // RA 0's worker stalls far past the deadline mid-period. The supervisor
+  // must cut it loose at ~trace_deadline_ms and keep the healthy worker's
+  // results.
+  auto directives = fleet.directives();
+  directives[0].stall_ms = 5000;
+  const auto traces = fleet.supervisor->run_intervals(0, directives);
+  EXPECT_FALSE(traces[0].ran);
+  EXPECT_TRUE(traces[1].ran);
+  EXPECT_FALSE(fleet.supervisor->worker_alive(0));
+
+  fleet.supervisor->end_period(0);
+  EXPECT_TRUE(fleet.supervisor->worker_alive(0));
+  const auto healed = fleet.supervisor->run_intervals(1, fleet.directives());
+  EXPECT_EQ(ran_count(healed), 2u);
+}
+
+TEST(WorkerSupervisor, RestartStormIsCappedAndTheWorkerStaysDown) {
+  SupervisorConfig config;
+  config.workers = 2;
+  config.restart_backoff_initial_ms = 1;
+  config.restart_backoff_max_ms = 4;
+  config.max_restart_attempts = 2;
+  Fleet fleet(2, config);
+
+  // The worker crashes every single period: each end_period respawn is
+  // consumed by the next period's crash, so the consecutive-restart
+  // budget must trip and leave the worker permanently down.
+  std::size_t periods_run = 0;
+  for (std::size_t p = 0; p < 30 && !fleet.supervisor->worker_failed(0); ++p) {
+    auto directives = fleet.directives();
+    directives[0].abort_run = true;
+    fleet.supervisor->run_intervals(p, directives);
+    fleet.supervisor->end_period(p);
+    ::usleep(6000);  // get past the (tiny) backoff gate
+    ++periods_run;
+  }
+  EXPECT_TRUE(fleet.supervisor->worker_failed(0));
+  EXPECT_FALSE(fleet.supervisor->worker_alive(0));
+  // attempts are counted only when the backoff gate admits a respawn, so
+  // the lifetime restart count stays within the budget.
+  EXPECT_LE(fleet.supervisor->restart_count(0),
+            static_cast<std::size_t>(config.max_restart_attempts));
+  EXPECT_TRUE(fleet.supervisor->worker_alive(1));
+
+  // A failed worker is never resurrected; its RAs stay degraded while the
+  // rest of the fleet keeps running.
+  const std::size_t restarts_at_failure = fleet.supervisor->restart_count(0);
+  const auto traces = fleet.supervisor->run_intervals(periods_run, fleet.directives());
+  fleet.supervisor->end_period(periods_run);
+  EXPECT_FALSE(traces[0].ran);
+  EXPECT_TRUE(traces[1].ran);
+  EXPECT_FALSE(fleet.supervisor->worker_alive(0));
+  EXPECT_EQ(fleet.supervisor->restart_count(0), restarts_at_failure);
+}
+
+TEST(WorkerSupervisor, DoubleRestartOfTheSameWorkerWithinOnePeriod) {
+  SupervisorConfig config;
+  config.workers = 2;
+  Fleet fleet(4, config);  // worker 0 hosts RAs {0, 2}
+
+  // Restart #1: a planned kill at the period boundary (physical SIGKILL +
+  // immediate restore of both hosted RAs). Restart #2: the restored
+  // worker crashes again mid-period, healed by end_period.
+  auto directives = fleet.directives();
+  directives[0].fault = ProcessFaultKind::Kill;
+  directives[2].abort_run = true;
+  const auto traces = fleet.supervisor->run_intervals(0, directives);
+  fleet.supervisor->end_period(0);
+  EXPECT_TRUE(fleet.supervisor->worker_alive(0));
+  EXPECT_EQ(fleet.supervisor->restart_count(0), 2u);
+  // The co-hosted RA 0 ran after the planned restore (its abort sibling
+  // came later in directive order); worker 1's RAs are untouched.
+  EXPECT_TRUE(traces[0].ran);
+  EXPECT_TRUE(traces[1].ran);
+  EXPECT_FALSE(traces[2].ran);
+  EXPECT_TRUE(traces[3].ran);
+
+  const auto healed = fleet.supervisor->run_intervals(1, fleet.directives());
+  EXPECT_EQ(ran_count(healed), 4u);
+}
+
+TEST(WorkerSupervisor, PlannedHalfCloseIsRestoredBeforeThePeriodRuns) {
+  SupervisorConfig config;
+  config.workers = 2;
+  Fleet fleet(2, config);
+
+  // SocketDrop's physical action: half-close at the boundary, respawn,
+  // restore — the restored worker then runs its period normally.
+  auto directives = fleet.directives();
+  directives[1].fault = ProcessFaultKind::HalfClose;
+  const auto traces = fleet.supervisor->run_intervals(0, directives);
+  EXPECT_EQ(ran_count(traces), 2u);
+  EXPECT_EQ(fleet.supervisor->restart_count(1), 1u);
+  EXPECT_TRUE(fleet.supervisor->worker_alive(1));
+}
+
+TEST(WorkerSupervisor, SnapshotAndRestoreRoundTripThroughTheWorker) {
+  SupervisorConfig config;
+  config.workers = 1;
+  Fleet fleet(2, config);
+
+  fleet.supervisor->run_intervals(0, fleet.directives());
+  fleet.supervisor->end_period(0);
+  const std::string blob = fleet.supervisor->environment_state(0);
+  ASSERT_FALSE(blob.empty());
+  // Restore the snapshot we just took: the next snapshot must be
+  // byte-identical (the worker's state is exactly the blob).
+  fleet.supervisor->restore_environment(0, blob);
+  EXPECT_EQ(fleet.supervisor->environment_state(0), blob);
+  EXPECT_THROW(fleet.supervisor->environment_state(7), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace edgeslice::ipc

@@ -14,6 +14,7 @@
 #include "common/trace_span.h"
 #include "core/policies.h"
 #include "ipc/supervisor.h"
+#include "nn/gemm.h"
 #include "obs/event_log.h"
 #include "obs/telemetry_server.h"
 #include "rl/frozen.h"
@@ -489,9 +490,18 @@ Setup parse_common_flags(int argc, char** argv, Setup setup,
                                  "threads",     "metrics-out",    "telemetry-port",
                                  "metrics-interval", "events-out", "checkpoint-every",
                                  "checkpoint-out",   "resume",     "checkpoint-keep",
-                                 "workers"};
+                                 "workers",     "gemm"};
   known.insert(known.end(), extra_flags.begin(), extra_flags.end());
   const CliArgs args(argc, argv, known);
+
+  // --gemm scalar|avx2|auto (EDGESLICE_GEMM): pin the nn GEMM backend for
+  // the whole run. Without the flag the backend resolves lazily from the
+  // environment on first use; pinning here surfaces a bad value as a
+  // clean CLI error instead of a mid-run throw. An explicit "avx2" on a
+  // CPU without AVX2+FMA throws rather than silently falling back.
+  const char* env_gemm = std::getenv("EDGESLICE_GEMM");
+  const std::string gemm = args.get("gemm", env_gemm != nullptr ? env_gemm : "");
+  if (!gemm.empty()) nn::set_gemm_backend(gemm.c_str());
   setup.train_steps = static_cast<std::size_t>(args.get_int_env(
       "steps", "EDGESLICE_TRAIN_STEPS", static_cast<std::int64_t>(setup.train_steps)));
   setup.seed = static_cast<std::uint64_t>(

@@ -190,6 +190,10 @@ RunResult run_contender(const Setup& setup, Contender contender, Rng& rng,
 ///       RAs in n supervised worker processes over the ESFR wire
 ///       protocol; 0 (default) keeps everything in-process. Bit-identical
 ///       at any n, including under worker-kill chaos plans.
+///   --gemm <mode>             (EDGESLICE_GEMM) pin the nn GEMM backend:
+///       scalar | avx2 | auto (default auto). Pinning is a reproducibility
+///       statement — "avx2" on an unsupported CPU is an error, never a
+///       silent fallback. See DESIGN.md "GEMM dispatch".
 Setup parse_common_flags(int argc, char** argv, Setup setup,
                          const std::vector<std::string>& extra_flags = {});
 

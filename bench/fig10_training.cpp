@@ -10,15 +10,24 @@
 //
 // With --threads N (or EDGESLICE_THREADS) the independent trainings of
 // each part fan out across a deterministic thread pool; results are
-// bit-identical to --threads 1. The run also times a small
-// sequential-vs-parallel training batch and writes the measurements to
-// BENCH_training.json (wall-clock, speedup, matmul GFLOP/s).
+// bit-identical to --threads 1. The run also writes BENCH_training.json:
+//   - sequential vs parallel training wall-clock and speedup, with the
+//     timed thread count clamped to the hardware (an oversubscribed
+//     request is recorded as such, not timed as a fake slowdown);
+//   - kernel-only matmul GFLOP/s per GEMM backend (pre-allocated output,
+//     untimed warm-up rep — the kernel, not allocation, is measured);
+//   - deployment inference steps/second with cross-agent batched
+//     inference on vs off, plus the bit-identity of the two trajectories.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <optional>
 
 #include "common.h"
 #include "env/service_model.h"
+#include "nn/gemm.h"
+#include "rl/frozen.h"
 
 using namespace edgeslice;
 using namespace edgeslice::bench;
@@ -84,43 +93,139 @@ TimedBatch time_training_batch(std::size_t jobs, std::size_t steps,
   return out;
 }
 
-/// Sustained matmul throughput of the nn substrate (the training hot path).
-double measure_matmul_gflops() {
+/// Kernel-only matmul throughput of one GEMM backend (the training hot
+/// path). The output is pre-allocated and the first rep is an untimed
+/// warm-up, so the number measures the kernel — the historic version
+/// timed a fresh allocation + zero-fill and a cold first rep in every
+/// sample. Restores nothing: the caller re-pins the backend afterwards.
+double measure_matmul_gflops(nn::GemmBackend backend) {
   Rng rng(1);
   nn::Matrix a(256, 256);
   nn::Matrix b(256, 256);
   for (auto& v : a.data()) v = rng.normal();
   for (auto& v : b.data()) v = rng.normal();
+  nn::set_gemm_backend(backend);
+  nn::Matrix out;
+  a.matmul_into(b, out);  // warm-up: allocates out, faults pages, warms caches
   constexpr int kReps = 40;
-  double sink = 0.0;
+  double sink = out(0, 0);
   const auto start = Clock::now();
   for (int r = 0; r < kReps; ++r) {
-    sink += a.matmul(b)(0, 0);
+    a.matmul_into(b, out);
+    sink += out(0, 0);
   }
   const double elapsed = seconds_since(start);
-  const double flops = 2.0 * 256.0 * 256.0 * 256.0 * kReps;
   // Keep the accumulator observable so the loop cannot be elided.
-  std::fprintf(stderr, "[bench] matmul sink %.3e\n", sink);
+  std::fprintf(stderr, "[bench] matmul sink (%s) %.3e\n",
+               nn::gemm_backend_name(backend), sink);
+  const double flops = 2.0 * 256.0 * 256.0 * 256.0 * kReps;
   return flops / elapsed / 1e9;
 }
 
-void write_bench_json(const Setup& base, const TimedBatch& sequential,
-                      const TimedBatch& parallel, bool bit_identical,
-                      std::size_t timing_jobs, std::size_t timing_steps,
-                      double gflops) {
+struct InferenceTiming {
+  double seconds = 0.0;
+  double steps_per_second = 0.0;  // RA-intervals per second
+  std::vector<double> period_performance;  // identity probe
+};
+
+/// Time a deployment-shaped run — every RA a LearnedPolicy over one
+/// shared frozen actor, exactly how run_contender deploys — with
+/// cross-agent batched inference on or off. The two trajectories must be
+/// bit-identical; only the wall clock may differ. Inference cost does not
+/// depend on the weights, so a fresh (untrained) actor of the deployed
+/// architecture keeps the measurement cheap.
+InferenceTiming time_deployment(const Setup& setup, bool batched,
+                                std::size_t periods) {
+  Rng rng(setup.seed);
+  const auto profiles = make_profiles(setup.slices, rng);
+  const auto model = make_service_model(profiles);
+  auto environments = make_environments(setup, profiles, model,
+                                        /*traffic_in_state=*/true);
+  Rng actor_rng = Rng(setup.seed).spawn(99);
+  const auto agent = std::make_shared<rl::FrozenActor>(
+      nn::Mlp({environments.front()->state_dim(), 128, 128,
+               environments.front()->action_dim()},
+              nn::Activation::LeakyRelu, nn::Activation::Sigmoid, actor_rng));
+  std::vector<std::unique_ptr<core::RaPolicy>> policies;
+  for (std::size_t j = 0; j < setup.ras; ++j) {
+    policies.push_back(std::make_unique<core::LearnedPolicy>(agent, /*learn=*/false));
+  }
+  core::CoordinatorConfig coordinator;
+  coordinator.slices = setup.slices;
+  coordinator.ras = setup.ras;
+  core::SystemConfig system_config;
+  system_config.batched_inference = batched;
+  std::vector<env::RaEnvironment*> env_ptrs;
+  std::vector<core::RaPolicy*> policy_ptrs;
+  for (auto& e : environments) env_ptrs.push_back(e.get());
+  for (auto& p : policies) policy_ptrs.push_back(p.get());
+  core::EdgeSliceSystem system(env_ptrs, policy_ptrs, coordinator, system_config);
+
+  InferenceTiming out;
+  out.period_performance.reserve(periods);
+  const auto start = Clock::now();
+  for (std::size_t p = 0; p < periods; ++p) {
+    out.period_performance.push_back(system.run_period().system_performance);
+  }
+  out.seconds = seconds_since(start);
+  const double steps =
+      static_cast<double>(setup.ras * setup.intervals_per_period * periods);
+  out.steps_per_second = out.seconds > 0.0 ? steps / out.seconds : 0.0;
+  return out;
+}
+
+/// Everything BENCH_training.json records.
+struct BenchRecord {
+  std::size_t threads_requested = 0;
+  std::size_t threads_timed = 0;
+  bool oversubscribed = false;
+  std::size_t timing_jobs = 0;
+  std::size_t timing_steps = 0;
+  double sequential_seconds = 0.0;
+  double parallel_seconds = 0.0;
+  bool bit_identical = false;
+  const char* gemm_backend = "?";
+  double matmul_gflops = 0.0;         // the run's active backend
+  double matmul_gflops_scalar = 0.0;
+  double matmul_gflops_avx2 = 0.0;    // 0 when the CPU lacks AVX2+FMA
+  double inference_steps_per_second_batched = 0.0;
+  double inference_steps_per_second_unbatched = 0.0;
+  bool inference_bit_identical = false;
+};
+
+void write_bench_json(const BenchRecord& r) {
+  const auto json_bool = [](bool b) { return b ? "true" : "false"; };
   std::ofstream out("BENCH_training.json");
   out << "{\n";
-  out << "  \"threads\": " << base.threads << ",\n";
+  out << "  \"threads\": " << r.threads_requested << ",\n";
+  out << "  \"threads_timed\": " << r.threads_timed << ",\n";
+  out << "  \"oversubscribed\": " << json_bool(r.oversubscribed) << ",\n";
   out << "  \"hardware_threads\": " << ThreadPool::hardware_threads() << ",\n";
-  out << "  \"timing_jobs\": " << timing_jobs << ",\n";
-  out << "  \"timing_steps_per_job\": " << timing_steps << ",\n";
-  out << "  \"sequential_seconds\": " << sequential.seconds << ",\n";
-  out << "  \"parallel_seconds\": " << parallel.seconds << ",\n";
+  out << "  \"timing_jobs\": " << r.timing_jobs << ",\n";
+  out << "  \"timing_steps_per_job\": " << r.timing_steps << ",\n";
+  out << "  \"sequential_seconds\": " << r.sequential_seconds << ",\n";
+  out << "  \"parallel_seconds\": " << r.parallel_seconds << ",\n";
   out << "  \"speedup\": "
-      << (parallel.seconds > 0.0 ? sequential.seconds / parallel.seconds : 0.0)
+      << (r.parallel_seconds > 0.0 ? r.sequential_seconds / r.parallel_seconds
+                                   : 0.0)
       << ",\n";
-  out << "  \"bit_identical\": " << (bit_identical ? "true" : "false") << ",\n";
-  out << "  \"matmul_gflops\": " << gflops << "\n";
+  out << "  \"bit_identical\": " << json_bool(r.bit_identical) << ",\n";
+  out << "  \"gemm_backend\": \"" << r.gemm_backend << "\",\n";
+  out << "  \"matmul_gflops\": " << r.matmul_gflops << ",\n";
+  out << "  \"matmul_gflops_scalar\": " << r.matmul_gflops_scalar << ",\n";
+  out << "  \"matmul_gflops_avx2\": " << r.matmul_gflops_avx2 << ",\n";
+  out << "  \"inference_steps_per_second_batched\": "
+      << r.inference_steps_per_second_batched << ",\n";
+  out << "  \"inference_steps_per_second_unbatched\": "
+      << r.inference_steps_per_second_unbatched << ",\n";
+  out << "  \"inference_batched_speedup\": "
+      << (r.inference_steps_per_second_unbatched > 0.0
+              ? r.inference_steps_per_second_batched /
+                    r.inference_steps_per_second_unbatched
+              : 0.0)
+      << ",\n";
+  out << "  \"inference_bit_identical\": " << json_bool(r.inference_bit_identical)
+      << "\n";
   out << "}\n";
 }
 
@@ -136,33 +241,102 @@ int main(int argc, char** argv) {
 
   // ---- training-throughput measurement (BENCH_training.json) --------------
   // A small fresh fleet (no disk cache) trained twice: sequentially, then
-  // on the pool. The two runs must agree bit for bit; the wall-clock ratio
-  // is the training speedup on this machine.
+  // on a pool. The two runs must agree bit for bit; the wall-clock ratio
+  // is the training speedup on this machine. The timed pool is clamped to
+  // the hardware thread count: timing 4 software threads on a 1-core box
+  // measures scheduler churn, not parallel speedup, and used to publish
+  // nonsense like "speedup": 0.95. The requested count is still recorded,
+  // with oversubscribed = true flagging the clamp.
   {
-    const std::size_t timing_jobs = 4;
-    const std::size_t timing_steps = std::min<std::size_t>(base.train_steps, 2000);
-    std::fprintf(stderr, "[bench] timing %zu training jobs x %zu steps ...\n",
-                 timing_jobs, timing_steps);
-    const TimedBatch sequential =
-        time_training_batch(timing_jobs, timing_steps, base.seed, nullptr);
-    const TimedBatch parallel = time_training_batch(
-        timing_jobs, timing_steps, base.seed, base.pool);
-    bool bit_identical = sequential.results.size() == parallel.results.size();
-    for (std::size_t i = 0; bit_identical && i < sequential.results.size(); ++i) {
-      bit_identical = sequential.results[i].reward_history ==
-                          parallel.results[i].reward_history &&
-                      sequential.results[i].final_mean_reward ==
-                          parallel.results[i].final_mean_reward;
+    BenchRecord record;
+    record.threads_requested = base.threads;
+    record.threads_timed =
+        std::min(base.threads, std::max<std::size_t>(ThreadPool::hardware_threads(), 1));
+    record.oversubscribed = base.threads > record.threads_timed;
+    if (record.oversubscribed) {
+      std::fprintf(stderr,
+                   "[bench] %zu threads requested on %zu hardware threads; "
+                   "timing with %zu (oversubscribed)\n",
+                   base.threads, ThreadPool::hardware_threads(),
+                   record.threads_timed);
     }
-    const double gflops = measure_matmul_gflops();
-    write_bench_json(base, sequential, parallel, bit_identical, timing_jobs,
-                     timing_steps, gflops);
+    record.timing_jobs = 4;
+    record.timing_steps = std::min<std::size_t>(base.train_steps, 2000);
+    std::fprintf(stderr, "[bench] timing %zu training jobs x %zu steps ...\n",
+                 record.timing_jobs, record.timing_steps);
+    std::optional<ThreadPool> timing_pool;
+    if (record.threads_timed > 1) timing_pool.emplace(record.threads_timed);
+    const TimedBatch sequential =
+        time_training_batch(record.timing_jobs, record.timing_steps, base.seed,
+                            nullptr);
+    const TimedBatch parallel =
+        time_training_batch(record.timing_jobs, record.timing_steps, base.seed,
+                            timing_pool ? &*timing_pool : nullptr);
+    record.sequential_seconds = sequential.seconds;
+    record.parallel_seconds = parallel.seconds;
+    record.bit_identical = sequential.results.size() == parallel.results.size();
+    for (std::size_t i = 0; record.bit_identical && i < sequential.results.size();
+         ++i) {
+      record.bit_identical = sequential.results[i].reward_history ==
+                                 parallel.results[i].reward_history &&
+                             sequential.results[i].final_mean_reward ==
+                                 parallel.results[i].final_mean_reward;
+    }
+
+    // Kernel-only GFLOP/s for every backend this CPU can run, then
+    // restore the run's backend for everything that follows.
+    const nn::GemmBackend active = nn::active_gemm_backend();
+    record.gemm_backend = nn::gemm_backend_name(active);
+    record.matmul_gflops_scalar = measure_matmul_gflops(nn::GemmBackend::Scalar);
+    if (nn::cpu_supports_avx2_fma()) {
+      record.matmul_gflops_avx2 = measure_matmul_gflops(nn::GemmBackend::Avx2);
+    }
+    nn::set_gemm_backend(active);
+    record.matmul_gflops = active == nn::GemmBackend::Avx2
+                               ? record.matmul_gflops_avx2
+                               : record.matmul_gflops_scalar;
+
+    // Deployment inference throughput, batched vs per-agent, same fleet.
+    // An untimed warm-up run first (the first fleet construction faults in
+    // the service-model grids and the allocator arena), then alternating
+    // best-of-3 per variant: a single sample per variant on a busy box
+    // reads scheduler noise as a speedup or slowdown of whichever variant
+    // drew the quiet slice. Best-of over interleaved samples is the
+    // honest throughput estimate.
+    const std::size_t inference_periods = 150;
+    time_deployment(base, /*batched=*/false, 2);
+    InferenceTiming unbatched, batched;
+    record.inference_bit_identical = true;
+    for (int sample = 0; sample < 3; ++sample) {
+      const InferenceTiming u =
+          time_deployment(base, /*batched=*/false, inference_periods);
+      const InferenceTiming b =
+          time_deployment(base, /*batched=*/true, inference_periods);
+      record.inference_bit_identical = record.inference_bit_identical &&
+                                       u.period_performance ==
+                                           b.period_performance;
+      if (sample == 0 || u.seconds < unbatched.seconds) unbatched = u;
+      if (sample == 0 || b.seconds < batched.seconds) batched = b;
+    }
+    record.inference_steps_per_second_batched = batched.steps_per_second;
+    record.inference_steps_per_second_unbatched = unbatched.steps_per_second;
+
+    write_bench_json(record);
     std::fprintf(stderr,
                  "[bench] sequential %.2fs, parallel %.2fs (x%.2f, %s), "
-                 "matmul %.2f GFLOP/s -> BENCH_training.json\n",
-                 sequential.seconds, parallel.seconds,
-                 parallel.seconds > 0.0 ? sequential.seconds / parallel.seconds : 0.0,
-                 bit_identical ? "bit-identical" : "MISMATCH", gflops);
+                 "matmul %.2f GFLOP/s (scalar %.2f, avx2 %.2f), "
+                 "inference %.0f steps/s batched vs %.0f unbatched (%s) "
+                 "-> BENCH_training.json\n",
+                 record.sequential_seconds, record.parallel_seconds,
+                 record.parallel_seconds > 0.0
+                     ? record.sequential_seconds / record.parallel_seconds
+                     : 0.0,
+                 record.bit_identical ? "bit-identical" : "MISMATCH",
+                 record.matmul_gflops, record.matmul_gflops_scalar,
+                 record.matmul_gflops_avx2,
+                 record.inference_steps_per_second_batched,
+                 record.inference_steps_per_second_unbatched,
+                 record.inference_bit_identical ? "bit-identical" : "MISMATCH");
   }
 
   // ---- (a): training-step sweep -------------------------------------------

@@ -20,6 +20,14 @@ class RaPolicy {
   /// Learning hook, called after the environment advanced.
   virtual void feedback(const env::StepResult& /*result*/) {}
   virtual std::string name() const = 0;
+
+  /// When decide() is exactly network->infer_vector(environment.state())
+  /// — no exploration, no learning side effects — return that network so
+  /// the system can batch this policy's inference with every other policy
+  /// sharing the same network (one forward pass per network per interval;
+  /// bit-identical per row, see rl/batched_actor.h). Policies with any
+  /// other decide() semantics must return null (the default).
+  virtual const nn::Mlp* inference_network() const { return nullptr; }
 };
 
 /// EdgeSlice / EdgeSlice-NT: a DRL agent over the environment state.
@@ -34,6 +42,12 @@ class LearnedPolicy final : public RaPolicy {
   std::vector<double> decide(const env::RaEnvironment& environment) override;
   void feedback(const env::StepResult& result) override;
   std::string name() const override;
+
+  /// Batchable only in deployment: with learn_ set, decide() explores and
+  /// feedback() consumes the pending action, neither of which batches.
+  const nn::Mlp* inference_network() const override {
+    return learn_ ? nullptr : agent_->inference_actor();
+  }
 
   rl::Agent& agent() { return *agent_; }
   void set_learning(bool learn) { learn_ = learn; }

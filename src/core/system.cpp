@@ -12,6 +12,7 @@
 #include "common/trace_span.h"
 #include "obs/event_log.h"
 #include "obs/sla_watchdog.h"
+#include "rl/batched_actor.h"
 
 namespace edgeslice::core {
 
@@ -213,12 +214,53 @@ PeriodResult EdgeSliceSystem::run_period() {
     // RA — the same span granularity the parallel path reports.
     const bool timed = metrics_enabled();
     std::vector<double> ra_seconds(ras, 0.0);
+
+    // Cross-agent batched inference: RAs whose policy's decide() is a
+    // pure forward pass, grouped by the network they share (in deployment
+    // that is one group holding every live RA). Their states are readable
+    // up front each interval because an environment only advances when
+    // its own RA steps, and per-row kernel determinism makes each batched
+    // row bit-identical to the per-RA decide() it replaces.
+    struct InferenceGroup {
+      rl::BatchedActor actor;
+      std::vector<std::size_t> members;  // RA indices, ascending
+    };
+    std::vector<InferenceGroup> groups;
+    constexpr std::size_t kUnbatched = static_cast<std::size_t>(-1);
+    // Per RA: {group index, row within the group} or {kUnbatched, 0}.
+    std::vector<std::pair<std::size_t, std::size_t>> slot(ras, {kUnbatched, 0});
+    if (config_.batched_inference) {
+      for (std::size_t j = 0; j < ras; ++j) {
+        if (crashed[j]) continue;
+        const nn::Mlp* network = policies_[j]->inference_network();
+        if (network == nullptr) continue;
+        std::size_t g = 0;
+        while (g < groups.size() && &groups[g].actor.network() != network) ++g;
+        if (g == groups.size()) groups.push_back({rl::BatchedActor(*network), {}});
+        slot[j] = {g, groups[g].members.size()};
+        groups[g].members.push_back(j);
+      }
+    }
+
+    double batch_seconds = 0.0;
     for (std::size_t t = 0; t < intervals; ++t) {
+      const auto batch_start = timed ? SteadyClock::now() : SteadyClock::time_point{};
+      for (auto& group : groups) {
+        group.actor.begin(group.members.size());
+        for (std::size_t row = 0; row < group.members.size(); ++row) {
+          group.actor.set_state(row, environments_[group.members[row]]->state());
+        }
+        group.actor.infer();
+      }
+      if (timed && !groups.empty()) batch_seconds += seconds_since(batch_start);
       for (std::size_t j = 0; j < ras; ++j) {
         if (crashed[j]) continue;
         const auto ra_start = timed ? SteadyClock::now() : SteadyClock::time_point{};
         auto& environment = *environments_[j];
-        const std::vector<double> action = policies_[j]->decide(environment);
+        const std::vector<double> action =
+            slot[j].first != kUnbatched
+                ? groups[slot[j].first].actor.action(slot[j].second)
+                : policies_[j]->decide(environment);
         const env::StepResult step = environment.step(action);
         policies_[j]->feedback(step);
         monitor_->record(j, period_, interval_, step, action);
@@ -234,6 +276,9 @@ PeriodResult EdgeSliceSystem::run_period() {
     if (timed) {
       for (std::size_t j = 0; j < ras; ++j) {
         if (!crashed[j]) global_tracer().record("system.ra_intervals", ra_seconds[j]);
+      }
+      if (!groups.empty()) {
+        global_tracer().record("system.batched_inference", batch_seconds);
       }
     }
   }

@@ -80,6 +80,16 @@ struct SystemConfig {
   /// monitor's incremental per-(ra, period) sums) at the end of each
   /// period. Observation-only: never feeds back into orchestration.
   obs::SlaWatchdog* watchdog = nullptr;
+  /// Cross-agent batched inference (sequential in-process path only):
+  /// per interval, the RAs whose policies report an inference_network()
+  /// are grouped by shared network and decided with one multi-row forward
+  /// pass per network instead of one per RA. Observation-neutral — per-row
+  /// kernel determinism (nn/gemm.h) makes every batched action
+  /// bit-identical to the per-RA decide() it replaces — and therefore,
+  /// like `pool`, excluded from config_fingerprint(). The pooled path
+  /// (whole-period-per-RA on dedicated workers) and the transport path
+  /// (remote processes) have no cross-RA point to batch at.
+  bool batched_inference = true;
   /// Non-owning remote execution plane (ipc::WorkerSupervisor); null runs
   /// the RAs in-process. With a transport, the system's environment and
   /// policy pointers are never stepped locally — periods are dispatched as

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 
@@ -11,6 +12,7 @@
 #include "common/stats.h"
 #include "common/trace_span.h"
 #include "obs/event_log.h"
+#include "rl/batched_actor.h"
 #include "rl/ddpg.h"
 
 namespace edgeslice::core {
@@ -190,9 +192,25 @@ double validate_policy(rl::Agent& agent, env::RaEnvironment& environment,
       std::vector<double>(environment.slice_count(), pinned_rate));
   environment.rng() = saved_rng.spawn(kValidationStreamTag);
 
+  // Validation is pure exploitation, so agents whose deterministic action
+  // is a plain forward pass go through the batched-inference code path
+  // (batch of 1 — bit-identical to act(), and the buffer reuse skips the
+  // per-call allocation that act() pays).
+  const nn::Mlp* actor = agent.inference_actor();
+  std::optional<rl::BatchedActor> batched;
+  if (actor != nullptr) batched.emplace(*actor);
+
   double score = 0.0;
   for (std::size_t t = 0; t < intervals; ++t) {
-    const auto action = agent.act(environment.state(), /*explore=*/false);
+    std::vector<double> action;
+    if (batched) {
+      batched->begin(1);
+      batched->set_state(0, environment.state());
+      batched->infer();
+      action = batched->action(0);
+    } else {
+      action = agent.act(environment.state(), /*explore=*/false);
+    }
     const auto result = environment.step(action);
     for (double u : result.performance) score += u;
   }

@@ -41,6 +41,31 @@ Matrix activate(const Matrix& z, Activation a) {
   return z.map([a](double x) { return activate(x, a); });
 }
 
+void activate_assign(Matrix& z, Activation a) {
+  // One switch per matrix instead of one indirect call per element; each
+  // branch applies exactly the scalar activate(x, a) above.
+  auto& data = z.data();
+  switch (a) {
+    case Activation::Identity:
+      return;
+    case Activation::Relu:
+      for (auto& x : data) x = x > 0.0 ? x : 0.0;
+      return;
+    case Activation::LeakyRelu:
+      for (auto& x : data) x = x > 0.0 ? x : kLeakyReluSlope * x;
+      return;
+    case Activation::Tanh:
+      for (auto& x : data) x = std::tanh(x);
+      return;
+    case Activation::Sigmoid:
+      for (auto& x : data) x = 1.0 / (1.0 + std::exp(-x));
+      return;
+    case Activation::Softplus:
+      for (auto& x : data) x = x > 30.0 ? x : std::log1p(std::exp(x));
+      return;
+  }
+}
+
 Matrix activate_grad(const Matrix& z, Activation a) {
   return z.map([a](double x) { return activate_grad(x, a); });
 }

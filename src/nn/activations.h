@@ -13,6 +13,11 @@ enum class Activation { Identity, Relu, LeakyRelu, Tanh, Sigmoid, Softplus };
 /// Elementwise forward pass.
 Matrix activate(const Matrix& z, Activation a);
 
+/// In-place forward pass: z <- activate(z). Bit-identical to activate()
+/// (same scalar function per element) without the copy — the hot-path
+/// variant used by allocation-free inference (Mlp::infer_into).
+void activate_assign(Matrix& z, Activation a);
+
 /// Elementwise derivative evaluated from the *pre-activation* z.
 Matrix activate_grad(const Matrix& z, Activation a);
 

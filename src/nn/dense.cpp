@@ -29,6 +29,12 @@ Matrix Dense::infer(const Matrix& x) const {
   return activate(z, activation_);
 }
 
+void Dense::infer_into(const Matrix& x, Matrix& out) const {
+  x.matmul_into(weights_, out);
+  out.add_row_broadcast_assign(bias_);
+  activate_assign(out, activation_);
+}
+
 Matrix Dense::backward(const Matrix& grad_out) {
   // dL/dZ = dL/dY ⊙ act'(Z)
   Matrix grad_z = activate_grad(cached_pre_activation_, activation_);

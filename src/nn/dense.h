@@ -19,6 +19,11 @@ class Dense {
   /// with a cached training forward pass being alive).
   Matrix infer(const Matrix& x) const;
 
+  /// Allocation-free infer into a caller-owned buffer (reshaped only on
+  /// first use / batch change). Bit-identical to infer(); `out` must not
+  /// alias `x`.
+  void infer_into(const Matrix& x, Matrix& out) const;
+
   /// Backward pass: given dL/dY, accumulates dL/dW, dL/db and returns dL/dX.
   Matrix backward(const Matrix& grad_out);
 

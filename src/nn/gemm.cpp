@@ -1,0 +1,137 @@
+#include "nn/gemm.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace edgeslice::nn {
+
+namespace {
+
+// -1 = unresolved (read EDGESLICE_GEMM on next use). The cached value is
+// process-global: a pinned backend applies to every thread and survives
+// into forked worker processes, which is what keeps multi-process runs on
+// one kernel.
+std::atomic<int> g_backend{-1};
+
+GemmBackend resolve(const char* mode) {
+  const std::string value = mode == nullptr ? "auto" : mode;
+  if (value == "scalar") return GemmBackend::Scalar;
+  if (value == "avx2") {
+    if (!cpu_supports_avx2_fma()) {
+      throw std::invalid_argument(
+          "EDGESLICE_GEMM=avx2: this CPU does not support AVX2+FMA (a pinned "
+          "backend never silently falls back; use auto or scalar)");
+    }
+    return GemmBackend::Avx2;
+  }
+  if (value == "auto" || value.empty()) {
+    return cpu_supports_avx2_fma() ? GemmBackend::Avx2 : GemmBackend::Scalar;
+  }
+  throw std::invalid_argument("EDGESLICE_GEMM: unknown value \"" + value +
+                              "\" (accepted: scalar, avx2, auto)");
+}
+
+}  // namespace
+
+bool cpu_supports_avx2_fma() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+GemmBackend active_gemm_backend() {
+  const int cached = g_backend.load(std::memory_order_relaxed);
+  if (cached >= 0) return static_cast<GemmBackend>(cached);
+  const GemmBackend resolved = resolve(std::getenv("EDGESLICE_GEMM"));
+  g_backend.store(static_cast<int>(resolved), std::memory_order_relaxed);
+  return resolved;
+}
+
+void set_gemm_backend(GemmBackend backend) {
+  if (backend == GemmBackend::Avx2 && !cpu_supports_avx2_fma()) {
+    throw std::invalid_argument(
+        "set_gemm_backend: AVX2 backend requested but this CPU does not "
+        "support AVX2+FMA");
+  }
+  g_backend.store(static_cast<int>(backend), std::memory_order_relaxed);
+}
+
+void set_gemm_backend(const char* mode) {
+  g_backend.store(static_cast<int>(resolve(mode)), std::memory_order_relaxed);
+}
+
+void reset_gemm_backend() { g_backend.store(-1, std::memory_order_relaxed); }
+
+const char* gemm_backend_name(GemmBackend backend) {
+  switch (backend) {
+    case GemmBackend::Scalar: return "scalar";
+    case GemmBackend::Avx2: return "avx2";
+  }
+  return "?";
+}
+
+namespace detail {
+
+namespace {
+
+// K-blocking keeps the active rows of B resident in cache while the
+// whole output is swept; 64 rows of a 128-wide B is 64 KiB, inside L2 on
+// anything this runs on. Per output element the contributions still
+// accumulate in ascending-k order, so blocking never changes the result.
+constexpr std::size_t kScalarTileK = 64;
+
+}  // namespace
+
+void gemm_nn_scalar(const double* a, const double* b, double* c, std::size_t m,
+                    std::size_t k, std::size_t n) {
+  for (std::size_t k0 = 0; k0 < k; k0 += kScalarTileK) {
+    const std::size_t k1 = std::min(k, k0 + kScalarTileK);
+    for (std::size_t i = 0; i < m; ++i) {
+      const double* arow = a + i * k;
+      double* crow = c + i * n;
+      for (std::size_t kk = k0; kk < k1; ++kk) {
+        const double aik = arow[kk];
+        const double* brow = b + kk * n;
+        for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+      }
+    }
+  }
+}
+
+void gemm_at_scalar(const double* a, const double* b, double* c, std::size_t m,
+                    std::size_t k, std::size_t n) {
+  // c(i, j) += sum_kk a(kk, i) * b(kk, j): both operands stream row-wise.
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const double* arow = a + kk * m;
+    const double* brow = b + kk * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double aki = arow[i];
+      double* crow = c + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aki * brow[j];
+    }
+  }
+}
+
+void gemm_bt_scalar(const double* a, const double* b, double* c, std::size_t m,
+                    std::size_t k, std::size_t n) {
+  // c(i, j) = <row_i(a), row_j(b)>: contiguous dot products.
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* arow = a + i * k;
+    double* crow = c + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double* brow = b + j * k;
+      double acc = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      crow[j] = acc;
+    }
+  }
+}
+
+}  // namespace detail
+
+}  // namespace edgeslice::nn

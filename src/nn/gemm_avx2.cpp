@@ -1,0 +1,212 @@
+// AVX2/FMA register-tiled GEMM microkernels (the Avx2 backend).
+//
+// Built with function-level target("avx2,fma") attributes so the
+// translation unit compiles into a generic binary; the dispatcher in
+// gemm.cpp only ever calls these after cpu_supports_avx2_fma().
+//
+// Determinism contract (what the kernel-equivalence and batched-inference
+// suites lean on): for the accumulating kernels (nn, at) every output
+// element is a fold over ascending k of fma(a, b, acc) — a single
+// accumulator chain per element, regardless of which register block or
+// k-tile handled it, with tile boundaries parking the exact partial sum
+// in c (a double-to-double store/reload rounds nothing). Vector lanes
+// compute IEEE double fma, identical to the std::fma used in the scalar
+// tails, so an element's value depends only on its own row of a and
+// column of b and on k — never on m, n, the tiling, or its position in
+// the matrix. That is what makes batched inference bit-identical to
+// per-row inference under this backend.
+//
+// The bt kernel (dot products) uses two 4-lane partial accumulators over
+// k plus an fma scalar tail, combined in one fixed order — again a pure
+// function of the two rows and k alone.
+//
+// Versus the Scalar backend, each term suffers one rounding (fma) instead
+// of two (mul then add); DESIGN.md documents the resulting bound.
+#include "nn/gemm.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+
+#define EDGESLICE_AVX2 __attribute__((target("avx2,fma")))
+
+namespace edgeslice::nn::detail {
+
+namespace {
+
+// B-panel rows kept hot per tile: 128 rows x 128 cols x 8 B = 128 KiB,
+// inside L2 everywhere this runs. Results are tile-size independent.
+constexpr std::size_t kAvx2TileK = 128;
+
+/// One register block of ROWS output rows x 8 columns, accumulating
+/// c[i..i+ROWS)[j..j+8) over kk in [kk0, kk1). `a_i` has the stride
+/// layout of the caller: element (row r, depth kk) lives at
+/// a_i[r * sa_row + kk * sa_depth] (sa_row/sa_depth cover both the NN and
+/// the A^T access patterns with one kernel).
+template <int ROWS>
+EDGESLICE_AVX2 inline void block_rows_x8(const double* a_i, std::size_t sa_row,
+                                         std::size_t sa_depth, const double* b,
+                                         double* c_i, std::size_t n, std::size_t j,
+                                         std::size_t kk0, std::size_t kk1) {
+  __m256d acc_lo[ROWS];
+  __m256d acc_hi[ROWS];
+  for (int r = 0; r < ROWS; ++r) {
+    acc_lo[r] = _mm256_loadu_pd(c_i + static_cast<std::size_t>(r) * n + j);
+    acc_hi[r] = _mm256_loadu_pd(c_i + static_cast<std::size_t>(r) * n + j + 4);
+  }
+  for (std::size_t kk = kk0; kk < kk1; ++kk) {
+    const __m256d b_lo = _mm256_loadu_pd(b + kk * n + j);
+    const __m256d b_hi = _mm256_loadu_pd(b + kk * n + j + 4);
+    for (int r = 0; r < ROWS; ++r) {
+      const __m256d a_r = _mm256_broadcast_sd(
+          a_i + static_cast<std::size_t>(r) * sa_row + kk * sa_depth);
+      acc_lo[r] = _mm256_fmadd_pd(a_r, b_lo, acc_lo[r]);
+      acc_hi[r] = _mm256_fmadd_pd(a_r, b_hi, acc_hi[r]);
+    }
+  }
+  for (int r = 0; r < ROWS; ++r) {
+    _mm256_storeu_pd(c_i + static_cast<std::size_t>(r) * n + j, acc_lo[r]);
+    _mm256_storeu_pd(c_i + static_cast<std::size_t>(r) * n + j + 4, acc_hi[r]);
+  }
+}
+
+/// Same, for a 4-column block.
+template <int ROWS>
+EDGESLICE_AVX2 inline void block_rows_x4(const double* a_i, std::size_t sa_row,
+                                         std::size_t sa_depth, const double* b,
+                                         double* c_i, std::size_t n, std::size_t j,
+                                         std::size_t kk0, std::size_t kk1) {
+  __m256d acc[ROWS];
+  for (int r = 0; r < ROWS; ++r) {
+    acc[r] = _mm256_loadu_pd(c_i + static_cast<std::size_t>(r) * n + j);
+  }
+  for (std::size_t kk = kk0; kk < kk1; ++kk) {
+    const __m256d b_v = _mm256_loadu_pd(b + kk * n + j);
+    for (int r = 0; r < ROWS; ++r) {
+      const __m256d a_r = _mm256_broadcast_sd(
+          a_i + static_cast<std::size_t>(r) * sa_row + kk * sa_depth);
+      acc[r] = _mm256_fmadd_pd(a_r, b_v, acc[r]);
+    }
+  }
+  for (int r = 0; r < ROWS; ++r) {
+    _mm256_storeu_pd(c_i + static_cast<std::size_t>(r) * n + j, acc[r]);
+  }
+}
+
+/// Scalar column tail: the same ascending-k fma chain, one lane wide.
+template <int ROWS>
+EDGESLICE_AVX2 inline void block_rows_x1(const double* a_i, std::size_t sa_row,
+                                         std::size_t sa_depth, const double* b,
+                                         double* c_i, std::size_t n, std::size_t j,
+                                         std::size_t kk0, std::size_t kk1) {
+  for (int r = 0; r < ROWS; ++r) {
+    double acc = c_i[static_cast<std::size_t>(r) * n + j];
+    for (std::size_t kk = kk0; kk < kk1; ++kk) {
+      acc = std::fma(a_i[static_cast<std::size_t>(r) * sa_row + kk * sa_depth],
+                     b[kk * n + j], acc);
+    }
+    c_i[static_cast<std::size_t>(r) * n + j] = acc;
+  }
+}
+
+/// Shared accumulate kernel: c(m x n) += A * b(k x n), where A's element
+/// (i, kk) is a[i * sa_row + kk * sa_depth]. (sa_row = k, sa_depth = 1)
+/// is the NN product; (sa_row = 1, sa_depth = m) is the A^T product.
+EDGESLICE_AVX2 void gemm_acc(const double* a, std::size_t sa_row, std::size_t sa_depth,
+                             const double* b, double* c, std::size_t m, std::size_t k,
+                             std::size_t n) {
+  for (std::size_t kk0 = 0; kk0 < k; kk0 += kAvx2TileK) {
+    const std::size_t kk1 = std::min(k, kk0 + kAvx2TileK);
+    std::size_t i = 0;
+    for (; i + 4 <= m; i += 4) {
+      const double* a_i = a + i * sa_row;
+      double* c_i = c + i * n;
+      std::size_t j = 0;
+      for (; j + 8 <= n; j += 8) block_rows_x8<4>(a_i, sa_row, sa_depth, b, c_i, n, j, kk0, kk1);
+      for (; j + 4 <= n; j += 4) block_rows_x4<4>(a_i, sa_row, sa_depth, b, c_i, n, j, kk0, kk1);
+      for (; j < n; ++j) block_rows_x1<4>(a_i, sa_row, sa_depth, b, c_i, n, j, kk0, kk1);
+    }
+    for (; i < m; ++i) {
+      const double* a_i = a + i * sa_row;
+      double* c_i = c + i * n;
+      std::size_t j = 0;
+      for (; j + 8 <= n; j += 8) block_rows_x8<1>(a_i, sa_row, sa_depth, b, c_i, n, j, kk0, kk1);
+      for (; j + 4 <= n; j += 4) block_rows_x4<1>(a_i, sa_row, sa_depth, b, c_i, n, j, kk0, kk1);
+      for (; j < n; ++j) block_rows_x1<1>(a_i, sa_row, sa_depth, b, c_i, n, j, kk0, kk1);
+    }
+  }
+}
+
+}  // namespace
+
+EDGESLICE_AVX2 void gemm_nn_avx2(const double* a, const double* b, double* c,
+                                 std::size_t m, std::size_t k, std::size_t n) {
+  gemm_acc(a, /*sa_row=*/k, /*sa_depth=*/1, b, c, m, k, n);
+}
+
+EDGESLICE_AVX2 void gemm_at_avx2(const double* a, const double* b, double* c,
+                                 std::size_t m, std::size_t k, std::size_t n) {
+  gemm_acc(a, /*sa_row=*/1, /*sa_depth=*/m, b, c, m, k, n);
+}
+
+EDGESLICE_AVX2 void gemm_bt_avx2(const double* a, const double* b, double* c,
+                                 std::size_t m, std::size_t k, std::size_t n) {
+  // c(i, j) = <row_i(a), row_j(b)>: two interleaved 4-lane partials over
+  // ascending k, an fma scalar tail, then one fixed-order combine. The
+  // value depends only on the two rows and k — never on m, n or position.
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* arow = a + i * k;
+    double* crow = c + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double* brow = b + j * k;
+      __m256d acc0 = _mm256_setzero_pd();
+      __m256d acc1 = _mm256_setzero_pd();
+      std::size_t kk = 0;
+      for (; kk + 8 <= k; kk += 8) {
+        acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(arow + kk),
+                               _mm256_loadu_pd(brow + kk), acc0);
+        acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(arow + kk + 4),
+                               _mm256_loadu_pd(brow + kk + 4), acc1);
+      }
+      for (; kk + 4 <= k; kk += 4) {
+        acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(arow + kk),
+                               _mm256_loadu_pd(brow + kk), acc0);
+      }
+      double tail = 0.0;
+      for (; kk < k; ++kk) tail = std::fma(arow[kk], brow[kk], tail);
+      alignas(32) double l0[4];
+      alignas(32) double l1[4];
+      _mm256_store_pd(l0, acc0);
+      _mm256_store_pd(l1, acc1);
+      crow[j] = ((l0[0] + l0[1]) + (l0[2] + l0[3])) +
+                ((l1[0] + l1[1]) + (l1[2] + l1[3])) + tail;
+    }
+  }
+}
+
+}  // namespace edgeslice::nn::detail
+
+#else  // non-x86: unreachable (cpu_supports_avx2_fma() is false), but keep
+       // the symbols defined by forwarding to the scalar reference.
+
+namespace edgeslice::nn::detail {
+
+void gemm_nn_avx2(const double* a, const double* b, double* c, std::size_t m,
+                  std::size_t k, std::size_t n) {
+  gemm_nn_scalar(a, b, c, m, k, n);
+}
+void gemm_at_avx2(const double* a, const double* b, double* c, std::size_t m,
+                  std::size_t k, std::size_t n) {
+  gemm_at_scalar(a, b, c, m, k, n);
+}
+void gemm_bt_avx2(const double* a, const double* b, double* c, std::size_t m,
+                  std::size_t k, std::size_t n) {
+  gemm_bt_scalar(a, b, c, m, k, n);
+}
+
+}  // namespace edgeslice::nn::detail
+
+#endif

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "nn/gemm.h"
+
 namespace edgeslice::nn {
 
 Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
@@ -51,36 +53,28 @@ Matrix Matrix::transpose() const {
   return t;
 }
 
-namespace {
-
-// K-blocking keeps the active rows of B resident in cache while the
-// whole output is swept; 64 rows of a 128-wide B is 64 KiB, inside L2 on
-// anything this runs on. Per output element the contributions still
-// accumulate in ascending-k order, so blocking never changes the result.
-constexpr std::size_t kMatmulTileK = 64;
-
-}  // namespace
-
 Matrix Matrix::matmul(const Matrix& other) const {
-  if (cols_ != other.rows_) throw std::invalid_argument("Matrix::matmul: shape mismatch");
-  Matrix out(rows_, other.cols_);
-  const std::size_t n = other.cols_;
-  const double* a = data_.data();
-  const double* b = other.data_.data();
-  double* o = out.data_.data();
-  for (std::size_t k0 = 0; k0 < cols_; k0 += kMatmulTileK) {
-    const std::size_t k1 = std::min(cols_, k0 + kMatmulTileK);
-    for (std::size_t i = 0; i < rows_; ++i) {
-      const double* arow = a + i * cols_;
-      double* orow = o + i * n;
-      for (std::size_t k = k0; k < k1; ++k) {
-        const double aik = arow[k];
-        const double* brow = b + k * n;
-        for (std::size_t j = 0; j < n; ++j) orow[j] += aik * brow[j];
-      }
-    }
-  }
+  Matrix out;
+  matmul_into(other, out);
   return out;
+}
+
+void Matrix::matmul_into(const Matrix& other, Matrix& out) const {
+  if (cols_ != other.rows_) throw std::invalid_argument("Matrix::matmul: shape mismatch");
+  if (&out == this || &out == &other)
+    throw std::invalid_argument("Matrix::matmul_into: output aliases an operand");
+  if (out.rows_ != rows_ || out.cols_ != other.cols_) {
+    out = Matrix(rows_, other.cols_);
+  } else {
+    out.fill(0.0);
+  }
+  if (active_gemm_backend() == GemmBackend::Avx2) {
+    detail::gemm_nn_avx2(data_.data(), other.data_.data(), out.data_.data(), rows_,
+                         cols_, other.cols_);
+  } else {
+    detail::gemm_nn_scalar(data_.data(), other.data_.data(), out.data_.data(), rows_,
+                           cols_, other.cols_);
+  }
 }
 
 Matrix Matrix::transposed_matmul(const Matrix& other) const {
@@ -94,19 +88,13 @@ Matrix Matrix::transposed_matmul(const Matrix& other) const {
 Matrix& Matrix::add_transposed_matmul(const Matrix& a, const Matrix& b) {
   if (a.rows_ != b.rows_ || rows_ != a.cols_ || cols_ != b.cols_)
     throw std::invalid_argument("Matrix::add_transposed_matmul: shape mismatch");
-  const std::size_t n = b.cols_;
-  const double* ap = a.data_.data();
-  const double* bp = b.data_.data();
-  double* o = data_.data();
-  // out(i, j) += sum_k a(k, i) * b(k, j): both operands stream row-wise.
-  for (std::size_t k = 0; k < a.rows_; ++k) {
-    const double* arow = ap + k * a.cols_;
-    const double* brow = bp + k * n;
-    for (std::size_t i = 0; i < a.cols_; ++i) {
-      const double aki = arow[i];
-      double* orow = o + i * n;
-      for (std::size_t j = 0; j < n; ++j) orow[j] += aki * brow[j];
-    }
+  // this(i, j) += sum_k a(k, i) * b(k, j).
+  if (active_gemm_backend() == GemmBackend::Avx2) {
+    detail::gemm_at_avx2(a.data_.data(), b.data_.data(), data_.data(), a.cols_,
+                         a.rows_, b.cols_);
+  } else {
+    detail::gemm_at_scalar(a.data_.data(), b.data_.data(), data_.data(), a.cols_,
+                           a.rows_, b.cols_);
   }
   return *this;
 }
@@ -114,18 +102,14 @@ Matrix& Matrix::add_transposed_matmul(const Matrix& a, const Matrix& b) {
 Matrix Matrix::matmul_transposed(const Matrix& other) const {
   if (cols_ != other.cols_)
     throw std::invalid_argument("Matrix::matmul_transposed: shape mismatch");
-  Matrix out(rows_, other.rows_);
-  const double* a = data_.data();
-  const double* b = other.data_.data();
   // out(i, j) = <row_i(this), row_j(other)>: contiguous dot products.
-  for (std::size_t i = 0; i < rows_; ++i) {
-    const double* arow = a + i * cols_;
-    for (std::size_t j = 0; j < other.rows_; ++j) {
-      const double* brow = b + j * cols_;
-      double acc = 0.0;
-      for (std::size_t k = 0; k < cols_; ++k) acc += arow[k] * brow[k];
-      out(i, j) = acc;
-    }
+  Matrix out(rows_, other.rows_);
+  if (active_gemm_backend() == GemmBackend::Avx2) {
+    detail::gemm_bt_avx2(data_.data(), other.data_.data(), out.data_.data(), rows_,
+                         cols_, other.rows_);
+  } else {
+    detail::gemm_bt_scalar(data_.data(), other.data_.data(), out.data_.data(), rows_,
+                           cols_, other.rows_);
   }
   return out;
 }
@@ -245,11 +229,11 @@ Matrix Matrix::slice_columns(std::size_t c0, std::size_t c1) const {
 
 Matrix hconcat(const Matrix& a, const Matrix& b) {
   if (a.rows() != b.rows()) throw std::invalid_argument("hconcat: row mismatch");
+  // The column copy is exactly what paste_columns already implements;
+  // keeping a second hand-rolled copy here let the two drift once.
   Matrix out(a.rows(), a.cols() + b.cols());
-  for (std::size_t r = 0; r < a.rows(); ++r) {
-    for (std::size_t c = 0; c < a.cols(); ++c) out(r, c) = a(r, c);
-    for (std::size_t c = 0; c < b.cols(); ++c) out(r, a.cols() + c) = b(r, c);
-  }
+  out.paste_columns(0, a);
+  out.paste_columns(a.cols(), b);
   return out;
 }
 

@@ -2,11 +2,15 @@
 //
 // This is the numeric substrate of the neural network library. The
 // paper's actor/critic networks are 2x128 fully connected layers, so the
-// products are small-to-medium GEMMs; matmul iterates in the row-major
-// cache-friendly i-k-j order with k-blocking, and the transposed-operand
-// variants avoid materializing transposes in backprop. All products
-// accumulate contributions in ascending-k order, so results are
-// deterministic and independent of blocking.
+// products are small-to-medium GEMMs. Every product routes through the
+// runtime-dispatched kernels of nn/gemm.h (scalar reference or AVX2/FMA
+// microkernel, selected via EDGESLICE_GEMM); the transposed-operand
+// variants avoid materializing transposes in backprop. Under either
+// backend a product accumulates contributions in ascending-k order with
+// one accumulator chain per element, so results are deterministic,
+// independent of blocking, and — crucially for cross-agent batched
+// inference — row r of a batched product is bit-identical to the 1-row
+// product of row r alone.
 #pragma once
 
 #include <cstddef>
@@ -52,6 +56,13 @@ class Matrix {
 
   /// Matrix product this * other. Dimension mismatch throws.
   Matrix matmul(const Matrix& other) const;
+
+  /// Matrix product into a caller-owned output: out = this * other.
+  /// `out` is reshaped if needed (no allocation when the shape already
+  /// matches), so hot paths and kernel-only benchmarks pay for the GEMM,
+  /// not for allocating and zero-filling a fresh result every call.
+  /// Aliasing `out` with either operand throws.
+  void matmul_into(const Matrix& other, Matrix& out) const;
 
   /// this^T * other without materializing the transpose (the backprop
   /// weight-gradient product X^T * dZ). Contributions accumulate in

@@ -100,6 +100,17 @@ Matrix Mlp::infer(const Matrix& x) const {
   return h;
 }
 
+const Matrix& Mlp::infer_into(const Matrix& x,
+                              std::vector<Matrix>& workspace) const {
+  workspace.resize(layers_.size());
+  const Matrix* h = &x;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i].infer_into(*h, workspace[i]);
+    h = &workspace[i];
+  }
+  return workspace.back();
+}
+
 std::vector<double> Mlp::infer_vector(const std::vector<double>& x) const {
   return infer(Matrix::row(x)).row_vector(0);
 }

@@ -28,6 +28,13 @@ class Mlp {
   /// Convenience: single input vector -> single output vector.
   std::vector<double> infer_vector(const std::vector<double>& x) const;
 
+  /// Allocation-free inference: layer i's output lands in workspace[i]
+  /// (resized to layer count / reshaped on batch change; steady-state
+  /// calls allocate nothing), and the returned reference is
+  /// workspace.back(). Bit-identical to infer(x) — this is the hot-path
+  /// variant batched cross-agent inference runs every interval.
+  const Matrix& infer_into(const Matrix& x, std::vector<Matrix>& workspace) const;
+
   /// Backprop dL/dOutput through the whole stack; accumulates parameter
   /// gradients and returns dL/dInput.
   Matrix backward(const Matrix& grad_out);

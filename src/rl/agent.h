@@ -44,6 +44,16 @@ class Agent {
   /// agent has one — used to freeze and serialize a trained policy.
   /// May be null for agents without an exportable network.
   virtual const nn::Mlp* policy_network() const { return nullptr; }
+
+  /// The network whose plain forward pass IS act(state, explore=false) —
+  /// non-null only when exploitation inference is exactly
+  /// network->infer_vector(state) with no noise, clamping, or state
+  /// mutation. Cross-agent batched inference (rl/batched_actor.h) groups
+  /// agents by this pointer and runs one multi-row forward pass per
+  /// shared network; per-row kernel determinism (see nn/gemm.h) makes the
+  /// batched rows bit-identical to individual act() calls. Agents whose
+  /// deterministic action is not a pure forward pass must return null.
+  virtual const nn::Mlp* inference_actor() const { return nullptr; }
 };
 
 /// The training techniques compared in Fig. 10(b).

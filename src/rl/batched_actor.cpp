@@ -1,0 +1,27 @@
+#include "rl/batched_actor.h"
+
+#include <stdexcept>
+
+namespace edgeslice::rl {
+
+BatchedActor::BatchedActor(const nn::Mlp& network) : network_(&network) {}
+
+void BatchedActor::begin(std::size_t rows) {
+  if (states_.rows() != rows || states_.cols() != network_->in_dim()) {
+    states_ = nn::Matrix(rows, network_->in_dim());
+  }
+}
+
+void BatchedActor::set_state(std::size_t row, const std::vector<double>& state) {
+  states_.set_row(row, state);  // throws on row/size mismatch
+}
+
+void BatchedActor::infer() { network_->infer_into(states_, workspace_); }
+
+std::vector<double> BatchedActor::action(std::size_t row) const {
+  if (workspace_.empty() || row >= workspace_.back().rows())
+    throw std::out_of_range("BatchedActor::action: no such row (call infer() first)");
+  return workspace_.back().row_vector(row);
+}
+
+}  // namespace edgeslice::rl

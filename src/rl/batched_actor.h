@@ -1,0 +1,58 @@
+// Cross-agent batched inference over a shared actor network.
+//
+// In deployment every RA runs the same frozen actor (one trained policy
+// deployed network-wide), so an interval's A exploitation actions are A
+// independent 1-row forward passes through one network. BatchedActor
+// packs those observations row-wise into a single matrix and runs ONE
+// forward pass — one GEMM per layer for the whole fleet instead of one
+// per agent — which is where small-matrix inference actually loses its
+// time (per-call overhead and k-dim loop startup, not FLOPs).
+//
+// Bit-identity: under both GEMM backends (see nn/gemm.h) row r of an
+// m-row product is bit-identical to the 1-row product of row r, and the
+// bias broadcast and activations are elementwise per row, so
+// action(r) == network.infer_vector(state_r) bit for bit, for any batch
+// size and any row order. Batching is therefore an observation-neutral
+// execution detail, exactly like thread pools and worker processes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/matrix.h"
+#include "nn/mlp.h"
+
+namespace edgeslice::rl {
+
+class BatchedActor {
+ public:
+  /// `network` is non-owning and must outlive the BatchedActor.
+  explicit BatchedActor(const nn::Mlp& network);
+
+  /// Start a batch of `rows` pending observations. The state buffer is
+  /// reused across begin() calls of the same size (no allocation on the
+  /// steady-state path).
+  void begin(std::size_t rows);
+
+  /// Fill row `row` with an observation (size must be in_dim()).
+  void set_state(std::size_t row, const std::vector<double>& state);
+
+  /// One forward pass for the whole batch.
+  void infer();
+
+  /// Row `row` of the last infer() — bit-identical to
+  /// network.infer_vector(state_row).
+  std::vector<double> action(std::size_t row) const;
+
+  const nn::Mlp& network() const { return *network_; }
+  std::size_t rows() const { return states_.rows(); }
+
+ private:
+  const nn::Mlp* network_;
+  nn::Matrix states_;
+  /// Per-layer forward buffers for Mlp::infer_into — the steady state
+  /// (same batch size every interval) runs allocation-free.
+  std::vector<nn::Matrix> workspace_;
+};
+
+}  // namespace edgeslice::rl

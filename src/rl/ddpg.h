@@ -45,6 +45,7 @@ class Ddpg final : public Agent {
   std::size_t action_dim() const override { return config_.base.action_dim; }
   std::size_t update_count() const override { return updates_; }
   const nn::Mlp* policy_network() const override { return &actor_; }
+  const nn::Mlp* inference_actor() const override { return &actor_; }
 
   /// Mean-squared Bellman error of the most recent critic update (Eq. 16).
   double last_critic_loss() const { return last_critic_loss_; }

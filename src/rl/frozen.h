@@ -24,6 +24,7 @@ class FrozenActor final : public Agent {
   std::size_t action_dim() const override { return actor_.out_dim(); }
   std::size_t update_count() const override { return 0; }
   const nn::Mlp* policy_network() const override { return &actor_; }
+  const nn::Mlp* inference_actor() const override { return &actor_; }
 
   const nn::Mlp& actor() const { return actor_; }
 

@@ -73,6 +73,41 @@ foreach(family
   endif()
 endforeach()
 
+# The GEMM backend selector: EXPERIMENTS.md must document exactly the
+# mode strings src/nn/gemm.h accepts (kGemmModeNames), in the canonical
+# "EDGESLICE_GEMM=<m1>|<m2>|..." phrase, so a renamed or added mode
+# cannot land without its documentation.
+set(gemm_header "${REPO_ROOT}/src/nn/gemm.h")
+set(experiments_doc "${REPO_ROOT}/EXPERIMENTS.md")
+if(NOT EXISTS "${gemm_header}")
+  message(FATAL_ERROR "docs_check: ${gemm_header} not found")
+endif()
+if(NOT EXISTS "${experiments_doc}")
+  message(FATAL_ERROR "docs_check: ${experiments_doc} not found")
+endif()
+file(READ "${gemm_header}" gemm_text)
+if(NOT gemm_text MATCHES "kGemmModeNames\\[\\] = {([^}]*)}")
+  message(FATAL_ERROR "docs_check: kGemmModeNames not found in ${gemm_header}")
+endif()
+string(REGEX MATCHALL "\"([a-z0-9]+)\"" gemm_mode_tokens "${CMAKE_MATCH_1}")
+set(gemm_modes "")
+foreach(token ${gemm_mode_tokens})
+  string(REPLACE "\"" "" token "${token}")
+  list(APPEND gemm_modes "${token}")
+endforeach()
+list(JOIN gemm_modes "|" gemm_mode_phrase)
+# '|' is alternation in CMake regex; match the literal phrase.
+string(REPLACE "|" "\\|" gemm_mode_pattern "${gemm_mode_phrase}")
+file(READ "${experiments_doc}" experiments_text)
+if(NOT experiments_text MATCHES "EDGESLICE_GEMM=${gemm_mode_pattern}")
+  message(FATAL_ERROR
+      "docs_check: src/nn/gemm.h accepts EDGESLICE_GEMM modes "
+      "\"${gemm_mode_phrase}\", but EXPERIMENTS.md does not say "
+      "\"EDGESLICE_GEMM=${gemm_mode_phrase}\" — update the docs alongside "
+      "kGemmModeNames")
+endif()
+
 message(STATUS "docs_check: FORMATS.md documents checkpoint format version "
                "${code_version}, wire frame format version ${frame_version}, "
-               "and all artifact families")
+               "and all artifact families; EXPERIMENTS.md documents "
+               "EDGESLICE_GEMM=${gemm_mode_phrase}")

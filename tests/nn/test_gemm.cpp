@@ -1,0 +1,330 @@
+// GEMM backend dispatch and kernel equivalence (ctest label: nn).
+//
+// Own executable: these tests pin and reset the process-global GEMM
+// backend, which would leak into any suite sharing the process.
+//
+// Contracts under test (src/nn/gemm.h, DESIGN.md):
+//   - dispatch: mode strings parse per kGemmModeNames; an explicit
+//     "avx2" pin on an unsupported CPU throws; unknown strings throw.
+//   - accuracy: the Avx2 backend agrees with Scalar within the
+//     documented bound (one rounding per fused term: |diff| bounded by
+//     ~2 k eps of the absolute-value dot product).
+//   - determinism: each backend is batch-invariant bit for bit — row r
+//     of an m-row product equals the 1-row product of row r — which is
+//     what makes cross-agent batched inference observation-neutral.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/activations.h"
+#include "nn/gemm.h"
+#include "nn/matrix.h"
+#include "nn/mlp.h"
+#include "rl/batched_actor.h"
+
+namespace edgeslice::nn {
+namespace {
+
+/// Pins nothing itself; restores whatever backend was active so test
+/// order cannot leak a pin into later tests.
+class GemmTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = active_gemm_backend(); }
+  void TearDown() override { set_gemm_backend(saved_); }
+
+ private:
+  GemmBackend saved_ = GemmBackend::Scalar;
+};
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (auto& v : m.data()) v = rng.normal();
+  return m;
+}
+
+/// Shapes the tiled kernels must get right: empty, single row/column,
+/// register-block sizes (4 rows, 8 columns), one past a block, and
+/// sizes straddling the k-tile (scalar 64, avx2 128).
+struct Shape {
+  std::size_t m, k, n;
+};
+const Shape kShapes[] = {
+    {0, 3, 4},  {3, 0, 4},   {3, 4, 0},   {1, 1, 1},   {1, 7, 1},
+    {7, 1, 7},  {1, 129, 8}, {4, 64, 8},  {5, 65, 9},  {8, 128, 16},
+    {3, 130, 17}, {10, 27, 5}, {13, 200, 11},
+};
+
+TEST_F(GemmTest, ModeStringsParsePerKGemmModeNames) {
+  set_gemm_backend("scalar");
+  EXPECT_EQ(active_gemm_backend(), GemmBackend::Scalar);
+  set_gemm_backend("auto");
+  EXPECT_EQ(active_gemm_backend(), cpu_supports_avx2_fma() ? GemmBackend::Avx2
+                                                           : GemmBackend::Scalar);
+  if (cpu_supports_avx2_fma()) {
+    set_gemm_backend("avx2");
+    EXPECT_EQ(active_gemm_backend(), GemmBackend::Avx2);
+  } else {
+    EXPECT_THROW(set_gemm_backend("avx2"), std::invalid_argument);
+    EXPECT_THROW(set_gemm_backend(GemmBackend::Avx2), std::invalid_argument);
+  }
+  EXPECT_THROW(set_gemm_backend("sse"), std::invalid_argument);
+  EXPECT_THROW(set_gemm_backend("AVX2"), std::invalid_argument);
+  // A set-but-empty EDGESLICE_GEMM resolves exactly like an unset one.
+  set_gemm_backend("scalar");
+  set_gemm_backend("");
+  EXPECT_EQ(active_gemm_backend(), cpu_supports_avx2_fma() ? GemmBackend::Avx2
+                                                           : GemmBackend::Scalar);
+}
+
+TEST_F(GemmTest, BackendNamesMatchModeList) {
+  EXPECT_STREQ(gemm_backend_name(GemmBackend::Scalar), kGemmModeNames[0]);
+  EXPECT_STREQ(gemm_backend_name(GemmBackend::Avx2), kGemmModeNames[1]);
+}
+
+TEST_F(GemmTest, ResetRereadsEnvironment) {
+  // EDGESLICE_GEMM is unset under ctest, so a reset must resolve "auto".
+  ASSERT_EQ(std::getenv("EDGESLICE_GEMM"), nullptr);
+  set_gemm_backend("scalar");
+  reset_gemm_backend();
+  EXPECT_EQ(active_gemm_backend(), cpu_supports_avx2_fma() ? GemmBackend::Avx2
+                                                           : GemmBackend::Scalar);
+}
+
+/// |scalar - avx2| for one output element, bounded by the rounding slack
+/// of k fused vs unfused multiply-adds over the absolute-value dot.
+void expect_within_ulp_bound(const Matrix& s, const Matrix& v, const Matrix& abs_dot,
+                             std::size_t k, const char* label) {
+  constexpr double eps = std::numeric_limits<double>::epsilon();
+  ASSERT_EQ(s.rows(), v.rows()) << label;
+  ASSERT_EQ(s.cols(), v.cols()) << label;
+  for (std::size_t i = 0; i < s.rows(); ++i) {
+    for (std::size_t j = 0; j < s.cols(); ++j) {
+      const double bound = 2.0 * static_cast<double>(k) * eps *
+                           (abs_dot(i, j) + std::abs(s(i, j)));
+      EXPECT_NEAR(s(i, j), v(i, j), bound)
+          << label << " element (" << i << ", " << j << ")";
+    }
+  }
+}
+
+TEST_F(GemmTest, Avx2MatchesScalarWithinBoundOnAllEntryPoints) {
+  if (!cpu_supports_avx2_fma()) GTEST_SKIP() << "no AVX2+FMA on this CPU";
+  Rng rng(7);
+  for (const Shape& shape : kShapes) {
+    const Matrix a = random_matrix(shape.m, shape.k, rng);
+    const Matrix b = random_matrix(shape.k, shape.n, rng);
+    const Matrix bt = random_matrix(shape.n, shape.k, rng);
+    Matrix abs_a = a;
+    Matrix abs_b = b;
+    for (auto& x : abs_a.data()) x = std::abs(x);
+    for (auto& x : abs_b.data()) x = std::abs(x);
+    set_gemm_backend(GemmBackend::Scalar);
+    const Matrix abs_dot = abs_a.matmul(abs_b);
+    const Matrix nn_s = a.matmul(b);
+    const Matrix at_s = a.transposed_matmul(a.matmul(b));
+    const Matrix bt_s = a.matmul_transposed(bt);
+    set_gemm_backend(GemmBackend::Avx2);
+    const Matrix nn_v = a.matmul(b);
+    const Matrix at_v = a.transposed_matmul(a.matmul(b));
+    const Matrix bt_v = a.matmul_transposed(bt);
+    expect_within_ulp_bound(nn_s, nn_v, abs_dot, shape.k, "matmul");
+    // at/bt reuse the same per-element chain; the nn abs-dot bound is the
+    // right scale for a, and looser checks would mask a broken kernel, so
+    // compare those against a recomputed elementwise bound too.
+    constexpr double eps = std::numeric_limits<double>::epsilon();
+    ASSERT_EQ(at_s.rows(), at_v.rows());
+    for (std::size_t i = 0; i < at_s.rows(); ++i) {
+      for (std::size_t j = 0; j < at_s.cols(); ++j) {
+        const double scale = 4.0 * static_cast<double>(shape.m * shape.k) * eps;
+        EXPECT_NEAR(at_s(i, j), at_v(i, j),
+                    scale * (1.0 + std::abs(at_s(i, j)) +
+                             static_cast<double>(shape.k)))
+            << "transposed_matmul (" << i << ", " << j << ")";
+      }
+    }
+    for (std::size_t i = 0; i < bt_s.rows(); ++i) {
+      for (std::size_t j = 0; j < bt_s.cols(); ++j) {
+        const double scale = 4.0 * static_cast<double>(shape.k) * eps;
+        EXPECT_NEAR(bt_s(i, j), bt_v(i, j),
+                    scale * (1.0 + std::abs(bt_s(i, j)) +
+                             static_cast<double>(shape.k)))
+            << "matmul_transposed (" << i << ", " << j << ")";
+      }
+    }
+  }
+}
+
+TEST_F(GemmTest, EachBackendIsBatchInvariantBitForBit) {
+  Rng rng(11);
+  std::vector<GemmBackend> backends{GemmBackend::Scalar};
+  if (cpu_supports_avx2_fma()) backends.push_back(GemmBackend::Avx2);
+  for (const GemmBackend backend : backends) {
+    set_gemm_backend(backend);
+    for (const Shape& shape : kShapes) {
+      if (shape.m == 0) continue;
+      const Matrix a = random_matrix(shape.m, shape.k, rng);
+      const Matrix b = random_matrix(shape.k, shape.n, rng);
+      const Matrix bt = random_matrix(shape.n, shape.k, rng);
+      const Matrix full_nn = a.matmul(b);
+      const Matrix full_bt = a.matmul_transposed(bt);
+      for (std::size_t r = 0; r < shape.m; ++r) {
+        Matrix row(1, shape.k);
+        row.set_row(0, a.row_vector(r));
+        EXPECT_EQ(full_nn.row_vector(r), row.matmul(b).row_vector(0))
+            << gemm_backend_name(backend) << " matmul row " << r;
+        EXPECT_EQ(full_bt.row_vector(r), row.matmul_transposed(bt).row_vector(0))
+            << gemm_backend_name(backend) << " matmul_transposed row " << r;
+      }
+    }
+  }
+}
+
+TEST_F(GemmTest, TransposedMatmulMatchesMaterializedTransposeBitForBit) {
+  // Both sides fold ascending k per element, so they agree exactly —
+  // under either backend.
+  Rng rng(13);
+  std::vector<GemmBackend> backends{GemmBackend::Scalar};
+  if (cpu_supports_avx2_fma()) backends.push_back(GemmBackend::Avx2);
+  for (const GemmBackend backend : backends) {
+    set_gemm_backend(backend);
+    const Matrix a = random_matrix(37, 11, rng);
+    const Matrix b = random_matrix(37, 9, rng);
+    EXPECT_EQ(a.transposed_matmul(b).data(), a.transpose().matmul(b).data())
+        << gemm_backend_name(backend);
+  }
+}
+
+TEST_F(GemmTest, AddTransposedMatmulAccumulates) {
+  Rng rng(17);
+  const Matrix a = random_matrix(19, 6, rng);
+  const Matrix b = random_matrix(19, 8, rng);
+  for (const char* mode : {"scalar", "auto"}) {
+    set_gemm_backend(mode);
+    Matrix acc(6, 8, 0.0);
+    acc.add_transposed_matmul(a, b);
+    EXPECT_EQ(acc.data(), a.transposed_matmul(b).data()) << mode;
+    Matrix wrong(5, 8, 0.0);
+    EXPECT_THROW(wrong.add_transposed_matmul(a, b), std::invalid_argument);
+  }
+}
+
+TEST_F(GemmTest, MatmulIntoMatchesMatmulAndReusesStorage) {
+  Rng rng(19);
+  const Matrix a = random_matrix(9, 33, rng);
+  const Matrix b = random_matrix(33, 14, rng);
+  Matrix out;
+  a.matmul_into(b, out);
+  EXPECT_EQ(out.data(), a.matmul(b).data());
+  const double* storage = out.data().data();
+  a.matmul_into(b, out);  // same shape: no reallocation, same bits
+  EXPECT_EQ(out.data().data(), storage);
+  EXPECT_EQ(out.data(), a.matmul(b).data());
+}
+
+TEST_F(GemmTest, MatmulIntoRejectsMismatchAndAliasing) {
+  Rng rng(23);
+  Matrix a = random_matrix(4, 5, rng);
+  const Matrix b = random_matrix(5, 3, rng);
+  const Matrix bad = random_matrix(6, 3, rng);
+  Matrix out;
+  EXPECT_THROW(a.matmul_into(bad, out), std::invalid_argument);
+  EXPECT_THROW(a.matmul_into(b, a), std::invalid_argument);
+  Matrix b_alias = b;
+  EXPECT_THROW(a.matmul_into(b_alias, b_alias), std::invalid_argument);
+}
+
+TEST(HconcatTest, MatchesPasteColumnsAndElementwiseLayout) {
+  Rng rng(29);
+  const Matrix a = random_matrix(6, 4, rng);
+  const Matrix b = random_matrix(6, 7, rng);
+  const Matrix joined = hconcat(a, b);
+  ASSERT_EQ(joined.rows(), 6u);
+  ASSERT_EQ(joined.cols(), 11u);
+  Matrix pasted(6, 11);
+  pasted.paste_columns(0, a);
+  pasted.paste_columns(4, b);
+  EXPECT_EQ(joined.data(), pasted.data());
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) EXPECT_EQ(joined(i, j), a(i, j));
+    for (std::size_t j = 0; j < 7; ++j) EXPECT_EQ(joined(i, 4 + j), b(i, j));
+  }
+  const Matrix short_b = random_matrix(5, 2, rng);
+  EXPECT_THROW(hconcat(a, short_b), std::invalid_argument);
+}
+
+TEST(ActivateAssignTest, BitIdenticalToActivateForEveryActivation) {
+  Rng rng(31);
+  const Activation all[] = {Activation::Identity, Activation::Relu,
+                            Activation::LeakyRelu, Activation::Tanh,
+                            Activation::Sigmoid,  Activation::Softplus};
+  for (const Activation a : all) {
+    Matrix z = random_matrix(7, 13, rng);
+    const Matrix expected = activate(z, a);
+    activate_assign(z, a);
+    EXPECT_EQ(z.data(), expected.data())
+        << "activation " << static_cast<int>(a);
+  }
+}
+
+TEST_F(GemmTest, MlpInferIntoBitIdenticalToInferUnderBothBackends) {
+  Rng rng(37);
+  Mlp net({9, 32, 32, 4}, Activation::LeakyRelu, Activation::Sigmoid, rng);
+  std::vector<GemmBackend> backends{GemmBackend::Scalar};
+  if (cpu_supports_avx2_fma()) backends.push_back(GemmBackend::Avx2);
+  for (const GemmBackend backend : backends) {
+    set_gemm_backend(backend);
+    const Matrix x = random_matrix(5, 9, rng);
+    std::vector<Matrix> workspace;
+    const Matrix& out = net.infer_into(x, workspace);
+    EXPECT_EQ(out.data(), net.infer(x).data()) << gemm_backend_name(backend);
+    const double* storage = workspace.back().data().data();
+    net.infer_into(x, workspace);  // steady state: no reallocation
+    EXPECT_EQ(workspace.back().data().data(), storage);
+  }
+}
+
+TEST_F(GemmTest, BatchedActorRowsBitIdenticalToPerAgentInference) {
+  Rng rng(41);
+  Mlp net({6, 24, 24, 3}, Activation::LeakyRelu, Activation::Sigmoid, rng);
+  std::vector<GemmBackend> backends{GemmBackend::Scalar};
+  if (cpu_supports_avx2_fma()) backends.push_back(GemmBackend::Avx2);
+  for (const GemmBackend backend : backends) {
+    set_gemm_backend(backend);
+    rl::BatchedActor actor(net);
+    constexpr std::size_t kRows = 10;
+    std::vector<std::vector<double>> states;
+    actor.begin(kRows);
+    for (std::size_t r = 0; r < kRows; ++r) {
+      states.push_back(rng.normals(6));
+      actor.set_state(r, states.back());
+    }
+    actor.infer();
+    for (std::size_t r = 0; r < kRows; ++r) {
+      EXPECT_EQ(actor.action(r), net.infer_vector(states[r]))
+          << gemm_backend_name(backend) << " row " << r;
+    }
+  }
+}
+
+TEST(BatchedActorTest, RejectsBadRowsAndStates) {
+  Rng rng(43);
+  Mlp net({4, 8, 2}, Activation::LeakyRelu, Activation::Sigmoid, rng);
+  rl::BatchedActor actor(net);
+  EXPECT_THROW(actor.action(0), std::out_of_range);
+  actor.begin(2);
+  EXPECT_THROW(actor.set_state(0, {1.0, 2.0}), std::out_of_range);
+  EXPECT_THROW(actor.set_state(2, std::vector<double>(4, 0.0)), std::out_of_range);
+  actor.set_state(0, std::vector<double>(4, 0.5));
+  actor.set_state(1, std::vector<double>(4, -0.5));
+  actor.infer();
+  EXPECT_THROW(actor.action(2), std::out_of_range);
+  EXPECT_EQ(actor.rows(), 2u);
+}
+
+}  // namespace
+}  // namespace edgeslice::nn

@@ -1,0 +1,97 @@
+// City-scale Milan-day bench scaffolding (bench/city_scale.cpp and the
+// city smoke tests share this so the small-scale assertions exercise the
+// exact code path the full-scale bench runs).
+//
+// The city run instantiates a city grid of RAs — one synthetic diurnal
+// cell profile per RA (src/trace/diurnal.h, the Telecom Italia-style
+// generator) — and replays one full simulated day through
+// EdgeSliceSystem::run_period_into with the SLA watchdog and flight
+// recorder live. The day is `periods` orchestration periods of
+// `intervals_per_period` bins: the defaults (24 x 6) walk 144 ten-minute
+// bins, the Telecom Italia trace's native resolution.
+//
+// Determinism: the whole trajectory is a pure function of CityConfig's
+// shape + seed. run_city() folds each period's results into an FNV-1a
+// digest, so two runs (any thread count, crashed-and-resumed or not) can
+// be compared bit-for-bit by comparing digest sequences.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/thread_pool.h"
+
+namespace edgeslice::bench::city {
+
+inline constexpr std::size_t kNoCrash = static_cast<std::size_t>(-1);
+
+struct CityConfig {
+  std::size_t ras = 128;
+  std::size_t slices_per_ra = 8;         // slices hosted by every RA
+  std::size_t periods = 24;              // orchestration periods per day
+  std::size_t intervals_per_period = 6;  // 24 x 6 = 144 ten-minute bins
+  /// Per-slice Poisson rate at the diurnal peak. Default puts the busiest
+  /// hours just past the SLA floor under TARO (peak periods breach, night
+  /// troughs pass), so the violation-rate report tracks the diurnal curve.
+  double peak_rate = 3.5;
+  std::uint64_t seed = 1;
+  /// Non-owning worker pool; null runs the period loop sequentially.
+  /// Trajectories are bit-identical at any thread count.
+  ThreadPool* pool = nullptr;
+  /// Period-cadence checkpointing + resume, following the chaos bench's
+  /// contract (bench/ablation_fault_tolerance.cpp): empty/0 disables.
+  std::size_t checkpoint_every = 0;
+  std::string checkpoint_out;
+  std::string resume_path;
+  std::size_t checkpoint_keep = 0;
+  /// std::abort() immediately before running this period (crash leg).
+  std::size_t crash_at_period = kNoCrash;
+  /// Stop cleanly after this many periods while still building the FULL
+  /// `periods`-long day (arrival profiles span the whole day, so a
+  /// partial run stays on the same trajectory as a full one). Used by the
+  /// in-process resume test; kNoCrash means run to `periods`.
+  std::size_t stop_after_period = kNoCrash;
+  /// Monitor period-sum retention window; must exceed the system's
+  /// report-staleness cutoff. The monitor's row log is always off here.
+  std::size_t sum_retention = 8;
+  /// Stream one "digest period=P 0x..." line to stdout as each period
+  /// completes (flushed, so a --crash-at-period abort loses nothing).
+  /// The crash/resume test diffs these lines across runs.
+  bool print_digests = false;
+};
+
+/// Everything the bench reports and the smoke tests assert.
+struct CityRun {
+  std::size_t start_period = 0;  // 0, or the resume point
+  std::size_t periods_run = 0;   // periods evaluated in this process
+  double wall_seconds = 0.0;     // steady-state period loop only
+  double periods_per_second = 0.0;
+  /// p99 over per-period coordinator.solve span totals (seconds).
+  double p99_solve_seconds = 0.0;
+  double total_performance = 0.0;
+  std::size_t sla_violations = 0;         // watchdog total over the run
+  double sla_violation_rate = 0.0;        // violations / (periods * slices)
+  std::vector<double> slice_violation_rates;  // per slice
+  /// One FNV-1a digest per period run in this process (performance sums,
+  /// system/slice performance, degraded-mode counters).
+  std::vector<std::uint64_t> period_digests;
+  /// The period digests chained into one run digest.
+  std::uint64_t trajectory_digest = 0;
+  /// Final period-arena stats, plus the upstream-allocation count once the
+  /// loop was warm (captured after the third period): equal counts mean
+  /// the steady-state hot path performed zero arena-upstream allocations.
+  MonotonicArena::Stats arena;
+  std::size_t arena_upstream_after_warmup = 0;
+};
+
+/// Build the city system and run the day (or the remainder of it, when
+/// resuming). Throws std::invalid_argument on a degenerate shape.
+CityRun run_city(const CityConfig& config);
+
+/// Lower-case hex rendering of a digest ("0x" prefixed).
+std::string digest_hex(std::uint64_t digest);
+
+}  // namespace edgeslice::bench::city

@@ -1,0 +1,197 @@
+// City-scale Milan-day bench.
+//
+// Replays one full simulated day — 24 orchestration periods of 6
+// ten-minute bins by default — over a city grid of RAs (hundreds) each
+// hosting several slices (thousands of slice queues total), with the SLA
+// watchdog and flight recorder live, and reports throughput
+// (periods/second), p99 coordinator-solve latency, and per-slice SLA
+// violation rates into BENCH_city.json.
+//
+// Acceptance legs:
+//   * scale:   city_scale --ras 128 --slices-per-ra 8   (1024 slice queues)
+//   * crash:   city_scale --crash-at-period 12 --checkpoint-every 4
+//              --checkpoint-out day.ckpt --checkpoint-keep 2 --events-out ...
+//   * resume:  city_scale --resume day.ckpt --checkpoint-keep 2
+// The per-period digest lines let the resumed run be diffed bit-for-bit
+// against an uncrashed one (tests/core/test_city_scale.cpp automates it).
+#include "city_common.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common.h"
+
+using namespace edgeslice;
+using namespace edgeslice::bench;
+
+namespace {
+
+/// Every field BENCH_city.json carries, in emission order. The docs check
+/// (tests/docs_check.cmake) pins each name to EXPERIMENTS.md, and main()
+/// verifies the emitted document covers exactly this table — so a field
+/// cannot be added, renamed, or dropped without the docs following.
+constexpr const char* kCityBenchFields[] = {
+    "ras",
+    "slices_per_ra",
+    "periods",
+    "intervals_per_period",
+    "seed",
+    "threads",
+    "start_period",
+    "periods_run",
+    "wall_seconds",
+    "periods_per_second",
+    "p99_coordinator_solve_seconds",
+    "total_performance",
+    "sla_violations",
+    "sla_violation_rate",
+    "slice_violation_rates",
+    "arena_upstream_allocations",
+    "arena_high_water_bytes",
+    "trajectory_digest",
+};
+
+std::string json_number(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+std::string json_array(const std::vector<double>& values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += json_number(values[i]);
+  }
+  return out + "]";
+}
+
+/// Write the report, field order and names exactly per kCityBenchFields.
+bool write_city_json(const std::string& path, const city::CityConfig& config,
+                     std::size_t threads, const city::CityRun& run) {
+  std::vector<std::pair<std::string, std::string>> fields;
+  fields.emplace_back("ras", json_number(static_cast<double>(config.ras)));
+  fields.emplace_back("slices_per_ra",
+                      json_number(static_cast<double>(config.slices_per_ra)));
+  fields.emplace_back("periods", json_number(static_cast<double>(config.periods)));
+  fields.emplace_back("intervals_per_period",
+                      json_number(static_cast<double>(config.intervals_per_period)));
+  fields.emplace_back("seed", json_number(static_cast<double>(config.seed)));
+  fields.emplace_back("threads", json_number(static_cast<double>(threads)));
+  fields.emplace_back("start_period",
+                      json_number(static_cast<double>(run.start_period)));
+  fields.emplace_back("periods_run", json_number(static_cast<double>(run.periods_run)));
+  fields.emplace_back("wall_seconds", json_number(run.wall_seconds));
+  fields.emplace_back("periods_per_second", json_number(run.periods_per_second));
+  fields.emplace_back("p99_coordinator_solve_seconds",
+                      json_number(run.p99_solve_seconds));
+  fields.emplace_back("total_performance", json_number(run.total_performance));
+  fields.emplace_back("sla_violations",
+                      json_number(static_cast<double>(run.sla_violations)));
+  fields.emplace_back("sla_violation_rate", json_number(run.sla_violation_rate));
+  fields.emplace_back("slice_violation_rates", json_array(run.slice_violation_rates));
+  fields.emplace_back(
+      "arena_upstream_allocations",
+      json_number(static_cast<double>(run.arena.upstream_allocations)));
+  fields.emplace_back("arena_high_water_bytes",
+                      json_number(static_cast<double>(run.arena.high_water_bytes)));
+  fields.emplace_back("trajectory_digest",
+                      "\"" + city::digest_hex(run.trajectory_digest) + "\"");
+
+  constexpr std::size_t kFieldCount =
+      sizeof(kCityBenchFields) / sizeof(kCityBenchFields[0]);
+  if (fields.size() != kFieldCount) {
+    std::fprintf(stderr, "[city] field table out of sync with emission\n");
+    return false;
+  }
+  for (std::size_t i = 0; i < kFieldCount; ++i) {
+    if (fields[i].first != kCityBenchFields[i]) {
+      std::fprintf(stderr, "[city] field %zu is \"%s\", table says \"%s\"\n", i,
+                   fields[i].first.c_str(), kCityBenchFields[i]);
+      return false;
+    }
+  }
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out) {
+      std::fprintf(stderr, "[city] cannot write %s\n", tmp.c_str());
+      return false;
+    }
+    out << "{\n";
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      out << "  \"" << fields[i].first << "\": " << fields[i].second;
+      out << (i + 1 < fields.size() ? ",\n" : "\n");
+    }
+    out << "}\n";
+  }
+  std::remove(path.c_str());
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Setup defaults;
+  defaults.eval_periods = 24;
+  const Setup setup = parse_common_flags(
+      argc, argv, defaults,
+      {"ras", "slices-per-ra", "intervals", "peak-rate", "crash-at-period", "out"});
+  const CliArgs args(
+      argc, argv,
+      {"steps", "seed", "periods", "threads", "metrics-out", "telemetry-port",
+       "metrics-interval", "events-out", "checkpoint-every", "checkpoint-out",
+       "resume", "checkpoint-keep", "workers", "gemm", "ras", "slices-per-ra",
+       "intervals", "peak-rate", "crash-at-period", "out"});
+
+  city::CityConfig config;
+  config.ras = static_cast<std::size_t>(
+      args.get_int("ras", static_cast<std::int64_t>(config.ras)));
+  config.slices_per_ra = static_cast<std::size_t>(args.get_int(
+      "slices-per-ra", static_cast<std::int64_t>(config.slices_per_ra)));
+  config.periods = setup.eval_periods;
+  config.intervals_per_period = static_cast<std::size_t>(args.get_int(
+      "intervals", static_cast<std::int64_t>(config.intervals_per_period)));
+  config.peak_rate = args.get_double("peak-rate", config.peak_rate);
+  config.seed = setup.seed;
+  config.checkpoint_every = setup.checkpoint_every;
+  config.checkpoint_out = setup.checkpoint_out;
+  config.resume_path = setup.resume_path;
+  config.checkpoint_keep = setup.checkpoint_keep;
+  const std::int64_t crash_at = args.get_int("crash-at-period", -1);
+  if (crash_at >= 0) config.crash_at_period = static_cast<std::size_t>(crash_at);
+  const std::string out_path = args.get("out", "BENCH_city.json");
+  config.print_digests = true;
+
+  ThreadPool pool(setup.threads == 0 ? 1 : setup.threads);
+  config.pool = setup.threads > 1 ? &pool : nullptr;
+
+  print_header("City-scale Milan day",
+               "periods/second, p99 coordinator solve, SLA violation rates");
+  std::printf("# %zu RAs x %zu slices (%zu slice queues), %zu periods x %zu bins, "
+              "peak rate %.2f, seed %llu, %zu threads\n",
+              config.ras, config.slices_per_ra, config.ras * config.slices_per_ra,
+              config.periods, config.intervals_per_period, config.peak_rate,
+              static_cast<unsigned long long>(config.seed), setup.threads);
+
+  // run_city streams one digest line per period (flushed, so the crash
+  // leg keeps its pre-abort lines): the crash/resume test diffs them
+  // against an uncrashed run's lines.
+  const city::CityRun run = city::run_city(config);
+
+  print_series_header({"periods/s", "p99-solve-ms", "sla-viol-rate", "perf-total"});
+  print_row({run.periods_per_second, run.p99_solve_seconds * 1e3,
+             run.sla_violation_rate, run.total_performance});
+  std::printf("# arena: %zu upstream allocations (%zu after warm-up), "
+              "high water %zu bytes\n",
+              run.arena.upstream_allocations, run.arena_upstream_after_warmup,
+              run.arena.high_water_bytes);
+
+  if (!write_city_json(out_path, config, setup.threads, run)) return 2;
+  std::printf("# wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -1,6 +1,8 @@
 #include "ckpt/rotation.h"
 
 #include <algorithm>
+#include <charconv>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <stdexcept>
@@ -36,13 +38,20 @@ std::vector<std::pair<std::size_t, std::string>> CheckpointRotation::list() cons
     const std::string name = entry.path().filename().string();
     if (name.size() <= prefix.size() || name.compare(0, prefix.size(), prefix) != 0)
       continue;
+    // Foreign siblings must be skipped, never thrown over: "run.ckpt.pbak",
+    // "run.ckpt.p12.tmp", and even an all-digit suffix too large for a
+    // period counter ("...p99999999999999999999999999") are not rotation
+    // files. from_chars is exception-free and flags overflow via its error
+    // code, so the scan is total on arbitrary directory contents.
     const std::string suffix = name.substr(prefix.size());
-    if (suffix.empty() ||
-        suffix.find_first_not_of("0123456789") != std::string::npos) {
+    std::uint64_t period = 0;
+    const auto parsed =
+        std::from_chars(suffix.data(), suffix.data() + suffix.size(), period);
+    if (suffix.empty() || parsed.ec != std::errc{} ||
+        parsed.ptr != suffix.data() + suffix.size()) {
       continue;  // ".p12.tmp" and friends are not rotation siblings
     }
-    found.emplace_back(static_cast<std::size_t>(std::stoull(suffix)),
-                       entry.path().string());
+    found.emplace_back(static_cast<std::size_t>(period), entry.path().string());
   }
   std::sort(found.begin(), found.end());
   return found;

@@ -1,0 +1,72 @@
+#include "common/arena.h"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace edgeslice {
+
+namespace {
+
+std::size_t align_up(std::size_t value, std::size_t align) {
+  return (value + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+MonotonicArena::MonotonicArena(std::size_t initial_capacity) {
+  grow(std::max<std::size_t>(initial_capacity, 64));
+}
+
+MonotonicArena::Slab& MonotonicArena::grow(std::size_t min_bytes) {
+  // Geometric growth over the total capacity, so N allocations of any
+  // size pattern cost O(log N) slabs before reset() coalesces them.
+  const std::size_t target = std::max(min_bytes, stats_.capacity_bytes);
+  slabs_.emplace_back();
+  slabs_.back().bytes.resize(target);
+  current_ = slabs_.size() - 1;
+  ++stats_.upstream_allocations;
+  stats_.capacity_bytes += target;
+  return slabs_.back();
+}
+
+void* MonotonicArena::allocate(std::size_t bytes, std::size_t align) {
+  // Align the actual address, not the slab offset — the slab base is only
+  // guaranteed malloc alignment, so over-aligned requests (e.g. 64-byte
+  // cache lines) need the padding computed from the pointer value.
+  Slab* slab = &slabs_[current_];
+  auto base = reinterpret_cast<std::uintptr_t>(slab->bytes.data());
+  std::size_t offset = align_up(base + slab->used, align) - base;
+  // Zero-byte requests still get a unique in-slab pointer (bump by align).
+  const std::size_t need = bytes == 0 ? align : bytes;
+  if (offset + need > slab->bytes.size()) {
+    slab = &grow(need + align);
+    base = reinterpret_cast<std::uintptr_t>(slab->bytes.data());
+    offset = align_up(base + slab->used, align) - base;
+  }
+  void* out = slab->bytes.data() + offset;
+  const std::size_t new_used = offset + need;
+  stats_.used_bytes += new_used - slab->used;
+  slab->used = new_used;
+  stats_.high_water_bytes = std::max(stats_.high_water_bytes, stats_.used_bytes);
+  return out;
+}
+
+void MonotonicArena::reset() {
+  ++stats_.resets;
+  if (slabs_.size() > 1) {
+    // The last cycle spilled: replace the slab chain with one slab large
+    // enough for the whole high-water footprint (plus alignment slack per
+    // former slab boundary), so subsequent cycles stay upstream-free.
+    const std::size_t want =
+        std::max(stats_.high_water_bytes + slabs_.size() * alignof(std::max_align_t),
+                 stats_.capacity_bytes);
+    slabs_.clear();
+    stats_.capacity_bytes = 0;
+    grow(want);
+  }
+  for (Slab& slab : slabs_) slab.used = 0;
+  current_ = 0;
+  stats_.used_bytes = 0;
+}
+
+}  // namespace edgeslice

@@ -1,0 +1,110 @@
+// Monotonic scratch arena for per-period hot-path allocations.
+//
+// The city-scale period loop (hundreds of RAs x thousands of slices, see
+// bench/city_scale.cpp) carves all of its transient buffers — crash masks,
+// per-RA timing scratch, watchdog slice sums — out of one slab instead of
+// hitting the global allocator per period. The arena is a bump pointer
+// over geometrically grown slabs: allocate() never frees, reset() rewinds
+// to empty while keeping the slabs, and after warm-up a steady-state
+// period performs zero upstream (malloc) allocations — a property the
+// city smoke test asserts through the stats() counters.
+//
+// Not thread-safe: one arena belongs to one control-plane loop. Only
+// trivially-destructible types may be placed in it (nothing is destroyed
+// on reset).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+namespace edgeslice {
+
+class MonotonicArena {
+ public:
+  /// Observable allocator behaviour, for zero-steady-state-allocation
+  /// assertions: `upstream_allocations` counts slab mallocs over the
+  /// arena's lifetime and must stay flat once the loop is warm.
+  struct Stats {
+    std::size_t upstream_allocations = 0;  // slabs requested from malloc
+    std::size_t capacity_bytes = 0;        // total slab capacity held
+    std::size_t used_bytes = 0;            // bytes handed out since reset()
+    std::size_t high_water_bytes = 0;      // max used_bytes over any cycle
+    std::size_t resets = 0;                // reset() calls
+  };
+
+  explicit MonotonicArena(std::size_t initial_capacity = 4096);
+  MonotonicArena(const MonotonicArena&) = delete;
+  MonotonicArena& operator=(const MonotonicArena&) = delete;
+
+  /// Bump-allocate `bytes` aligned to `align` (a power of two). Grows a
+  /// new slab (one upstream allocation) when the current slabs are
+  /// exhausted; never throws for bytes == 0 (returns a unique non-null
+  /// pointer into the current slab).
+  void* allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t));
+
+  /// Typed array of `count` value-initialized elements. T must be
+  /// trivially destructible — reset() runs no destructors.
+  template <typename T>
+  T* make_array(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "MonotonicArena holds trivially-destructible types only");
+    T* data = static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
+    for (std::size_t i = 0; i < count; ++i) new (data + i) T();
+    return data;
+  }
+
+  /// Rewind to empty. Slabs are retained; if the last cycle spilled into
+  /// more than one slab, they are coalesced into a single slab sized to
+  /// the high-water mark so the next cycle is one-slab, zero-upstream.
+  void reset();
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Slab {
+    std::vector<std::uint8_t> bytes;
+    std::size_t used = 0;
+  };
+
+  Slab& grow(std::size_t min_bytes);
+
+  std::vector<Slab> slabs_;
+  std::size_t current_ = 0;  // slab being bumped
+  Stats stats_;
+};
+
+/// Minimal std::allocator over a MonotonicArena, for vectors of scratch
+/// PODs whose lifetime is one period. deallocate() is a no-op (reset()
+/// reclaims everything); propagates on copy so rebinding works.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(MonotonicArena& arena) : arena_(&arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, std::size_t) {}
+
+  MonotonicArena* arena() const { return arena_; }
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>& other) const {
+    return arena_ == other.arena();
+  }
+  template <typename U>
+  bool operator!=(const ArenaAllocator<U>& other) const {
+    return arena_ != other.arena();
+  }
+
+ private:
+  MonotonicArena* arena_;
+};
+
+}  // namespace edgeslice

@@ -1,16 +1,60 @@
 #include "common/cli.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
-#include <stdexcept>
 
 namespace edgeslice {
+
+namespace {
+
+/// All CLI/env errors exit the same way: one line on stderr naming the
+/// offending flag or environment variable and its value, then a clean
+/// non-zero exit — never an uncaught exception (a bench aborting with a
+/// core dump over "--seed=abc" is a bug this module had).
+[[noreturn]] void fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  std::exit(2);
+}
+
+/// Strict base-10 integer: the whole string must parse, so "12abc" is an
+/// error instead of silently becoming 12, and out-of-range values are
+/// reported rather than thrown. `source` names the flag/env var.
+std::int64_t parse_int(const std::string& source, const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') {
+    fail(source + ": expected an integer, got \"" + text + "\"");
+  }
+  if (errno == ERANGE) {
+    fail(source + ": integer out of range: \"" + text + "\"");
+  }
+  return static_cast<std::int64_t>(value);
+}
+
+/// Strict double with the same whole-string contract.
+double parse_double(const std::string& source, const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') {
+    fail(source + ": expected a number, got \"" + text + "\"");
+  }
+  if (errno == ERANGE) {
+    fail(source + ": number out of range: \"" + text + "\"");
+  }
+  return value;
+}
+
+}  // namespace
 
 CliArgs::CliArgs(int argc, const char* const* argv, const std::vector<std::string>& known) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) {
-      throw std::invalid_argument("unexpected positional argument: " + arg);
+      fail("unexpected positional argument: " + arg);
     }
     arg = arg.substr(2);
     std::string name;
@@ -28,7 +72,7 @@ CliArgs::CliArgs(int argc, const char* const* argv, const std::vector<std::strin
       }
     }
     if (std::find(known.begin(), known.end(), name) == known.end()) {
-      throw std::invalid_argument("unknown flag: --" + name);
+      fail("unknown flag: --" + name);
     }
     values_[name] = value;
   }
@@ -41,12 +85,12 @@ std::string CliArgs::get(const std::string& name, const std::string& fallback) c
 
 std::int64_t CliArgs::get_int(const std::string& name, std::int64_t fallback) const {
   const auto it = values_.find(name);
-  return it == values_.end() ? fallback : std::stoll(it->second);
+  return it == values_.end() ? fallback : parse_int("flag --" + name, it->second);
 }
 
 double CliArgs::get_double(const std::string& name, double fallback) const {
   const auto it = values_.find(name);
-  return it == values_.end() ? fallback : std::stod(it->second);
+  return it == values_.end() ? fallback : parse_double("flag --" + name, it->second);
 }
 
 bool CliArgs::get_bool(const std::string& name, bool fallback) const {
@@ -58,7 +102,9 @@ bool CliArgs::get_bool(const std::string& name, bool fallback) const {
 std::int64_t CliArgs::get_int_env(const std::string& name, const std::string& env_var,
                                   std::int64_t fallback) const {
   if (has(name)) return get_int(name, fallback);
-  if (const char* env = std::getenv(env_var.c_str())) return std::stoll(env);
+  if (const char* env = std::getenv(env_var.c_str())) {
+    return parse_int("environment variable " + env_var, env);
+  }
   return fallback;
 }
 

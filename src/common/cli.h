@@ -1,8 +1,11 @@
 // Tiny command-line flag parser for bench and example binaries.
 //
-// Flags are "--name value" or "--name=value". Unknown flags throw, so typos
-// in bench invocations fail loudly. Values may also come from environment
-// variables (used for EDGESLICE_TRAIN_STEPS-style overrides).
+// Flags are "--name value" or "--name=value". Values may also come from
+// environment variables (used for EDGESLICE_TRAIN_STEPS-style overrides).
+// Every parse error — unknown flag, positional argument, malformed or
+// out-of-range numeric value (flag or env var) — prints one line naming
+// the offender and its value to stderr and exits with status 2; numeric
+// getters reject trailing garbage ("12abc" is an error, not 12).
 #pragma once
 
 #include <cstdint>

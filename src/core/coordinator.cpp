@@ -61,21 +61,23 @@ void PerformanceCoordinator::update(const nn::Matrix& performance_sums) {
   }
   const auto solve_span = global_tracer().span("coordinator.solve");
   global_metrics().counter("coordinator.updates").add();
-  const std::vector<double> z_old = z_;
+  scratch_z_old_ = z_;
+  const std::vector<double>& z_old = scratch_z_old_;
 
   // z-update (Eq. 9 / P2): per slice, project (U_i + y_i) onto
   // { z : sum_j z_j >= U_i^min }.
   for (std::size_t i = 0; i < config_.slices; ++i) {
-    std::vector<double> c(config_.ras);
+    scratch_c_.resize(config_.ras);
     for (std::size_t j = 0; j < config_.ras; ++j) {
-      c[j] = performance_sums(i, j) + y_[index(i, j)];
+      scratch_c_[j] = performance_sums(i, j) + y_[index(i, j)];
     }
-    const auto zi = opt::project_halfspace_sum_ge(c, config_.u_min[i]);
-    for (std::size_t j = 0; j < config_.ras; ++j) z_[index(i, j)] = zi[j];
+    opt::project_halfspace_sum_ge_into(scratch_c_, config_.u_min[i], scratch_zi_);
+    for (std::size_t j = 0; j < config_.ras; ++j) z_[index(i, j)] = scratch_zi_[j];
   }
 
   // y-update (Eq. 10): y <- y + (sum_t U - z).
-  std::vector<double> u_flat(config_.slices * config_.ras);
+  scratch_u_.resize(config_.slices * config_.ras);
+  std::vector<double>& u_flat = scratch_u_;
   for (std::size_t i = 0; i < config_.slices; ++i) {
     for (std::size_t j = 0; j < config_.ras; ++j) {
       u_flat[index(i, j)] = performance_sums(i, j);
@@ -129,7 +131,8 @@ void PerformanceCoordinator::update(const nn::Matrix& performance_sums,
     }
   }
 
-  std::vector<std::size_t> live;
+  scratch_live_.clear();
+  std::vector<std::size_t>& live = scratch_live_;
   for (std::size_t j = 0; j < config_.ras; ++j) {
     if (active[j]) live.push_back(j);
   }
@@ -137,13 +140,15 @@ void PerformanceCoordinator::update(const nn::Matrix& performance_sums,
 
   const auto solve_span = global_tracer().span("coordinator.solve");
   global_metrics().counter("coordinator.updates").add();
-  const std::vector<double> z_old = z_;
+  scratch_z_old_ = z_;
+  const std::vector<double>& z_old = scratch_z_old_;
 
   // z-update restricted to live columns; the frozen columns contribute
   // their last z to the SLA budget, so the projection bound becomes
   // U_i^min - sum_{frozen j} z_{i,j}.
   for (std::size_t i = 0; i < config_.slices; ++i) {
-    std::vector<double> c(live.size());
+    scratch_c_.resize(live.size());
+    std::vector<double>& c = scratch_c_;
     double frozen_sum = 0.0;
     for (std::size_t j = 0; j < config_.ras; ++j) {
       if (!active[j]) frozen_sum += z_[index(i, j)];
@@ -151,15 +156,19 @@ void PerformanceCoordinator::update(const nn::Matrix& performance_sums,
     for (std::size_t k = 0; k < live.size(); ++k) {
       c[k] = performance_sums(i, live[k]) + y_[index(i, live[k])];
     }
-    const auto zi = opt::project_halfspace_sum_ge(c, config_.u_min[i] - frozen_sum);
-    for (std::size_t k = 0; k < live.size(); ++k) z_[index(i, live[k])] = zi[k];
+    opt::project_halfspace_sum_ge_into(c, config_.u_min[i] - frozen_sum, scratch_zi_);
+    for (std::size_t k = 0; k < live.size(); ++k) z_[index(i, live[k])] = scratch_zi_[k];
   }
 
   // y-update on live columns only; frozen duals hold their value.
-  std::vector<double> u_live(config_.slices * live.size());
-  std::vector<double> z_live(config_.slices * live.size());
-  std::vector<double> z_old_live(config_.slices * live.size());
-  std::vector<double> y_live(config_.slices * live.size());
+  scratch_u_.resize(config_.slices * live.size());
+  scratch_z_live_.resize(config_.slices * live.size());
+  scratch_z_old_live_.resize(config_.slices * live.size());
+  scratch_y_live_.resize(config_.slices * live.size());
+  std::vector<double>& u_live = scratch_u_;
+  std::vector<double>& z_live = scratch_z_live_;
+  std::vector<double>& z_old_live = scratch_z_old_live_;
+  std::vector<double>& y_live = scratch_y_live_;
   for (std::size_t i = 0; i < config_.slices; ++i) {
     for (std::size_t k = 0; k < live.size(); ++k) {
       const std::size_t flat = i * live.size() + k;
@@ -215,12 +224,17 @@ void PerformanceCoordinator::update(const std::vector<RcMonitoringMessage>& repo
 
 RcLearningMessage PerformanceCoordinator::coordination_for(std::size_t ra) const {
   RcLearningMessage msg;
+  coordination_for_into(ra, msg);
+  return msg;
+}
+
+void PerformanceCoordinator::coordination_for_into(std::size_t ra,
+                                                   RcLearningMessage& msg) const {
   msg.ra = ra;
   msg.z_minus_y.resize(config_.slices);
   for (std::size_t i = 0; i < config_.slices; ++i) {
     msg.z_minus_y[i] = z_[index(i, ra)] - y_[index(i, ra)];
   }
-  return msg;
 }
 
 double PerformanceCoordinator::z(std::size_t slice, std::size_t ra) const {

@@ -52,6 +52,10 @@ class PerformanceCoordinator {
   /// Coordinating information for RA j (z - y per slice), as an RC-L message.
   RcLearningMessage coordination_for(std::size_t ra) const;
 
+  /// coordination_for() into a caller-owned message (vector resized in
+  /// place) — the per-period RC-L push loop reuses one message.
+  void coordination_for_into(std::size_t ra, RcLearningMessage& msg) const;
+
   double z(std::size_t slice, std::size_t ra) const;
   double y(std::size_t slice, std::size_t ra) const;
 
@@ -83,6 +87,16 @@ class PerformanceCoordinator {
   std::vector<double> z_;  // slice-major: z_[i * ras + j]
   std::vector<double> y_;
   opt::AdmmMonitor monitor_;
+  /// Per-update scratch, reused across periods so the steady-state solve
+  /// allocates nothing. Never read across calls.
+  std::vector<double> scratch_z_old_;
+  std::vector<double> scratch_c_;
+  std::vector<double> scratch_zi_;
+  std::vector<double> scratch_u_;
+  std::vector<std::size_t> scratch_live_;
+  std::vector<double> scratch_z_live_;
+  std::vector<double> scratch_z_old_live_;
+  std::vector<double> scratch_y_live_;
 };
 
 }  // namespace edgeslice::core

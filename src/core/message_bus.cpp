@@ -28,7 +28,7 @@ void log_bus_event(obs::EventKind kind, std::size_t period, std::size_t ra,
 
 MessageBus::MessageBus(const FaultInjector* faults) : faults_(faults) {}
 
-void MessageBus::post_report(std::size_t period, RcMonitoringMessage message) {
+void MessageBus::post_report(std::size_t period, const RcMonitoringMessage& message) {
   ++stats_.rcm_sent;
   global_metrics().counter("bus.rcm_sent").add();
   const std::size_t ra = message.ra;
@@ -41,6 +41,10 @@ void MessageBus::post_report(std::size_t period, RcMonitoringMessage message) {
     return;
   }
   RcmEnvelope envelope;
+  if (!free_.empty()) {
+    envelope = std::move(free_.back());
+    free_.pop_back();
+  }
   envelope.seq = next_seq_++;
   envelope.sent_period = period;
   envelope.deliver_period = period;
@@ -54,12 +58,22 @@ void MessageBus::post_report(std::size_t period, RcMonitoringMessage message) {
                     static_cast<double>(delay));
     }
   }
-  envelope.message = std::move(message);
+  // Copy-assign (not move) so a recycled envelope's vector capacity is
+  // reused — with enough envelopes warmed, posting never allocates.
+  envelope.message.ra = message.ra;
+  envelope.message.performance_sums = message.performance_sums;
   pending_.push_back(std::move(envelope));
 }
 
 std::vector<RcmEnvelope> MessageBus::collect_reports(std::size_t period) {
   std::vector<RcmEnvelope> due;
+  collect_reports_into(period, due);
+  return due;
+}
+
+void MessageBus::collect_reports_into(std::size_t period,
+                                      std::vector<RcmEnvelope>& due) {
+  due.clear();
   auto keep = pending_.begin();
   for (auto it = pending_.begin(); it != pending_.end(); ++it) {
     if (it->deliver_period <= period) {
@@ -69,10 +83,20 @@ std::vector<RcmEnvelope> MessageBus::collect_reports(std::size_t period) {
     }
   }
   pending_.erase(keep, pending_.end());
-  std::stable_sort(due.begin(), due.end(), [](const RcmEnvelope& a, const RcmEnvelope& b) {
-    if (a.deliver_period != b.deliver_period) return a.deliver_period < b.deliver_period;
-    return a.seq < b.seq;
-  });
+  // In-place stable insertion sort by (deliver_period, seq) — the same
+  // order the std::stable_sort it replaces produced, minus that sort's
+  // temporary buffer. Envelopes are nearly in order already (posted in
+  // seq order, only fault-delayed ones displaced), so this is ~linear.
+  for (std::size_t i = 1; i < due.size(); ++i) {
+    for (std::size_t j = i; j > 0; --j) {
+      const bool out_of_order =
+          due[j].deliver_period < due[j - 1].deliver_period ||
+          (due[j].deliver_period == due[j - 1].deliver_period &&
+           due[j].seq < due[j - 1].seq);
+      if (!out_of_order) break;
+      std::swap(due[j], due[j - 1]);
+    }
+  }
   stats_.rcm_delivered += due.size();
   global_metrics().counter("bus.rcm_delivered").add(due.size());
   // Envelope latency in periods (0 for same-period delivery): the delay
@@ -84,7 +108,13 @@ std::vector<RcmEnvelope> MessageBus::collect_reports(std::size_t period) {
                   static_cast<double>(period - envelope.sent_period));
   }
   global_metrics().gauge("bus.in_flight").set(static_cast<double>(pending_.size()));
-  return due;
+}
+
+void MessageBus::recycle(std::vector<RcmEnvelope>& envelopes) {
+  for (RcmEnvelope& envelope : envelopes) {
+    free_.push_back(std::move(envelope));
+  }
+  envelopes.clear();
 }
 
 void MessageBus::save_state(std::ostream& out) const {

@@ -46,14 +46,25 @@ class MessageBus {
   explicit MessageBus(const FaultInjector* faults = nullptr);
 
   /// RA -> coordinator: submit the RC-M report for `period`. Dropped
-  /// reports vanish; delayed reports surface in a later collect.
-  void post_report(std::size_t period, RcMonitoringMessage message);
+  /// reports vanish; delayed reports surface in a later collect. The
+  /// message is copied into a pooled envelope (see recycle()), so a
+  /// steady-state caller reusing one message buffer posts without
+  /// allocating.
+  void post_report(std::size_t period, const RcMonitoringMessage& message);
 
   /// Coordinator side: drain every report deliverable at `period`
   /// (in-flight envelopes with deliver_period <= period), ordered by
   /// (deliver_period, seq) — i.e. delayed duplicates of a newer report
   /// sort before it only if they were due earlier.
   std::vector<RcmEnvelope> collect_reports(std::size_t period);
+
+  /// collect_reports() into a caller-owned buffer (cleared first). Pair
+  /// with recycle() to run the report plane allocation-free once warm.
+  void collect_reports_into(std::size_t period, std::vector<RcmEnvelope>& due);
+
+  /// Return drained envelopes to the internal free pool so their vector
+  /// capacity is reused by future post_report() calls. Clears `envelopes`.
+  void recycle(std::vector<RcmEnvelope>& envelopes);
 
   /// Coordinator -> RA: push an RC-L message after `period`'s update.
   /// Returns false when delivery failed (the agent must fall back to its
@@ -86,6 +97,9 @@ class MessageBus {
   const FaultInjector* faults_;
   RaTransport* transport_ = nullptr;
   std::vector<RcmEnvelope> pending_;
+  /// Spare envelopes with warmed vector capacity (not serialized — a pure
+  /// allocation cache; contents are dead).
+  std::vector<RcmEnvelope> free_;
   std::uint64_t next_seq_ = 0;
   MessageBusStats stats_;
 };

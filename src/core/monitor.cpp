@@ -17,6 +17,32 @@ void SystemMonitor::record(std::size_t ra, std::size_t period, std::size_t inter
                            const env::StepResult& result,
                            const std::vector<double>& action) {
   if (ra >= ras_) throw std::out_of_range("SystemMonitor::record: bad RA");
+
+  // Fold the row into the (period, ra) running sums in arrival order —
+  // exactly the accumulation a full-history rescan would perform, so
+  // report() stays bit-identical to the O(rows) implementation.
+  const std::pair<std::size_t, std::size_t> key{period, ra};
+  auto it = period_sums_.find(key);
+  if (it == period_sums_.end()) {
+    if (sum_retention_ > 0 && !period_sums_.empty() &&
+        period_sums_.begin()->first.first + sum_retention_ <= period) {
+      // Recycle the expired node (map node + sum vector capacity) for the
+      // new period: one node expires per (period, ra) slot that opens, so
+      // the warmed-up map never allocates.
+      auto node = period_sums_.extract(period_sums_.begin());
+      node.key() = key;
+      it = period_sums_.insert(std::move(node)).position;
+    } else {
+      it = period_sums_.emplace(key, std::vector<double>()).first;
+    }
+    it->second.assign(slices_, 0.0);
+  }
+  auto& sums = it->second;
+  for (std::size_t i = 0; i < slices_ && i < result.performance.size(); ++i) {
+    sums[i] += result.performance[i];
+  }
+
+  if (!row_recording_) return;
   IntervalRecord row;
   row.period = period;
   row.interval = interval;
@@ -25,16 +51,6 @@ void SystemMonitor::record(std::size_t ra, std::size_t period, std::size_t inter
   row.performance = result.performance;
   row.action = action;
   row.reward = result.reward;
-
-  // Fold the row into the (ra, period) running sums in arrival order —
-  // exactly the accumulation a full-history rescan would perform, so
-  // report() stays bit-identical to the O(rows) implementation.
-  auto& sums = period_sums_[{ra, period}];
-  if (sums.empty()) sums.assign(slices_, 0.0);
-  for (std::size_t i = 0; i < slices_ && i < row.performance.size(); ++i) {
-    sums[i] += row.performance[i];
-  }
-
   records_.push_back(std::move(row));
   global_metrics().counter("monitor.rows_recorded").add();
 
@@ -57,16 +73,21 @@ void SystemMonitor::clear_records() {
 }
 
 RcMonitoringMessage SystemMonitor::report(std::size_t ra, std::size_t period) const {
-  if (ra >= ras_) throw std::out_of_range("SystemMonitor::report: bad RA");
   RcMonitoringMessage msg;
+  report_into(ra, period, msg);
+  return msg;
+}
+
+void SystemMonitor::report_into(std::size_t ra, std::size_t period,
+                                RcMonitoringMessage& msg) const {
+  if (ra >= ras_) throw std::out_of_range("SystemMonitor::report: bad RA");
   msg.ra = ra;
-  const auto it = period_sums_.find({ra, period});
+  const auto it = period_sums_.find({period, ra});
   if (it != period_sums_.end()) {
     msg.performance_sums = it->second;
   } else {
     msg.performance_sums.assign(slices_, 0.0);
   }
-  return msg;
 }
 
 std::vector<double> SystemMonitor::system_performance_series() const {

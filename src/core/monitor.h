@@ -57,6 +57,22 @@ class SystemMonitor {
   /// Rows evicted by the retention cap so far.
   std::size_t evicted_rows() const { return evicted_rows_; }
 
+  /// Disable the per-interval row log entirely (default on). The RC-M
+  /// running sums are maintained regardless, so report() stays exact;
+  /// records()/write_csv and the interval series just see no rows. The
+  /// city-scale bench runs with rows off: at hundreds of RAs the row log
+  /// is the dominant allocator on the period hot path.
+  void set_row_recording(bool enabled) { row_recording_ = enabled; }
+  bool row_recording() const { return row_recording_; }
+
+  /// Bound the per-(period, ra) RC-M sums to the most recent `periods`
+  /// periods (0 — the default — retains all). Expired map nodes are
+  /// recycled in place for new periods, so once warm the sums add no
+  /// allocations. Retention must exceed the system's report-staleness
+  /// window; report() on an evicted period returns zero sums.
+  void set_period_sum_retention(std::size_t periods) { sum_retention_ = periods; }
+  std::size_t period_sum_retention() const { return sum_retention_; }
+
   /// Export the dataset as CSV (one row per slice per record) for external
   /// analysis/plotting: period,interval,ra,slice,queue,performance,
   /// radio,transport,computing,reward.
@@ -66,6 +82,9 @@ class SystemMonitor {
   /// O(slices) — served from running sums maintained at record() time,
   /// never by rescanning the row log.
   RcMonitoringMessage report(std::size_t ra, std::size_t period) const;
+
+  /// report() into a caller-owned message (vector resized in place).
+  void report_into(std::size_t ra, std::size_t period, RcMonitoringMessage& msg) const;
 
   /// System performance (sum of U over slices and RAs) per global interval.
   std::vector<double> system_performance_series() const;
@@ -93,9 +112,13 @@ class SystemMonitor {
   std::vector<IntervalRecord> records_;
   std::size_t retention_cap_ = 0;
   std::size_t evicted_rows_ = 0;
-  /// Incremental per-(ra, period) performance sums, updated by record()
+  bool row_recording_ = true;
+  std::size_t sum_retention_ = 0;
+  /// Incremental per-(period, ra) performance sums, updated by record()
   /// in arrival order — the same accumulation order a full-history scan
   /// would use, so report() results are bit-identical to the old scan.
+  /// Keyed period-first so expired periods cluster at begin() and their
+  /// nodes can be recycled under set_period_sum_retention().
   std::map<std::pair<std::size_t, std::size_t>, std::vector<double>> period_sums_;
   std::vector<UserAssociation> users_;
   std::map<std::string, std::size_t> imsi_index_;

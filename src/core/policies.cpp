@@ -23,27 +23,40 @@ void LearnedPolicy::feedback(const env::StepResult& result) {
 std::string LearnedPolicy::name() const { return "EdgeSlice(" + agent_->name() + ")"; }
 
 std::vector<double> TaroPolicy::decide(const env::RaEnvironment& environment) {
+  std::vector<double> action;
+  decide_into(environment, action);
+  return action;
+}
+
+void TaroPolicy::decide_into(const env::RaEnvironment& environment,
+                             std::vector<double>& action) {
   const std::size_t slices = environment.slice_count();
+  const auto& lengths = environment.queue_lengths();
   double total_backlog = 0.0;
-  std::vector<double> lengths(slices);
   for (std::size_t i = 0; i < slices; ++i) {
-    lengths[i] = static_cast<double>(environment.queue(i).length());
-    total_backlog += lengths[i];
+    total_backlog += static_cast<double>(lengths[i]);
   }
-  std::vector<double> action(environment.action_dim(), 0.0);
+  action.resize(environment.action_dim());
   for (std::size_t i = 0; i < slices; ++i) {
-    const double share =
-        total_backlog > 0.0 ? lengths[i] / total_backlog : 1.0 / static_cast<double>(slices);
+    const double share = total_backlog > 0.0
+                             ? static_cast<double>(lengths[i]) / total_backlog
+                             : 1.0 / static_cast<double>(slices);
     for (std::size_t k = 0; k < env::kResources; ++k) {
       action[i * env::kResources + k] = share;
     }
   }
-  return action;
 }
 
 std::vector<double> EqualSharePolicy::decide(const env::RaEnvironment& environment) {
+  std::vector<double> action;
+  decide_into(environment, action);
+  return action;
+}
+
+void EqualSharePolicy::decide_into(const env::RaEnvironment& environment,
+                                   std::vector<double>& action) {
   const double share = 1.0 / static_cast<double>(environment.slice_count());
-  return std::vector<double>(environment.action_dim(), share);
+  action.assign(environment.action_dim(), share);
 }
 
 }  // namespace edgeslice::core

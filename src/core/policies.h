@@ -17,6 +17,14 @@ class RaPolicy {
  public:
   virtual ~RaPolicy() = default;
   virtual std::vector<double> decide(const env::RaEnvironment& environment) = 0;
+  /// decide() into a caller-owned buffer (resized to action_dim), so hot
+  /// loops reusing one buffer avoid the per-interval allocation. The
+  /// default wraps decide(); allocation-free policies override this and
+  /// implement decide() on top of it. Bit-identical to decide().
+  virtual void decide_into(const env::RaEnvironment& environment,
+                           std::vector<double>& action) {
+    action = decide(environment);
+  }
   /// Learning hook, called after the environment advanced.
   virtual void feedback(const env::StepResult& /*result*/) {}
   virtual std::string name() const = 0;
@@ -65,6 +73,8 @@ class LearnedPolicy final : public RaPolicy {
 class TaroPolicy final : public RaPolicy {
  public:
   std::vector<double> decide(const env::RaEnvironment& environment) override;
+  void decide_into(const env::RaEnvironment& environment,
+                   std::vector<double>& action) override;
   std::string name() const override { return "TARO"; }
 };
 
@@ -73,6 +83,8 @@ class TaroPolicy final : public RaPolicy {
 class EqualSharePolicy final : public RaPolicy {
  public:
   std::vector<double> decide(const env::RaEnvironment& environment) override;
+  void decide_into(const env::RaEnvironment& environment,
+                   std::vector<double>& action) override;
   std::string name() const override { return "EqualShare"; }
 };
 

@@ -1,5 +1,6 @@
 #include "core/system.h"
 
+#include <algorithm>
 #include <array>
 #include <chrono>
 #include <cstdio>
@@ -69,6 +70,12 @@ EdgeSliceSystem::EdgeSliceSystem(std::vector<env::RaEnvironment*> environments,
 }
 
 PeriodResult EdgeSliceSystem::run_period() {
+  PeriodResult result;
+  run_period_into(result);
+  return result;
+}
+
+void EdgeSliceSystem::run_period_into(PeriodResult& result) {
   const std::size_t slices = coordinator_.config().slices;
   const std::size_t ras = environments_.size();
   const std::size_t intervals = environments_.front()->config().intervals_per_period;
@@ -77,10 +84,23 @@ PeriodResult EdgeSliceSystem::run_period() {
   global_tracer().set_period(period_);
   obs::global_event_log().set_period(period_);
   const auto period_span = global_tracer().span("system.period");
+  period_arena_.reset();
 
-  PeriodResult result;
-  result.performance_sums = nn::Matrix(slices, ras);
+  if (result.performance_sums.rows() != slices ||
+      result.performance_sums.cols() != ras) {
+    result.performance_sums = nn::Matrix(slices, ras);
+  } else {
+    auto& cells = result.performance_sums.data();
+    std::fill(cells.begin(), cells.end(), 0.0);
+  }
+  result.system_performance = 0.0;
   result.slice_performance.assign(slices, 0.0);
+  result.coordinator_converged = false;
+  result.crashed_ras = 0;
+  result.reports_fresh = 0;
+  result.reports_carried = 0;
+  result.columns_frozen = 0;
+  result.rcl_losses = 0;
 
   // Which RAs are down this period, and how degraded the live substrates
   // are. Crashed RAs run no intervals: the agent is gone, so no actions
@@ -90,7 +110,7 @@ PeriodResult EdgeSliceSystem::run_period() {
   // fault actions ride along for the supervisor to execute.
   RaTransport* transport = config_.transport;
   std::vector<RaPeriodDirective> directives(transport != nullptr ? ras : 0);
-  std::vector<bool> crashed(ras, false);
+  bool* const crashed = period_arena_.make_array<bool>(ras);
   if (faults) {
     for (std::size_t j = 0; j < ras; ++j) {
       crashed[j] = faults->ra_crashed(period_, j);
@@ -163,12 +183,10 @@ PeriodResult EdgeSliceSystem::run_period() {
   } else if (pool != nullptr && pool->thread_count() > 1 && ras > 1) {
     // Decentralized execution: each RA's whole period runs on the worker
     // that owns it (its environment and policy are touched by no other
-    // thread), with the per-interval results buffered per RA.
-    struct RaTrace {
-      std::vector<env::StepResult> steps;
-      std::vector<std::vector<double>> actions;
-    };
-    std::vector<RaTrace> traces(ras);
+    // thread), with the per-interval results buffered per RA. The trace
+    // buffers are members so their capacity survives across periods;
+    // workers write disjoint per-RA slots.
+    if (traces_.size() != ras) traces_.resize(ras);
     const bool timed = metrics_enabled();
     const auto dispatch_time = SteadyClock::now();
     pool->parallel_for(ras, [&](std::size_t j) {
@@ -180,15 +198,13 @@ PeriodResult EdgeSliceSystem::run_period() {
       }
       const auto ra_start = SteadyClock::now();
       auto& environment = *environments_[j];
-      auto& trace = traces[j];
-      trace.steps.reserve(intervals);
-      trace.actions.reserve(intervals);
+      auto& trace = traces_[j];
+      trace.steps.resize(intervals);
+      trace.actions.resize(intervals);
       for (std::size_t t = 0; t < intervals; ++t) {
-        std::vector<double> action = policies_[j]->decide(environment);
-        env::StepResult step = environment.step(action);
-        policies_[j]->feedback(step);
-        trace.steps.push_back(std::move(step));
-        trace.actions.push_back(std::move(action));
+        policies_[j]->decide_into(environment, trace.actions[t]);
+        environment.step_into(trace.actions[t], trace.steps[t]);
+        policies_[j]->feedback(trace.steps[t]);
       }
       if (timed) global_tracer().record("system.ra_intervals", seconds_since(ra_start));
     });
@@ -198,8 +214,8 @@ PeriodResult EdgeSliceSystem::run_period() {
     for (std::size_t t = 0; t < intervals; ++t) {
       for (std::size_t j = 0; j < ras; ++j) {
         if (crashed[j]) continue;
-        const env::StepResult& step = traces[j].steps[t];
-        monitor_->record(j, period_, interval_, step, traces[j].actions[t]);
+        const env::StepResult& step = traces_[j].steps[t];
+        monitor_->record(j, period_, interval_, step, traces_[j].actions[t]);
         for (std::size_t i = 0; i < slices; ++i) {
           result.performance_sums(i, j) += step.performance[i];
           result.slice_performance[i] += step.performance[i];
@@ -213,61 +229,64 @@ PeriodResult EdgeSliceSystem::run_period() {
     // per-RA time is accumulated across intervals and recorded once per
     // RA — the same span granularity the parallel path reports.
     const bool timed = metrics_enabled();
-    std::vector<double> ra_seconds(ras, 0.0);
+    double* const ra_seconds = period_arena_.make_array<double>(ras);
 
     // Cross-agent batched inference: RAs whose policy's decide() is a
     // pure forward pass, grouped by the network they share (in deployment
     // that is one group holding every live RA). Their states are readable
     // up front each interval because an environment only advances when
     // its own RA steps, and per-row kernel determinism makes each batched
-    // row bit-identical to the per-RA decide() it replaces.
-    struct InferenceGroup {
-      rl::BatchedActor actor;
-      std::vector<std::size_t> members;  // RA indices, ascending
-    };
-    std::vector<InferenceGroup> groups;
+    // row bit-identical to the per-RA decide() it replaces. The group set
+    // (keyed by network) and its buffers persist across periods; only the
+    // membership is rebuilt, because crashes change it.
     constexpr std::size_t kUnbatched = static_cast<std::size_t>(-1);
+    for (auto& group : groups_) group.members.clear();
     // Per RA: {group index, row within the group} or {kUnbatched, 0}.
-    std::vector<std::pair<std::size_t, std::size_t>> slot(ras, {kUnbatched, 0});
+    slot_.assign(ras, {kUnbatched, 0});
     if (config_.batched_inference) {
       for (std::size_t j = 0; j < ras; ++j) {
         if (crashed[j]) continue;
         const nn::Mlp* network = policies_[j]->inference_network();
         if (network == nullptr) continue;
         std::size_t g = 0;
-        while (g < groups.size() && &groups[g].actor.network() != network) ++g;
-        if (g == groups.size()) groups.push_back({rl::BatchedActor(*network), {}});
-        slot[j] = {g, groups[g].members.size()};
-        groups[g].members.push_back(j);
+        while (g < groups_.size() && &groups_[g].actor.network() != network) ++g;
+        if (g == groups_.size()) groups_.push_back({rl::BatchedActor(*network), {}});
+        slot_[j] = {g, groups_[g].members.size()};
+        groups_[g].members.push_back(j);
       }
     }
+    bool any_batched = false;
 
     double batch_seconds = 0.0;
     for (std::size_t t = 0; t < intervals; ++t) {
       const auto batch_start = timed ? SteadyClock::now() : SteadyClock::time_point{};
-      for (auto& group : groups) {
+      for (auto& group : groups_) {
+        if (group.members.empty()) continue;
+        any_batched = true;
         group.actor.begin(group.members.size());
         for (std::size_t row = 0; row < group.members.size(); ++row) {
-          group.actor.set_state(row, environments_[group.members[row]]->state());
+          environments_[group.members[row]]->state_into(state_scratch_);
+          group.actor.set_state(row, state_scratch_);
         }
         group.actor.infer();
       }
-      if (timed && !groups.empty()) batch_seconds += seconds_since(batch_start);
+      if (timed && !groups_.empty()) batch_seconds += seconds_since(batch_start);
       for (std::size_t j = 0; j < ras; ++j) {
         if (crashed[j]) continue;
         const auto ra_start = timed ? SteadyClock::now() : SteadyClock::time_point{};
         auto& environment = *environments_[j];
-        const std::vector<double> action =
-            slot[j].first != kUnbatched
-                ? groups[slot[j].first].actor.action(slot[j].second)
-                : policies_[j]->decide(environment);
-        const env::StepResult step = environment.step(action);
-        policies_[j]->feedback(step);
-        monitor_->record(j, period_, interval_, step, action);
+        if (slot_[j].first != kUnbatched) {
+          groups_[slot_[j].first].actor.action_into(slot_[j].second, action_scratch_);
+        } else {
+          policies_[j]->decide_into(environment, action_scratch_);
+        }
+        environment.step_into(action_scratch_, step_scratch_);
+        policies_[j]->feedback(step_scratch_);
+        monitor_->record(j, period_, interval_, step_scratch_, action_scratch_);
         for (std::size_t i = 0; i < slices; ++i) {
-          result.performance_sums(i, j) += step.performance[i];
-          result.slice_performance[i] += step.performance[i];
-          result.system_performance += step.performance[i];
+          result.performance_sums(i, j) += step_scratch_.performance[i];
+          result.slice_performance[i] += step_scratch_.performance[i];
+          result.system_performance += step_scratch_.performance[i];
         }
         if (timed) ra_seconds[j] += seconds_since(ra_start);
       }
@@ -277,7 +296,7 @@ PeriodResult EdgeSliceSystem::run_period() {
       for (std::size_t j = 0; j < ras; ++j) {
         if (!crashed[j]) global_tracer().record("system.ra_intervals", ra_seconds[j]);
       }
-      if (!groups.empty()) {
+      if (any_batched) {
         global_tracer().record("system.batched_inference", batch_seconds);
       }
     }
@@ -286,36 +305,46 @@ PeriodResult EdgeSliceSystem::run_period() {
   if (config_.use_coordinator) {
     const auto coordinate_span = global_tracer().span("coordinate");
     // Live RAs post their RC-M reports onto the message plane; the bus may
-    // drop or delay them per the fault plan.
+    // drop or delay them per the fault plan. One reused message feeds the
+    // bus's pooled envelopes — the report plane allocates nothing once warm.
     for (std::size_t j = 0; j < ras; ++j) {
       if (crashed[j]) continue;
-      RcMonitoringMessage report;
-      report.ra = j;
-      report.performance_sums.resize(slices);
+      report_scratch_.ra = j;
+      report_scratch_.performance_sums.resize(slices);
       for (std::size_t i = 0; i < slices; ++i) {
-        report.performance_sums[i] = result.performance_sums(i, j);
+        report_scratch_.performance_sums[i] = result.performance_sums(i, j);
       }
-      bus_.post_report(period_, std::move(report));
+      bus_.post_report(period_, report_scratch_);
     }
 
     // Ingest everything deliverable this period. Envelopes arrive ordered
     // by (deliver_period, seq), so a delayed stale report never overwrites
     // a fresher one delivered alongside it; the explicit sent_period guard
     // covers reordering across collect calls.
-    for (auto& envelope : bus_.collect_reports(period_)) {
+    bus_.collect_reports_into(period_, envelope_scratch_);
+    for (auto& envelope : envelope_scratch_) {
       const std::size_t ra = envelope.message.ra;
       if (ra >= ras || envelope.message.performance_sums.size() != slices) continue;
       if (has_report_[ra] && envelope.sent_period < last_report_period_[ra]) continue;
-      last_report_[ra] = std::move(envelope.message.performance_sums);
+      // Copy, not move: the envelope keeps its buffer for the bus's pool.
+      last_report_[ra] = envelope.message.performance_sums;
       last_report_period_[ra] = envelope.sent_period;
       has_report_[ra] = true;
       if (envelope.sent_period == period_) ++result.reports_fresh;
     }
+    bus_.recycle(envelope_scratch_);
 
     // Assemble the coordinator's input: fresh columns, carried-forward
     // columns within the staleness window, frozen columns beyond it.
-    nn::Matrix u(slices, ras);
-    std::vector<bool> active(ras, false);
+    if (u_scratch_.rows() != slices || u_scratch_.cols() != ras) {
+      u_scratch_ = nn::Matrix(slices, ras);
+    } else {
+      auto& cells = u_scratch_.data();
+      std::fill(cells.begin(), cells.end(), 0.0);
+    }
+    nn::Matrix& u = u_scratch_;
+    active_scratch_.assign(ras, false);
+    std::vector<bool>& active = active_scratch_;
     for (std::size_t j = 0; j < ras; ++j) {
       if (!has_report_[j]) {
         ++result.columns_frozen;
@@ -339,9 +368,9 @@ PeriodResult EdgeSliceSystem::run_period() {
     // in-process the delivery is this set_coordination call.
     for (std::size_t j = 0; j < ras; ++j) {
       if (crashed[j]) continue;
-      const RcLearningMessage message = coordinator_.coordination_for(j);
-      if (bus_.deliver_coordination(period_, message)) {
-        if (transport == nullptr) environments_[j]->set_coordination(message.z_minus_y);
+      coordinator_.coordination_for_into(j, rcl_scratch_);
+      if (bus_.deliver_coordination(period_, rcl_scratch_)) {
+        if (transport == nullptr) environments_[j]->set_coordination(rcl_scratch_.z_minus_y);
       } else {
         ++result.rcl_losses;
       }
@@ -361,18 +390,17 @@ PeriodResult EdgeSliceSystem::run_period() {
   // sums: the network-wide per-slice performance of the period just run.
   // Observation-only — the watchdog's verdicts never steer orchestration.
   if (config_.watchdog != nullptr) {
-    std::vector<double> slice_sums(slices, 0.0);
+    slice_sums_scratch_.assign(slices, 0.0);
     for (std::size_t j = 0; j < ras; ++j) {
       if (crashed[j]) continue;
-      const RcMonitoringMessage report = monitor_->report(j, period_);
+      monitor_->report_into(j, period_, report_scratch_);
       for (std::size_t i = 0; i < slices; ++i) {
-        slice_sums[i] += report.performance_sums[i];
+        slice_sums_scratch_[i] += report_scratch_.performance_sums[i];
       }
     }
-    config_.watchdog->evaluate(period_, slice_sums);
+    config_.watchdog->evaluate(period_, slice_sums_scratch_);
   }
   ++period_;
-  return result;
 }
 
 std::vector<PeriodResult> EdgeSliceSystem::run(std::size_t periods) {

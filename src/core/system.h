@@ -25,8 +25,10 @@
 #pragma once
 
 #include <memory>
+#include <utility>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/fault.h"
 #include "common/thread_pool.h"
 #include "core/coordinator.h"
@@ -35,6 +37,7 @@
 #include "core/policies.h"
 #include "core/ra_transport.h"
 #include "env/environment.h"
+#include "rl/batched_actor.h"
 
 namespace edgeslice::obs {
 class SlaWatchdog;
@@ -114,12 +117,23 @@ class EdgeSliceSystem {
   /// Run one period of Alg. 1.
   PeriodResult run_period();
 
+  /// run_period() into a caller-owned result whose matrix and vectors are
+  /// refilled in place — a driver reusing one PeriodResult (the city-scale
+  /// bench) keeps the steady-state control plane allocation-free. Results
+  /// are bit-identical to run_period().
+  void run_period_into(PeriodResult& result);
+
   /// Run `periods` periods; returns one result per period.
   std::vector<PeriodResult> run(std::size_t periods);
 
   PerformanceCoordinator& coordinator() { return coordinator_; }
   SystemMonitor& monitor() { return *monitor_; }
   const MessageBus& bus() const { return bus_; }
+  /// The per-period scratch arena (crash masks, timing scratch). reset()
+  /// at every period start; its stats().upstream_allocations must stay
+  /// flat once the loop is warm — the city smoke test asserts exactly
+  /// that, so transient buffers added to the period loop belong here.
+  const MonotonicArena& period_arena() const { return period_arena_; }
   std::size_t ra_count() const { return environments_.size(); }
   std::size_t period_count() const { return period_; }
 
@@ -160,6 +174,34 @@ class EdgeSliceSystem {
   std::vector<std::vector<double>> last_report_;
   std::vector<std::size_t> last_report_period_;
   std::vector<bool> has_report_;
+
+  /// --- Steady-state scratch (never read across periods) --------------------
+  MonotonicArena period_arena_;
+  /// Cached cross-agent batched-inference groups (sequential path), keyed
+  /// by shared network. The BatchedActor and member lists persist across
+  /// periods — membership is rebuilt each period (crashes change it), the
+  /// buffers are not.
+  struct InferenceGroup {
+    rl::BatchedActor actor;
+    std::vector<std::size_t> members;  // RA indices, ascending
+  };
+  /// Per-RA whole-period trajectory buffers for the pooled path.
+  struct RaTrace {
+    std::vector<env::StepResult> steps;
+    std::vector<std::vector<double>> actions;
+  };
+  std::vector<InferenceGroup> groups_;
+  std::vector<std::pair<std::size_t, std::size_t>> slot_;
+  std::vector<RaTrace> traces_;
+  std::vector<double> state_scratch_;
+  std::vector<double> action_scratch_;
+  env::StepResult step_scratch_;
+  nn::Matrix u_scratch_;
+  std::vector<bool> active_scratch_;
+  RcMonitoringMessage report_scratch_;
+  std::vector<RcmEnvelope> envelope_scratch_;
+  RcLearningMessage rcl_scratch_;
+  std::vector<double> slice_sums_scratch_;
 };
 
 }  // namespace edgeslice::core

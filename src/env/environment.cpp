@@ -18,6 +18,11 @@ RaEnvironment::RaEnvironment(const RaEnvironmentConfig& config,
       service_model_(std::move(service_model)),
       perf_(std::move(perf)),
       rng_(rng),
+      queue_length_(config.slices, 0),
+      queue_credit_(config.slices, 0.0),
+      queue_dropped_(config.slices, 0),
+      queue_arrivals_(config.slices, 0),
+      queue_departures_(config.slices, 0),
       coordination_(config.slices, 0.0),
       arrival_rates_(config.slices, config.arrival_rate),
       last_service_time_(config.slices, 0.0) {
@@ -25,10 +30,17 @@ RaEnvironment::RaEnvironment(const RaEnvironmentConfig& config,
     throw std::invalid_argument("RaEnvironment: one profile per slice required");
   if (!service_model_ || !perf_)
     throw std::invalid_argument("RaEnvironment: null model or performance function");
-  queues_.reserve(config_.slices);
-  for (std::size_t i = 0; i < config_.slices; ++i) {
-    queues_.emplace_back(config_.max_queue);
-  }
+  if (config_.max_queue == 0)
+    throw std::invalid_argument("RaEnvironment: zero max_queue");
+}
+
+SliceQueue RaEnvironment::queue(std::size_t slice) const {
+  if (slice >= config_.slices)
+    throw std::out_of_range("RaEnvironment::queue: bad slice");
+  SliceQueue q(config_.max_queue);
+  q.restore(queue_length_[slice], queue_credit_[slice], queue_dropped_[slice],
+            queue_arrivals_[slice], queue_departures_[slice]);
+  return q;
 }
 
 void RaEnvironment::set_coordination(const std::vector<double>& z_minus_y) {
@@ -77,21 +89,26 @@ std::size_t RaEnvironment::state_dim() const {
   return config_.include_traffic_in_state ? 2 * config_.slices : config_.slices;
 }
 
-std::vector<double> RaEnvironment::state() const {
-  std::vector<double> s;
-  s.reserve(state_dim());
+void RaEnvironment::state_into(std::vector<double>& out) const {
+  out.resize(state_dim());
+  std::size_t n = 0;
   if (config_.include_traffic_in_state) {
-    for (const auto& q : queues_) {
-      s.push_back(static_cast<double>(q.length()) / config_.state_queue_scale);
+    for (std::size_t i = 0; i < config_.slices; ++i) {
+      out[n++] = static_cast<double>(queue_length_[i]) / config_.state_queue_scale;
     }
   }
   for (double c : coordination_) {
-    s.push_back(c / config_.coordination_scale);
+    out[n++] = c / config_.coordination_scale;
   }
+}
+
+std::vector<double> RaEnvironment::state() const {
+  std::vector<double> s;
+  state_into(s);
   return s;
 }
 
-StepResult RaEnvironment::step(const std::vector<double>& action) {
+void RaEnvironment::step_into(const std::vector<double>& action, StepResult& result) {
   if (action.size() != action_dim())
     throw std::invalid_argument("RaEnvironment::step: action size mismatch");
   for (double a : action) {
@@ -99,8 +116,8 @@ StepResult RaEnvironment::step(const std::vector<double>& action) {
       throw std::invalid_argument("RaEnvironment::step: action outside [0,1]");
   }
 
-  StepResult result;
-  result.state = state();
+  state_into(result.state);
+  result.constraint_violation = 0.0;
 
   // Raw per-resource sums for the shaping penalty (Eq. 15's [.]^+ term).
   std::array<double, kResources> usage{};
@@ -121,7 +138,9 @@ StepResult RaEnvironment::step(const std::vector<double>& action) {
     scale[k] = (config_.enforce_capacity_scaling && usage[k] > 1.0) ? 1.0 / usage[k] : 1.0;
   }
 
-  // Arrivals, then service.
+  // Arrivals, then service. The queue updates inline SliceQueue's
+  // arrive()/serve() over the structure-of-arrays state, operation for
+  // operation, so trajectories are bit-identical to the per-object queues.
   result.performance.resize(config_.slices);
   result.queue_lengths.resize(config_.slices);
   result.service_rates.resize(config_.slices);
@@ -130,7 +149,11 @@ StepResult RaEnvironment::step(const std::vector<double>& action) {
         arrival_profiles_.empty()
             ? arrival_rates_[i]
             : arrival_profiles_[i][step_count_ % arrival_profiles_[i].size()];
-    queues_[i].arrive(static_cast<std::size_t>(rng_.poisson(arrival_mean)));
+    const auto count = static_cast<std::size_t>(rng_.poisson(arrival_mean));
+    queue_arrivals_[i] += count;
+    const std::size_t admitted = std::min(count, config_.max_queue - queue_length_[i]);
+    queue_length_[i] += admitted;
+    queue_dropped_[i] += count - admitted;
 
     Allocation alloc{};
     for (std::size_t k = 0; k < kResources; ++k) {
@@ -140,10 +163,21 @@ StepResult RaEnvironment::step(const std::vector<double>& action) {
     last_service_time_[i] = tau;
     const double rate = tau > 0.0 ? config_.interval_seconds / tau : 0.0;
     result.service_rates[i] = rate;
-    queues_[i].serve(rate);
+    if (queue_length_[i] == 0) {
+      // Service capacity is not bankable while idle.
+      queue_credit_[i] = 0.0;
+    } else {
+      queue_credit_[i] += rate;
+      const auto departures = std::min(
+          queue_length_[i], static_cast<std::size_t>(std::floor(queue_credit_[i])));
+      queue_credit_[i] -= static_cast<double>(departures);
+      queue_length_[i] -= departures;
+      queue_departures_[i] += departures;
+      if (queue_length_[i] == 0) queue_credit_[i] = 0.0;
+    }
 
     PerfObservation obs;
-    obs.queue_length = static_cast<double>(queues_[i].length());
+    obs.queue_length = static_cast<double>(queue_length_[i]);
     obs.service_time = tau;
     result.performance[i] = perf_->evaluate(obs);
     result.queue_lengths[i] = obs.queue_length;
@@ -163,8 +197,13 @@ StepResult RaEnvironment::step(const std::vector<double>& action) {
     reward = std::clamp(reward, -config_.reward_clip, config_.reward_clip);
   }
   result.reward = reward;
-  result.next_state = state();
+  state_into(result.next_state);
   ++step_count_;
+}
+
+StepResult RaEnvironment::step(const std::vector<double>& action) {
+  StepResult result;
+  step_into(action, result);
   return result;
 }
 
@@ -179,12 +218,12 @@ void RaEnvironment::save_state(std::ostream& out) const {
   write_u64(out, arrival_profiles_.size());
   for (const auto& profile : arrival_profiles_) write_f64_vector(out, profile);
   write_f64_vector(out, last_service_time_);
-  for (const SliceQueue& q : queues_) {
-    write_u64(out, q.length());
-    write_f64(out, q.credit());
-    write_u64(out, q.dropped());
-    write_u64(out, q.total_arrivals());
-    write_u64(out, q.total_departures());
+  for (std::size_t i = 0; i < config_.slices; ++i) {
+    write_u64(out, queue_length_[i]);
+    write_f64(out, queue_credit_[i]);
+    write_u64(out, queue_dropped_[i]);
+    write_u64(out, queue_arrivals_[i]);
+    write_u64(out, queue_departures_[i]);
   }
 }
 
@@ -247,8 +286,8 @@ void RaEnvironment::load_state(std::istream& in) {
     qs.dropped = static_cast<std::size_t>(read_u64(in, kContext));
     qs.arrivals = static_cast<std::size_t>(read_u64(in, kContext));
     qs.departures = static_cast<std::size_t>(read_u64(in, kContext));
-    // Pre-validate so the SliceQueue::restore calls below cannot throw
-    // after part of the environment has already been overwritten.
+    // Pre-validated with SliceQueue::restore's invariants, so the writes
+    // below cannot fail after part of the environment is overwritten.
     if (qs.length > config_.max_queue) fail("queue backlog exceeds max_queue");
     if (!std::isfinite(qs.credit) || qs.credit < 0.0) fail("bad queue service credit");
     if (qs.departures > qs.arrivals) fail("queue departures exceed arrivals");
@@ -263,12 +302,20 @@ void RaEnvironment::load_state(std::istream& in) {
   last_service_time_ = last_service_time;
   for (std::size_t i = 0; i < config_.slices; ++i) {
     const QueueState& qs = queue_states[i];
-    queues_[i].restore(qs.length, qs.credit, qs.dropped, qs.arrivals, qs.departures);
+    queue_length_[i] = qs.length;
+    queue_credit_[i] = qs.credit;
+    queue_dropped_[i] = qs.dropped;
+    queue_arrivals_[i] = qs.arrivals;
+    queue_departures_[i] = qs.departures;
   }
 }
 
 void RaEnvironment::reset() {
-  for (auto& q : queues_) q.reset();
+  std::fill(queue_length_.begin(), queue_length_.end(), 0);
+  std::fill(queue_credit_.begin(), queue_credit_.end(), 0.0);
+  std::fill(queue_dropped_.begin(), queue_dropped_.end(), 0);
+  std::fill(queue_arrivals_.begin(), queue_arrivals_.end(), 0);
+  std::fill(queue_departures_.begin(), queue_departures_.end(), 0);
   std::fill(last_service_time_.begin(), last_service_time_.end(), 0.0);
   step_count_ = 0;
 }

@@ -106,6 +106,9 @@ class RaEnvironment {
   /// The DRL state (Eq. 13): normalized queue lengths (unless configured
   /// as EdgeSlice-NT) followed by normalized coordinating information.
   std::vector<double> state() const;
+  /// state() into a caller-owned buffer (resized to state_dim()); the
+  /// steady-state period loop reuses one buffer and never allocates.
+  void state_into(std::vector<double>& out) const;
   std::size_t state_dim() const;
   std::size_t action_dim() const { return config_.slices * kResources; }
 
@@ -114,6 +117,11 @@ class RaEnvironment {
   /// scaled for physical service but penalized at full strength in the
   /// reward.
   StepResult step(const std::vector<double>& action);
+
+  /// step() into a caller-owned result whose vectors are resized in place,
+  /// so a loop reusing one StepResult runs allocation-free once warm.
+  /// Bit-identical to step() — step() is implemented on top of this.
+  void step_into(const std::vector<double>& action, StepResult& result);
 
   void reset();
 
@@ -138,7 +146,13 @@ class RaEnvironment {
 
   const RaEnvironmentConfig& config() const { return config_; }
   std::size_t slice_count() const { return config_.slices; }
-  const SliceQueue& queue(std::size_t slice) const { return queues_.at(slice); }
+  /// Snapshot of slice `slice`'s queue, materialized from the
+  /// structure-of-arrays state (see below). Returned by value; use
+  /// queue_length()/queue_lengths() on hot paths.
+  SliceQueue queue(std::size_t slice) const;
+  /// O(1) direct accessors over the contiguous queue-state arrays.
+  std::size_t queue_length(std::size_t slice) const { return queue_length_.at(slice); }
+  const std::vector<std::size_t>& queue_lengths() const { return queue_length_; }
   const AppProfile& profile(std::size_t slice) const { return profiles_.at(slice); }
   double arrival_rate(std::size_t slice) const { return arrival_rates_.at(slice); }
 
@@ -148,7 +162,16 @@ class RaEnvironment {
   std::shared_ptr<const ServiceModel> service_model_;
   std::shared_ptr<const PerformanceFunction> perf_;
   Rng rng_;
-  std::vector<SliceQueue> queues_;
+  /// Per-slice queue state as structure-of-arrays: the period hot path
+  /// touches every slice every interval, so lengths/credits live in
+  /// contiguous arrays scanned linearly instead of per-object scatter.
+  /// Semantics are exactly SliceQueue's arrive()/serve() (see env/queue.h);
+  /// queue(i) materializes a SliceQueue snapshot for cold-path callers.
+  std::vector<std::size_t> queue_length_;
+  std::vector<double> queue_credit_;
+  std::vector<std::size_t> queue_dropped_;
+  std::vector<std::size_t> queue_arrivals_;
+  std::vector<std::size_t> queue_departures_;
   std::array<double, kResources> derate_{1.0, 1.0, 1.0};
   std::vector<double> coordination_;
   std::vector<double> arrival_rates_;

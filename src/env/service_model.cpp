@@ -118,24 +118,69 @@ LocalLinearServiceModel::LocalLinearServiceModel(
     std::shared_ptr<const GridDataset> dataset)
     : dataset_(std::move(dataset)) {
   if (!dataset_) throw std::invalid_argument("LocalLinearServiceModel: null dataset");
+  // Pre-fit one local model per grid cell. adjacent() depends only on the
+  // per-axis floor indices, so any query lands on one of these cells and
+  // gets the exact model query-time fitting would have produced.
+  points_per_axis_ = dataset_->points_per_axis();
+  const std::size_t cells = points_per_axis_ * points_per_axis_ * points_per_axis_;
+  cells_.resize(cells);
+  const double granularity = dataset_->granularity();
+  for (std::size_t l0 = 0; l0 < points_per_axis_; ++l0) {
+    for (std::size_t l1 = 0; l1 < points_per_axis_; ++l1) {
+      for (std::size_t l2 = 0; l2 < points_per_axis_; ++l2) {
+        // A point strictly inside the cell reproduces adjacent()'s floor
+        // indices (for the last grid line the cell degenerates in place).
+        const Allocation probe{
+            std::min((static_cast<double>(l0) + 0.5) * granularity, 1.0),
+            std::min((static_cast<double>(l1) + 0.5) * granularity, 1.0),
+            std::min((static_cast<double>(l2) + 0.5) * granularity, 1.0)};
+        const auto neighbors = dataset_->adjacent(probe);
+        CellModel& cell =
+            cells_[(l0 * points_per_axis_ + l1) * points_per_axis_ + l2];
+        if (neighbors.size() < 2) {
+          cell.fallback =
+              neighbors.empty() ? kServiceTimeCap : neighbors.front().service_time;
+          continue;
+        }
+        nn::Matrix x(neighbors.size(), kResources);
+        std::vector<double> y(neighbors.size());
+        for (std::size_t n = 0; n < neighbors.size(); ++n) {
+          for (std::size_t k = 0; k < kResources; ++k) {
+            x(n, k) = neighbors[n].allocation[k];
+          }
+          y[n] = neighbors[n].service_time;
+        }
+        const auto model = opt::fit_linear(x, y, 1e-9);
+        for (std::size_t k = 0; k < kResources; ++k) {
+          cell.coefficients[k] = model.coefficients[k];
+        }
+        cell.intercept = model.intercept;
+        cell.fitted = true;
+      }
+    }
+  }
 }
 
 double LocalLinearServiceModel::service_time(const AppProfile& profile,
                                              const Allocation& allocation) const {
   (void)profile;  // the dataset is profile-specific
-  const auto neighbors = dataset_->adjacent(allocation);
-  if (neighbors.size() < 2) {
-    return neighbors.empty() ? kServiceTimeCap : neighbors.front().service_time;
+  // Same cell selection as GridDataset::adjacent — clamp, divide by the
+  // granularity, floor, clamp to the last grid line.
+  const double granularity = dataset_->granularity();
+  std::size_t index = 0;
+  for (std::size_t k = 0; k < kResources; ++k) {
+    const double pos = std::clamp(allocation[k], 0.0, 1.0) / granularity;
+    const std::size_t lo = std::min(static_cast<std::size_t>(std::floor(pos)),
+                                    points_per_axis_ - 1);
+    index = index * points_per_axis_ + lo;
   }
-  nn::Matrix x(neighbors.size(), kResources);
-  std::vector<double> y(neighbors.size());
-  for (std::size_t n = 0; n < neighbors.size(); ++n) {
-    for (std::size_t k = 0; k < kResources; ++k) x(n, k) = neighbors[n].allocation[k];
-    y[n] = neighbors[n].service_time;
+  const CellModel& cell = cells_[index];
+  if (!cell.fitted) return cell.fallback;
+  // LinearModel::predict's accumulation order, term for term.
+  double predicted = cell.intercept;
+  for (std::size_t k = 0; k < kResources; ++k) {
+    predicted += cell.coefficients[k] * allocation[k];
   }
-  const auto model = opt::fit_linear(x, y, 1e-9);
-  const double predicted =
-      model.predict({allocation[0], allocation[1], allocation[2]});
   return std::clamp(predicted, 0.0, kServiceTimeCap);
 }
 

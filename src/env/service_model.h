@@ -87,6 +87,7 @@ class GridDataset {
 
   const std::vector<GridSample>& samples() const { return samples_; }
   double granularity() const { return granularity_; }
+  std::size_t points_per_axis() const { return points_per_axis_; }
   const AppProfile& profile() const { return profile_; }
 
   /// The grid actions adjacent to `allocation`: the corners of the grid
@@ -103,6 +104,14 @@ class GridDataset {
 
 /// Sec. VI-B: fit a linear model on the adjacent grid samples of the
 /// queried action and predict the service time from it.
+///
+/// The fit for a query depends only on which grid cell the query falls
+/// in, so the constructor pre-fits one model per cell and service_time
+/// is a table lookup plus a 3-term dot product — allocation-free and
+/// bit-identical to fitting at query time (same neighbors, same
+/// fit_linear, same predict arithmetic). This is what keeps the warm
+/// environment step loop off the heap at city scale (see
+/// tests/env/test_env_alloc.cpp).
 class LocalLinearServiceModel final : public ServiceModel {
  public:
   explicit LocalLinearServiceModel(std::shared_ptr<const GridDataset> dataset);
@@ -110,7 +119,16 @@ class LocalLinearServiceModel final : public ServiceModel {
                       const Allocation& allocation) const override;
 
  private:
+  struct CellModel {
+    std::array<double, kResources> coefficients{};
+    double intercept = 0.0;
+    double fallback = 0.0;  // used when the cell collapses to < 2 unique corners
+    bool fitted = false;
+  };
+
   std::shared_ptr<const GridDataset> dataset_;
+  std::size_t points_per_axis_ = 0;
+  std::vector<CellModel> cells_;  // one per (lo0, lo1, lo2) grid cell
 };
 
 /// Dispatches to a profile-specific grid model by profile name — one grid

@@ -7,13 +7,19 @@
 namespace edgeslice::opt {
 
 std::vector<double> project_halfspace_sum_ge(const std::vector<double>& c, double bound) {
+  std::vector<double> z;
+  project_halfspace_sum_ge_into(c, bound, z);
+  return z;
+}
+
+void project_halfspace_sum_ge_into(const std::vector<double>& c, double bound,
+                                   std::vector<double>& z) {
   if (c.empty()) throw std::invalid_argument("project_halfspace_sum_ge: empty input");
   const double total = std::accumulate(c.begin(), c.end(), 0.0);
-  if (total >= bound) return c;
+  z.assign(c.begin(), c.end());
+  if (total >= bound) return;
   const double shift = (bound - total) / static_cast<double>(c.size());
-  std::vector<double> z = c;
   for (auto& v : z) v += shift;
-  return z;
 }
 
 std::vector<double> project_halfspace_sum_le(const std::vector<double>& c, double bound) {

@@ -16,6 +16,12 @@ namespace edgeslice::opt {
 /// equally across coordinates (the closed-form Euclidean projection).
 std::vector<double> project_halfspace_sum_ge(const std::vector<double>& c, double bound);
 
+/// project_halfspace_sum_ge() into a caller-owned buffer (resized to
+/// c.size()), bit-identical — the coordinator's per-period solve reuses
+/// one buffer and never allocates. `z` must not alias `c`.
+void project_halfspace_sum_ge_into(const std::vector<double>& c, double bound,
+                                   std::vector<double>& z);
+
 /// Project c onto { z : sum(z) <= bound } (the mirror half-space).
 std::vector<double> project_halfspace_sum_le(const std::vector<double>& c, double bound);
 

@@ -19,9 +19,17 @@ void BatchedActor::set_state(std::size_t row, const std::vector<double>& state) 
 void BatchedActor::infer() { network_->infer_into(states_, workspace_); }
 
 std::vector<double> BatchedActor::action(std::size_t row) const {
+  std::vector<double> out;
+  action_into(row, out);
+  return out;
+}
+
+void BatchedActor::action_into(std::size_t row, std::vector<double>& out) const {
   if (workspace_.empty() || row >= workspace_.back().rows())
     throw std::out_of_range("BatchedActor::action: no such row (call infer() first)");
-  return workspace_.back().row_vector(row);
+  const nn::Matrix& output = workspace_.back();
+  out.resize(output.cols());
+  for (std::size_t c = 0; c < output.cols(); ++c) out[c] = output(row, c);
 }
 
 }  // namespace edgeslice::rl

@@ -44,6 +44,10 @@ class BatchedActor {
   /// network.infer_vector(state_row).
   std::vector<double> action(std::size_t row) const;
 
+  /// action() into a caller-owned buffer (resized to out_dim), so the
+  /// steady-state period loop extracts actions without allocating.
+  void action_into(std::size_t row, std::vector<double>& out) const;
+
   const nn::Mlp& network() const { return *network_; }
   std::size_t rows() const { return states_.rows(); }
 

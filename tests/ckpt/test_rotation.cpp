@@ -11,6 +11,8 @@
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "ckpt/container.h"
 #include "ckpt/rotation.h"
@@ -69,6 +71,30 @@ TEST_F(RotationTest, PathNamingAndListOrder) {
   EXPECT_EQ(siblings[0].first, 2u);
   EXPECT_EQ(siblings[1].first, 6u);
   EXPECT_EQ(siblings[2].first, 10u);
+}
+
+TEST_F(RotationTest, ForeignAndOverflowingSiblingsAreSkippedNotThrown) {
+  // Regression: the directory scan used std::stoull on anything matching
+  // "<base>.p*", so a foreign sibling with an all-digit-but-huge suffix
+  // threw std::out_of_range out of list()/latest()/prune(). Hostile
+  // neighbours of every kind must be skipped silently.
+  const CheckpointRotation rotation(base_, 2);
+  publish(5);
+  write_garbage(base_ + ".pbak");                          // backup file
+  write_garbage(base_ + ".p12.tmp");                       // torn save
+  write_garbage(base_ + ".p99999999999999999999999999");   // > uint64 max
+  write_garbage(base_ + ".p-3");                           // signed garbage
+  write_garbage(base_ + ".p");                             // empty suffix
+  std::vector<std::pair<std::size_t, std::string>> siblings;
+  ASSERT_NO_THROW(siblings = rotation.list());
+  ASSERT_EQ(siblings.size(), 1u);
+  EXPECT_EQ(siblings[0].first, 5u);
+  ASSERT_NO_THROW(rotation.prune(5));
+  ASSERT_TRUE(rotation.latest().has_value());
+  EXPECT_EQ(*rotation.latest(), rotation.path_for(5));
+  // The foreign files were skipped, not deleted.
+  EXPECT_TRUE(fs::exists(base_ + ".pbak"));
+  EXPECT_TRUE(fs::exists(base_ + ".p99999999999999999999999999"));
 }
 
 TEST_F(RotationTest, PruneKeepsTheNewestNAndReportsRemovals) {

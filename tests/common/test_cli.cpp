@@ -27,12 +27,14 @@ TEST(CliArgs, BareFlagIsTrue) {
   EXPECT_TRUE(args.get_bool("verbose", false));
 }
 
-TEST(CliArgs, UnknownFlagThrows) {
-  EXPECT_THROW(parse({"--bogus", "1"}, {"steps"}), std::invalid_argument);
+TEST(CliArgs, UnknownFlagExitsCleanly) {
+  EXPECT_EXIT(parse({"--bogus", "1"}, {"steps"}), testing::ExitedWithCode(2),
+              "unknown flag: --bogus");
 }
 
-TEST(CliArgs, PositionalThrows) {
-  EXPECT_THROW(parse({"oops"}, {"steps"}), std::invalid_argument);
+TEST(CliArgs, PositionalExitsCleanly) {
+  EXPECT_EXIT(parse({"oops"}, {"steps"}), testing::ExitedWithCode(2),
+              "unexpected positional argument: oops");
 }
 
 TEST(CliArgs, FallbacksWhenAbsent) {
@@ -66,6 +68,65 @@ TEST(CliArgs, FlagBeatsEnv) {
   setenv("ES_TEST_STEPS", "123", 1);
   const auto args = parse({"--steps", "9"}, {"steps"});
   EXPECT_EQ(args.get_int_env("steps", "ES_TEST_STEPS", 5), 9);
+  unsetenv("ES_TEST_STEPS");
+}
+
+// --- Hostile numeric input -------------------------------------------------
+// Every malformed value must name the offending flag/env var and its value
+// on stderr and exit 2 — never throw out of main or truncate silently.
+
+TEST(CliArgsHostile, NonNumericIntExitsCleanly) {
+  const auto args = parse({"--seed", "abc"}, {"seed"});
+  EXPECT_EXIT(args.get_int("seed", 0), testing::ExitedWithCode(2),
+              "flag --seed: expected an integer, got \"abc\"");
+}
+
+TEST(CliArgsHostile, TrailingGarbageIsRejectedNotTruncated) {
+  const auto args = parse({"--steps", "12abc"}, {"steps"});
+  EXPECT_EXIT(args.get_int("steps", 0), testing::ExitedWithCode(2),
+              "flag --steps: expected an integer, got \"12abc\"");
+}
+
+TEST(CliArgsHostile, EmptyValueIsRejected) {
+  const auto args = parse({"--steps="}, {"steps"});
+  EXPECT_EXIT(args.get_int("steps", 0), testing::ExitedWithCode(2),
+              "flag --steps: expected an integer");
+}
+
+TEST(CliArgsHostile, OutOfRangeIntExitsCleanly) {
+  const auto args = parse({"--steps", "99999999999999999999999"}, {"steps"});
+  EXPECT_EXIT(args.get_int("steps", 0), testing::ExitedWithCode(2),
+              "flag --steps: integer out of range");
+}
+
+TEST(CliArgsHostile, NonNumericDoubleExitsCleanly) {
+  const auto args = parse({"--ratio", "fast"}, {"ratio"});
+  EXPECT_EXIT(args.get_double("ratio", 0.0), testing::ExitedWithCode(2),
+              "flag --ratio: expected a number, got \"fast\"");
+}
+
+TEST(CliArgsHostile, DoubleTrailingGarbageIsRejected) {
+  const auto args = parse({"--ratio", "0.5x"}, {"ratio"});
+  EXPECT_EXIT(args.get_double("ratio", 0.0), testing::ExitedWithCode(2),
+              "flag --ratio: expected a number, got \"0.5x\"");
+}
+
+TEST(CliArgsHostile, MalformedEnvVarNamesTheVariable) {
+  setenv("ES_TEST_STEPS", "not-a-number", 1);
+  const auto args = parse({}, {"steps"});
+  EXPECT_EXIT(args.get_int_env("steps", "ES_TEST_STEPS", 5),
+              testing::ExitedWithCode(2),
+              "environment variable ES_TEST_STEPS: expected an integer, "
+              "got \"not-a-number\"");
+  unsetenv("ES_TEST_STEPS");
+}
+
+TEST(CliArgsHostile, OutOfRangeEnvVarNamesTheVariable) {
+  setenv("ES_TEST_STEPS", "-99999999999999999999999", 1);
+  const auto args = parse({}, {"steps"});
+  EXPECT_EXIT(args.get_int_env("steps", "ES_TEST_STEPS", 5),
+              testing::ExitedWithCode(2),
+              "environment variable ES_TEST_STEPS: integer out of range");
   unsetenv("ES_TEST_STEPS");
 }
 

@@ -1,0 +1,201 @@
+// City-scale bench smoke tests: the small-scale city must be
+// bit-identical at 1/2/4 threads, allocation-flat on the steady-state
+// period hot path, and bit-identical across checkpoint/resume — both
+// in-process and through the real city_scale binary's forced-abort +
+// --resume legs (EDGESLICE_CITY_BENCH_PATH is injected by the build).
+#include "city_common.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace edgeslice::bench::city {
+namespace {
+
+CityConfig smoke_config() {
+  CityConfig config;
+  config.ras = 12;
+  config.slices_per_ra = 4;
+  config.periods = 8;
+  config.intervals_per_period = 4;
+  config.peak_rate = 5.0;
+  config.seed = 11;
+  return config;
+}
+
+TEST(CityScale, BitIdenticalAcrossThreadCounts) {
+  const CityRun reference = run_city(smoke_config());
+  ASSERT_EQ(reference.period_digests.size(), 8u);
+  for (std::size_t threads : {2u, 4u}) {
+    ThreadPool pool(threads);
+    CityConfig config = smoke_config();
+    config.pool = &pool;
+    const CityRun run = run_city(config);
+    EXPECT_EQ(run.period_digests, reference.period_digests)
+        << threads << " threads diverged";
+    EXPECT_EQ(run.trajectory_digest, reference.trajectory_digest);
+  }
+}
+
+TEST(CityScale, SteadyStatePeriodLoopAddsNoArenaUpstreamAllocations) {
+  CityConfig config = smoke_config();
+  config.periods = 12;  // several periods past warm-up
+  const CityRun run = run_city(config);
+  EXPECT_EQ(run.arena.upstream_allocations, run.arena_upstream_after_warmup)
+      << "period hot path allocated after warm-up";
+  EXPECT_EQ(run.arena.resets, 12u);  // one reset per period
+  EXPECT_GT(run.arena.high_water_bytes, 0u);
+}
+
+TEST(CityScale, WatchdogAndThroughputAreReported) {
+  const CityRun run = run_city(smoke_config());
+  EXPECT_EQ(run.periods_run, 8u);
+  EXPECT_GT(run.periods_per_second, 0.0);
+  EXPECT_GE(run.p99_solve_seconds, 0.0);
+  ASSERT_EQ(run.slice_violation_rates.size(), 4u);
+  for (double rate : run.slice_violation_rates) {
+    EXPECT_GE(rate, 0.0);
+    EXPECT_LE(rate, 1.0);
+  }
+  EXPECT_LT(run.total_performance, 0.0);  // queue-power U is non-positive
+}
+
+TEST(CityScale, InProcessResumeContinuesBitIdentically) {
+  const std::string base = ::testing::TempDir() + "city_inproc.ckpt";
+  for (const auto& entry :
+       std::filesystem::directory_iterator(::testing::TempDir())) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("city_inproc.ckpt", 0) == 0) std::filesystem::remove(entry);
+  }
+
+  const CityRun reference = run_city(smoke_config());
+
+  // First half of the day, checkpointing every other period. The config
+  // keeps periods = 8 (the arrival profiles span the configured day, so a
+  // shorter day would be a different city) and stops cleanly at 4.
+  CityConfig first = smoke_config();
+  first.stop_after_period = 4;
+  first.checkpoint_every = 2;
+  first.checkpoint_out = base;
+  first.checkpoint_keep = 2;
+  const CityRun half = run_city(first);
+  ASSERT_EQ(half.period_digests.size(), 4u);
+  for (std::size_t p = 0; p < 4; ++p) {
+    EXPECT_EQ(half.period_digests[p], reference.period_digests[p]);
+  }
+
+  // Resume from the rotation's newest sibling (period 4) and finish.
+  CityConfig rest = smoke_config();
+  rest.resume_path = base;
+  rest.checkpoint_keep = 2;
+  const CityRun tail = run_city(rest);
+  EXPECT_EQ(tail.start_period, 4u);
+  ASSERT_EQ(tail.period_digests.size(), 4u);
+  for (std::size_t i = 0; i < tail.period_digests.size(); ++i) {
+    EXPECT_EQ(tail.period_digests[i],
+              reference.period_digests[tail.start_period + i])
+        << "period " << tail.start_period + i << " diverged after resume";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Crash-at-midday acceptance: the real binary aborts mid-day, a rerun with
+// --resume finishes it, and the stitched digest lines equal an uncrashed
+// run's (subprocess tests against the actual city_scale executable).
+// ---------------------------------------------------------------------------
+#ifdef EDGESLICE_CITY_BENCH_PATH
+
+std::vector<std::string> digest_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("digest period=", 0) == 0) lines.push_back(line);
+  }
+  return lines;
+}
+
+TEST(CityScaleHarness, CrashAtMiddayResumesBitIdentically) {
+  const std::string dir = ::testing::TempDir();
+  const std::string ckpt = dir + "city_day.ckpt";
+  const std::string shape =
+      " --ras 8 --slices-per-ra 3 --periods 8 --intervals 4 --seed 7";
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("city_day.ckpt", 0) == 0) std::filesystem::remove(entry);
+  }
+
+  const std::string ref_out = dir + "city_ref.out";
+  ASSERT_EQ(std::system((std::string(EDGESLICE_CITY_BENCH_PATH) + shape +
+                         " --out " + dir + "city_ref.json > " + ref_out +
+                         " 2>/dev/null")
+                            .c_str()),
+            0);
+  const auto reference = digest_lines(ref_out);
+  ASSERT_EQ(reference.size(), 8u);
+
+  // Crash at midday. Dies by SIGABRT; the pre-crash digest lines must
+  // survive (they are flushed per period).
+  const std::string crash_out = dir + "city_crash.out";
+  const int crash_status = std::system(
+      (std::string(EDGESLICE_CITY_BENCH_PATH) + shape +
+       " --checkpoint-every 2 --checkpoint-out " + ckpt +
+       " --checkpoint-keep 2 --crash-at-period 4 --out " + dir +
+       "city_crash.json > " + crash_out + " 2>/dev/null")
+          .c_str());
+  ASSERT_TRUE(WIFSIGNALED(crash_status) ||
+              (WIFEXITED(crash_status) && WEXITSTATUS(crash_status) != 0));
+  const auto before = digest_lines(crash_out);
+  ASSERT_EQ(before.size(), 4u);  // periods 0..3 ran before the abort
+
+  // Resume and finish the day.
+  const std::string resume_out = dir + "city_resume.out";
+  ASSERT_EQ(std::system((std::string(EDGESLICE_CITY_BENCH_PATH) + shape +
+                         " --resume " + ckpt + " --checkpoint-keep 2 --out " +
+                         dir + "city_resume.json > " + resume_out +
+                         " 2>/dev/null")
+                            .c_str()),
+            0);
+  const auto after = digest_lines(resume_out);
+  ASSERT_EQ(after.size(), 4u);  // periods 4..7
+
+  // Stitched pre-crash + post-resume trajectory == uncrashed trajectory.
+  std::vector<std::string> stitched = before;
+  stitched.insert(stitched.end(), after.begin(), after.end());
+  EXPECT_EQ(stitched, reference);
+}
+
+TEST(CityScaleHarness, WritesBenchCityJsonWithDigest) {
+  const std::string dir = ::testing::TempDir();
+  const std::string json_path = dir + "city_smoke.json";
+  std::remove(json_path.c_str());
+  ASSERT_EQ(std::system((std::string(EDGESLICE_CITY_BENCH_PATH) +
+                         " --ras 4 --slices-per-ra 2 --periods 4 --intervals 3"
+                         " --out " + json_path + " > /dev/null 2>&1")
+                            .c_str()),
+            0);
+  std::ifstream in(json_path);
+  ASSERT_TRUE(in.good());
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  for (const char* field :
+       {"\"ras\"", "\"periods_per_second\"", "\"p99_coordinator_solve_seconds\"",
+        "\"sla_violation_rate\"", "\"slice_violation_rates\"",
+        "\"arena_upstream_allocations\"", "\"trajectory_digest\": \"0x"}) {
+    EXPECT_NE(text.find(field), std::string::npos) << "missing " << field;
+  }
+  std::remove(json_path.c_str());
+}
+
+#endif  // EDGESLICE_CITY_BENCH_PATH
+
+}  // namespace
+}  // namespace edgeslice::bench::city

@@ -107,7 +107,38 @@ if(NOT experiments_text MATCHES "EDGESLICE_GEMM=${gemm_mode_pattern}")
       "kGemmModeNames")
 endif()
 
+# The city bench's report schema: every field bench/city_scale.cpp emits
+# into BENCH_city.json (the kCityBenchFields table, which main() verifies
+# against the actual emission) must be documented in EXPERIMENTS.md as
+# `field`, so a field cannot be added, renamed, or dropped without the
+# docs following.
+set(city_bench "${REPO_ROOT}/bench/city_scale.cpp")
+if(NOT EXISTS "${city_bench}")
+  message(FATAL_ERROR "docs_check: ${city_bench} not found")
+endif()
+file(READ "${city_bench}" city_text)
+if(NOT city_text MATCHES "kCityBenchFields\\[\\] = {([^}]*)}")
+  message(FATAL_ERROR "docs_check: kCityBenchFields not found in ${city_bench}")
+endif()
+string(REGEX MATCHALL "\"([a-z0-9_]+)\"" city_field_tokens "${CMAKE_MATCH_1}")
+if(NOT city_field_tokens)
+  message(FATAL_ERROR "docs_check: kCityBenchFields is empty in ${city_bench}")
+endif()
+set(city_fields "")
+foreach(token ${city_field_tokens})
+  string(REPLACE "\"" "" token "${token}")
+  list(APPEND city_fields "${token}")
+  if(NOT experiments_text MATCHES "`${token}`")
+    message(FATAL_ERROR
+        "docs_check: BENCH_city.json field \"${token}\" (kCityBenchFields in "
+        "bench/city_scale.cpp) is not documented in EXPERIMENTS.md — every "
+        "emitted field must appear there as \\`${token}\\`")
+  endif()
+endforeach()
+list(LENGTH city_fields city_field_count)
+
 message(STATUS "docs_check: FORMATS.md documents checkpoint format version "
                "${code_version}, wire frame format version ${frame_version}, "
                "and all artifact families; EXPERIMENTS.md documents "
-               "EDGESLICE_GEMM=${gemm_mode_phrase}")
+               "EDGESLICE_GEMM=${gemm_mode_phrase} and all "
+               "${city_field_count} BENCH_city.json fields")

@@ -1,0 +1,95 @@
+// Allocation audit of the per-RA hot path: once warm, a full period of
+// state_into / decide_into / step_into must perform ZERO heap
+// allocations. The audit replaces global operator new with a counting
+// wrapper, so it lives in the test_city binary only. Sanitizer builds
+// provide their own allocator interposition; the strict-zero assertion
+// runs in the plain build (the default ctest tier) and is skipped there.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "common.h"
+#include "common/rng.h"
+#include "core/policies.h"
+#include "env/environment.h"
+#include "env/perf.h"
+
+#ifndef __has_feature
+#define __has_feature(x) 0
+#endif
+#if !defined(__SANITIZE_ADDRESS__) && !defined(__SANITIZE_THREAD__) && \
+    !__has_feature(address_sanitizer) && !__has_feature(thread_sanitizer)
+#define EDGESLICE_COUNT_ALLOCATIONS 1
+#endif
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+#ifdef EDGESLICE_COUNT_ALLOCATIONS
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size ? size : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size ? size : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#endif
+
+namespace edgeslice::env {
+namespace {
+
+TEST(EnvHotPathAllocations, WarmStepLoopAllocatesNothing) {
+#ifndef EDGESLICE_COUNT_ALLOCATIONS
+  GTEST_SKIP() << "allocation counting disabled under sanitizers";
+#else
+  Rng profile_rng(5);
+  const auto profiles = bench::make_profiles(4, profile_rng);
+  const auto model = bench::make_service_model(profiles);
+  RaEnvironmentConfig config;
+  config.slices = 4;
+  config.intervals_per_period = 6;
+  config.arrival_rate = 5.0;
+  RaEnvironment environment(config, profiles, model,
+                            std::shared_ptr<const PerformanceFunction>(
+                                make_queue_power_perf(2.0)),
+                            Rng(42));
+  core::TaroPolicy policy;
+
+  std::vector<double> state;
+  std::vector<double> action;
+  StepResult result;
+  const auto run_period = [&] {
+    for (std::size_t t = 0; t < config.intervals_per_period; ++t) {
+      environment.state_into(state);
+      policy.decide_into(environment, action);
+      environment.step_into(action, result);
+    }
+  };
+
+  run_period();  // warm-up sizes every scratch buffer
+  run_period();
+
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int period = 0; period < 3; ++period) run_period();
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "warm state_into/decide_into/step_into loop hit the heap";
+#endif
+}
+
+}  // namespace
+}  // namespace edgeslice::env

@@ -145,8 +145,9 @@ int main(int argc, char** argv) {
       argc, argv,
       {"steps", "seed", "periods", "threads", "metrics-out", "telemetry-port",
        "metrics-interval", "events-out", "checkpoint-every", "checkpoint-out",
-       "resume", "checkpoint-keep", "workers", "gemm", "ras", "slices-per-ra",
-       "intervals", "peak-rate", "crash-at-period", "out"});
+       "resume", "checkpoint-keep", "workers", "gemm", "telemetry-interval",
+       "ras", "slices-per-ra", "intervals", "peak-rate", "crash-at-period",
+       "out"});
 
   city::CityConfig config;
   config.ras = static_cast<std::size_t>(

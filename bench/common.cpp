@@ -403,6 +403,7 @@ RunResult run_contender(const Setup& setup, Contender contender, Rng& rng,
   if (setup.workers > 0) {
     ipc::SupervisorConfig sup_config;
     sup_config.workers = setup.workers;
+    sup_config.telemetry_every = setup.telemetry_interval;
     supervisor = std::make_unique<ipc::WorkerSupervisor>(env_ptrs, policy_ptrs,
                                                          sup_config);
     supervisor->start();
@@ -490,7 +491,7 @@ Setup parse_common_flags(int argc, char** argv, Setup setup,
                                  "threads",     "metrics-out",    "telemetry-port",
                                  "metrics-interval", "events-out", "checkpoint-every",
                                  "checkpoint-out",   "resume",     "checkpoint-keep",
-                                 "workers",     "gemm"};
+                                 "workers",     "gemm",       "telemetry-interval"};
   known.insert(known.end(), extra_flags.begin(), extra_flags.end());
   const CliArgs args(argc, argv, known);
 
@@ -518,6 +519,9 @@ Setup parse_common_flags(int argc, char** argv, Setup setup,
       "checkpoint-keep", static_cast<std::int64_t>(setup.checkpoint_keep)));
   setup.workers = static_cast<std::size_t>(args.get_int_env(
       "workers", "EDGESLICE_WORKERS", static_cast<std::int64_t>(setup.workers)));
+  setup.telemetry_interval = static_cast<std::size_t>(args.get_int_env(
+      "telemetry-interval", "EDGESLICE_TELEMETRY_INTERVAL",
+      static_cast<std::int64_t>(setup.telemetry_interval)));
 
   // --metrics-out <path> (or EDGESLICE_METRICS_OUT) dumps the metrics
   // registry + span timings as JSON when the binary exits.

@@ -52,6 +52,13 @@ struct Setup {
   /// count (see DESIGN.md "Process model & supervision"); when set, the
   /// evaluation ignores `pool` (the transport supersedes it).
   std::size_t workers = 0;
+  /// Worker->supervisor telemetry shipping cadence in periods
+  /// (--telemetry-interval). 1 ships a snapshot + drained events every
+  /// period; N > 1 coarsens the cadence; 0 disables shipping entirely.
+  /// Telemetry is observation only and never touches the deterministic
+  /// path — digests are bit-identical at any cadence (DESIGN.md
+  /// "Fleet telemetry").
+  std::size_t telemetry_interval = 1;
   /// Mid-run checkpointing (--checkpoint-every / --checkpoint-out /
   /// --resume). For training benches the cadence is in steps; for the
   /// fault-tolerance ablation it is in periods. Empty/0 disables.
@@ -190,6 +197,10 @@ RunResult run_contender(const Setup& setup, Contender contender, Rng& rng,
 ///       RAs in n supervised worker processes over the ESFR wire
 ///       protocol; 0 (default) keeps everything in-process. Bit-identical
 ///       at any n, including under worker-kill chaos plans.
+///   --telemetry-interval <n>  (EDGESLICE_TELEMETRY_INTERVAL) ship each
+///       worker's metrics/span/event telemetry to the supervisor every n
+///       periods (default 1); 0 disables shipping. Observation only:
+///       digests are bit-identical at any cadence.
 ///   --gemm <mode>             (EDGESLICE_GEMM) pin the nn GEMM backend:
 ///       scalar | avx2 | auto (default auto). Pinning is a reproducibility
 ///       statement — "avx2" on an unsupported CPU is an error, never a

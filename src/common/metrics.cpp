@@ -39,6 +39,38 @@ std::string prometheus_name(const std::string& name) {
   return out;
 }
 
+/// Escape a label value per the Prometheus text format: backslash, quote,
+/// and newline.
+void append_label_value(std::string& out, const std::string& value) {
+  for (char c : value) {
+    if (c == '\\' || c == '"') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+/// The label suffix with one more label appended (for summary quantiles):
+/// "" + q -> {quantile="q"}, {a="b"} + q -> {a="b",quantile="q"}.
+std::string suffix_with(const std::string& suffix, const char* key,
+                        const char* value) {
+  std::string extra;
+  extra += key;
+  extra += "=\"";
+  extra += value;
+  extra += "\"}";
+  if (suffix.empty()) return "{" + extra;
+  std::string out = suffix;
+  out.pop_back();  // drop the closing '}'
+  out += ",";
+  out += extra;
+  return out;
+}
+
 }  // namespace
 
 void set_metrics_enabled(bool enabled) {
@@ -47,9 +79,32 @@ void set_metrics_enabled(bool enabled) {
 
 bool metrics_enabled() { return g_metrics_enabled.load(std::memory_order_relaxed); }
 
+std::string encode_metric_labels(const MetricLabels& labels) {
+  if (labels.empty()) return "";
+  MetricLabels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : sorted) {
+    if (!first) out += ",";
+    out += key;
+    out += "=\"";
+    append_label_value(out, value);
+    out += "\"";
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
 void Counter::add(std::uint64_t n) {
   if (!metrics_enabled()) return;
   value_.fetch_add(n, std::memory_order_relaxed);
+}
+
+void Counter::set(std::uint64_t v) {
+  if (!metrics_enabled()) return;
+  value_.store(v, std::memory_order_relaxed);
 }
 
 void Gauge::set(double v) {
@@ -68,6 +123,36 @@ void Gauge::add(double delta) {
 }
 
 double Gauge::value() const { return value_.load(std::memory_order_relaxed); }
+
+void merge_histogram_state(HistogramState& a, const HistogramState& b) {
+  if (b.count == 0) return;
+  if (a.count == 0) {
+    a = b;
+    return;
+  }
+  // Chan's parallel update of Welford's accumulators: exact to rounding,
+  // independent of which side the samples arrived on.
+  const double na = static_cast<double>(a.count);
+  const double nb = static_cast<double>(b.count);
+  const double delta = b.mean - a.mean;
+  const double n = na + nb;
+  a.m2 = a.m2 + b.m2 + delta * delta * na * nb / n;
+  a.mean = a.mean + delta * nb / n;
+  a.count += b.count;
+  a.min = std::min(a.min, b.min);
+  a.max = std::max(a.max, b.max);
+  a.total += b.total;
+  a.zero_count += b.zero_count;
+  const auto merge_buckets =
+      [](std::vector<std::pair<std::uint32_t, std::uint64_t>>& into,
+         const std::vector<std::pair<std::uint32_t, std::uint64_t>>& from) {
+        std::map<std::uint32_t, std::uint64_t> merged(into.begin(), into.end());
+        for (const auto& [bucket, count] : from) merged[bucket] += count;
+        into.assign(merged.begin(), merged.end());
+      };
+  merge_buckets(a.positive, b.positive);
+  merge_buckets(a.negative, b.negative);
+}
 
 void Histogram::observe(double x) {
   if (!metrics_enabled() || !std::isfinite(x)) return;
@@ -147,32 +232,83 @@ double Histogram::quantile(double q) const {
   return std::clamp(value, stat_.min(), stat_.max());
 }
 
-Counter& MetricsRegistry::counter(const std::string& name) {
+HistogramState Histogram::state() const {
   const std::lock_guard<std::mutex> lock(mutex_);
-  auto& slot = counters_[name];
+  HistogramState s;
+  s.count = stat_.count();
+  s.mean = stat_.mean();
+  s.m2 = stat_.m2();
+  s.min = stat_.min();
+  s.max = stat_.max();
+  s.total = total_;
+  s.zero_count = zero_count_;
+  s.positive.reserve(positive_.size());
+  for (const auto& [bucket, count] : positive_)
+    s.positive.emplace_back(static_cast<std::uint32_t>(bucket), count);
+  s.negative.reserve(negative_.size());
+  for (const auto& [bucket, count] : negative_)
+    s.negative.emplace_back(static_cast<std::uint32_t>(bucket), count);
+  return s;
+}
+
+void Histogram::load_state(const HistogramState& s) {
+  if (!metrics_enabled()) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  stat_.restore(s.count, s.mean, s.m2, s.min, s.max);
+  total_ = s.total;
+  zero_count_ = s.zero_count;
+  positive_.clear();
+  for (const auto& [bucket, count] : s.positive) positive_[bucket] = count;
+  negative_.clear();
+  for (const auto& [bucket, count] : s.negative) negative_[bucket] = count;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return counter(name, {});
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, const MetricLabels& labels) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[Key(name, encode_metric_labels(labels))];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
-Gauge& MetricsRegistry::gauge(const std::string& name) {
+Gauge& MetricsRegistry::gauge(const std::string& name) { return gauge(name, {}); }
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const MetricLabels& labels) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  auto& slot = gauges_[name];
+  auto& slot = gauges_[Key(name, encode_metric_labels(labels))];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name) {
+  return histogram(name, {});
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const MetricLabels& labels) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  auto& slot = histograms_[name];
+  auto& slot = histograms_[Key(name, encode_metric_labels(labels))];
   if (!slot) slot = std::make_unique<Histogram>();
   return *slot;
 }
+
+namespace {
+
+/// Display name of one store key: the metric name plus its label suffix.
+std::string display_name(const std::pair<std::string, std::string>& key) {
+  return key.second.empty() ? key.first : key.first + key.second;
+}
+
+}  // namespace
 
 std::vector<std::string> MetricsRegistry::counter_names() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::string> names;
   names.reserve(counters_.size());
-  for (const auto& [name, metric] : counters_) names.push_back(name);
+  for (const auto& [key, metric] : counters_) names.push_back(display_name(key));
   return names;
 }
 
@@ -180,7 +316,7 @@ std::vector<std::string> MetricsRegistry::gauge_names() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::string> names;
   names.reserve(gauges_.size());
-  for (const auto& [name, metric] : gauges_) names.push_back(name);
+  for (const auto& [key, metric] : gauges_) names.push_back(display_name(key));
   return names;
 }
 
@@ -188,33 +324,48 @@ std::vector<std::string> MetricsRegistry::histogram_names() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::string> names;
   names.reserve(histograms_.size());
-  for (const auto& [name, metric] : histograms_) names.push_back(name);
+  for (const auto& [key, metric] : histograms_) names.push_back(display_name(key));
   return names;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [key, metric] : counters_)
+    snap.counters.emplace_back(display_name(key), metric->value());
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [key, metric] : gauges_)
+    snap.gauges.emplace_back(display_name(key), metric->value());
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [key, metric] : histograms_)
+    snap.histograms.emplace_back(display_name(key), metric->state());
+  return snap;
 }
 
 void MetricsRegistry::write_json(std::ostream& out) const {
   const std::lock_guard<std::mutex> lock(mutex_);
   out << "{\n  \"counters\": {";
   bool first = true;
-  for (const auto& [name, metric] : counters_) {
+  for (const auto& [key, metric] : counters_) {
     out << (first ? "\n    " : ",\n    ");
-    write_json_escaped(out, name);
+    write_json_escaped(out, display_name(key));
     out << ": " << metric->value();
     first = false;
   }
   out << (first ? "}" : "\n  }") << ",\n  \"gauges\": {";
   first = true;
-  for (const auto& [name, metric] : gauges_) {
+  for (const auto& [key, metric] : gauges_) {
     out << (first ? "\n    " : ",\n    ");
-    write_json_escaped(out, name);
+    write_json_escaped(out, display_name(key));
     out << ": " << metric->value();
     first = false;
   }
   out << (first ? "}" : "\n  }") << ",\n  \"histograms\": {";
   first = true;
-  for (const auto& [name, metric] : histograms_) {
+  for (const auto& [key, metric] : histograms_) {
     out << (first ? "\n    " : ",\n    ");
-    write_json_escaped(out, name);
+    write_json_escaped(out, display_name(key));
     out << ": {\"count\": " << metric->count() << ", \"mean\": " << metric->mean()
         << ", \"min\": " << metric->min() << ", \"max\": " << metric->max()
         << ", \"total\": " << metric->total() << ", \"p50\": " << metric->quantile(0.5)
@@ -228,13 +379,14 @@ void MetricsRegistry::write_json(std::ostream& out) const {
 void MetricsRegistry::write_csv(std::ostream& out) const {
   const std::lock_guard<std::mutex> lock(mutex_);
   out << "kind,name,field,value\n";
-  for (const auto& [name, metric] : counters_) {
-    out << "counter," << name << ",value," << metric->value() << "\n";
+  for (const auto& [key, metric] : counters_) {
+    out << "counter," << display_name(key) << ",value," << metric->value() << "\n";
   }
-  for (const auto& [name, metric] : gauges_) {
-    out << "gauge," << name << ",value," << metric->value() << "\n";
+  for (const auto& [key, metric] : gauges_) {
+    out << "gauge," << display_name(key) << ",value," << metric->value() << "\n";
   }
-  for (const auto& [name, metric] : histograms_) {
+  for (const auto& [key, metric] : histograms_) {
+    const std::string name = display_name(key);
     out << "histogram," << name << ",count," << metric->count() << "\n";
     out << "histogram," << name << ",mean," << metric->mean() << "\n";
     out << "histogram," << name << ",min," << metric->min() << "\n";
@@ -248,24 +400,35 @@ void MetricsRegistry::write_csv(std::ostream& out) const {
 
 void MetricsRegistry::write_prometheus(std::ostream& out) const {
   const std::lock_guard<std::mutex> lock(mutex_);
-  for (const auto& [name, metric] : counters_) {
-    const std::string p = prometheus_name(name);
-    out << "# TYPE " << p << " counter\n";
-    out << p << " " << metric->value() << "\n";
+  // The store is ordered by (name, label suffix), so every label variant
+  // of one name is adjacent: emit the # TYPE line once per name.
+  const char* last_type_name = nullptr;
+  std::string last_typed;
+  const auto type_line = [&](const std::string& name, const char* kind) {
+    if (last_type_name == kind && last_typed == name) return;
+    out << "# TYPE " << prometheus_name(name) << " " << kind << "\n";
+    last_type_name = kind;
+    last_typed = name;
+  };
+  for (const auto& [key, metric] : counters_) {
+    type_line(key.first, "counter");
+    out << prometheus_name(key.first) << key.second << " " << metric->value() << "\n";
   }
-  for (const auto& [name, metric] : gauges_) {
-    const std::string p = prometheus_name(name);
-    out << "# TYPE " << p << " gauge\n";
-    out << p << " " << metric->value() << "\n";
+  for (const auto& [key, metric] : gauges_) {
+    type_line(key.first, "gauge");
+    out << prometheus_name(key.first) << key.second << " " << metric->value() << "\n";
   }
-  for (const auto& [name, metric] : histograms_) {
-    const std::string p = prometheus_name(name);
-    out << "# TYPE " << p << " summary\n";
-    out << p << "{quantile=\"0.5\"} " << metric->quantile(0.5) << "\n";
-    out << p << "{quantile=\"0.9\"} " << metric->quantile(0.9) << "\n";
-    out << p << "{quantile=\"0.99\"} " << metric->quantile(0.99) << "\n";
-    out << p << "_sum " << metric->total() << "\n";
-    out << p << "_count " << metric->count() << "\n";
+  for (const auto& [key, metric] : histograms_) {
+    const std::string p = prometheus_name(key.first);
+    type_line(key.first, "summary");
+    out << p << suffix_with(key.second, "quantile", "0.5") << " "
+        << metric->quantile(0.5) << "\n";
+    out << p << suffix_with(key.second, "quantile", "0.9") << " "
+        << metric->quantile(0.9) << "\n";
+    out << p << suffix_with(key.second, "quantile", "0.99") << " "
+        << metric->quantile(0.99) << "\n";
+    out << p << "_sum" << key.second << " " << metric->total() << "\n";
+    out << p << "_count" << key.second << " " << metric->count() << "\n";
   }
 }
 
@@ -276,9 +439,26 @@ void MetricsRegistry::clear() {
   histograms_.clear();
 }
 
+namespace {
+
+/// Set by reset_global_metrics_for_fork() in forked children; wins over
+/// the lazily constructed parent registry (whose mutex state did not
+/// survive the fork).
+std::atomic<MetricsRegistry*> g_metrics_override{nullptr};
+
+}  // namespace
+
 MetricsRegistry& global_metrics() {
+  if (MetricsRegistry* fresh = g_metrics_override.load(std::memory_order_acquire))
+    return *fresh;
   static MetricsRegistry registry;
   return registry;
+}
+
+void reset_global_metrics_for_fork() {
+  // Leak on purpose: the previous object's mutex may be unusable and other
+  // code may still hold references into it.
+  g_metrics_override.store(new MetricsRegistry, std::memory_order_release);
 }
 
 }  // namespace edgeslice

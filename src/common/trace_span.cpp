@@ -1,6 +1,7 @@
 #include "common/trace_span.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <ostream>
 
@@ -74,6 +75,43 @@ void Tracer::record(const std::string& path, double seconds) {
   while (series.per_period.size() > retention_) {
     series.per_period.erase(series.per_period.begin());
   }
+}
+
+void Tracer::merge_period_stats(const SpanPeriodStats& delta) {
+  if (!metrics_enabled() || delta.stats.count == 0) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Series& series = series_[delta.path];
+  const auto fold = [&delta](SpanStats& into) {
+    if (into.count == 0) {
+      into.min_s = delta.stats.min_s;
+      into.max_s = delta.stats.max_s;
+    } else {
+      into.min_s = std::min(into.min_s, delta.stats.min_s);
+      into.max_s = std::max(into.max_s, delta.stats.max_s);
+    }
+    into.count += delta.stats.count;
+    into.total_s += delta.stats.total_s;
+  };
+  fold(series.overall);
+  fold(series.per_period[static_cast<std::size_t>(delta.period)]);
+  while (series.per_period.size() > retention_) {
+    series.per_period.erase(series.per_period.begin());
+  }
+}
+
+std::vector<SpanPeriodStats> Tracer::export_period_stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SpanPeriodStats> out;
+  for (const auto& [name, series] : series_) {
+    for (const auto& [period, stats] : series.per_period) {
+      SpanPeriodStats entry;
+      entry.path = name;
+      entry.period = period;
+      entry.stats = stats;
+      out.push_back(std::move(entry));
+    }
+  }
+  return out;
 }
 
 std::vector<std::string> Tracer::names() const {
@@ -160,9 +198,23 @@ void Tracer::clear() {
   period_ = 0;
 }
 
+namespace {
+
+/// Set by reset_global_tracer_for_fork() in forked children; wins over
+/// the lazily constructed parent tracer.
+std::atomic<Tracer*> g_tracer_override{nullptr};
+
+}  // namespace
+
 Tracer& global_tracer() {
+  if (Tracer* fresh = g_tracer_override.load(std::memory_order_acquire)) return *fresh;
   static Tracer tracer;
   return tracer;
+}
+
+void reset_global_tracer_for_fork() {
+  // Leak on purpose: the previous object's mutex may be unusable.
+  g_tracer_override.store(new Tracer, std::memory_order_release);
 }
 
 }  // namespace edgeslice

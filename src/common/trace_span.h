@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <map>
 #include <mutex>
@@ -29,6 +30,16 @@ struct SpanStats {
   double min_s = 0.0;
   double max_s = 0.0;
   double mean_s() const { return count ? total_s / static_cast<double>(count) : 0.0; }
+};
+
+/// One (path, period) aggregate as shipped by the fleet telemetry plane:
+/// a worker periodically exports the *delta* of each retained per-period
+/// series since its last export, and the supervisor merges the deltas
+/// into its own tracer (count/total add; min/max take the envelope).
+struct SpanPeriodStats {
+  std::string path;
+  std::uint64_t period = 0;
+  SpanStats stats;
 };
 
 class Tracer {
@@ -63,6 +74,16 @@ class Tracer {
   /// Record a finished duration directly (no clock involved).
   void record(const std::string& path, double seconds);
 
+  /// Merge a shipped (path, period) aggregate into this tracer: both the
+  /// overall series and the per-period entry gain `delta.stats.count`
+  /// samples totalling `total_s`, with min/max folded element-wise.
+  /// Honours the metrics switch and the period retention window.
+  void merge_period_stats(const SpanPeriodStats& delta);
+
+  /// Every retained (path, period) aggregate, path-major then
+  /// period-ascending (the telemetry shipper diffs consecutive exports).
+  std::vector<SpanPeriodStats> export_period_stats() const;
+
   std::vector<std::string> names() const;
   SpanStats overall(const std::string& path) const;
   SpanStats for_period(const std::string& path, std::size_t period) const;
@@ -93,5 +114,10 @@ class Tracer {
 
 /// The process-global tracer the control plane records into.
 Tracer& global_tracer();
+
+/// Replace the process-global tracer with a fresh one (the old object is
+/// leaked — its mutex may be unusable after fork()). Call from a freshly
+/// forked, single-threaded child only.
+void reset_global_tracer_for_fork();
 
 }  // namespace edgeslice

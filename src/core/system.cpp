@@ -391,14 +391,24 @@ void EdgeSliceSystem::run_period_into(PeriodResult& result) {
   // Observation-only — the watchdog's verdicts never steer orchestration.
   if (config_.watchdog != nullptr) {
     slice_sums_scratch_.assign(slices, 0.0);
+    // Attribution: per slice, the non-crashed RA contributing least this
+    // period — the first place to look when the slice breaches its SLO.
+    slice_min_scratch_.assign(slices, 0.0);
+    slice_worst_ra_scratch_.assign(slices, obs::Event::kNone);
     for (std::size_t j = 0; j < ras; ++j) {
       if (crashed[j]) continue;
       monitor_->report_into(j, period_, report_scratch_);
       for (std::size_t i = 0; i < slices; ++i) {
-        slice_sums_scratch_[i] += report_scratch_.performance_sums[i];
+        const double contribution = report_scratch_.performance_sums[i];
+        slice_sums_scratch_[i] += contribution;
+        if (slice_worst_ra_scratch_[i] == obs::Event::kNone ||
+            contribution < slice_min_scratch_[i]) {
+          slice_min_scratch_[i] = contribution;
+          slice_worst_ra_scratch_[i] = j;
+        }
       }
     }
-    config_.watchdog->evaluate(period_, slice_sums_scratch_);
+    config_.watchdog->evaluate(period_, slice_sums_scratch_, slice_worst_ra_scratch_);
   }
   ++period_;
 }

@@ -202,6 +202,9 @@ class EdgeSliceSystem {
   std::vector<RcmEnvelope> envelope_scratch_;
   RcLearningMessage rcl_scratch_;
   std::vector<double> slice_sums_scratch_;
+  // Per-slice argmin-contribution RA of the period (watchdog attribution).
+  std::vector<double> slice_min_scratch_;
+  std::vector<std::size_t> slice_worst_ra_scratch_;
 };
 
 }  // namespace edgeslice::core

@@ -63,6 +63,8 @@ const char* frame_type_name(FrameType type) {
     case FrameType::Restore: return "restore";
     case FrameType::Ack: return "ack";
     case FrameType::Shutdown: return "shutdown";
+    case FrameType::TelemetrySnapshot: return "telemetry_snapshot";
+    case FrameType::TelemetryEvents: return "telemetry_events";
   }
   return "unknown";
 }

@@ -40,7 +40,7 @@ inline constexpr char kFrameMagic[4] = {'E', 'S', 'F', 'R'};
 /// Wire frame format version. Bump on ANY change to the header layout or
 /// a frame payload, and update FORMATS.md in the same commit (the
 /// docs-check test cross-checks the two).
-inline constexpr std::uint32_t kFrameFormatVersion = 1;
+inline constexpr std::uint32_t kFrameFormatVersion = 2;
 
 inline constexpr std::size_t kFrameHeaderSize = 40;
 
@@ -64,6 +64,8 @@ enum class FrameType : std::uint32_t {
   Restore = 9,     // sup -> worker: load this blob into one RA's environment
   Ack = 10,        // worker -> sup: Restore applied (u64 code, 0 = ok)
   Shutdown = 11,   // sup -> worker: exit cleanly
+  TelemetrySnapshot = 12,  // worker -> sup: cumulative metrics + span deltas
+  TelemetryEvents = 13,    // worker -> sup: drained flight-recorder events
 };
 
 const char* frame_type_name(FrameType type);

@@ -56,6 +56,7 @@ WorkerSupervisor::WorkerSupervisor(std::vector<env::RaEnvironment*> environments
   coordination_cache_.resize(environments_.size());
   env_state_mark_.assign(environments_.size(), 0);
   ack_mark_.assign(environments_.size(), 0);
+  aggregator_.reset(config_.workers);
 }
 
 WorkerSupervisor::~WorkerSupervisor() { stop(); }
@@ -84,6 +85,10 @@ void WorkerSupervisor::start() {
 
 void WorkerSupervisor::stop() {
   if (!started_) return;
+  stopping_ = true;
+  // Ask every live worker to exit cleanly; each answers with a final
+  // telemetry flush before closing its end.
+  bool any_live = false;
   for (std::size_t w = 0; w < workers_.size(); ++w) {
     Worker& worker = workers_[w];
     if (worker.alive && worker.fd >= 0) {
@@ -92,8 +97,17 @@ void WorkerSupervisor::stop() {
       Frame frame;
       frame.type = FrameType::Shutdown;
       frame.seq = worker.send_seq++;
-      write_frame(worker.fd, frame, quick);
+      if (write_frame(worker.fd, frame, quick) == IoResult::Ok) any_live = true;
     }
+  }
+  if (any_live) {
+    // Pump until every worker's final TelemetrySnapshot/TelemetryEvents
+    // pair has been merged and its socket has closed (EOF), with a
+    // bounded wait so a wedged worker cannot stall shutdown.
+    pump([&] { return alive_count() == 0; }, /*deadline_ms=*/1000);
+  }
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    Worker& worker = workers_[w];
     if (worker.fd >= 0) {
       if (loop_.has(worker.fd)) loop_.remove(worker.fd);
       ::close(worker.fd);
@@ -108,6 +122,7 @@ void WorkerSupervisor::stop() {
     worker.alive = false;
   }
   started_ = false;
+  stopping_ = false;
   obs::set_worker_liveness(0, 0);
 }
 
@@ -174,10 +189,17 @@ void WorkerSupervisor::declare_dead(std::size_t index, obs::EventKind kind) {
     worker.pid = -1;
   }
   if (was_alive) {
-    record_worker_event(kind, index);
-    if (metrics_enabled()) global_metrics().counter("ipc.worker_deaths").add();
-    ES_LOG(Warn) << "worker " << index << " down ("
-                 << obs::event_kind_name(kind) << ")";
+    // Fold the dead incarnation's telemetry into the slot base. During
+    // stop() the death is a clean shutdown (final flush already pumped
+    // in); anywhere else the slot's event window may have a hole, which
+    // the aggregator marks with a TelemetryGap event.
+    aggregator_.on_worker_lost(index, /*clean=*/stopping_);
+    if (!stopping_) {
+      record_worker_event(kind, index);
+      if (metrics_enabled()) global_metrics().counter("ipc.worker_deaths").add();
+      ES_LOG(Warn) << "worker " << index << " down ("
+                   << obs::event_kind_name(kind) << ")";
+    }
   }
 }
 
@@ -279,6 +301,20 @@ void WorkerSupervisor::on_frame(std::size_t index, Frame&& frame) {
       if (frame.ra < environments_.size()) ++ack_mark_[frame.ra];
       break;
     }
+    case FrameType::TelemetrySnapshot: {
+      if (!metrics_enabled()) break;
+      const TelemetrySnapshotPayload payload =
+          decode_telemetry_snapshot(frame.payload);
+      aggregator_.on_metrics(index, payload.metrics);
+      aggregator_.on_spans(index, payload.spans);
+      break;
+    }
+    case FrameType::TelemetryEvents: {
+      if (!metrics_enabled()) break;
+      const TelemetryEventsPayload payload = decode_telemetry_events(frame.payload);
+      aggregator_.on_events(index, payload.events);
+      break;
+    }
     case FrameType::Pong:
       break;
     default:
@@ -305,6 +341,21 @@ void WorkerSupervisor::publish_liveness() {
     global_metrics().gauge("ipc.workers_alive").set(static_cast<double>(alive_count()));
     global_metrics().gauge("ipc.workers_total").set(static_cast<double>(workers_.size()));
   }
+  // The /fleet.json table: supervisor-owned process facts plus the
+  // aggregator's telemetry bookkeeping.
+  std::vector<obs::FleetWorkerStatus> fleet(workers_.size());
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    obs::FleetWorkerStatus& status = fleet[w];
+    status.slot = w;
+    status.alive = workers_[w].alive;
+    status.pid = static_cast<long>(workers_[w].pid);
+    status.restarts = workers_[w].restarts;
+    status.ras.assign(workers_[w].hosted.begin(), workers_[w].hosted.end());
+    status.snapshots = aggregator_.snapshots_merged(w);
+    status.events = aggregator_.events_imported(w);
+    status.last_snapshot_ts_s = aggregator_.last_snapshot_ts_s(w);
+  }
+  obs::set_fleet_status(std::move(fleet));
 }
 
 std::vector<core::RaPeriodTrace> WorkerSupervisor::run_intervals(
@@ -354,6 +405,7 @@ std::vector<core::RaPeriodTrace> WorkerSupervisor::run_intervals(
     if (!worker.alive) continue;
     RunPeriodPayload payload;
     payload.period = period;
+    payload.telemetry_every = metrics_enabled() ? config_.telemetry_every : 0;
     for (std::uint32_t ra : worker.hosted) {
       payload.ras.push_back(ra);
       payload.directives.push_back(directives[ra]);

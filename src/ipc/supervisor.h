@@ -46,6 +46,7 @@
 #include "env/environment.h"
 #include "ipc/event_loop.h"
 #include "ipc/frame.h"
+#include "obs/aggregator.h"
 #include "obs/event_log.h"
 
 namespace edgeslice::ipc {
@@ -65,6 +66,10 @@ struct SupervisorConfig {
   int restart_backoff_initial_ms = 10;
   int restart_backoff_max_ms = 2000;
   int max_restart_attempts = 5;
+  /// Workers ship a TelemetrySnapshot/TelemetryEvents pair every N
+  /// periods (plus a final flush on clean shutdown). 0 disables the
+  /// fleet telemetry plane entirely.
+  std::uint64_t telemetry_every = 1;
   /// Per-frame send policy (deadline + in-call backoff).
   SendOptions send;
 };
@@ -111,6 +116,8 @@ class WorkerSupervisor final : public core::RaTransport {
   std::size_t restart_count(std::size_t worker) const {
     return workers_[worker].restarts;
   }
+  /// The fleet telemetry merger (tests poke at its bookkeeping).
+  const obs::TelemetryAggregator& aggregator() const { return aggregator_; }
 
  private:
   struct Worker {
@@ -152,7 +159,10 @@ class WorkerSupervisor final : public core::RaTransport {
   SupervisorConfig config_;
   std::vector<Worker> workers_;
   PollLoop loop_;
+  obs::TelemetryAggregator aggregator_;
   bool started_ = false;
+  /// True inside stop(): deaths there are clean shutdowns, not gaps.
+  bool stopping_ = false;
 
   // Per-RA restore caches (see header comment).
   std::vector<std::string> blob_cache_;

@@ -8,11 +8,15 @@
 // Snapshot request) — see src/ckpt/format.h.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
+#include "common/trace_span.h"
 #include "core/ra_transport.h"
+#include "obs/event_log.h"
 
 namespace edgeslice::ipc {
 
@@ -26,6 +30,9 @@ struct HelloPayload {
 /// RAs, in ascending RA order. RAs absent from the list are not run.
 struct RunPeriodPayload {
   std::uint64_t period = 0;
+  /// Ship a TelemetrySnapshot/TelemetryEvents pair back every N periods
+  /// (0 disables worker telemetry entirely).
+  std::uint64_t telemetry_every = 1;
   std::vector<std::uint32_t> ras;
   std::vector<core::RaPeriodDirective> directives;  // parallel to `ras`
 };
@@ -57,5 +64,37 @@ CoordinationPayload decode_coordination(const std::string& bytes);
 /// Ack / Ping / Pong payloads: a single u64.
 std::string encode_u64(std::uint64_t value);
 std::uint64_t decode_u64(const std::string& bytes, const char* context);
+
+/// TelemetrySnapshot (worker -> supervisor): the worker's full cumulative
+/// metrics registry plus the per-(path, period) span-aggregate deltas
+/// since its previous snapshot. Cumulative metrics make the frame
+/// idempotent — the aggregator republishes, never adds twice.
+struct TelemetrySnapshotPayload {
+  std::uint64_t period = 0;
+  MetricsSnapshot metrics;
+  std::vector<SpanPeriodStats> spans;
+};
+
+/// TelemetryEvents (worker -> supervisor): flight-recorder events drained
+/// since the previous ship (seq-cursor based), origin timestamps intact.
+struct TelemetryEventsPayload {
+  std::vector<obs::Event> events;
+};
+
+std::string encode_telemetry_snapshot(const TelemetrySnapshotPayload& payload);
+TelemetrySnapshotPayload decode_telemetry_snapshot(const std::string& bytes);
+
+std::string encode_telemetry_events(const TelemetryEventsPayload& payload);
+TelemetryEventsPayload decode_telemetry_events(const std::string& bytes);
+
+/// Async-signal-safe encoder of one complete TelemetryEvents FRAME
+/// (header + payload) into a caller-owned buffer: no allocation, no
+/// locks, no iostreams — the worker's crash-flush hook builds its final
+/// best-effort frame with this. Returns the number of bytes written, or
+/// 0 when `cap` cannot hold all `count` events.
+std::size_t encode_telemetry_events_frame(char* buf, std::size_t cap,
+                                          std::uint64_t seq,
+                                          const obs::Event* events,
+                                          std::size_t count);
 
 }  // namespace edgeslice::ipc

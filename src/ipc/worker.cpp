@@ -2,14 +2,19 @@
 
 #include <unistd.h>
 
+#include <cerrno>
 #include <chrono>
+#include <map>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 
 #include "common/metrics.h"
+#include "common/trace_span.h"
 #include "ipc/frame.h"
 #include "ipc/wire.h"
+#include "obs/event_log.h"
 
 namespace edgeslice::ipc {
 
@@ -29,6 +34,11 @@ class FrameSender {
     return write_frame(fd_, frame) == IoResult::Ok;
   }
 
+  /// The crash-flush hook needs the live counter to stamp its final
+  /// frame with the next in-sequence seq (the assembler enforces strict
+  /// monotonicity).
+  std::uint64_t* seq_ptr() { return &seq_; }
+
  private:
   int fd_;
   std::uint64_t seq_ = 0;
@@ -40,14 +50,56 @@ std::string environment_blob(env::RaEnvironment& environment) {
   return out.str();
 }
 
+// --- Crash flush ----------------------------------------------------------
+//
+// When the worker dies on a signal or an uncaught exception, the
+// obs::set_crash_flush_hook path below ships one final best-effort
+// TelemetryEvents frame over the (possibly still open) supervisor
+// socket: preallocated buffers, signal-safe frame encoder, raw write(2).
+// If the worker died mid-send the supervisor sees a corrupt channel and
+// records the TelemetryGap instead — both outcomes are accounted for.
+
+constexpr std::size_t kCrashFlushEvents = 256;
+/// 40-byte header + u64 count + per-event wire size (wire.cpp's
+/// kEventWireSize = 65).
+constexpr std::size_t kCrashFlushBufSize = 48 + kCrashFlushEvents * 65;
+
+int g_crash_fd = -1;
+std::uint64_t* g_crash_seq = nullptr;
+obs::Event g_crash_events[kCrashFlushEvents];
+char g_crash_buf[kCrashFlushBufSize];
+
+void crash_flush() {
+  if (g_crash_fd < 0 || g_crash_seq == nullptr) return;
+  const std::size_t count =
+      obs::global_event_log().copy_events(g_crash_events, kCrashFlushEvents);
+  const std::size_t total = encode_telemetry_events_frame(
+      g_crash_buf, sizeof(g_crash_buf), *g_crash_seq, g_crash_events, count);
+  if (total == 0) return;
+  std::size_t sent = 0;
+  while (sent < total) {
+    const ssize_t n = ::write(g_crash_fd, g_crash_buf + sent, total - sent);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return;  // supervisor gone or socket full: best effort is over
+  }
+}
+
 }  // namespace
 
 int worker_main(int fd, const WorkerContext& context) {
   try {
-    // The metrics registry mutex (and any observer thread holding it at
-    // fork time) is not inherited in a usable state; the worker records
-    // nothing — all accounting is supervisor-side.
-    set_metrics_enabled(false);
+    // The parent's registry/tracer/event-log mutexes (and any observer
+    // thread holding one at fork time) are not inherited in a usable
+    // state; swap in fresh objects before the first record. The global
+    // metrics switch itself is inherited, so a run with metrics disabled
+    // stays silent in workers too.
+    reset_global_metrics_for_fork();
+    reset_global_tracer_for_fork();
+    obs::reset_global_event_log_for_fork();
     FrameSender sender(fd);
     std::uint64_t expected_seq = 0;
 
@@ -66,6 +118,59 @@ int worker_main(int fd, const WorkerContext& context) {
     if (!sender.send(FrameType::Hello, kConnectionScope, encode_hello(hello)))
       return 1;
 
+    // First event in every incarnation's window: this process exists.
+    // (The supervisor records its own WorkerSpawn too; the imported copy
+    // is distinguishable by its origin-slot tag.)
+    {
+      obs::Event spawn;
+      spawn.kind = obs::EventKind::WorkerSpawn;
+      spawn.ra = static_cast<std::size_t>(context.index);
+      spawn.value = static_cast<double>(::getpid());
+      obs::global_event_log().record(spawn);
+    }
+
+    // Telemetry shipping state: cumulative metrics go wholesale; span
+    // aggregates ship as deltas against this shadow of the last export;
+    // events drain past a seq cursor.
+    std::map<std::pair<std::string, std::uint64_t>, std::pair<std::size_t, double>>
+        shipped_spans;
+    std::uint64_t event_cursor = 0;
+    std::uint64_t periods_since_ship = 0;
+    std::uint64_t last_period = 0;
+    bool crash_flush_armed = false;
+
+    const auto ship_telemetry = [&](std::uint64_t period) -> bool {
+      if (!metrics_enabled()) return true;
+      TelemetrySnapshotPayload snap;
+      snap.period = period;
+      snap.metrics = global_metrics().snapshot();
+      for (const SpanPeriodStats& cur : global_tracer().export_period_stats()) {
+        auto& prev = shipped_spans[{cur.path, cur.period}];
+        if (cur.stats.count <= prev.first) continue;
+        SpanPeriodStats delta;
+        delta.path = cur.path;
+        delta.period = cur.period;
+        delta.stats.count = cur.stats.count - prev.first;
+        delta.stats.total_s = cur.stats.total_s - prev.second;
+        // min/max cannot be diffed; ship the cumulative envelope (the
+        // supervisor's envelope fold is idempotent under it).
+        delta.stats.min_s = cur.stats.min_s;
+        delta.stats.max_s = cur.stats.max_s;
+        prev = {cur.stats.count, cur.stats.total_s};
+        snap.spans.push_back(std::move(delta));
+      }
+      if (!sender.send(FrameType::TelemetrySnapshot, kConnectionScope,
+                       encode_telemetry_snapshot(snap))) {
+        return false;
+      }
+      TelemetryEventsPayload events;
+      events.events = obs::global_event_log().snapshot_since(event_cursor);
+      if (events.events.empty()) return true;
+      event_cursor = events.events.back().seq + 1;
+      return sender.send(FrameType::TelemetryEvents, kConnectionScope,
+                         encode_telemetry_events(events));
+    };
+
     for (;;) {
       Frame frame;
       const IoResult io = read_frame(fd, frame, /*deadline_ms=*/60000);
@@ -78,6 +183,19 @@ int worker_main(int fd, const WorkerContext& context) {
       switch (frame.type) {
         case FrameType::RunPeriod: {
           const RunPeriodPayload run = decode_run_period(frame.payload);
+          // Arm the crash flush the first time telemetry is requested:
+          // from here on a fatal signal ships the event window before
+          // the process dies.
+          if (!crash_flush_armed && run.telemetry_every > 0 && metrics_enabled()) {
+            g_crash_fd = fd;
+            g_crash_seq = sender.seq_ptr();
+            obs::set_crash_flush_hook(&crash_flush);
+            crash_flush_armed = true;
+          }
+          last_period = run.period;
+          global_tracer().set_period(run.period);
+          obs::global_event_log().set_period(run.period);
+          global_metrics().counter("worker.periods").add();
           for (std::size_t entry = 0; entry < run.ras.size(); ++entry) {
             const std::uint32_t ra = run.ras[entry];
             const core::RaPeriodDirective& d = run.directives[entry];
@@ -96,18 +214,27 @@ int worker_main(int fd, const WorkerContext& context) {
             const std::size_t intervals = environment.config().intervals_per_period;
             trace.trace.steps.reserve(intervals);
             trace.trace.actions.reserve(intervals);
-            for (std::size_t t = 0; t < intervals; ++t) {
-              std::vector<double> action = policy.decide(environment);
-              env::StepResult step = environment.step(action);
-              policy.feedback(step);
-              trace.trace.steps.push_back(std::move(step));
-              trace.trace.actions.push_back(std::move(action));
+            {
+              auto span = global_tracer().span("worker.ra_period");
+              for (std::size_t t = 0; t < intervals; ++t) {
+                std::vector<double> action = policy.decide(environment);
+                env::StepResult step = environment.step(action);
+                policy.feedback(step);
+                trace.trace.steps.push_back(std::move(step));
+                trace.trace.actions.push_back(std::move(action));
+              }
+              global_metrics().histogram("worker.ra_period_seconds").observe(span.stop());
+              global_metrics().counter("worker.intervals").add(intervals);
             }
             if (!sender.send(FrameType::Trace, ra, encode_trace(trace))) return 1;
             // The post-intervals blob rides along immediately: it is the
             // supervisor's crash-restore point for this RA.
             if (!sender.send(FrameType::EnvState, ra, environment_blob(environment)))
               return 1;
+          }
+          if (run.telemetry_every > 0 && ++periods_since_ship >= run.telemetry_every) {
+            periods_since_ship = 0;
+            if (!ship_telemetry(run.period)) return 1;
           }
           break;
         }
@@ -139,6 +266,15 @@ int worker_main(int fd, const WorkerContext& context) {
           break;
         }
         case FrameType::Shutdown:
+          // Final flush: whatever accumulated since the last cadence ship
+          // reaches the supervisor before the clean exit. Disarm the
+          // crash hook first-thing after — the fd is about to close.
+          if (crash_flush_armed) {
+            ship_telemetry(last_period);
+            obs::set_crash_flush_hook(nullptr);
+            g_crash_fd = -1;
+            g_crash_seq = nullptr;
+          }
           return 0;
         default:
           return 1;  // supervisor never sends the other types

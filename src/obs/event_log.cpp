@@ -4,6 +4,7 @@
 #include <signal.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <bit>
 #include <chrono>
 #include <cstdio>
@@ -47,6 +48,7 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::WorkerKill: return "worker.kill";
     case EventKind::WorkerHung: return "worker.hung";
     case EventKind::WorkerRestore: return "worker.restore";
+    case EventKind::TelemetryGap: return "telemetry.gap";
   }
   return "?";
 }
@@ -88,7 +90,16 @@ void EventLog::record(Event e) {
   if (!metrics_enabled()) return;
   e.ts_s = now_seconds();
   if (e.period == Event::kNone) e.period = current_period();
+  publish(e);
+}
 
+void EventLog::record_imported(Event e) {
+  if (!metrics_enabled()) return;
+  // ts_s / period / worker arrive stamped by the origin process.
+  publish(e);
+}
+
+void EventLog::publish(Event e) {
   const std::uint64_t ticket = next_.fetch_add(1, std::memory_order_relaxed);
   e.seq = ticket;
   const std::uint64_t generation = ticket / capacity_;
@@ -110,6 +121,7 @@ void EventLog::record(Event e) {
   slot.interval.store(e.interval, std::memory_order_relaxed);
   slot.ra.store(e.ra, std::memory_order_relaxed);
   slot.slice.store(e.slice, std::memory_order_relaxed);
+  slot.worker.store(e.worker, std::memory_order_relaxed);
   slot.kind.store(static_cast<std::uint8_t>(e.kind), std::memory_order_relaxed);
   slot.value_bits.store(std::bit_cast<std::uint64_t>(e.value), std::memory_order_relaxed);
   slot.state.store(2 * generation + 2, std::memory_order_release);
@@ -126,6 +138,7 @@ void EventLog::load_slot(const Slot& slot, Event& out) {
   out.interval = slot.interval.load(std::memory_order_relaxed);
   out.ra = slot.ra.load(std::memory_order_relaxed);
   out.slice = slot.slice.load(std::memory_order_relaxed);
+  out.worker = slot.worker.load(std::memory_order_relaxed);
   out.kind = static_cast<EventKind>(slot.kind.load(std::memory_order_relaxed));
   out.value = std::bit_cast<double>(slot.value_bits.load(std::memory_order_relaxed));
 }
@@ -155,6 +168,28 @@ std::vector<Event> EventLog::snapshot() const {
   return out;
 }
 
+std::vector<Event> EventLog::snapshot_since(std::uint64_t min_seq) const {
+  std::vector<Event> out = snapshot();
+  out.erase(std::remove_if(out.begin(), out.end(),
+                           [min_seq](const Event& e) { return e.seq < min_seq; }),
+            out.end());
+  return out;
+}
+
+std::size_t EventLog::copy_events(Event* out, std::size_t cap) const {
+  std::size_t copied = 0;
+  const std::uint64_t end = next_.load(std::memory_order_acquire);
+  const std::uint64_t begin = end > capacity_ ? end - capacity_ : 0;
+  for (std::uint64_t ticket = begin; ticket < end && copied < cap; ++ticket) {
+    const Slot& slot = slots_[ticket % capacity_];
+    // Skip slots a writer had claimed but not published when we crashed.
+    if (slot.state.load(std::memory_order_acquire) % 2 != 0) continue;
+    load_slot(slot, out[copied]);
+    ++copied;
+  }
+  return copied;
+}
+
 namespace {
 
 void write_event_json(std::ostream& out, const Event& e) {
@@ -172,6 +207,7 @@ void write_event_json(std::ostream& out, const Event& e) {
   field("interval", e.interval);
   field("ra", e.ra);
   field("slice", e.slice);
+  field("worker", e.worker);
   out << "\"kind\": ";
   write_json_escaped(out, event_kind_name(e.kind));
   out << ", \"value\": " << e.value << "}";
@@ -230,6 +266,7 @@ int EventLog::dump_fd(int fd) const {
     off += format_field(buf, sizeof(buf), off, "interval", e.interval, ", ");
     off += format_field(buf, sizeof(buf), off, "ra", e.ra, ", ");
     off += format_field(buf, sizeof(buf), off, "slice", e.slice, ", ");
+    off += format_field(buf, sizeof(buf), off, "worker", e.worker, ", ");
     off += std::snprintf(buf + off, sizeof(buf) - static_cast<std::size_t>(off),
                          "\"kind\": \"%s\", \"value\": %g}\n",
                          event_kind_name(e.kind), e.value);
@@ -247,9 +284,24 @@ void EventLog::clear() {
   next_.store(0, std::memory_order_relaxed);
 }
 
+namespace {
+
+/// Set by reset_global_event_log_for_fork() in forked children; wins over
+/// the lazily constructed parent log.
+std::atomic<EventLog*> g_event_log_override{nullptr};
+
+}  // namespace
+
 EventLog& global_event_log() {
+  if (EventLog* fresh = g_event_log_override.load(std::memory_order_acquire))
+    return *fresh;
   static EventLog log;
   return log;
+}
+
+void reset_global_event_log_for_fork() {
+  // Leak on purpose: inherited readers may still hold references.
+  g_event_log_override.store(new EventLog, std::memory_order_release);
 }
 
 // --- Crash dump ------------------------------------------------------------
@@ -258,11 +310,15 @@ namespace {
 
 /// Fixed storage: signal handlers must not allocate.
 char g_crash_dump_path[1024] = {0};
+std::atomic<void (*)()> g_crash_flush_hook{nullptr};
 std::terminate_handler g_previous_terminate = nullptr;
 bool g_handlers_installed = false;
 
-/// Best-effort JSONL dump of the global log to the configured path.
+/// Best-effort crash sequence: the flush hook first (a dying worker ships
+/// its event window to the supervisor while the socket may still be
+/// open), then the JSONL dump to the configured path.
 void crash_dump() {
+  if (void (*hook)() = g_crash_flush_hook.load(std::memory_order_acquire)) hook();
   if (g_crash_dump_path[0] == '\0') return;
   const int fd = ::open(g_crash_dump_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return;
@@ -288,6 +344,30 @@ void fatal_signal_handler(int signum) {
 
 constexpr int kFatalSignals[] = {SIGABRT, SIGSEGV, SIGBUS, SIGFPE, SIGILL};
 
+void install_crash_handlers() {
+  if (g_handlers_installed) return;
+  g_previous_terminate = std::set_terminate(terminate_with_dump);
+  for (int s : kFatalSignals) {
+    struct sigaction action;
+    std::memset(&action, 0, sizeof(action));
+    action.sa_handler = fatal_signal_handler;
+    sigemptyset(&action.sa_mask);
+    ::sigaction(s, &action, nullptr);
+  }
+  g_handlers_installed = true;
+}
+
+void remove_crash_handlers_if_idle() {
+  // Keep the handlers while either consumer (dump path / flush hook) is
+  // configured.
+  if (!g_handlers_installed) return;
+  if (g_crash_dump_path[0] != '\0') return;
+  if (g_crash_flush_hook.load(std::memory_order_acquire) != nullptr) return;
+  for (int s : kFatalSignals) ::signal(s, SIG_DFL);
+  std::set_terminate(g_previous_terminate);
+  g_handlers_installed = false;
+}
+
 }  // namespace
 
 void set_crash_dump_path(const std::string& path) {
@@ -296,26 +376,22 @@ void set_crash_dump_path(const std::string& path) {
   global_event_log();
   std::snprintf(g_crash_dump_path, sizeof(g_crash_dump_path), "%s", path.c_str());
   if (path.empty()) {
-    if (g_handlers_installed) {
-      for (int s : kFatalSignals) ::signal(s, SIG_DFL);
-      std::set_terminate(g_previous_terminate);
-      g_handlers_installed = false;
-    }
+    remove_crash_handlers_if_idle();
     return;
   }
-  if (!g_handlers_installed) {
-    g_previous_terminate = std::set_terminate(terminate_with_dump);
-    for (int s : kFatalSignals) {
-      struct sigaction action;
-      std::memset(&action, 0, sizeof(action));
-      action.sa_handler = fatal_signal_handler;
-      sigemptyset(&action.sa_mask);
-      ::sigaction(s, &action, nullptr);
-    }
-    g_handlers_installed = true;
-  }
+  install_crash_handlers();
 }
 
 std::string crash_dump_path() { return g_crash_dump_path; }
+
+void set_crash_flush_hook(void (*hook)()) {
+  global_event_log();
+  g_crash_flush_hook.store(hook, std::memory_order_release);
+  if (hook == nullptr) {
+    remove_crash_handlers_if_idle();
+    return;
+  }
+  install_crash_handlers();
+}
 
 }  // namespace edgeslice::obs

@@ -56,6 +56,9 @@ enum class EventKind : std::uint8_t {
   WorkerKill,        // supervisor: worker SIGKILLed (ra = worker index)
   WorkerHung,        // supervisor: worker missed a trace/io deadline (ra = worker index)
   WorkerRestore,     // supervisor: RA state restored into a fresh worker (ra = RA index)
+  TelemetryGap,      // aggregator: a worker died with possibly-unflushed
+                     // telemetry — its event window has a hole here
+                     // (worker = slot, value = snapshots merged before the gap)
 };
 
 /// Stable numeric codes for CoordinatorReject's `value` field, mirroring
@@ -85,6 +88,10 @@ struct Event {
   std::size_t interval = kNone;
   std::size_t ra = kNone;
   std::size_t slice = kNone;
+  /// Origin worker slot once the supervisor imports a worker's drained
+  /// events (kNone for events recorded in this process). steady_clock's
+  /// epoch is shared across fork, so imported ts_s values stay comparable.
+  std::size_t worker = kNone;
   EventKind kind = EventKind::RcmDropped;
   double value = 0.0;
 };
@@ -110,12 +117,28 @@ class EventLog {
   /// replaced by current_period(). No-op with metrics disabled.
   void record(Event e);
 
+  /// Append an event shipped from another process: ts_s, period, and
+  /// worker are preserved verbatim (the origin already stamped them); only
+  /// seq is reassigned into this log's order. No-op with metrics disabled.
+  void record_imported(Event e);
+
   /// Total events ever recorded (including those the ring has dropped).
   std::uint64_t recorded() const;
 
   /// Consistent copy of the retained window, oldest first. Slots a lapping
   /// writer is mid-publication on are skipped, never torn.
   std::vector<Event> snapshot() const;
+
+  /// snapshot() filtered to events with seq >= min_seq (the telemetry
+  /// shipper's drain cursor).
+  std::vector<Event> snapshot_since(std::uint64_t min_seq) const;
+
+  /// Non-allocating snapshot into a caller-owned buffer (crash-flush
+  /// paths): copies up to `cap` retained events, oldest first, skipping
+  /// unpublished slots. Returns the number copied. Unlike snapshot(), a
+  /// torn slot may surface with stale fields — crash context beats
+  /// strictness, exactly like dump_fd.
+  std::size_t copy_events(Event* out, std::size_t cap) const;
 
   /// snapshot() as JSON Lines, one event object per line.
   void write_jsonl(std::ostream& out) const;
@@ -146,9 +169,14 @@ class EventLog {
     std::atomic<std::size_t> interval{Event::kNone};
     std::atomic<std::size_t> ra{Event::kNone};
     std::atomic<std::size_t> slice{Event::kNone};
+    std::atomic<std::size_t> worker{Event::kNone};
     std::atomic<std::uint8_t> kind{0};
     std::atomic<std::uint64_t> value_bits{0};
   };
+
+  /// Shared append body of record()/record_imported(): claim a ticket,
+  /// publish `e` (whose seq is assigned here) under the slot seqlock.
+  void publish(Event e);
 
   /// Read slot payload relaxed into `out` (no validity check).
   static void load_slot(const Slot& slot, Event& out);
@@ -162,11 +190,24 @@ class EventLog {
 /// The process-global flight recorder the control plane records into.
 EventLog& global_event_log();
 
+/// Replace the process-global log with a fresh (empty) one; the old
+/// object is leaked deliberately. Call from a freshly forked,
+/// single-threaded child only — a worker process must not publish the
+/// supervisor's inherited ring back as its own telemetry.
+void reset_global_event_log_for_fork();
+
 /// Install (or, with an empty path, remove) a std::terminate handler and
 /// fatal-signal handlers (SIGABRT, SIGSEGV, SIGBUS, SIGFPE, SIGILL) that
 /// dump the global event log as JSONL to `path` before the process dies.
 /// The path is copied into static storage; the handlers allocate nothing.
 void set_crash_dump_path(const std::string& path);
 std::string crash_dump_path();
+
+/// Register a hook the terminate/fatal-signal handlers run before the
+/// JSONL dump — the worker telemetry plane flushes its event window to
+/// the supervisor here. The hook must be async-signal-safe (no locks, no
+/// allocation). nullptr removes it. Installing a hook installs the
+/// handlers even when no crash-dump path is configured.
+void set_crash_flush_hook(void (*hook)());
 
 }  // namespace edgeslice::obs

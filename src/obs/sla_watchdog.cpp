@@ -33,8 +33,16 @@ std::string SlaWatchdog::metric_suffix(std::size_t slice) const {
 
 void SlaWatchdog::evaluate(std::size_t period,
                            const std::vector<double>& slice_performance) {
+  evaluate(period, slice_performance, {});
+}
+
+void SlaWatchdog::evaluate(std::size_t period,
+                           const std::vector<double>& slice_performance,
+                           const std::vector<std::size_t>& worst_ra) {
   if (slice_performance.size() != specs_.size())
     throw std::invalid_argument("SlaWatchdog: slice count mismatch");
+  if (!worst_ra.empty() && worst_ra.size() != specs_.size())
+    throw std::invalid_argument("SlaWatchdog: worst_ra count mismatch");
   ++periods_evaluated_;
   auto& metrics = global_metrics();
   for (std::size_t i = 0; i < specs_.size(); ++i) {
@@ -54,6 +62,7 @@ void SlaWatchdog::evaluate(std::size_t period,
       event.kind = EventKind::SlaViolation;
       event.period = period;
       event.slice = i;
+      if (!worst_ra.empty()) event.ra = worst_ra[i];
       event.value = shortfall;
       global_event_log().record(event);
     }

@@ -49,6 +49,13 @@ class SlaWatchdog {
   /// counters/gauges/anomaly scores and emits sla.violation events.
   void evaluate(std::size_t period, const std::vector<double>& slice_performance);
 
+  /// As above, with RA attribution: `worst_ra[i]` is the RA contributing
+  /// least to slice i this period (the first place to look, stamped into
+  /// the violation event's `ra` field). Empty worst_ra means unknown
+  /// (events carry ra = kNone, exported as null).
+  void evaluate(std::size_t period, const std::vector<double>& slice_performance,
+                const std::vector<std::size_t>& worst_ra);
+
   std::size_t slice_count() const { return specs_.size(); }
   const SloSpec& spec(std::size_t slice) const { return specs_[slice]; }
 

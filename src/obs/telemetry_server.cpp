@@ -17,6 +17,7 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/trace_span.h"
+#include "obs/aggregator.h"
 #include "obs/event_log.h"
 
 namespace edgeslice::obs {
@@ -91,7 +92,8 @@ bool TelemetryServer::start() {
   stop_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
   thread_ = std::thread([this] { serve_loop(); });
-  ES_LOG(Info) << "telemetry: serving /metrics /events.json /spans.json /healthz on "
+  ES_LOG(Info) << "telemetry: serving /metrics /events.json /spans.json "
+                  "/fleet.json /healthz on "
                << config_.bind_address << ":" << port_;
   return true;
 }
@@ -120,9 +122,15 @@ void TelemetryServer::serve_loop() {
 
 namespace {
 
-/// First request line up to CRLF: "GET /path HTTP/1.x". Reads at most 4
-/// KiB; telemetry requests carry no interesting headers or body.
-std::string read_request_path(int fd) {
+/// First request line up to CRLF, split into method and path. Reads at
+/// most 4 KiB; telemetry requests carry no interesting headers or body.
+/// A malformed line yields {"", ""}.
+struct RequestLine {
+  std::string method;
+  std::string path;
+};
+
+RequestLine read_request_line(int fd) {
   char buf[4096];
   std::size_t used = 0;
   while (used < sizeof(buf) - 1) {
@@ -138,22 +146,29 @@ std::string read_request_path(int fd) {
     if (std::strstr(buf, "\r\n") != nullptr || std::strchr(buf, '\n') != nullptr) break;
   }
   buf[used] = '\0';
-  // Parse "METHOD SP path SP ..." — anything malformed yields "".
+  // Parse "METHOD SP path SP ..." — anything malformed yields {"", ""}.
   const char* sp1 = std::strchr(buf, ' ');
-  if (sp1 == nullptr) return "";
+  if (sp1 == nullptr) return {};
   const char* sp2 = std::strchr(sp1 + 1, ' ');
-  if (sp2 == nullptr) return "";
-  if (std::strncmp(buf, "GET ", 4) != 0) return "";
-  return std::string(sp1 + 1, sp2);
+  if (sp2 == nullptr) return {};
+  RequestLine line;
+  line.method.assign(buf, static_cast<std::size_t>(sp1 - buf));
+  line.path.assign(sp1 + 1, static_cast<std::size_t>(sp2 - (sp1 + 1)));
+  return line;
 }
 
+/// Every response — success or error — goes through here, so the status
+/// line (HTTP/1.0), Content-Type, Content-Length, and Connection: close
+/// are uniform across all paths. `extra_headers`, when non-null, is
+/// appended verbatim and must end with CRLF (e.g. "Allow: GET\r\n").
 void send_response(int fd, int status, const char* reason, const char* content_type,
-                   const std::string& body) {
+                   const std::string& body, const char* extra_headers = nullptr) {
   std::ostringstream head;
   head << "HTTP/1.0 " << status << " " << reason << "\r\n"
        << "Content-Type: " << content_type << "\r\n"
-       << "Content-Length: " << body.size() << "\r\n"
-       << "Connection: close\r\n\r\n";
+       << "Content-Length: " << body.size() << "\r\n";
+  if (extra_headers != nullptr) head << extra_headers;
+  head << "Connection: close\r\n\r\n";
   const std::string header = head.str();
   // Returns false when the client is gone; EINTR and short writes are
   // retried (large /metrics bodies routinely exceed one send on a
@@ -185,8 +200,18 @@ void send_response(int fd, int status, const char* reason, const char* content_t
 }  // namespace
 
 void TelemetryServer::handle_client(int client_fd) {
-  const std::string path = read_request_path(client_fd);
+  const RequestLine request = read_request_line(client_fd);
+  const std::string& path = request.path;
   global_metrics().counter("telemetry.requests").add();
+  if (request.method.empty() && path.empty()) {
+    send_response(client_fd, 400, "Bad Request", "text/plain", "bad request\n");
+    return;
+  }
+  if (request.method != "GET") {
+    send_response(client_fd, 405, "Method Not Allowed", "text/plain",
+                  "method not allowed\n", "Allow: GET\r\n");
+    return;
+  }
   if (path == "/metrics") {
     std::ostringstream body;
     global_metrics().write_prometheus(body);
@@ -201,6 +226,8 @@ void TelemetryServer::handle_client(int client_fd) {
     global_tracer().write_json(body);
     body << "\n";
     send_response(client_fd, 200, "OK", "application/json", body.str());
+  } else if (path == "/fleet.json") {
+    send_response(client_fd, 200, "OK", "application/json", fleet_status_json());
   } else if (path == "/healthz") {
     const WorkerLiveness liveness = worker_liveness();
     if (liveness.total > 0 && liveness.alive < liveness.total) {
@@ -211,8 +238,6 @@ void TelemetryServer::handle_client(int client_fd) {
     } else {
       send_response(client_fd, 200, "OK", "text/plain", "ok\n");
     }
-  } else if (path.empty()) {
-    send_response(client_fd, 400, "Bad Request", "text/plain", "bad request\n");
   } else {
     send_response(client_fd, 404, "Not Found", "text/plain", "not found\n");
   }

@@ -8,8 +8,11 @@
 //        /metrics      Prometheus text format (MetricsRegistry::write_prometheus)
 //        /events.json  flight-recorder window as a JSON array
 //        /spans.json   span tracer aggregates (Tracer::write_json)
+//        /fleet.json   per-worker fleet status (obs/aggregator.h)
 //        /healthz      200 "ok" liveness probe
-//    One background thread accepts and answers one connection at a time;
+//    Every response (success or error, including 405 for non-GET with an
+//    Allow header) carries Content-Type, Content-Length, and Connection:
+//    close. One background thread accepts and answers one connection at a time;
 //    responses are built under the exporters' own locks, so a scrape can
 //    run while the orchestrator is mid-period. Off by default; benches
 //    enable it with --telemetry-port / EDGESLICE_TELEMETRY_PORT.

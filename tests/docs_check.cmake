@@ -58,6 +58,29 @@ if(NOT doc_text MATCHES "wire frame format version ${frame_version}")
       "version ${frame_version}\" — update the spec alongside the code")
 endif()
 
+# Every FrameType the wire protocol defines must appear by name in
+# FORMATS.md (the Sec. 7.2 types table) — a frame type cannot be
+# appended to src/ipc/frame.h without the spec documenting it.
+if(NOT frame_text MATCHES "enum class FrameType[^{]*{([^}]*)}")
+  message(FATAL_ERROR "docs_check: FrameType enum not found in ${frame_header}")
+endif()
+string(REGEX MATCHALL "([A-Za-z0-9_]+) = [0-9]+" frame_type_tokens "${CMAKE_MATCH_1}")
+if(NOT frame_type_tokens)
+  message(FATAL_ERROR "docs_check: FrameType enum is empty in ${frame_header}")
+endif()
+set(frame_types "")
+foreach(token ${frame_type_tokens})
+  string(REGEX REPLACE " = [0-9]+" "" token "${token}")
+  list(APPEND frame_types "${token}")
+  if(NOT doc_text MATCHES "${token}")
+    message(FATAL_ERROR
+        "docs_check: frame type \"${token}\" (FrameType in src/ipc/frame.h) is "
+        "not mentioned in FORMATS.md — the Sec. 7.2 frame-type table must list "
+        "every type by name")
+  endif()
+endforeach()
+list(LENGTH frame_types frame_type_count)
+
 # Every artifact family the repo writes must have a section in the spec.
 foreach(family
     "ESCK"               # checkpoint container
@@ -139,6 +162,7 @@ list(LENGTH city_fields city_field_count)
 
 message(STATUS "docs_check: FORMATS.md documents checkpoint format version "
                "${code_version}, wire frame format version ${frame_version}, "
-               "and all artifact families; EXPERIMENTS.md documents "
+               "all ${frame_type_count} frame types, and all artifact "
+               "families; EXPERIMENTS.md documents "
                "EDGESLICE_GEMM=${gemm_mode_phrase} and all "
                "${city_field_count} BENCH_city.json fields")

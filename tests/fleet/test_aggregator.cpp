@@ -1,0 +1,237 @@
+// TelemetryAggregator semantics (ctest label: fleet): worker labels,
+// cumulative-snapshot idempotence, restart base folding, origin-tagged
+// event import, span-delta merging, and the fleet status JSON.
+#include "obs/aggregator.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/trace_span.h"
+#include "obs/event_log.h"
+
+namespace edgeslice::obs {
+namespace {
+
+class AggregatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_metrics_enabled(true);
+    edgeslice::global_metrics().clear();
+    edgeslice::global_tracer().clear();
+    global_event_log().clear();
+    set_fleet_status({});
+  }
+  void TearDown() override {
+    edgeslice::global_metrics().clear();
+    edgeslice::global_tracer().clear();
+    global_event_log().clear();
+    set_fleet_status({});
+  }
+};
+
+MetricsSnapshot counter_snapshot(const std::string& name, std::uint64_t value) {
+  MetricsSnapshot snapshot;
+  snapshot.counters.emplace_back(name, value);
+  return snapshot;
+}
+
+std::string labeled(const std::string& name, std::size_t slot) {
+  return name + encode_metric_labels({{"worker", std::to_string(slot)}});
+}
+
+std::size_t gap_count_for(std::size_t slot) {
+  std::size_t gaps = 0;
+  for (const Event& e : global_event_log().snapshot()) {
+    if (e.kind == EventKind::TelemetryGap && e.worker == slot) ++gaps;
+  }
+  return gaps;
+}
+
+TEST_F(AggregatorTest, MetricsLandUnderWorkerLabelOnly) {
+  TelemetryAggregator aggregator;
+  aggregator.reset(2);
+  MetricsSnapshot snapshot = counter_snapshot("worker.periods", 5);
+  snapshot.gauges.emplace_back("queue.depth", 2.5);
+  aggregator.on_metrics(1, snapshot);
+
+  auto& registry = edgeslice::global_metrics();
+  const auto counters = registry.counter_names();
+  ASSERT_EQ(counters.size(), 1u);
+  EXPECT_EQ(counters[0], labeled("worker.periods", 1));
+  EXPECT_EQ(registry.counter("worker.periods", {{"worker", "1"}}).value(), 5u);
+  // The unlabeled series stays untouched (it now exists from the lookup
+  // above only if we create it — the snapshot must not have).
+  EXPECT_EQ(registry.gauge("queue.depth", {{"worker", "1"}}).value(), 2.5);
+  EXPECT_EQ(aggregator.snapshots_merged(1), 1u);
+  EXPECT_GE(aggregator.last_snapshot_ts_s(1), 0.0);
+  EXPECT_LT(aggregator.last_snapshot_ts_s(0), 0.0);
+}
+
+TEST_F(AggregatorTest, CumulativeSnapshotsAreIdempotent) {
+  TelemetryAggregator aggregator;
+  aggregator.reset(1);
+  aggregator.on_metrics(0, counter_snapshot("worker.periods", 7));
+  aggregator.on_metrics(0, counter_snapshot("worker.periods", 7));
+  EXPECT_EQ(
+      edgeslice::global_metrics().counter("worker.periods", {{"worker", "0"}}).value(),
+      7u);
+  EXPECT_EQ(aggregator.snapshots_merged(0), 2u);
+}
+
+TEST_F(AggregatorTest, DeadIncarnationBaseStacksUnderTheRespawn) {
+  TelemetryAggregator aggregator;
+  aggregator.reset(1);
+  aggregator.on_metrics(0, counter_snapshot("worker.periods", 5));
+  aggregator.on_worker_lost(0, /*clean=*/false);
+  // The respawned incarnation restarts its registry from zero.
+  aggregator.on_metrics(0, counter_snapshot("worker.periods", 3));
+  EXPECT_EQ(
+      edgeslice::global_metrics().counter("worker.periods", {{"worker", "0"}}).value(),
+      8u);
+  // Losing it again folds the second incarnation too.
+  aggregator.on_worker_lost(0, /*clean=*/false);
+  aggregator.on_metrics(0, counter_snapshot("worker.periods", 2));
+  EXPECT_EQ(
+      edgeslice::global_metrics().counter("worker.periods", {{"worker", "0"}}).value(),
+      10u);
+}
+
+TEST_F(AggregatorTest, UncleanLossRecordsAGapAndCleanLossDoesNot) {
+  TelemetryAggregator aggregator;
+  aggregator.reset(2);
+  aggregator.on_metrics(0, counter_snapshot("worker.periods", 1));
+  aggregator.on_metrics(1, counter_snapshot("worker.periods", 1));
+  aggregator.on_worker_lost(0, /*clean=*/true);
+  EXPECT_EQ(gap_count_for(0), 0u);
+  aggregator.on_worker_lost(1, /*clean=*/false);
+  EXPECT_EQ(gap_count_for(1), 1u);
+}
+
+TEST_F(AggregatorTest, HistogramsMergeAcrossIncarnations) {
+  TelemetryAggregator aggregator;
+  aggregator.reset(1);
+
+  Histogram first;
+  first.observe(1.0);
+  first.observe(2.0);
+  MetricsSnapshot snapshot;
+  snapshot.histograms.emplace_back("worker.ra_period_seconds", first.state());
+  aggregator.on_metrics(0, snapshot);
+  aggregator.on_worker_lost(0, /*clean=*/false);
+
+  Histogram second;
+  second.observe(8.0);
+  MetricsSnapshot respawned;
+  respawned.histograms.emplace_back("worker.ra_period_seconds", second.state());
+  aggregator.on_metrics(0, respawned);
+
+  auto& merged = edgeslice::global_metrics().histogram("worker.ra_period_seconds",
+                                                       {{"worker", "0"}});
+  EXPECT_EQ(merged.count(), 3u);
+  EXPECT_EQ(merged.min(), 1.0);
+  EXPECT_EQ(merged.max(), 8.0);
+  EXPECT_EQ(merged.total(), 11.0);
+}
+
+TEST_F(AggregatorTest, WorkerSideLabelsRecanonicalizeWithTheWorkerAxis) {
+  // A worker that already records with labels of its own: the aggregator
+  // must parse the display name back apart and re-encode with worker=
+  // added, keeping the canonical sorted order.
+  TelemetryAggregator aggregator;
+  aggregator.reset(3);
+  const std::string shipped = "rpc.count" + encode_metric_labels({{"zone", "a"}});
+  aggregator.on_metrics(2, counter_snapshot(shipped, 4));
+  EXPECT_EQ(edgeslice::global_metrics()
+                .counter("rpc.count", {{"zone", "a"}, {"worker", "2"}})
+                .value(),
+            4u);
+}
+
+TEST_F(AggregatorTest, EventsImportTaggedWithTheOriginSlot) {
+  TelemetryAggregator aggregator;
+  aggregator.reset(2);
+  Event shipped;
+  shipped.seq = 17;      // the worker's own seq: reassigned on import
+  shipped.ts_s = 1.125;  // origin timestamp: preserved
+  shipped.period = 3;
+  shipped.ra = 1;
+  shipped.kind = EventKind::SlaViolation;
+  shipped.value = 0.25;
+  aggregator.on_events(1, {shipped});
+
+  const auto events = global_event_log().snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].worker, 1u);
+  EXPECT_EQ(events[0].ts_s, 1.125);
+  EXPECT_EQ(events[0].period, 3u);
+  EXPECT_EQ(events[0].ra, 1u);
+  EXPECT_EQ(events[0].kind, EventKind::SlaViolation);
+  EXPECT_EQ(events[0].value, 0.25);
+  EXPECT_EQ(aggregator.events_imported(1), 1u);
+  EXPECT_EQ(aggregator.events_imported(0), 0u);
+}
+
+TEST_F(AggregatorTest, SpanDeltasMergeIntoTheGlobalTracer) {
+  TelemetryAggregator aggregator;
+  aggregator.reset(2);
+  SpanPeriodStats delta;
+  delta.path = "worker.ra_period";
+  delta.period = 2;
+  delta.stats.count = 3;
+  delta.stats.total_s = 0.3;
+  delta.stats.min_s = 0.05;
+  delta.stats.max_s = 0.15;
+  aggregator.on_spans(0, {delta});
+  SpanPeriodStats other = delta;  // a second worker's share of the period
+  other.stats.count = 1;
+  other.stats.total_s = 0.2;
+  other.stats.min_s = 0.2;
+  other.stats.max_s = 0.2;
+  aggregator.on_spans(1, {other});
+
+  const auto exported = edgeslice::global_tracer().export_period_stats();
+  ASSERT_EQ(exported.size(), 1u);
+  EXPECT_EQ(exported[0].path, "worker.ra_period");
+  EXPECT_EQ(exported[0].period, 2u);
+  EXPECT_EQ(exported[0].stats.count, 4u);
+  EXPECT_DOUBLE_EQ(exported[0].stats.total_s, 0.5);
+  EXPECT_EQ(exported[0].stats.min_s, 0.05);
+  EXPECT_EQ(exported[0].stats.max_s, 0.2);
+}
+
+TEST_F(AggregatorTest, FleetStatusJsonRendersLivenessAndNullAges) {
+  std::vector<FleetWorkerStatus> fleet(2);
+  fleet[0].slot = 0;
+  fleet[0].alive = true;
+  fleet[0].pid = 4242;
+  fleet[0].restarts = 1;
+  fleet[0].ras = {0, 2};
+  fleet[0].snapshots = 9;
+  fleet[0].events = 3;
+  fleet[0].last_snapshot_ts_s = 0.0;  // epoch: a huge but non-null age
+  fleet[1].slot = 1;
+  fleet[1].alive = false;
+  fleet[1].last_snapshot_ts_s = -1.0;  // never
+  set_fleet_status(std::move(fleet));
+
+  const std::string json = fleet_status_json();
+  EXPECT_NE(json.find("\"total\": 2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"alive\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"pid\": 4242"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"restarts\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ras\": [0, 2]"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"snapshots\": 9"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"last_snapshot_age_s\": null"), std::string::npos) << json;
+  EXPECT_EQ(json.back(), '\n');
+
+  set_fleet_status({});
+  const std::string empty = fleet_status_json();
+  EXPECT_NE(empty.find("\"total\": 0"), std::string::npos) << empty;
+  EXPECT_NE(empty.find("\"workers\": []"), std::string::npos) << empty;
+}
+
+}  // namespace
+}  // namespace edgeslice::obs

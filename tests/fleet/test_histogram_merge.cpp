@@ -1,0 +1,169 @@
+// Histogram merge property tests (ctest label: fleet).
+//
+// The fleet telemetry plane's correctness hinges on one algebraic fact:
+// merging N workers' HistogramStates bucket-wise is indistinguishable
+// from feeding one histogram the union of all their samples. Bucket
+// counts and the min/max envelope must match EXACTLY (quantile estimates
+// are a pure function of those, so they match bit-for-bit too); the
+// moment accumulators combine via Chan's parallel algorithm, which is
+// exact in real arithmetic but reassociates floating-point sums, so
+// mean/m2/total are compared to a tight relative tolerance.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <random>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace edgeslice {
+namespace {
+
+/// Feed `samples` into a fresh histogram and return its state.
+HistogramState fed_state(const std::vector<double>& samples) {
+  Histogram h;
+  for (double x : samples) h.observe(x);
+  return h.state();
+}
+
+void expect_equivalent(const HistogramState& merged, const HistogramState& whole) {
+  EXPECT_EQ(merged.count, whole.count);
+  EXPECT_EQ(merged.zero_count, whole.zero_count);
+  EXPECT_EQ(merged.positive, whole.positive);
+  EXPECT_EQ(merged.negative, whole.negative);
+  if (whole.count > 0) {
+    EXPECT_EQ(merged.min, whole.min);
+    EXPECT_EQ(merged.max, whole.max);
+  }
+  const double scale = std::max(1.0, std::abs(whole.total));
+  EXPECT_NEAR(merged.total, whole.total, 1e-9 * scale);
+  EXPECT_NEAR(merged.mean, whole.mean, 1e-9 * std::max(1.0, std::abs(whole.mean)));
+  EXPECT_NEAR(merged.m2, whole.m2, 1e-6 * std::max(1.0, std::abs(whole.m2)));
+
+  // Quantiles are computed from bucket counts clamped to [min, max] —
+  // all exactly equal above — so the estimates must match bit-for-bit.
+  Histogram from_merged;
+  Histogram from_whole;
+  {
+    const bool was_enabled = metrics_enabled();
+    set_metrics_enabled(true);
+    from_merged.load_state(merged);
+    from_whole.load_state(whole);
+    set_metrics_enabled(was_enabled);
+  }
+  for (double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(from_merged.quantile(q), from_whole.quantile(q)) << "q=" << q;
+  }
+}
+
+/// Split `samples` across `workers` round-robin, merge the partial
+/// states, and compare against the union-fed state.
+void check_split(const std::vector<double>& samples, std::size_t workers) {
+  std::vector<std::vector<double>> shards(workers);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    shards[i % workers].push_back(samples[i]);
+  }
+  HistogramState merged;
+  for (const auto& shard : shards) {
+    merge_histogram_state(merged, fed_state(shard));
+  }
+  expect_equivalent(merged, fed_state(samples));
+}
+
+class HistogramMergeTest : public ::testing::Test {
+ protected:
+  void SetUp() override { set_metrics_enabled(true); }
+};
+
+TEST_F(HistogramMergeTest, RandomSamplesAcrossWorkerCounts) {
+  std::mt19937 gen(12345);
+  std::lognormal_distribution<double> latency(-6.0, 2.0);  // micro- to deci-seconds
+  std::vector<double> samples;
+  for (int i = 0; i < 2000; ++i) samples.push_back(latency(gen));
+  for (std::size_t workers : {1u, 2u, 3u, 4u, 7u}) {
+    SCOPED_TRACE(workers);
+    check_split(samples, workers);
+  }
+}
+
+TEST_F(HistogramMergeTest, MixedSignsZerosAndExtremes) {
+  std::mt19937 gen(99);
+  std::uniform_real_distribution<double> sign(-1.0, 1.0);
+  std::vector<double> samples;
+  for (int i = 0; i < 500; ++i) {
+    const double u = sign(gen);
+    if (i % 11 == 0) {
+      samples.push_back(0.0);  // the dedicated zero bucket
+    } else if (i % 13 == 0) {
+      samples.push_back(u * 1e-12);  // below kMinAbs: underflow bucket edge
+    } else if (i % 17 == 0) {
+      samples.push_back(u * 1e9);  // far positive/negative range
+    } else {
+      samples.push_back(u);
+    }
+  }
+  for (std::size_t workers : {2u, 5u}) {
+    SCOPED_TRACE(workers);
+    check_split(samples, workers);
+  }
+}
+
+TEST_F(HistogramMergeTest, EmptyWorkersAreIdentityElements) {
+  const std::vector<double> samples{0.5, 1.5, 2.5, 0.0, -3.0};
+  const HistogramState whole = fed_state(samples);
+
+  // empty (+) whole == whole.
+  HistogramState left;
+  merge_histogram_state(left, whole);
+  expect_equivalent(left, whole);
+
+  // whole (+) empty == whole.
+  HistogramState right = whole;
+  merge_histogram_state(right, HistogramState{});
+  expect_equivalent(right, whole);
+
+  // A fleet where most workers recorded nothing: still the union.
+  HistogramState merged;
+  merge_histogram_state(merged, HistogramState{});
+  merge_histogram_state(merged, whole);
+  merge_histogram_state(merged, HistogramState{});
+  merge_histogram_state(merged, HistogramState{});
+  expect_equivalent(merged, whole);
+}
+
+TEST_F(HistogramMergeTest, SingleSampleWorkers) {
+  // One observation per worker: the degenerate shard shape a nearly-idle
+  // fleet produces. min/max envelope and m2 composition must still hold.
+  const std::vector<double> samples{3.25, -0.125, 0.0, 7e-4, 42.0, 42.0};
+  HistogramState merged;
+  for (double x : samples) merge_histogram_state(merged, fed_state({x}));
+  expect_equivalent(merged, fed_state(samples));
+}
+
+TEST_F(HistogramMergeTest, MergeIsAssociativeOnBucketsAndEnvelope) {
+  std::mt19937 gen(7);
+  std::normal_distribution<double> dist(0.0, 10.0);
+  std::vector<std::vector<double>> shards(3);
+  for (int i = 0; i < 300; ++i) shards[static_cast<std::size_t>(i % 3)].push_back(dist(gen));
+
+  // (a + b) + c vs a + (b + c): exact fields must agree.
+  HistogramState left = fed_state(shards[0]);
+  merge_histogram_state(left, fed_state(shards[1]));
+  merge_histogram_state(left, fed_state(shards[2]));
+
+  HistogramState bc = fed_state(shards[1]);
+  merge_histogram_state(bc, fed_state(shards[2]));
+  HistogramState right = fed_state(shards[0]);
+  merge_histogram_state(right, bc);
+
+  EXPECT_EQ(left.count, right.count);
+  EXPECT_EQ(left.zero_count, right.zero_count);
+  EXPECT_EQ(left.positive, right.positive);
+  EXPECT_EQ(left.negative, right.negative);
+  EXPECT_EQ(left.min, right.min);
+  EXPECT_EQ(left.max, right.max);
+}
+
+}  // namespace
+}  // namespace edgeslice

@@ -165,12 +165,13 @@ TEST_F(TelemetryServerTest, EveryEndpointAnswersWhileASystemIsRunning) {
   EXPECT_NE(after.body.find("system_periods 50\n"), std::string::npos);
 }
 
-TEST_F(TelemetryServerTest, UnknownPathIs404AndMalformedRequestIs400) {
+TEST_F(TelemetryServerTest, UnknownPathIs404AndNonGetIs405) {
   auto server = start_server();
   ASSERT_NE(server, nullptr);
   EXPECT_EQ(http_get(server->port(), "/nope").status, 404);
 
-  // A non-GET request parses to an empty path -> 400.
+  // A non-GET request to a real resource is 405 with an Allow header, not
+  // 400 — the request parsed fine, the method is just unsupported.
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   ASSERT_GE(fd, 0);
   sockaddr_in addr;
@@ -181,12 +182,16 @@ TEST_F(TelemetryServerTest, UnknownPathIs404AndMalformedRequestIs400) {
   ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
   const char request[] = "POST /metrics HTTP/1.0\r\n\r\n";
   ::send(fd, request, sizeof(request) - 1, 0);
+  std::string raw;
   char buf[256];
-  const ssize_t n = ::recv(fd, buf, sizeof(buf) - 1, 0);
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
   ::close(fd);
-  ASSERT_GT(n, 12);
-  buf[n] = '\0';
-  EXPECT_EQ(std::atoi(buf + 9), 400);
+  ASSERT_GT(raw.size(), 12u);
+  EXPECT_EQ(std::atoi(raw.c_str() + 9), 405);
+  EXPECT_NE(raw.find("Allow: GET\r\n"), std::string::npos);
 }
 
 TEST_F(TelemetryServerTest, StopIsIdempotentAndRestartable) {

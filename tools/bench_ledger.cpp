@@ -1,0 +1,221 @@
+// bench_ledger CLI: append bench reports to BENCH_HISTORY.jsonl, diff
+// two entries with a tolerance band, or validate the ledger.
+//
+//   bench_ledger append <bench.json> [--history FILE] [--sha SHA] [--label L]
+//   bench_ledger diff   [--history FILE] [--a I] [--b J] [--tolerance F]
+//   bench_ledger check  [--history FILE]
+//
+// `diff` compares entry J (candidate, default: last) against entry I
+// (baseline, default: second-to-last) and exits 1 when any directed
+// metric is worse than the baseline by more than the tolerance fraction
+// (default 0.05) — the CI gate for periods/second and p99 solve latency.
+// `check` parses every ledger line and exits 1 on the first malformed
+// one (a missing ledger is fine: nothing recorded yet). Usage errors
+// exit 2.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_ledger_lib.h"
+
+namespace {
+
+using edgeslice::tools::BenchEntry;
+
+constexpr const char* kDefaultHistory = "BENCH_HISTORY.jsonl";
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: bench_ledger append <bench.json> [--history FILE] [--sha SHA] "
+      "[--label L]\n"
+      "       bench_ledger diff   [--history FILE] [--a I] [--b J] "
+      "[--tolerance F]\n"
+      "       bench_ledger check  [--history FILE]\n");
+  return 2;
+}
+
+bool parse_long(const char* s, long& out) {
+  char* end = nullptr;
+  out = std::strtol(s, &end, 10);
+  return end != nullptr && *end == '\0' && end != s;
+}
+
+bool parse_fraction(const char* s, double& out) {
+  char* end = nullptr;
+  out = std::strtod(s, &end);
+  return end != nullptr && *end == '\0' && end != s && out >= 0.0;
+}
+
+std::string read_file(const std::string& path, bool& ok) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    ok = false;
+    return "";
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  ok = true;
+  return buf.str();
+}
+
+int cmd_append(const std::string& bench_path, const std::string& history,
+               const std::string& sha, const std::string& label) {
+  bool ok = false;
+  const std::string text = read_file(bench_path, ok);
+  if (!ok) {
+    std::fprintf(stderr, "bench_ledger: cannot read %s\n", bench_path.c_str());
+    return 2;
+  }
+  BenchEntry entry;
+  try {
+    entry = edgeslice::tools::make_entry(text, sha, label);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  std::ofstream out(history, std::ios::app);
+  if (!out) {
+    std::fprintf(stderr, "bench_ledger: cannot append to %s\n", history.c_str());
+    return 1;
+  }
+  const std::string line = edgeslice::tools::encode_entry(entry);
+  out << line << "\n";
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "bench_ledger: write to %s failed\n", history.c_str());
+    return 1;
+  }
+  std::printf("%s\n", line.c_str());
+  return 0;
+}
+
+int cmd_diff(const std::string& history, long a_index, long b_index,
+             double tolerance) {
+  std::vector<BenchEntry> entries;
+  try {
+    entries = edgeslice::tools::load_history(history);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  if (entries.size() < 2 && (a_index < 0 || b_index < 0)) {
+    std::fprintf(stderr, "bench_ledger: need at least two entries in %s (have %zu)\n",
+                 history.c_str(), entries.size());
+    return 2;
+  }
+  const long n = static_cast<long>(entries.size());
+  if (a_index < 0) a_index = n - 2;
+  if (b_index < 0) b_index = n - 1;
+  if (a_index >= n || b_index >= n) {
+    std::fprintf(stderr, "bench_ledger: entry index out of range (0..%ld)\n", n - 1);
+    return 2;
+  }
+  const BenchEntry& a = entries[static_cast<std::size_t>(a_index)];
+  const BenchEntry& b = entries[static_cast<std::size_t>(b_index)];
+  const auto result = edgeslice::tools::diff_entries(a, b, tolerance);
+  std::printf("baseline  [%ld] sha=%s label=%s fingerprint=%s\n", a_index,
+              a.sha.c_str(), a.label.c_str(), a.fingerprint.c_str());
+  std::printf("candidate [%ld] sha=%s label=%s fingerprint=%s\n", b_index,
+              b.sha.c_str(), b.label.c_str(), b.fingerprint.c_str());
+  if (!result.fingerprint_match) {
+    std::printf("note: config fingerprints differ — comparison is advisory\n");
+  }
+  for (const auto& row : result.rows) {
+    const char* direction = row.direction > 0   ? "up-good"
+                            : row.direction < 0 ? "down-good"
+                                                : "untracked";
+    std::printf("%-40s %14.6g -> %14.6g  %+7.2f%%  [%s]%s\n", row.key.c_str(),
+                row.a, row.b, 100.0 * row.delta_frac, direction,
+                row.regression ? "  REGRESSION" : "");
+  }
+  if (result.regression) {
+    std::printf("result: REGRESSION (tolerance %.1f%%)\n", 100.0 * tolerance);
+    return 1;
+  }
+  std::printf("result: ok (tolerance %.1f%%)\n", 100.0 * tolerance);
+  return 0;
+}
+
+int cmd_check(const std::string& history) {
+  try {
+    const auto entries = edgeslice::tools::load_history(history);
+    std::printf("bench_ledger: %s ok (%zu entries)\n", history.c_str(),
+                entries.size());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string mode = argv[1];
+  std::string history = kDefaultHistory;
+  std::string sha = "unknown";
+  std::string label;
+  std::string bench_path;
+  long a_index = -1;
+  long b_index = -1;
+  double tolerance = 0.05;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_ledger: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--history") {
+      const char* v = need_value("--history");
+      if (v == nullptr) return 2;
+      history = v;
+    } else if (arg == "--sha") {
+      const char* v = need_value("--sha");
+      if (v == nullptr) return 2;
+      sha = v;
+    } else if (arg == "--label") {
+      const char* v = need_value("--label");
+      if (v == nullptr) return 2;
+      label = v;
+    } else if (arg == "--a") {
+      const char* v = need_value("--a");
+      if (v == nullptr || !parse_long(v, a_index) || a_index < 0) return usage();
+    } else if (arg == "--b") {
+      const char* v = need_value("--b");
+      if (v == nullptr || !parse_long(v, b_index) || b_index < 0) return usage();
+    } else if (arg == "--tolerance") {
+      const char* v = need_value("--tolerance");
+      if (v == nullptr || !parse_fraction(v, tolerance)) return usage();
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "bench_ledger: unknown flag %s\n", arg.c_str());
+      return 2;
+    } else if (bench_path.empty()) {
+      bench_path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (mode == "append") {
+    if (bench_path.empty()) return usage();
+    if (label.empty()) label = bench_path;
+    return cmd_append(bench_path, history, sha, label);
+  }
+  if (mode == "diff") {
+    if (!bench_path.empty()) return usage();
+    return cmd_diff(history, a_index, b_index, tolerance);
+  }
+  if (mode == "check") {
+    if (!bench_path.empty()) return usage();
+    return cmd_check(history);
+  }
+  return usage();
+}

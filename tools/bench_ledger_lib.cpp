@@ -1,0 +1,290 @@
+#include "bench_ledger_lib.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace edgeslice::tools {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("bench_ledger: " + what);
+}
+
+std::size_t skip_ws(const std::string& s, std::size_t i) {
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' || s[i] == '\r'))
+    ++i;
+  return i;
+}
+
+/// Read a JSON string starting at the opening quote; returns the
+/// unescaped contents and advances past the closing quote.
+std::string read_string(const std::string& s, std::size_t& i) {
+  if (i >= s.size() || s[i] != '"') fail("expected string");
+  ++i;
+  std::string out;
+  while (i < s.size() && s[i] != '"') {
+    if (s[i] == '\\') {
+      ++i;
+      if (i >= s.size()) fail("truncated escape");
+      switch (s[i]) {
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case 'r': out.push_back('\r'); break;
+        default: out.push_back(s[i]); break;
+      }
+    } else {
+      out.push_back(s[i]);
+    }
+    ++i;
+  }
+  if (i >= s.size()) fail("unterminated string");
+  ++i;  // closing quote
+  return out;
+}
+
+/// Skip a balanced [...] or {...} (strings handled), starting at the
+/// opening bracket; advances past the matching close.
+void skip_nested(const std::string& s, std::size_t& i) {
+  int depth = 0;
+  do {
+    if (i >= s.size()) fail("unterminated array/object");
+    const char c = s[i];
+    if (c == '"') {
+      read_string(s, i);
+      continue;
+    }
+    if (c == '[' || c == '{') ++depth;
+    if (c == ']' || c == '}') --depth;
+    ++i;
+  } while (depth > 0);
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Format a double the way the benches do: enough digits to round-trip.
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+bool parse_double(const std::string& token, double& out) {
+  if (token.empty()) return false;
+  char* end = nullptr;
+  out = std::strtod(token.c_str(), &end);
+  return end != nullptr && *end == '\0' && std::isfinite(out);
+}
+
+}  // namespace
+
+std::map<std::string, std::string> parse_flat_json(const std::string& text) {
+  std::map<std::string, std::string> fields;
+  std::size_t i = skip_ws(text, 0);
+  if (i >= text.size() || text[i] != '{') fail("expected object");
+  ++i;
+  i = skip_ws(text, i);
+  if (i < text.size() && text[i] == '}') return fields;
+  for (;;) {
+    i = skip_ws(text, i);
+    const std::string key = read_string(text, i);
+    i = skip_ws(text, i);
+    if (i >= text.size() || text[i] != ':') fail("expected ':' after key " + key);
+    ++i;
+    i = skip_ws(text, i);
+    if (i >= text.size()) fail("truncated value of " + key);
+    if (text[i] == '"') {
+      fields[key] = read_string(text, i);
+    } else if (text[i] == '[' || text[i] == '{') {
+      skip_nested(text, i);  // arrays/objects are not ledger material
+    } else {
+      std::string token;
+      while (i < text.size() && text[i] != ',' && text[i] != '}' &&
+             text[i] != ' ' && text[i] != '\n' && text[i] != '\t' && text[i] != '\r') {
+        token.push_back(text[i]);
+        ++i;
+      }
+      if (token.empty()) fail("empty value of " + key);
+      fields[key] = token;
+    }
+    i = skip_ws(text, i);
+    if (i >= text.size()) fail("unterminated object");
+    if (text[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (text[i] == '}') return fields;
+    fail("expected ',' or '}' after value of " + key);
+  }
+}
+
+bool is_config_key(const std::string& key) {
+  static const char* kConfigKeys[] = {
+      "ras", "slices_per_ra", "periods", "intervals_per_period", "seed",
+      "threads", "threads_timed", "hardware_threads", "start_period",
+      "timing_jobs", "timing_steps_per_job", "gemm_backend", "workers",
+      "telemetry_interval",
+  };
+  for (const char* k : kConfigKeys) {
+    if (key == k) return true;
+  }
+  return false;
+}
+
+std::string config_fingerprint(const std::map<std::string, std::string>& config) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a 64 offset basis
+  const auto mix = [&h](const std::string& s) {
+    for (unsigned char c : s) {
+      h ^= c;
+      h *= 1099511628211ull;
+    }
+  };
+  for (const auto& [key, value] : config) {  // std::map: sorted keys
+    mix(key);
+    mix("=");
+    mix(value);
+    mix("\n");
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%016llx", static_cast<unsigned long long>(h));
+  return buf;
+}
+
+BenchEntry make_entry(const std::string& bench_json, const std::string& sha,
+                      const std::string& label) {
+  BenchEntry entry;
+  entry.sha = sha;
+  entry.label = label;
+  for (const auto& [key, value] : parse_flat_json(bench_json)) {
+    if (is_config_key(key)) {
+      entry.config[key] = value;
+      continue;
+    }
+    double v = 0.0;
+    if (parse_double(value, v)) entry.metrics[key] = v;
+    // Non-numeric non-config fields (digests, bools-as-flags) are
+    // identity/config-adjacent but unlisted: leave them out.
+  }
+  entry.fingerprint = config_fingerprint(entry.config);
+  return entry;
+}
+
+std::string encode_entry(const BenchEntry& entry) {
+  std::ostringstream out;
+  out << "{\"sha\": \"" << json_escape(entry.sha) << "\", \"label\": \""
+      << json_escape(entry.label) << "\", \"fingerprint\": \""
+      << json_escape(entry.fingerprint) << "\"";
+  for (const auto& [key, value] : entry.config) {
+    out << ", \"config." << json_escape(key) << "\": \"" << json_escape(value)
+        << "\"";
+  }
+  for (const auto& [key, value] : entry.metrics) {
+    out << ", \"metric." << json_escape(key) << "\": " << format_double(value);
+  }
+  out << "}";
+  return out.str();
+}
+
+BenchEntry decode_entry(const std::string& line) {
+  BenchEntry entry;
+  for (const auto& [key, value] : parse_flat_json(line)) {
+    if (key == "sha") {
+      entry.sha = value;
+    } else if (key == "label") {
+      entry.label = value;
+    } else if (key == "fingerprint") {
+      entry.fingerprint = value;
+    } else if (key.rfind("config.", 0) == 0) {
+      entry.config[key.substr(7)] = value;
+    } else if (key.rfind("metric.", 0) == 0) {
+      double v = 0.0;
+      if (!parse_double(value, v)) fail("non-numeric metric " + key);
+      entry.metrics[key.substr(7)] = v;
+    } else {
+      fail("unknown ledger field " + key);
+    }
+  }
+  if (entry.fingerprint.empty()) fail("ledger line without fingerprint");
+  return entry;
+}
+
+std::vector<BenchEntry> load_history(const std::string& path) {
+  std::vector<BenchEntry> entries;
+  std::ifstream in(path);
+  if (!in) return entries;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (skip_ws(line, 0) >= line.size()) continue;  // blank
+    try {
+      entries.push_back(decode_entry(line));
+    } catch (const std::exception& e) {
+      fail(path + ":" + std::to_string(line_no) + ": " + e.what());
+    }
+  }
+  return entries;
+}
+
+int metric_direction(const std::string& key) {
+  static const char* kHigherBetter[] = {
+      "periods_per_second", "matmul_gflops", "matmul_gflops_scalar",
+      "matmul_gflops_avx2", "inference_steps_per_second_batched",
+      "inference_steps_per_second_unbatched", "speedup",
+      "inference_batched_speedup",
+  };
+  static const char* kLowerBetter[] = {
+      "p99_coordinator_solve_seconds", "wall_seconds", "sequential_seconds",
+      "parallel_seconds",
+  };
+  for (const char* k : kHigherBetter) {
+    if (key == k) return 1;
+  }
+  for (const char* k : kLowerBetter) {
+    if (key == k) return -1;
+  }
+  return 0;
+}
+
+DiffResult diff_entries(const BenchEntry& a, const BenchEntry& b, double tolerance) {
+  DiffResult result;
+  result.fingerprint_match = a.fingerprint == b.fingerprint;
+  for (const auto& [key, va] : a.metrics) {
+    const auto it = b.metrics.find(key);
+    if (it == b.metrics.end()) continue;
+    DiffRow row;
+    row.key = key;
+    row.a = va;
+    row.b = it->second;
+    row.delta_frac = va == 0.0 ? 0.0 : (row.b - row.a) / std::abs(va);
+    row.direction = metric_direction(key);
+    if (row.direction > 0) {
+      row.regression = row.b < row.a * (1.0 - tolerance);
+    } else if (row.direction < 0) {
+      row.regression = row.b > row.a * (1.0 + tolerance);
+    }
+    result.regression = result.regression || row.regression;
+    result.rows.push_back(row);
+  }
+  return result;
+}
+
+}  // namespace edgeslice::tools

@@ -1,6 +1,7 @@
 #include "ipc/event_loop.h"
 
 #include <poll.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -68,6 +69,23 @@ bool PollLoop::has(int fd) const {
   return false;
 }
 
+void PollLoop::add_listener(int fd, AcceptHandler on_accept) {
+  for (const Listener& l : listeners_) {
+    if (l.fd == fd) throw std::invalid_argument("PollLoop: listener already registered");
+  }
+  Listener listener;
+  listener.fd = fd;
+  listener.on_accept = std::move(on_accept);
+  listeners_.push_back(std::move(listener));
+}
+
+void PollLoop::remove_listener(int fd) {
+  listeners_.erase(
+      std::remove_if(listeners_.begin(), listeners_.end(),
+                     [fd](const Listener& l) { return l.fd == fd; }),
+      listeners_.end());
+}
+
 PollLoop::Connection* PollLoop::find(int fd) {
   for (Connection& c : connections_) {
     if (c.fd == fd) return &c;
@@ -81,10 +99,14 @@ bool PollLoop::run_until(const std::function<bool()>& done, int deadline_ms) {
   while (!done()) {
     const std::int64_t remaining = deadline - now_ms();
     if (remaining <= 0) return false;
-    if (connections_.empty()) return false;  // nothing can satisfy done()
+    // With no listener, an empty connection set can never satisfy done();
+    // a listener keeps the loop alive waiting for its first accept.
+    if (connections_.empty() && listeners_.empty()) return false;
 
     std::vector<pollfd> pfds;
-    pfds.reserve(connections_.size());
+    pfds.reserve(listeners_.size() + connections_.size());
+    const std::size_t listener_count = listeners_.size();
+    for (const Listener& l : listeners_) pfds.push_back({l.fd, POLLIN, 0});
     for (const Connection& c : connections_) pfds.push_back({c.fd, POLLIN, 0});
     const int slice = static_cast<int>(remaining > 100 ? 100 : remaining);
     const int ready = ::poll(pfds.data(), pfds.size(), slice);
@@ -94,9 +116,34 @@ bool PollLoop::run_until(const std::function<bool()>& done, int deadline_ms) {
     }
     if (ready == 0) continue;
 
+    // Listeners first: a freshly accepted connection's first bytes are
+    // picked up by the next poll round.
+    for (std::size_t i = 0; i < listener_count; ++i) {
+      if ((pfds[i].revents & POLLIN) == 0) continue;
+      bool still_registered = false;
+      AcceptHandler on_accept;
+      for (const Listener& l : listeners_) {
+        if (l.fd == pfds[i].fd) {
+          still_registered = true;
+          on_accept = l.on_accept;
+          break;
+        }
+      }
+      if (!still_registered) continue;
+      for (;;) {
+        const int client = ::accept4(pfds[i].fd, nullptr, nullptr, SOCK_NONBLOCK);
+        if (client < 0) {
+          if (errno == EINTR) continue;
+          break;  // EAGAIN (drained) or a transient accept error
+        }
+        on_accept(client);
+      }
+    }
+
     // Service by fd, re-looking each one up: a handler may remove any
     // connection (even the one being serviced) while we iterate.
-    for (const pollfd& pfd : pfds) {
+    for (std::size_t i = listener_count; i < pfds.size(); ++i) {
+      const pollfd& pfd = pfds[i];
       if (pfd.revents == 0) continue;
       Connection* connection = find(pfd.fd);
       if (connection == nullptr) continue;

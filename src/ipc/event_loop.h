@@ -46,11 +46,22 @@ class PollLoop {
   /// read error or protocol violation. The fd is already removed from
   /// the loop when the handler runs (the caller owns closing it).
   using CloseHandler = std::function<void(int fd, IoResult reason)>;
+  /// Invoked once per accepted connection. The new fd is already
+  /// non-blocking; the handler decides whether to add() it to the loop
+  /// (and owns closing it if not).
+  using AcceptHandler = std::function<void(int fd)>;
 
   void add(int fd, FrameHandler on_frame, CloseHandler on_close);
   void remove(int fd);
   bool has(int fd) const;
   std::size_t size() const { return connections_.size(); }
+
+  /// Register a listening socket: while the loop runs, readiness on it
+  /// accepts every pending connection (accept4 with SOCK_NONBLOCK) and
+  /// hands each new fd to `on_accept`. The policy-serve daemon is the
+  /// consumer; the supervisor's fixed socketpair fan-in never needs one.
+  void add_listener(int fd, AcceptHandler on_accept);
+  void remove_listener(int fd);
 
   /// Pump all registered fds until `done()` returns true or `deadline_ms`
   /// elapses. Returns true when the predicate was satisfied, false on
@@ -65,10 +76,15 @@ class PollLoop {
     FrameHandler on_frame;
     CloseHandler on_close;
   };
+  struct Listener {
+    int fd = -1;
+    AcceptHandler on_accept;
+  };
 
   Connection* find(int fd);
 
   std::vector<Connection> connections_;
+  std::vector<Listener> listeners_;
 };
 
 }  // namespace edgeslice::ipc

@@ -65,6 +65,9 @@ const char* frame_type_name(FrameType type) {
     case FrameType::Shutdown: return "shutdown";
     case FrameType::TelemetrySnapshot: return "telemetry_snapshot";
     case FrameType::TelemetryEvents: return "telemetry_events";
+    case FrameType::DecideRequest: return "decide_request";
+    case FrameType::DecideResponse: return "decide_response";
+    case FrameType::ServeStatus: return "serve_status";
   }
   return "unknown";
 }

@@ -40,7 +40,7 @@ inline constexpr char kFrameMagic[4] = {'E', 'S', 'F', 'R'};
 /// Wire frame format version. Bump on ANY change to the header layout or
 /// a frame payload, and update FORMATS.md in the same commit (the
 /// docs-check test cross-checks the two).
-inline constexpr std::uint32_t kFrameFormatVersion = 2;
+inline constexpr std::uint32_t kFrameFormatVersion = 3;
 
 inline constexpr std::size_t kFrameHeaderSize = 40;
 
@@ -66,6 +66,11 @@ enum class FrameType : std::uint32_t {
   Shutdown = 11,   // sup -> worker: exit cleanly
   TelemetrySnapshot = 12,  // worker -> sup: cumulative metrics + span deltas
   TelemetryEvents = 13,    // worker -> sup: drained flight-recorder events
+  // Policy-serving plane (src/serve/): the same envelope carries
+  // allocation-decision traffic between policy-serve and its clients.
+  DecideRequest = 14,   // client -> serve: u64 request_id + observation vector
+  DecideResponse = 15,  // serve -> client: u64 request_id + u32 status + action
+  ServeStatus = 16,     // client -> serve: empty request; reply carries stats
 };
 
 const char* frame_type_name(FrameType type);

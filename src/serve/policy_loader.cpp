@@ -1,0 +1,40 @@
+#include "serve/policy_loader.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "ckpt/agent_cache.h"
+#include "ckpt/container.h"
+
+namespace edgeslice::serve {
+
+namespace {
+
+LoadedPolicy from_reader(const ckpt::CheckpointReader& reader) {
+  const std::string& blob = reader.require(ckpt::SectionKind::Policy);
+  std::istringstream in(blob);
+  LoadedPolicy loaded{nn::Mlp::load_binary(in), std::string(), reader.fingerprint()};
+  loaded.digest = ckpt::fingerprint_digest(loaded.fingerprint);
+  return loaded;
+}
+
+}  // namespace
+
+LoadedPolicy load_policy_by_digest(const std::string& cache_dir,
+                                   const std::string& digest) {
+  const std::string path = cache_dir + "/" + digest + ".ckpt";
+  const ckpt::CheckpointReader reader = ckpt::CheckpointReader::from_file(path);
+  const std::string actual = ckpt::fingerprint_digest(reader.fingerprint());
+  if (actual != digest) {
+    throw std::runtime_error("serve: cache entry " + path +
+                             " holds a policy for digest " + actual +
+                             " (requested " + digest + ")");
+  }
+  return from_reader(reader);
+}
+
+LoadedPolicy load_policy_file(const std::string& path) {
+  return from_reader(ckpt::CheckpointReader::from_file(path));
+}
+
+}  // namespace edgeslice::serve

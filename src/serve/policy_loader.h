@@ -1,0 +1,34 @@
+// Loading a servable policy out of the agent cache (or a bare file).
+//
+// The agent cache (src/ckpt/agent_cache.h) addresses entries by the
+// FNV-1a digest of their configuration fingerprint; policy-serve is
+// pointed at an entry by that digest ("serve the policy at address X"),
+// so loading here re-verifies the address: the digest of the stored
+// fingerprint must equal the requested digest, or the file is not the
+// entry it claims to be (hand-renamed, truncated rename, collision).
+#pragma once
+
+#include <string>
+
+#include "nn/mlp.h"
+
+namespace edgeslice::serve {
+
+/// A policy ready to serve, plus the provenance ServeStatus reports.
+struct LoadedPolicy {
+  nn::Mlp policy;
+  std::string digest;       // 16 lowercase hex chars
+  std::string fingerprint;  // canonical configuration text from the entry
+};
+
+/// Load "<cache_dir>/<digest>.ckpt" and validate it end to end (ESCK
+/// container CRCs, digest-of-fingerprint match, Policy section present).
+/// Throws std::runtime_error naming any failure.
+LoadedPolicy load_policy_by_digest(const std::string& cache_dir,
+                                   const std::string& digest);
+
+/// Load a policy from an explicit ESCK file (any name); the digest is
+/// computed from the stored fingerprint. Throws on any invalidity.
+LoadedPolicy load_policy_file(const std::string& path);
+
+}  // namespace edgeslice::serve

@@ -1,0 +1,109 @@
+// The policy-serving daemon core: decisions as a service (DESIGN.md
+// "Policy-serving plane").
+//
+// PolicyServer turns a trained policy network (an agent-cache entry, see
+// src/ckpt/agent_cache.h) into a request/response service speaking the
+// ESFR framed protocol over localhost TCP: clients send DecideRequest
+// frames carrying an observation, the server answers DecideResponse
+// frames carrying the policy's allocation vector. One single-threaded
+// poll(2) event loop (src/ipc/event_loop.h, the supervisor's) multiplexes
+// every client; concurrent requests are folded through the cross-agent
+// BatchedActor path (src/rl/batched_actor.h) — one GEMM per layer per
+// tick for however many requests arrived, not one forward pass each.
+//
+// Admission control is a bounded queue: when the backlog reaches
+// queue_limit, new requests are shed immediately with a 429-style
+// DecideResponse instead of growing the tail latency — an overloaded
+// server degrades by answering "try later" fast, never by answering
+// everything slowly.
+//
+// Determinism gate (tested across GEMM backends): the served action for
+// observation x is bit-identical to Agent::act(x, explore=false) on the
+// same network, whatever the batch composition — BatchedActor's per-row
+// contract (row r of an m-row product equals the 1-row product) makes
+// batching an observation-neutral execution detail here exactly as it is
+// in the period loop.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "nn/mlp.h"
+
+namespace edgeslice::serve {
+
+struct PolicyServerConfig {
+  /// TCP port to listen on; 0 picks an ephemeral port (see port()).
+  std::uint16_t port = 0;
+  /// Loopback only by default: the protocol is unauthenticated.
+  std::string bind_address = "127.0.0.1";
+  /// Most requests folded into one batched forward pass per tick.
+  std::size_t batch_max = 64;
+  /// Admission SLO: requests arriving while queue_depth >= queue_limit
+  /// are shed with kDecideShed. 0 sheds everything (drain mode).
+  std::size_t queue_limit = 1024;
+  /// Reported in ServeStatus (the agent-cache address the policy came
+  /// from); purely informational.
+  std::string policy_digest;
+  /// Idle poll slice in milliseconds (latency floor when a request
+  /// arrives while the loop is parked).
+  int poll_ms = 20;
+};
+
+/// Lifetime serving counters, readable from any thread.
+struct ServeCounters {
+  std::uint64_t requests = 0;      // DecideRequests received
+  std::uint64_t decided = 0;       // answered kDecideOk
+  std::uint64_t shed = 0;          // answered kDecideShed
+  std::uint64_t rejected = 0;      // answered kDecideBadRequest
+  std::uint64_t ticks = 0;         // batched forward passes run
+  std::uint64_t accepted = 0;      // connections accepted
+  std::uint64_t protocol_errors = 0;  // connections torn down on bad frames
+};
+
+class PolicyServer {
+ public:
+  /// `policy` is the deterministic actor network to serve (its plain
+  /// forward pass IS the decision — rl::FrozenActor semantics).
+  PolicyServer(nn::Mlp policy, PolicyServerConfig config = {});
+  ~PolicyServer();
+  PolicyServer(const PolicyServer&) = delete;
+  PolicyServer& operator=(const PolicyServer&) = delete;
+
+  /// Bind + listen + spawn the serving thread. Returns false (with a log
+  /// line) when the socket cannot be bound.
+  bool start();
+  /// Stop the serving thread, close every client and the socket
+  /// (idempotent).
+  void stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The actually bound port (resolves config port 0).
+  std::uint16_t port() const { return port_; }
+
+  ServeCounters counters() const;
+  const nn::Mlp& policy() const { return policy_; }
+  const PolicyServerConfig& config() const { return config_; }
+
+ private:
+  void serve_loop();
+
+  nn::Mlp policy_;
+  PolicyServerConfig config_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> decided_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> ticks_{0};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+};
+
+}  // namespace edgeslice::serve

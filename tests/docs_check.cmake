@@ -160,9 +160,41 @@ foreach(token ${city_field_tokens})
 endforeach()
 list(LENGTH city_fields city_field_count)
 
+# The serving bench's report schema: every field bench/serve_load.cpp
+# emits into BENCH_serving.json (the kServeBenchFields table, which
+# write_serving_json verifies against the actual emission) must be
+# documented in FORMATS.md as `field` — the serving report is a wire
+# artifact other tools (bench_ledger) parse, so its schema lives with
+# the format specs.
+set(serve_bench "${REPO_ROOT}/bench/serve_load.cpp")
+if(NOT EXISTS "${serve_bench}")
+  message(FATAL_ERROR "docs_check: ${serve_bench} not found")
+endif()
+file(READ "${serve_bench}" serve_text)
+if(NOT serve_text MATCHES "kServeBenchFields\\[\\] = {([^}]*)}")
+  message(FATAL_ERROR "docs_check: kServeBenchFields not found in ${serve_bench}")
+endif()
+string(REGEX MATCHALL "\"([a-z0-9_]+)\"" serve_field_tokens "${CMAKE_MATCH_1}")
+if(NOT serve_field_tokens)
+  message(FATAL_ERROR "docs_check: kServeBenchFields is empty in ${serve_bench}")
+endif()
+set(serve_fields "")
+foreach(token ${serve_field_tokens})
+  string(REPLACE "\"" "" token "${token}")
+  list(APPEND serve_fields "${token}")
+  if(NOT doc_text MATCHES "`${token}`")
+    message(FATAL_ERROR
+        "docs_check: BENCH_serving.json field \"${token}\" (kServeBenchFields in "
+        "bench/serve_load.cpp) is not documented in FORMATS.md — every emitted "
+        "field must appear there as \\`${token}\\`")
+  endif()
+endforeach()
+list(LENGTH serve_fields serve_field_count)
+
 message(STATUS "docs_check: FORMATS.md documents checkpoint format version "
                "${code_version}, wire frame format version ${frame_version}, "
-               "all ${frame_type_count} frame types, and all artifact "
-               "families; EXPERIMENTS.md documents "
+               "all ${frame_type_count} frame types, all "
+               "${serve_field_count} BENCH_serving.json fields, and all "
+               "artifact families; EXPERIMENTS.md documents "
                "EDGESLICE_GEMM=${gemm_mode_phrase} and all "
                "${city_field_count} BENCH_city.json fields")

@@ -1,0 +1,141 @@
+// ckpt-inspect and the serve-side policy loader (ctest label: serve).
+//
+// ckpt-inspect's contract (FORMATS.md Sec. 2 usage notes): a clean exit
+// IS an integrity check — the dump prints only fully validated data, and
+// any corruption exits nonzero with the reader's error. The policy
+// loader's contract: the digest is an address, so the stored
+// fingerprint's digest must match the requested one byte-for-byte.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "ckpt/agent_cache.h"
+#include "ckpt/container.h"
+#include "common/rng.h"
+#include "nn/mlp.h"
+#include "serve/policy_loader.h"
+
+namespace edgeslice::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+nn::Mlp make_policy(std::uint64_t seed) {
+  Rng rng(seed);
+  return nn::Mlp({5, 8, 3}, nn::Activation::LeakyRelu, nn::Activation::Sigmoid,
+                 rng);
+}
+
+class CkptInspectTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / ("edgeslice_inspect_" +
+                                        std::to_string(::getpid()) + "_" +
+                                        std::to_string(counter_++));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  /// Run ckpt_inspect, capture stdout, return (exit code, output).
+  std::pair<int, std::string> inspect(const std::string& flags) {
+    const std::string out_path = (dir_ / "inspect.out").string();
+    const std::string command = std::string(EDGESLICE_CKPT_INSPECT_PATH) + " " +
+                                flags + " > " + out_path + " 2>&1";
+    const int status = std::system(command.c_str());
+    std::ifstream in(out_path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return {WIFEXITED(status) ? WEXITSTATUS(status) : -1, buffer.str()};
+  }
+
+  fs::path dir_;
+  static int counter_;
+};
+
+int CkptInspectTest::counter_ = 0;
+
+TEST_F(CkptInspectTest, DumpsSectionTableAndFingerprintDigest) {
+  const std::string fingerprint = "algorithm = DDPG\nseed = 21\n";
+  ASSERT_TRUE(ckpt::store_policy(dir_.string(), fingerprint, make_policy(21)));
+  const std::string path = ckpt::cache_entry_path(dir_.string(), fingerprint);
+
+  const auto [code, output] = inspect("--in " + path);
+  EXPECT_EQ(code, 0) << output;
+  EXPECT_NE(output.find("ESCK v1"), std::string::npos) << output;
+  EXPECT_NE(output.find(ckpt::fingerprint_digest(fingerprint)), std::string::npos)
+      << output;
+  EXPECT_NE(output.find("policy"), std::string::npos) << output;  // section kind
+  EXPECT_NE(output.find("sections:           1"), std::string::npos) << output;
+}
+
+TEST_F(CkptInspectTest, PrintsFingerprintTextOnRequest) {
+  const std::string fingerprint = "algorithm = DDPG\nseed = 22\n";
+  ASSERT_TRUE(ckpt::store_policy(dir_.string(), fingerprint, make_policy(22)));
+  const std::string path = ckpt::cache_entry_path(dir_.string(), fingerprint);
+
+  const auto [code, output] = inspect("--in " + path + " --fingerprint true");
+  EXPECT_EQ(code, 0);
+  EXPECT_NE(output.find("seed = 22"), std::string::npos) << output;
+}
+
+TEST_F(CkptInspectTest, CorruptionExitsNonzeroWithTheReadersError) {
+  const std::string fingerprint = "algorithm = DDPG\nseed = 23\n";
+  ASSERT_TRUE(ckpt::store_policy(dir_.string(), fingerprint, make_policy(23)));
+  const std::string path = ckpt::cache_entry_path(dir_.string(), fingerprint);
+  {
+    std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+    file.seekp(-3, std::ios::end);
+    file.put('\xff');  // flip a payload byte: section CRC now lies
+  }
+  const auto [code, output] = inspect("--in " + path);
+  EXPECT_NE(code, 0);
+  EXPECT_NE(output.find("ckpt_inspect:"), std::string::npos) << output;
+}
+
+TEST_F(CkptInspectTest, MissingFileExitsNonzero) {
+  const auto [code, output] = inspect("--in " + (dir_ / "absent.ckpt").string());
+  EXPECT_NE(code, 0);
+}
+
+TEST(PolicyLoader, LoadsByDigestAndVerifiesTheAddress) {
+  const fs::path dir =
+      fs::temp_directory_path() / ("edgeslice_loader_" + std::to_string(::getpid()));
+  fs::create_directories(dir);
+  const std::string fingerprint = "algorithm = DDPG\nseed = 31\n";
+  const nn::Mlp policy = make_policy(31);
+  ASSERT_TRUE(ckpt::store_policy(dir.string(), fingerprint, policy));
+  const std::string digest = ckpt::fingerprint_digest(fingerprint);
+
+  const LoadedPolicy loaded = load_policy_by_digest(dir.string(), digest);
+  EXPECT_EQ(loaded.digest, digest);
+  EXPECT_EQ(loaded.fingerprint, fingerprint);
+  const std::vector<double> x = {0.1, 0.2, 0.3, 0.4, 0.5};
+  EXPECT_EQ(loaded.policy.infer_vector(x), policy.infer_vector(x));
+
+  // A hand-renamed entry is not the policy its filename claims: the
+  // stored fingerprint digests to the original address, not the new one.
+  const std::string forged = dir.string() + "/0000000000000000.ckpt";
+  fs::copy_file(dir / (digest + ".ckpt"), forged);
+  EXPECT_THROW(load_policy_by_digest(dir.string(), "0000000000000000"),
+               std::runtime_error);
+
+  // load_policy_file accepts any name and reports the true address.
+  const LoadedPolicy from_file = load_policy_file(forged);
+  EXPECT_EQ(from_file.digest, digest);
+  fs::remove_all(dir);
+}
+
+TEST(PolicyLoader, MissingEntryThrows) {
+  EXPECT_THROW(load_policy_by_digest("/nonexistent-dir", "0123456789abcdef"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace edgeslice::serve

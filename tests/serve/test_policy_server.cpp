@@ -1,0 +1,286 @@
+// The policy-serve daemon core (ctest label: serve).
+//
+// The contract under test (DESIGN.md "Policy-serving plane"): the daemon
+// answers decisions over the ESFR protocol; admission control sheds with
+// a 429-style status the instant the bounded queue is full (never by
+// slowing everyone down); wrong-dimension observations are rejected with
+// a 400-style status; and hostile bytes — truncated frames, corrupt
+// CRCs, oversized payloads, unexpected frame types — tear down that one
+// connection and never the daemon. Socket tests hang on bugs, so the
+// suite carries hard TIMEOUTs at the ctest level.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/binio.h"
+#include "common/rng.h"
+#include "ipc/frame.h"
+#include "nn/mlp.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+namespace edgeslice::serve {
+namespace {
+
+nn::Mlp make_policy(std::uint64_t seed, std::size_t in = 4, std::size_t out = 2) {
+  Rng rng(seed);
+  return nn::Mlp({in, 16, out}, nn::Activation::LeakyRelu, nn::Activation::Sigmoid,
+                 rng);
+}
+
+TEST(PolicyServer, StartsOnEphemeralPortAndStopsIdempotently) {
+  PolicyServer server(make_policy(1));
+  ASSERT_TRUE(server.start());
+  EXPECT_TRUE(server.running());
+  EXPECT_GT(server.port(), 0);
+  server.stop();
+  EXPECT_FALSE(server.running());
+  server.stop();  // idempotent
+}
+
+TEST(PolicyServer, AnswersPingAndStatus) {
+  PolicyServerConfig config;
+  config.poll_ms = 1;
+  config.policy_digest = "0123456789abcdef";
+  PolicyServer server(make_policy(2), config);
+  ASSERT_TRUE(server.start());
+
+  ServeClient client = ServeClient::connect("127.0.0.1", server.port());
+  EXPECT_EQ(client.ping("nonce"), "nonce");
+
+  const ServeStatusPayload status = client.status();
+  EXPECT_EQ(status.policy_digest, "0123456789abcdef");
+  EXPECT_EQ(status.state_dim, 4u);
+  EXPECT_EQ(status.action_dim, 2u);
+  EXPECT_EQ(status.queue_depth, 0u);
+  EXPECT_EQ(status.decided, 0u);
+  server.stop();
+}
+
+TEST(PolicyServer, DecidesAndEchoesRequestIds) {
+  PolicyServerConfig config;
+  config.poll_ms = 1;
+  PolicyServer server(make_policy(3), config);
+  ASSERT_TRUE(server.start());
+
+  ServeClient client = ServeClient::connect("127.0.0.1", server.port());
+  const DecideResponsePayload response =
+      client.decide(0xfeedface, {0.1, 0.2, 0.3, 0.4});
+  EXPECT_EQ(response.request_id, 0xfeedfaceu);
+  EXPECT_EQ(response.status, kDecideOk);
+  ASSERT_EQ(response.action.size(), 2u);
+  for (double a : response.action) {
+    EXPECT_GE(a, 0.0);  // sigmoid head
+    EXPECT_LE(a, 1.0);
+  }
+  const ServeCounters counters = server.counters();
+  EXPECT_EQ(counters.decided, 1u);
+  EXPECT_EQ(counters.requests, 1u);
+  server.stop();
+}
+
+TEST(PolicyServer, WrongObservationDimIsRejectedWith400) {
+  PolicyServerConfig config;
+  config.poll_ms = 1;
+  PolicyServer server(make_policy(4), config);
+  ASSERT_TRUE(server.start());
+
+  ServeClient client = ServeClient::connect("127.0.0.1", server.port());
+  const DecideResponsePayload response = client.decide(1, {0.1, 0.2});  // dim 2 != 4
+  EXPECT_EQ(response.status, kDecideBadRequest);
+  EXPECT_TRUE(response.action.empty());
+  EXPECT_EQ(server.counters().rejected, 1u);
+  EXPECT_EQ(server.counters().decided, 0u);
+  server.stop();
+}
+
+TEST(PolicyServer, ZeroQueueLimitShedsEverythingWith429) {
+  // queue_limit 0 is drain mode: admission control rejects every request
+  // immediately — the deterministic end of the shed spectrum.
+  PolicyServerConfig config;
+  config.poll_ms = 1;
+  config.queue_limit = 0;
+  PolicyServer server(make_policy(5), config);
+  ASSERT_TRUE(server.start());
+
+  ServeClient client = ServeClient::connect("127.0.0.1", server.port());
+  for (std::uint64_t id = 0; id < 8; ++id) {
+    const DecideResponsePayload response =
+        client.decide(id, {0.1, 0.2, 0.3, 0.4});
+    EXPECT_EQ(response.status, kDecideShed);
+    EXPECT_TRUE(response.action.empty());
+  }
+  EXPECT_EQ(server.counters().shed, 8u);
+  EXPECT_EQ(server.counters().decided, 0u);
+  server.stop();
+}
+
+TEST(PolicyServer, BurstBeyondQueueLimitShedsTheOverflow) {
+  // A burst written in one shot against a tiny queue: every request is
+  // answered (ok or shed), and at least one lands in each bucket. The
+  // exact split depends on tick timing — the invariant is conservation
+  // and the presence of shedding, not a specific count.
+  PolicyServerConfig config;
+  config.poll_ms = 1;
+  config.queue_limit = 2;
+  config.batch_max = 2;
+  PolicyServer server(make_policy(6), config);
+  ASSERT_TRUE(server.start());
+
+  ServeClient client = ServeClient::connect("127.0.0.1", server.port());
+  constexpr std::uint64_t kBurst = 64;
+  for (std::uint64_t id = 0; id < kBurst; ++id) {
+    client.send_decide(id, {0.1, 0.2, 0.3, 0.4});
+  }
+  std::size_t ok = 0, shed = 0;
+  std::size_t answered = 0;
+  while (answered < kBurst) {
+    const auto responses = client.poll_decisions(5000);
+    ASSERT_FALSE(responses.empty()) << "server stopped answering";
+    for (const DecideResponsePayload& response : responses) {
+      ++answered;
+      if (response.status == kDecideOk) ++ok;
+      if (response.status == kDecideShed) ++shed;
+    }
+  }
+  EXPECT_EQ(ok + shed, kBurst);
+  EXPECT_GE(ok, 1u);
+  const ServeCounters counters = server.counters();
+  EXPECT_EQ(counters.decided, ok);
+  EXPECT_EQ(counters.shed, shed);
+  server.stop();
+}
+
+TEST(PolicyServer, TruncatedDecideRequestTearsDownOnlyThatConnection) {
+  PolicyServerConfig config;
+  config.poll_ms = 1;
+  PolicyServer server(make_policy(7), config);
+  ASSERT_TRUE(server.start());
+
+  // A DecideRequest whose payload stops mid-observation: parses as a
+  // frame, fails payload decode -> protocol error, connection closed.
+  ServeClient hostile = ServeClient::connect("127.0.0.1", server.port());
+  std::ostringstream truncated;
+  write_u64(truncated, 1);  // request_id
+  write_u64(truncated, 4);  // claims 4 doubles...
+  write_f64(truncated, 0.5);  // ...delivers 1
+  hostile.send_frame(ipc::FrameType::DecideRequest, truncated.str());
+  EXPECT_THROW(
+      {
+        for (;;) hostile.ping("x", 2000);
+      },
+      std::runtime_error);
+
+  // The daemon survives: a fresh connection still decides.
+  ServeClient healthy = ServeClient::connect("127.0.0.1", server.port());
+  EXPECT_EQ(healthy.decide(2, {0.1, 0.2, 0.3, 0.4}).status, kDecideOk);
+  EXPECT_GE(server.counters().protocol_errors, 1u);
+  server.stop();
+}
+
+TEST(PolicyServer, CorruptCrcTearsDownOnlyThatConnection) {
+  PolicyServerConfig config;
+  config.poll_ms = 1;
+  PolicyServer server(make_policy(8), config);
+  ASSERT_TRUE(server.start());
+
+  ServeClient hostile = ServeClient::connect("127.0.0.1", server.port());
+  DecideRequestPayload request;
+  request.request_id = 1;
+  request.observation = {0.1, 0.2, 0.3, 0.4};
+  ipc::Frame frame;
+  frame.type = ipc::FrameType::DecideRequest;
+  frame.seq = 0;
+  frame.payload = encode_decide_request(request);
+  std::string bytes = ipc::encode_frame(frame);
+  bytes.back() ^= 0x40;  // flip a payload bit: payload CRC now lies
+  hostile.send_raw(bytes);
+  EXPECT_THROW(
+      {
+        for (;;) hostile.ping("x", 2000);
+      },
+      std::runtime_error);
+
+  ServeClient healthy = ServeClient::connect("127.0.0.1", server.port());
+  EXPECT_EQ(healthy.decide(2, {0.1, 0.2, 0.3, 0.4}).status, kDecideOk);
+  server.stop();
+}
+
+TEST(PolicyServer, OversizedFrameHeaderTearsDownOnlyThatConnection) {
+  PolicyServerConfig config;
+  config.poll_ms = 1;
+  PolicyServer server(make_policy(9), config);
+  ASSERT_TRUE(server.start());
+
+  // A header claiming a payload beyond the hostile cap: rejected at
+  // header decode, before any allocation.
+  ServeClient hostile = ServeClient::connect("127.0.0.1", server.port());
+  ipc::Frame frame;
+  frame.type = ipc::FrameType::DecideRequest;
+  frame.seq = 0;
+  frame.payload = "x";
+  std::string bytes = ipc::encode_frame(frame);
+  // payload_len lives at offset 24 (FORMATS.md "ESFR wire frame"):
+  // rewrite it to 1 TiB. Header CRC will also mismatch — either way the
+  // connection must die cleanly.
+  const std::uint64_t huge = 1ull << 40;
+  for (int i = 0; i < 8; ++i)
+    bytes[24 + i] = static_cast<char>((huge >> (8 * i)) & 0xff);
+  hostile.send_raw(bytes);
+  EXPECT_THROW(
+      {
+        for (;;) hostile.ping("x", 2000);
+      },
+      std::runtime_error);
+
+  ServeClient healthy = ServeClient::connect("127.0.0.1", server.port());
+  EXPECT_EQ(healthy.decide(2, {0.1, 0.2, 0.3, 0.4}).status, kDecideOk);
+  server.stop();
+}
+
+TEST(PolicyServer, UnexpectedFrameTypeTearsDownOnlyThatConnection) {
+  PolicyServerConfig config;
+  config.poll_ms = 1;
+  PolicyServer server(make_policy(10), config);
+  ASSERT_TRUE(server.start());
+
+  ServeClient hostile = ServeClient::connect("127.0.0.1", server.port());
+  hostile.send_frame(ipc::FrameType::Shutdown, "");
+  EXPECT_THROW(
+      {
+        for (;;) hostile.ping("x", 2000);
+      },
+      std::runtime_error);
+
+  ServeClient healthy = ServeClient::connect("127.0.0.1", server.port());
+  EXPECT_EQ(healthy.decide(2, {0.1, 0.2, 0.3, 0.4}).status, kDecideOk);
+  EXPECT_GE(server.counters().protocol_errors, 1u);
+  server.stop();
+}
+
+TEST(PolicyServer, ManyConnectionsShareOneServer) {
+  PolicyServerConfig config;
+  config.poll_ms = 1;
+  PolicyServer server(make_policy(11), config);
+  ASSERT_TRUE(server.start());
+
+  std::vector<ServeClient> clients;
+  for (int i = 0; i < 8; ++i) {
+    clients.push_back(ServeClient::connect("127.0.0.1", server.port()));
+  }
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    const DecideResponsePayload response =
+        clients[i].decide(i, {0.1, 0.2, 0.3, 0.4});
+    EXPECT_EQ(response.status, kDecideOk);
+    EXPECT_EQ(response.request_id, i);
+  }
+  EXPECT_EQ(server.counters().decided, clients.size());
+  EXPECT_EQ(server.counters().accepted, clients.size());
+  server.stop();
+}
+
+}  // namespace
+}  // namespace edgeslice::serve

@@ -1,0 +1,129 @@
+// The serving determinism gate (ctest label: serve).
+//
+// The contract under test (DESIGN.md "Policy-serving plane"): a served
+// decision for observation x is bit-identical to Agent::act(x) on the
+// same network — under every GEMM backend, whatever batch the request
+// happened to ride in. The chain: FrozenActor::act is a pure forward
+// pass (infer_vector), BatchedActor's per-row contract makes row r of an
+// m-row product bit-identical to the 1-row product under both backends,
+// and the serve payload codec moves doubles as exact IEEE-754 bit
+// patterns. This suite pins the process-global GEMM backend, which is
+// why it shares an executable only with other serve tests (run serially
+// by gtest) and resets the pin after every case.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/gemm.h"
+#include "nn/mlp.h"
+#include "rl/frozen.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+namespace edgeslice::serve {
+namespace {
+
+nn::Mlp make_policy(std::uint64_t seed) {
+  Rng rng(seed);
+  // The paper's actor shape at reduced width: two hidden layers, sigmoid
+  // allocation head.
+  return nn::Mlp({8, 32, 32, 3}, nn::Activation::LeakyRelu,
+                 nn::Activation::Sigmoid, rng);
+}
+
+std::vector<std::vector<double>> make_observations(std::uint64_t seed,
+                                                   std::size_t count) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> observations(count);
+  for (auto& observation : observations) observation = rng.uniforms(8);
+  return observations;
+}
+
+void expect_bitwise_equal(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // memcmp, not ==: the gate is bit-identity, and == would also accept
+    // -0.0 vs 0.0.
+    EXPECT_EQ(std::memcmp(&a[i], &b[i], sizeof(double)), 0)
+        << "component " << i << ": " << a[i] << " vs " << b[i];
+  }
+}
+
+void run_identity_check(nn::GemmBackend backend) {
+  nn::set_gemm_backend(backend);
+  constexpr std::size_t kRequests = 32;
+  const auto observations = make_observations(99, kRequests);
+
+  // Reference decisions: Agent::act on the identical network, unbatched.
+  rl::FrozenActor reference(make_policy(42));
+  std::vector<std::vector<double>> expected;
+  expected.reserve(kRequests);
+  for (const auto& observation : observations) {
+    expected.push_back(reference.act(observation, /*explore=*/false));
+  }
+
+  PolicyServerConfig config;
+  config.poll_ms = 1;
+  config.batch_max = 8;  // forces multi-row batches AND leftover tails
+  PolicyServer server(make_policy(42), config);
+  ASSERT_TRUE(server.start());
+  ServeClient client = ServeClient::connect("127.0.0.1", server.port());
+
+  // Burst everything so requests ride shared batches of whatever
+  // composition the tick timing produces — the identity must not care.
+  for (std::size_t id = 0; id < kRequests; ++id) {
+    client.send_decide(id, observations[id]);
+  }
+  std::size_t answered = 0;
+  while (answered < kRequests) {
+    const auto responses = client.poll_decisions(5000);
+    ASSERT_FALSE(responses.empty()) << "server stopped answering";
+    for (const DecideResponsePayload& response : responses) {
+      ASSERT_EQ(response.status, kDecideOk);
+      ASSERT_LT(response.request_id, kRequests);
+      expect_bitwise_equal(response.action, expected[response.request_id]);
+      ++answered;
+    }
+  }
+  server.stop();
+
+  // One-at-a-time serving must agree too (batch of 1 vs batch of many).
+  PolicyServer single(make_policy(42), config);
+  ASSERT_TRUE(single.start());
+  ServeClient single_client = ServeClient::connect("127.0.0.1", single.port());
+  for (std::size_t id = 0; id < 4; ++id) {
+    const DecideResponsePayload response =
+        single_client.decide(id, observations[id]);
+    ASSERT_EQ(response.status, kDecideOk);
+    expect_bitwise_equal(response.action, expected[id]);
+  }
+  single.stop();
+}
+
+class ServeIdentity : public ::testing::Test {
+ protected:
+  void TearDown() override { nn::reset_gemm_backend(); }
+};
+
+TEST_F(ServeIdentity, ServedDecisionsMatchAgentActUnderScalarGemm) {
+  run_identity_check(nn::GemmBackend::Scalar);
+}
+
+TEST_F(ServeIdentity, ServedDecisionsMatchAgentActUnderAvx2Gemm) {
+  if (!nn::cpu_supports_avx2_fma()) {
+    GTEST_SKIP() << "CPU lacks AVX2+FMA";
+  }
+  run_identity_check(nn::GemmBackend::Avx2);
+}
+
+// No cross-backend assertion on purpose: the two backends are each
+// internally deterministic but may differ BETWEEN pins (see
+// tests/nn/test_gemm_identity.cpp) — the serving gate is served ==
+// Agent::act under the SAME pin, which the two cases above cover.
+
+}  // namespace
+}  // namespace edgeslice::serve

@@ -1,0 +1,199 @@
+// The serving CLIs end to end (ctest label: serve).
+//
+// Drives the real binaries: bench/serve_load in its self-contained mode
+// (open-loop Poisson load against an in-process server, BENCH_serving.json
+// out) and tools/policy_serve as a daemon (cache-entry load by digest,
+// --port-file discovery, SIGTERM shutdown). Subprocess + socket tests
+// hang on bugs, so the suite carries hard TIMEOUTs at the ctest level.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_ledger_lib.h"
+#include "ckpt/agent_cache.h"
+#include "common/rng.h"
+#include "nn/mlp.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+
+namespace edgeslice::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Every field the BENCH_serving.json schema (FORMATS.md) carries. Kept
+/// in sync with bench/serve_load.cpp's kServeBenchFields by this test:
+/// a field added to the bench without landing here (and in FORMATS.md,
+/// via docs_check) fails.
+constexpr const char* kExpectedFields[] = {
+    "state_dim", "action_dim", "hidden_dim", "batch_max", "queue_limit",
+    "connections", "offered_rate", "requests", "seed", "gemm_backend",
+    "wall_seconds", "sent", "decided", "shed", "rejected", "lost",
+    "achieved_rate", "shed_rate", "p50_decision_seconds",
+    "p99_decision_seconds", "p999_decision_seconds", "p50_server_seconds",
+    "p99_server_seconds",
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+class ServeLoadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / ("edgeslice_serve_load_" +
+                                        std::to_string(::getpid()) + "_" +
+                                        std::to_string(counter_++));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+  static int counter_;
+};
+
+int ServeLoadTest::counter_ = 0;
+
+TEST_F(ServeLoadTest, BenchWritesEveryDocumentedFieldAndConserves) {
+  const std::string out = (dir_ / "BENCH_serving.json").string();
+  const std::string command = std::string(EDGESLICE_SERVE_LOAD_PATH) +
+                              " --requests 400 --rate 8000 --connections 2"
+                              " --queue-limit 64 --batch-max 16 --seed 3"
+                              " --out " + out + " > /dev/null";
+  ASSERT_EQ(std::system(command.c_str()), 0);
+
+  const auto fields = tools::parse_flat_json(read_file(out));
+  for (const char* field : kExpectedFields) {
+    EXPECT_TRUE(fields.count(field)) << "BENCH_serving.json missing " << field;
+  }
+  EXPECT_EQ(fields.size(), sizeof(kExpectedFields) / sizeof(kExpectedFields[0]));
+
+  const auto number = [&](const char* key) {
+    return std::stod(fields.at(key));
+  };
+  // Conservation: every sent request is accounted for exactly once.
+  EXPECT_EQ(number("sent"), 400.0);
+  EXPECT_EQ(number("sent"), number("decided") + number("shed") +
+                                number("rejected") + number("lost"));
+  EXPECT_GT(number("decided"), 0.0);
+  EXPECT_GE(number("p99_decision_seconds"), number("p50_decision_seconds"));
+  EXPECT_GE(number("p999_decision_seconds"), number("p99_decision_seconds"));
+}
+
+TEST_F(ServeLoadTest, BenchOutputIsLedgerMaterial) {
+  const std::string out = (dir_ / "BENCH_serving.json").string();
+  const std::string command = std::string(EDGESLICE_SERVE_LOAD_PATH) +
+                              " --requests 200 --rate 8000 --seed 5 --out " +
+                              out + " > /dev/null";
+  ASSERT_EQ(std::system(command.c_str()), 0);
+
+  // bench_ledger splits identity (config.*) from measurement (metric.*):
+  // the load point and shapes are identity, the latencies are metrics,
+  // and p99 decision latency regresses in the documented direction.
+  const tools::BenchEntry entry =
+      tools::make_entry(read_file(out), "sha-test", "serving");
+  for (const char* key : {"state_dim", "action_dim", "hidden_dim", "batch_max",
+                          "queue_limit", "connections", "offered_rate",
+                          "requests", "seed", "gemm_backend"}) {
+    EXPECT_TRUE(entry.config.count(key)) << key << " should be config";
+  }
+  for (const char* key :
+       {"wall_seconds", "achieved_rate", "shed_rate", "p50_decision_seconds",
+        "p99_decision_seconds", "p999_decision_seconds"}) {
+    EXPECT_TRUE(entry.metrics.count(key)) << key << " should be a metric";
+  }
+  EXPECT_EQ(tools::metric_direction("p99_decision_seconds"), -1);
+  EXPECT_EQ(tools::metric_direction("achieved_rate"), 1);
+  EXPECT_EQ(tools::metric_direction("shed_rate"), -1);
+
+  // Same config -> same fingerprint; a different load point must not
+  // alias (offered_rate is identity, not measurement).
+  const tools::BenchEntry again =
+      tools::make_entry(read_file(out), "sha-test-2", "serving");
+  EXPECT_EQ(entry.fingerprint, again.fingerprint);
+}
+
+TEST_F(ServeLoadTest, PolicyServeDaemonServesCacheEntryByDigest) {
+  // Publish a trained-policy stand-in into the agent cache.
+  Rng rng(11);
+  nn::Mlp policy({6, 16, 2}, nn::Activation::LeakyRelu, nn::Activation::Sigmoid,
+                 rng);
+  const std::string fingerprint = "algorithm = DDPG\nseed = 11\nserve-test = 1\n";
+  const std::string cache_dir = (dir_ / "cache").string();
+  ASSERT_TRUE(ckpt::store_policy(cache_dir, fingerprint, policy));
+  const std::string digest = ckpt::fingerprint_digest(fingerprint);
+
+  const std::string port_file = (dir_ / "port").string();
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    ::execl(EDGESLICE_POLICY_SERVE_PATH, EDGESLICE_POLICY_SERVE_PATH,
+            "--cache-dir", cache_dir.c_str(), "--digest", digest.c_str(),
+            "--port-file", port_file.c_str(), "--status-every", "0",
+            static_cast<char*>(nullptr));
+    _exit(127);  // exec failed
+  }
+
+  // Discover the bound port (written atomically once listening).
+  std::uint16_t port = 0;
+  for (int attempt = 0; attempt < 200 && port == 0; ++attempt) {
+    std::ifstream in(port_file);
+    int value = 0;
+    if (in >> value && value > 0) {
+      port = static_cast<std::uint16_t>(value);
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  ASSERT_GT(port, 0) << "daemon never published its port";
+
+  // The daemon serves the cached policy and reports its address.
+  ServeClient client = ServeClient::connect("127.0.0.1", port);
+  const ServeStatusPayload status = client.status();
+  EXPECT_EQ(status.policy_digest, digest);
+  EXPECT_EQ(status.state_dim, 6u);
+  EXPECT_EQ(status.action_dim, 2u);
+
+  const DecideResponsePayload response =
+      client.decide(1, {0.1, 0.2, 0.3, 0.4, 0.5, 0.6});
+  EXPECT_EQ(response.status, kDecideOk);
+  // Bit-identity with the in-process policy (scalar/avx2 auto pin is the
+  // same in both processes: same binary defaults, same CPU).
+  const std::vector<double> expected =
+      policy.infer_vector({0.1, 0.2, 0.3, 0.4, 0.5, 0.6});
+  EXPECT_EQ(response.action, expected);
+
+  // SIGTERM is a clean shutdown.
+  ASSERT_EQ(::kill(pid, SIGTERM), 0);
+  int wstatus = 0;
+  ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+  EXPECT_TRUE(WIFEXITED(wstatus));
+  EXPECT_EQ(WEXITSTATUS(wstatus), 0);
+}
+
+TEST_F(ServeLoadTest, PolicyServeRefusesAMissingDigest) {
+  const std::string command = std::string(EDGESLICE_POLICY_SERVE_PATH) +
+                              " --cache-dir " + (dir_ / "nope").string() +
+                              " --digest 0123456789abcdef 2> /dev/null";
+  const int status = std::system(command.c_str());
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_NE(WEXITSTATUS(status), 0);
+}
+
+}  // namespace
+}  // namespace edgeslice::serve

@@ -1,0 +1,138 @@
+// Serve payload codecs (ctest label: serve).
+//
+// The contract under test (FORMATS.md "Serve payloads"): every payload
+// round-trips exactly (doubles as IEEE-754 bit patterns), truncation at
+// any field throws a context-naming runtime_error instead of misparsing,
+// trailing bytes throw (serve payloads are closed records), and hostile
+// vector length prefixes are rejected before allocation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "common/binio.h"
+#include "serve/protocol.h"
+
+namespace edgeslice::serve {
+namespace {
+
+TEST(ServeProtocol, DecideRequestRoundTripsExactly) {
+  DecideRequestPayload request;
+  request.request_id = 0xdeadbeefcafe0123ull;
+  request.observation = {0.0, -1.5, 3.14159, 1e-308, -0.0};
+
+  const DecideRequestPayload got =
+      decode_decide_request(encode_decide_request(request));
+  EXPECT_EQ(got.request_id, request.request_id);
+  ASSERT_EQ(got.observation.size(), request.observation.size());
+  for (std::size_t i = 0; i < got.observation.size(); ++i) {
+    // Bit-level comparison: -0.0 must survive as -0.0.
+    EXPECT_EQ(std::signbit(got.observation[i]), std::signbit(request.observation[i]));
+    EXPECT_EQ(got.observation[i], request.observation[i]);
+  }
+}
+
+TEST(ServeProtocol, DecideResponseRoundTripsEveryStatus) {
+  for (std::uint32_t status : {kDecideOk, kDecideBadRequest, kDecideShed}) {
+    DecideResponsePayload response;
+    response.request_id = 42;
+    response.status = status;
+    response.action = status == kDecideOk ? std::vector<double>{0.25, 0.75}
+                                          : std::vector<double>{};
+    const DecideResponsePayload got =
+        decode_decide_response(encode_decide_response(response));
+    EXPECT_EQ(got.request_id, response.request_id);
+    EXPECT_EQ(got.status, status);
+    EXPECT_EQ(got.action, response.action);
+  }
+}
+
+TEST(ServeProtocol, ServeStatusRoundTripsExactly) {
+  ServeStatusPayload status;
+  status.policy_digest = "9f2a77aa01234567";
+  status.state_dim = 8;
+  status.action_dim = 3;
+  status.batch_max = 64;
+  status.queue_limit = 256;
+  status.queue_depth = 17;
+  status.decided = 1000000;
+  status.shed = 123;
+  status.rejected = 4;
+  status.p50_decision_seconds = 0.00113;
+  status.p99_decision_seconds = 0.00987;
+
+  const ServeStatusPayload got = decode_serve_status(encode_serve_status(status));
+  EXPECT_EQ(got.policy_digest, status.policy_digest);
+  EXPECT_EQ(got.state_dim, status.state_dim);
+  EXPECT_EQ(got.action_dim, status.action_dim);
+  EXPECT_EQ(got.batch_max, status.batch_max);
+  EXPECT_EQ(got.queue_limit, status.queue_limit);
+  EXPECT_EQ(got.queue_depth, status.queue_depth);
+  EXPECT_EQ(got.decided, status.decided);
+  EXPECT_EQ(got.shed, status.shed);
+  EXPECT_EQ(got.rejected, status.rejected);
+  EXPECT_EQ(got.p50_decision_seconds, status.p50_decision_seconds);
+  EXPECT_EQ(got.p99_decision_seconds, status.p99_decision_seconds);
+}
+
+TEST(ServeProtocol, TruncationAtEveryByteThrowsInsteadOfMisparse) {
+  DecideRequestPayload request;
+  request.request_id = 7;
+  request.observation = {1.0, 2.0, 3.0};
+  const std::string bytes = encode_decide_request(request);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_THROW(decode_decide_request(bytes.substr(0, cut)), std::runtime_error)
+        << "cut at " << cut;
+  }
+
+  DecideResponsePayload response;
+  response.request_id = 7;
+  response.status = kDecideOk;
+  response.action = {0.5};
+  const std::string response_bytes = encode_decide_response(response);
+  for (std::size_t cut = 0; cut < response_bytes.size(); ++cut) {
+    EXPECT_THROW(decode_decide_response(response_bytes.substr(0, cut)),
+                 std::runtime_error)
+        << "cut at " << cut;
+  }
+
+  const std::string status_bytes = encode_serve_status(ServeStatusPayload{});
+  for (std::size_t cut = 0; cut < status_bytes.size(); ++cut) {
+    EXPECT_THROW(decode_serve_status(status_bytes.substr(0, cut)),
+                 std::runtime_error)
+        << "cut at " << cut;
+  }
+}
+
+TEST(ServeProtocol, TrailingBytesAreCorruptionNotExtensibility) {
+  DecideRequestPayload request;
+  request.observation = {1.0};
+  EXPECT_THROW(decode_decide_request(encode_decide_request(request) + "x"),
+               std::runtime_error);
+  EXPECT_THROW(
+      decode_decide_response(encode_decide_response(DecideResponsePayload{}) + "x"),
+      std::runtime_error);
+  EXPECT_THROW(decode_serve_status(encode_serve_status(ServeStatusPayload{}) + "x"),
+               std::runtime_error);
+}
+
+TEST(ServeProtocol, HostileObservationLengthIsRejectedBeforeAllocation) {
+  // A request claiming 2^60 doubles must throw on the length prefix, not
+  // attempt an exabyte allocation (the length exceeds kMaxObservationDim).
+  std::ostringstream out;
+  write_u64(out, 1);                      // request_id
+  write_u64(out, 1ull << 60);             // hostile vector length
+  EXPECT_THROW(decode_decide_request(out.str()), std::runtime_error);
+}
+
+TEST(ServeProtocol, StatusNamesAreStable) {
+  EXPECT_STREQ(decide_status_name(kDecideOk), "ok");
+  EXPECT_STREQ(decide_status_name(kDecideBadRequest), "bad_request");
+  EXPECT_STREQ(decide_status_name(kDecideShed), "shed");
+  EXPECT_STREQ(decide_status_name(12345), "unknown");
+}
+
+}  // namespace
+}  // namespace edgeslice::serve

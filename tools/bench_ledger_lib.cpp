@@ -141,7 +141,8 @@ bool is_config_key(const std::string& key) {
       "ras", "slices_per_ra", "periods", "intervals_per_period", "seed",
       "threads", "threads_timed", "hardware_threads", "start_period",
       "timing_jobs", "timing_steps_per_job", "gemm_backend", "workers",
-      "telemetry_interval",
+      "telemetry_interval", "state_dim", "action_dim", "hidden_dim",
+      "batch_max", "queue_limit", "connections", "offered_rate", "requests",
   };
   for (const char* k : kConfigKeys) {
     if (key == k) return true;
@@ -249,11 +250,13 @@ int metric_direction(const std::string& key) {
       "periods_per_second", "matmul_gflops", "matmul_gflops_scalar",
       "matmul_gflops_avx2", "inference_steps_per_second_batched",
       "inference_steps_per_second_unbatched", "speedup",
-      "inference_batched_speedup",
+      "inference_batched_speedup", "achieved_rate",
   };
   static const char* kLowerBetter[] = {
       "p99_coordinator_solve_seconds", "wall_seconds", "sequential_seconds",
-      "parallel_seconds",
+      "parallel_seconds", "shed_rate", "p50_decision_seconds",
+      "p99_decision_seconds", "p999_decision_seconds", "p50_server_seconds",
+      "p99_server_seconds",
   };
   for (const char* k : kHigherBetter) {
     if (key == k) return 1;

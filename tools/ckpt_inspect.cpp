@@ -1,0 +1,60 @@
+// ckpt-inspect: dump an ESCK checkpoint container (FORMATS.md Sec. 2).
+//
+//   ckpt_inspect --in edgeslice_train.ckpt
+//
+// Prints the header (version, fingerprint digest, section count), the
+// full section table (kind, index, payload size, payload CRC), and the
+// configuration fingerprint text. Everything printed has already been
+// validated — bad magic, CRC mismatches, truncation all exit 1 with the
+// reader's error naming the failure — so a clean exit IS an integrity
+// check: "ckpt_inspect --in X" doubles as "is X a restorable checkpoint".
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "ckpt/agent_cache.h"
+#include "ckpt/container.h"
+#include "ckpt/format.h"
+#include "common/binio.h"
+#include "common/cli.h"
+
+using namespace edgeslice;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv, {"in", "fingerprint"});
+  if (!args.has("in")) {
+    std::fprintf(stderr, "ckpt_inspect: need --in <checkpoint file>\n");
+    return 2;
+  }
+  const std::string path = args.get("in", "");
+
+  try {
+    const ckpt::CheckpointReader reader = ckpt::CheckpointReader::from_file(path);
+    const std::string& fingerprint = reader.fingerprint();
+
+    std::printf("file:               %s\n", path.c_str());
+    std::printf("format:             ESCK v%u\n", ckpt::kCkptFormatVersion);
+    std::printf("fingerprint digest: %s\n",
+                ckpt::fingerprint_digest(fingerprint).c_str());
+    std::printf("fingerprint bytes:  %zu\n", fingerprint.size());
+    std::printf("sections:           %zu\n", reader.sections().size());
+    std::printf("\n%-12s %-6s %12s %10s\n", "kind", "index", "bytes", "crc32");
+    std::size_t total = 0;
+    for (const ckpt::Section& section : reader.sections()) {
+      std::printf("%-12s %-6u %12zu 0x%08x\n",
+                  ckpt::section_kind_name(section.kind), section.index,
+                  section.payload.size(), crc32(section.payload));
+      total += section.payload.size();
+    }
+    std::printf("%-12s %-6s %12zu\n", "total", "", total);
+
+    if (args.get_bool("fingerprint", false) && !fingerprint.empty()) {
+      std::printf("\n--- fingerprint ---\n%s", fingerprint.c_str());
+      if (fingerprint.back() != '\n') std::printf("\n");
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "ckpt_inspect: %s\n", error.what());
+    return 1;
+  }
+  return 0;
+}
